@@ -1,0 +1,373 @@
+// Benchmarks that regenerate every table and figure of the paper's
+// evaluation (§8), plus ablations over the design choices DESIGN.md
+// calls out. Each table benchmark executes the full experiment —
+// selection, traffic, program run — once per iteration; the reported
+// ns/op is the wall cost of regenerating that artifact (all network time
+// is virtual).
+//
+// Run with:
+//
+//	go test -bench=. -benchmem .
+package repro_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/fx"
+	"repro/internal/graph"
+	"repro/internal/netsim"
+	"repro/internal/simclock"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+	"repro/remos"
+
+	airshedapp "repro/internal/apps/airshed"
+	fftapp "repro/internal/apps/fft"
+)
+
+// --- Figures -------------------------------------------------------------
+
+// BenchmarkFigure1Aggregate regenerates Figure 1's two readings: edge
+// links vs switch backplanes as the bottleneck.
+func BenchmarkFigure1Aggregate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fast, slow := experiments.Figure1()
+		if fast.AggregateBandwidth != 40e6 || slow.AggregateBandwidth != 10e6 {
+			b.Fatalf("aggregate = %v / %v", fast.AggregateBandwidth, slow.AggregateBandwidth)
+		}
+	}
+}
+
+// BenchmarkFigure4Clustering regenerates Figure 4: greedy selection
+// around busy links.
+func BenchmarkFigure4Clustering(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Figure4()
+		if len(r.Selected) != 4 {
+			b.Fatalf("selected %v", r.Selected)
+		}
+	}
+}
+
+// --- Table 1: static node selection --------------------------------------
+
+func benchTable1Row(b *testing.B, program string, nodes int) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Table1()
+		found := false
+		for _, r := range rows {
+			if r.Program == program && r.Nodes == nodes {
+				found = true
+				b.ReportMetric(r.RemosTime, "virtualSec/run")
+			}
+		}
+		if !found {
+			b.Fatalf("row %s/%d missing", program, nodes)
+		}
+	}
+}
+
+// BenchmarkTable1 regenerates the full Table 1 (all six rows).
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if rows := experiments.Table1(); len(rows) != 6 {
+			b.Fatalf("rows = %d", len(rows))
+		}
+	}
+}
+
+// BenchmarkTable1FFT512x2 regenerates the table's first row and reports
+// the measured virtual execution time (paper: 0.462 s).
+func BenchmarkTable1FFT512x2(b *testing.B) { benchTable1Row(b, "FFT (512)", 2) }
+
+// BenchmarkTable1Airshed5 regenerates the table's last row (paper: 650 s).
+func BenchmarkTable1Airshed5(b *testing.B) { benchTable1Row(b, "Airshed", 5) }
+
+// --- Table 2: node selection under traffic --------------------------------
+
+// BenchmarkTable2 regenerates the full Table 2.
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Table2()
+		for _, r := range rows {
+			if r.PercentIncrease < 40 {
+				b.Fatalf("%s/%d: static penalty %.0f%%", r.Program, r.Nodes, r.PercentIncrease)
+			}
+		}
+	}
+}
+
+// --- Table 3: runtime adaptation ------------------------------------------
+
+// BenchmarkTable3 regenerates the full Table 3 (eight adaptive/fixed
+// Airshed runs). Expensive: seconds per iteration.
+func BenchmarkTable3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Table3()
+		if len(rows) != 4 {
+			b.Fatalf("rows = %d", len(rows))
+		}
+	}
+}
+
+// --- Extension studies ------------------------------------------------------
+
+// BenchmarkPredictionStudy regenerates the future-timeframe study
+// (4 traffic patterns × 4 predictors).
+func BenchmarkPredictionStudy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if evals := experiments.PredictionStudy(); len(evals) != 16 {
+			b.Fatalf("cells = %d", len(evals))
+		}
+	}
+}
+
+// BenchmarkScaleStudy regenerates the multi-collector scale study.
+func BenchmarkScaleStudy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if rs := experiments.ScaleStudy(); len(rs) != 3 {
+			b.Fatalf("rows = %d", len(rs))
+		}
+	}
+}
+
+// BenchmarkOverheadStudy regenerates the poll-period sweep.
+func BenchmarkOverheadStudy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if rs := experiments.OverheadStudy(); len(rs) != 5 {
+			b.Fatalf("rows = %d", len(rs))
+		}
+	}
+}
+
+// --- Ablations -------------------------------------------------------------
+
+// BenchmarkAblationSelfTraffic regenerates the §8.3 self-migration
+// fallacy comparison.
+func BenchmarkAblationSelfTraffic(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.AblationSelfTraffic()
+		if r.NaiveMigrations <= r.DiscountMigrations {
+			b.Fatalf("fallacy did not reproduce: %d vs %d", r.NaiveMigrations, r.DiscountMigrations)
+		}
+	}
+}
+
+// BenchmarkAblationSimultaneousFlowQuery measures the §4.2 design choice
+// of answering simultaneous flow queries in one solve, versus issuing
+// per-flow queries that ignore internal sharing (and get the answer
+// wrong — the benchmark reports the overestimate factor).
+func BenchmarkAblationSimultaneousFlowQuery(b *testing.B) {
+	tb, err := remos.NewTestbed()
+	if err != nil {
+		b.Fatal(err)
+	}
+	tb.Run(10)
+	flows := []remos.Flow{
+		{Src: "m-4", Dst: "m-7", Kind: remos.IndependentFlow},
+		{Src: "m-5", Dst: "m-8", Kind: remos.IndependentFlow},
+		{Src: "m-6", Dst: "m-7", Kind: remos.IndependentFlow},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		joint, err := tb.Modeler.QueryFlowInfo(nil, nil, flows, remos.TFCapacity())
+		if err != nil {
+			b.Fatal(err)
+		}
+		var solo float64
+		for _, f := range flows {
+			fi, err := tb.Modeler.QueryFlowInfo(nil, nil, []remos.Flow{f}, remos.TFCapacity())
+			if err != nil {
+				b.Fatal(err)
+			}
+			solo += fi.Independent[0].Bandwidth.Median
+		}
+		var shared float64
+		for _, r := range joint.Independent {
+			shared += r.Bandwidth.Median
+		}
+		b.ReportMetric(solo/shared, "soloOverestimate")
+	}
+}
+
+// BenchmarkAblationSharingPolicy compares max-min against the naive
+// proportional sharing model on the same query; the reported metric is
+// the fraction of the true leftover bandwidth the proportional model
+// fails to promise (§4.2's sharing-policy design choice).
+func BenchmarkAblationSharingPolicy(b *testing.B) {
+	mk := func(policy core.SharingPolicy) *core.Modeler {
+		e := experiments.NewEnvOn(topology.Dumbbell(2, 100, 10))
+		for _, l := range e.Net.Graph().Links() {
+			if (l.A == "l0" && l.B == "L") || (l.A == "L" && l.B == "l0") {
+				e.Net.SetLinkCapacity(l.ID, 2e6)
+			}
+		}
+		if _, err := e.Col.Discover(); err != nil {
+			b.Fatal(err)
+		}
+		mod := core.New(core.Config{Source: e.Col, Sharing: policy})
+		e.Clk.Advance(5)
+		return mod
+	}
+	maxminMod := mk(core.ShareMaxMin)
+	propMod := mk(core.ShareProportional)
+	flows := []core.Flow{
+		{Src: "l0", Dst: "r0", Kind: core.IndependentFlow},
+		{Src: "l1", Dst: "r1", Kind: core.IndependentFlow},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mm, err := maxminMod.QueryFlowInfo(nil, nil, flows, core.TFCapacity())
+		if err != nil {
+			b.Fatal(err)
+		}
+		pp, err := propMod.QueryFlowInfo(nil, nil, flows, core.TFCapacity())
+		if err != nil {
+			b.Fatal(err)
+		}
+		under := 1 - pp.Independent[1].Bandwidth.Median/mm.Independent[1].Bandwidth.Median
+		b.ReportMetric(under, "underPromiseFrac")
+	}
+}
+
+// BenchmarkAblationTopologyVsFlowMatrix measures the §7.3 observation
+// that building the clustering distance matrix from one topology query
+// beats O(n²) flow queries.
+func BenchmarkAblationTopologyVsFlowMatrix(b *testing.B) {
+	tb, err := remos.NewTestbed()
+	if err != nil {
+		b.Fatal(err)
+	}
+	tb.Run(10)
+	hosts := remos.TestbedHosts()
+	b.Run("topology-matrix", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := tb.Modeler.BandwidthMatrix(hosts, remos.TFHistory(10)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("per-pair-flow-queries", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, s := range hosts {
+				for _, d := range hosts {
+					if s == d {
+						continue
+					}
+					_, err := tb.Modeler.QueryFlowInfo(nil, nil,
+						[]remos.Flow{{Src: s, Dst: d, Kind: remos.IndependentFlow}}, remos.TFHistory(10))
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		}
+	})
+}
+
+// --- End-to-end micro-costs -------------------------------------------------
+
+// BenchmarkCollectorPollRound measures one full SNMP poll of the testbed
+// (11 agents, 20 directed channels) — the recurring cost a deployment
+// pays, which the paper argues must stay low.
+func BenchmarkCollectorPollRound(b *testing.B) {
+	e := experiments.NewEnv()
+	e.Warmup()
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.Clk.Advance(2) // one poll period
+	}
+}
+
+// BenchmarkModelerGetGraph measures one remos_get_graph over the full
+// testbed with history annotations.
+func BenchmarkModelerGetGraph(b *testing.B) {
+	e := experiments.NewEnv()
+	traffic.Blast(e.Net, "m-6", "m-8", 60e6)
+	e.Warmup()
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Mod.GetGraph(nil, core.TFHistory(10)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkModelerFlowQuery measures one remos_flow_info with all three
+// classes populated.
+func BenchmarkModelerFlowQuery(b *testing.B) {
+	e := experiments.NewEnv()
+	e.Warmup()
+	fixed := []core.Flow{{Src: "m-1", Dst: "m-7", Kind: core.FixedFlow, Bandwidth: 2e6}}
+	variable := []core.Flow{
+		{Src: "m-2", Dst: "m-7", Kind: core.VariableFlow, Bandwidth: 1},
+		{Src: "m-3", Dst: "m-8", Kind: core.VariableFlow, Bandwidth: 3},
+	}
+	ind := []core.Flow{{Src: "m-4", Dst: "m-8", Kind: core.IndependentFlow}}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Mod.QueryFlowInfo(fixed, variable, ind, core.TFHistory(10)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFxIterationUnderContention measures one BSP iteration (compute
+// + all-to-all) on the simulator with competing traffic — the simulator's
+// end-to-end event cost.
+func BenchmarkFxIterationUnderContention(b *testing.B) {
+	clk := simclock.New()
+	n, err := netsim.New(clk, topology.Testbed())
+	if err != nil {
+		b.Fatal(err)
+	}
+	traffic.Blast(n, "m-6", "m-8", 60e6)
+	rt := &fx.Runtime{Net: n}
+	prog := &fx.Program{
+		Name: "bench", Iterations: 1,
+		Steps: []fx.Step{
+			{Name: "w", WorkPerNode: func(p int) float64 { return 0.1 / float64(p) }},
+			{Name: "x", Comm: fx.AllToAll(1e6)},
+		},
+	}
+	nodes := []graph.NodeID{"m-1", "m-2", "m-4", "m-5"}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rt.RunToCompletion(prog, nodes)
+	}
+}
+
+// BenchmarkRealFFT2D runs the actual 2-D FFT computation (the real
+// algorithm behind the modeled application).
+func BenchmarkRealFFT2D(b *testing.B) {
+	n := 256
+	m := make([]complex128, n*n)
+	for i := range m {
+		m[i] = complex(float64(i%31), float64(i%17))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fftapp.Transform2D(m, n)
+	}
+}
+
+// BenchmarkRealAirshedStep runs the actual advection+chemistry kernel.
+func BenchmarkRealAirshedStep(b *testing.B) {
+	g := airshedapp.NewGrid(128, 4)
+	for s := 0; s < g.Species; s++ {
+		for i := range g.C[s] {
+			g.C[s][i] = float64(i % 7)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Step(0.5, -0.5, 0.01)
+	}
+}

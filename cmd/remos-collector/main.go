@@ -1,0 +1,159 @@
+// Command remos-collector runs the Remos Collector as a daemon over the
+// simulated Figure 3 testbed, advancing the simulation in real time and
+// serving queries over TCP (for remos-query or any Modeler via
+// remos.DialCollector). Optionally it also exposes every node's SNMP
+// agent on a localhost UDP port.
+//
+// Usage:
+//
+//	remos-collector -listen 127.0.0.1:7070 \
+//	    -blast m-6,m-8,90 -blast m-8,m-6,90 \
+//	    -speed 10 -udp
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/collector"
+	"repro/internal/netsim"
+	"repro/internal/snmp"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+
+	graphpkg "repro/internal/graph"
+	simclockpkg "repro/internal/simclock"
+)
+
+type blastSpec struct {
+	src, dst string
+	mbps     float64
+}
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:0", "TCP address for the query service")
+	speed := flag.Float64("speed", 1, "virtual seconds per wall second")
+	udp := flag.Bool("udp", false, "also serve each node's SNMP agent over UDP")
+	poll := flag.Float64("poll", 2, "collector poll period (virtual seconds)")
+	history := flag.String("history", "", "write the measurement history to this file on shutdown")
+	var blasts []blastSpec
+	flag.Func("blast", "src,dst,mbps — non-responsive traffic (repeatable)", func(s string) error {
+		parts := strings.Split(s, ",")
+		if len(parts) != 3 {
+			return fmt.Errorf("want src,dst,mbps")
+		}
+		mbps, err := strconv.ParseFloat(parts[2], 64)
+		if err != nil {
+			return err
+		}
+		blasts = append(blasts, blastSpec{parts[0], parts[1], mbps})
+		return nil
+	})
+	flag.Parse()
+
+	clk := simclockpkg.New()
+	net, err := netsim.New(clk, topology.Testbed())
+	if err != nil {
+		fatal(err)
+	}
+	att := snmp.Attach(net, snmp.DefaultCommunity)
+
+	// One lock serializes simulator access between the real-time clock
+	// driver and any UDP agent handlers.
+	var mu sync.Mutex
+	addrs := make(map[graphpkg.NodeID]string)
+	names := make([]graphpkg.NodeID, 0, len(att.Agents))
+	for id := range att.Agents {
+		names = append(names, id)
+	}
+	sort.Slice(names, func(i, j int) bool { return names[i] < names[j] })
+	for _, id := range names {
+		addrs[id] = snmp.Addr(id)
+	}
+	if *udp {
+		for _, id := range names {
+			a := att.Agents[id]
+			a.Serialize = func(fn func()) {
+				mu.Lock()
+				defer mu.Unlock()
+				fn()
+			}
+			srv, err := snmp.ServeUDP(a, "127.0.0.1:0")
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("SNMP agent %-12s udp://%s\n", id, srv.Addr())
+		}
+	}
+
+	col := collector.New(collector.Config{
+		Client:        snmp.NewClient(att.Registry, snmp.DefaultCommunity),
+		Clock:         clk,
+		Addrs:         addrs,
+		PollPeriod:    *poll,
+		PerHopLatency: topology.PerHopLatency,
+	})
+	mu.Lock()
+	if err := col.Start(); err != nil {
+		mu.Unlock()
+		fatal(err)
+	}
+	for _, b := range blasts {
+		traffic.Blast(net, graphpkg.NodeID(b.src), graphpkg.NodeID(b.dst), b.mbps*1e6)
+		fmt.Printf("traffic: %s -> %s at %.0f Mbps\n", b.src, b.dst, b.mbps)
+	}
+	mu.Unlock()
+
+	srv, err := collector.Serve(col, *listen)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("collector query service on tcp://%s (speed %gx, poll %gs)\n", srv.Addr(), *speed, *poll)
+	fmt.Printf("query it: remos-query -addr %s graph\n", srv.Addr())
+
+	// Real-time clock driver: 20 Hz wall ticks.
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt)
+	ticker := time.NewTicker(50 * time.Millisecond)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			mu.Lock()
+			clk.Advance(0.05 * *speed)
+			mu.Unlock()
+		case <-stop:
+			fmt.Println("\nshutting down")
+			if *history != "" {
+				mu.Lock()
+				f, err := os.Create(*history)
+				if err == nil {
+					err = col.SaveHistory(f)
+					if cerr := f.Close(); err == nil {
+						err = cerr
+					}
+				}
+				mu.Unlock()
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "saving history: %v\n", err)
+				} else {
+					fmt.Printf("history saved to %s\n", *history)
+				}
+			}
+			srv.Close()
+			return
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -1,0 +1,80 @@
+// Command remos-experiments regenerates the tables and figures of the
+// Remos paper (HPDC'98) on the simulated testbed.
+//
+// Usage:
+//
+//	remos-experiments                 # everything
+//	remos-experiments -table 2        # one table
+//	remos-experiments -figure 4       # one figure
+//	remos-experiments -ablation       # self-traffic discount ablation
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	table := flag.Int("table", 0, "print only this table (1-3)")
+	figure := flag.Int("figure", 0, "print only this figure (1 or 4)")
+	ablation := flag.Bool("ablation", false, "run the self-traffic discount ablation")
+	predict := flag.Bool("predict", false, "run the future-timeframe prediction study")
+	scale := flag.Bool("scale", false, "run the multi-collector scale study")
+	overhead := flag.Bool("overhead", false, "run the poll-period overhead/responsiveness study")
+	sweep := flag.Bool("sweep", false, "run the FFT node-count sweep")
+	flag.Parse()
+
+	all := *table == 0 && *figure == 0 && !*ablation && !*predict && !*scale && !*overhead && !*sweep
+	if *figure == 1 || all {
+		fast, slow := experiments.Figure1()
+		fmt.Print(experiments.FormatFigure1(fast, slow))
+		fmt.Println()
+	}
+	if *figure == 4 || all {
+		fmt.Print(experiments.FormatFigure4(experiments.Figure4()))
+		fmt.Println()
+	}
+	if *table == 1 || all {
+		fmt.Print(experiments.FormatTable1(experiments.Table1()))
+		fmt.Println()
+	}
+	if *table == 2 || all {
+		fmt.Print(experiments.FormatTable2(experiments.Table2()))
+		fmt.Println()
+	}
+	if *table == 3 || all {
+		fmt.Print(experiments.FormatTable3(experiments.Table3()))
+		fmt.Println()
+	}
+	if *ablation || all {
+		fmt.Print(experiments.FormatAblation(experiments.AblationSelfTraffic()))
+		fmt.Println()
+	}
+	if *predict || all {
+		fmt.Print(experiments.FormatPredictionStudy(experiments.PredictionStudy()))
+		fmt.Println()
+	}
+	if *scale || all {
+		fmt.Print(experiments.FormatScaleStudy(experiments.ScaleStudy()))
+		fmt.Println()
+	}
+	if *overhead || all {
+		fmt.Print(experiments.FormatOverheadStudy(experiments.OverheadStudy()))
+		fmt.Println()
+	}
+	if *sweep || all {
+		fmt.Print(experiments.FormatSweep(experiments.NodeCountSweep()))
+		fmt.Println()
+	}
+	if *table != 0 && (*table < 1 || *table > 3) {
+		fmt.Fprintf(os.Stderr, "unknown table %d\n", *table)
+		os.Exit(2)
+	}
+	if *figure != 0 && *figure != 1 && *figure != 4 {
+		fmt.Fprintf(os.Stderr, "unknown figure %d\n", *figure)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,191 @@
+// Command remos-query issues Remos queries against a running
+// remos-collector daemon over TCP.
+//
+// Usage:
+//
+//	remos-query -addr HOST:PORT graph [m-1 m-2 ...]
+//	remos-query -addr HOST:PORT bw SRC DST
+//	remos-query -addr HOST:PORT latency SRC DST
+//	remos-query -addr HOST:PORT load HOST
+//	remos-query -addr HOST:PORT select START K
+//	remos-query -addr HOST:PORT flows fixed:m-1,m-7,2 var:m-2,m-7,1 indep:m-3,m-8
+//
+// The flows command is remos_flow_info from the shell: each argument is
+// CLASS:SRC,DST[,X] where X is Mbps for fixed flows and the relative
+// weight for variable flows.
+//
+// The -window flag selects the measurement timeframe in seconds
+// (0 = current, negative = physical capacity).
+package main
+
+import (
+	"strings"
+
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"repro/remos"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7070", "collector query-service address")
+	window := flag.Float64("window", 10, "history window seconds (0=current, <0=capacity)")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+	}
+
+	src, err := remos.DialCollector(*addr)
+	if err != nil {
+		fatal(err)
+	}
+	mod := remos.NewModeler(remos.Config{Source: src})
+
+	tf := remos.TFHistory(*window)
+	if *window == 0 {
+		tf = remos.TFCurrent()
+	} else if *window < 0 {
+		tf = remos.TFCapacity()
+	}
+
+	switch args[0] {
+	case "graph":
+		var nodes []remos.NodeID
+		for _, a := range args[1:] {
+			nodes = append(nodes, remos.NodeID(a))
+		}
+		g, err := mod.GetGraph(nodes, tf)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%d nodes, %d logical links (%v)\n", len(g.Nodes), len(g.Links), tf.Kind)
+		for _, n := range g.Nodes {
+			fmt.Printf("  %-12s %v\n", n.ID, n.Kind)
+		}
+		for _, l := range g.Links {
+			fmt.Printf("  %s -- %s: cap %.0f Mbps, avail %.1f/%.1f Mbps, lat %.2f ms\n",
+				l.A, l.B, l.Capacity.Median/1e6,
+				l.AvailFrom(l.A).Median/1e6, l.AvailFrom(l.B).Median/1e6,
+				l.Latency.Median*1e3)
+		}
+	case "bw":
+		need(args, 3)
+		st, err := mod.AvailableBandwidth(remos.NodeID(args[1]), remos.NodeID(args[2]), tf)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s -> %s: %.2f Mbps  quartiles [%.1f %.1f %.1f %.1f %.1f] acc %.2f\n",
+			args[1], args[2], st.Median/1e6,
+			st.Min/1e6, st.Q1/1e6, st.Median/1e6, st.Q3/1e6, st.Max/1e6, st.Accuracy)
+	case "latency":
+		need(args, 3)
+		st, err := mod.PathLatency(remos.NodeID(args[1]), remos.NodeID(args[2]))
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s -> %s: %.2f ms one-way\n", args[1], args[2], st.Median*1e3)
+	case "load":
+		need(args, 2)
+		st, err := mod.HostLoad(remos.NodeID(args[1]), tf)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s: %.0f%% CPU load\n", args[1], st.Median*100)
+	case "flows":
+		if len(args) < 2 {
+			usage()
+		}
+		var fixed, variable, independent []remos.Flow
+		for _, spec := range args[1:] {
+			class, rest, ok := strings.Cut(spec, ":")
+			if !ok {
+				fatalf("bad flow spec %q (want CLASS:SRC,DST[,X])", spec)
+			}
+			parts := strings.Split(rest, ",")
+			if len(parts) < 2 {
+				fatalf("bad flow spec %q", spec)
+			}
+			f := remos.Flow{Src: remos.NodeID(parts[0]), Dst: remos.NodeID(parts[1])}
+			x := 0.0
+			if len(parts) > 2 {
+				v, err := strconv.ParseFloat(parts[2], 64)
+				if err != nil {
+					fatalf("bad number in %q: %v", spec, err)
+				}
+				x = v
+			}
+			switch class {
+			case "fixed":
+				f.Kind = remos.FixedFlow
+				f.Bandwidth = x * 1e6
+				fixed = append(fixed, f)
+			case "var", "variable":
+				f.Kind = remos.VariableFlow
+				f.Bandwidth = x
+				variable = append(variable, f)
+			case "indep", "independent":
+				f.Kind = remos.IndependentFlow
+				independent = append(independent, f)
+			default:
+				fatalf("unknown flow class %q", class)
+			}
+		}
+		fi, err := mod.QueryFlowInfo(fixed, variable, independent, tf)
+		if err != nil {
+			fatal(err)
+		}
+		for _, r := range fi.All() {
+			fmt.Printf("%-11s %s -> %s: %7.2f Mbps  [%.1f %.1f %.1f %.1f %.1f] acc %.2f satisfied=%v\n",
+				r.Flow.Kind, r.Flow.Src, r.Flow.Dst, r.Bandwidth.Median/1e6,
+				r.Bandwidth.Min/1e6, r.Bandwidth.Q1/1e6, r.Bandwidth.Median/1e6,
+				r.Bandwidth.Q3/1e6, r.Bandwidth.Max/1e6, r.Bandwidth.Accuracy, r.Satisfied)
+		}
+	case "select":
+		need(args, 3)
+		k, err := strconv.Atoi(args[2])
+		if err != nil {
+			fatal(err)
+		}
+		g, err := mod.GetGraph(nil, tf)
+		if err != nil {
+			fatal(err)
+		}
+		var pool []remos.NodeID
+		for _, n := range g.Nodes {
+			if n.Kind == remos.ComputeNode {
+				pool = append(pool, n.ID)
+			}
+		}
+		sel, err := remos.SelectNodes(mod, pool, remos.NodeID(args[1]), k, tf)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("selected %v (start %s)\n", sel, args[1])
+	default:
+		usage()
+	}
+}
+
+func need(args []string, n int) {
+	if len(args) != n {
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: remos-query -addr HOST:PORT {graph [hosts...] | bw SRC DST | latency SRC DST | load HOST | select START K | flows CLASS:SRC,DST[,X]...}")
+	os.Exit(2)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}

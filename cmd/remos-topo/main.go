@@ -1,0 +1,100 @@
+// Command remos-topo prints the canonical topologies of the paper,
+// physically and as Remos logical topologies.
+//
+// Usage:
+//
+//	remos-topo -name testbed            # Figure 3 testbed (ASCII)
+//	remos-topo -name figure1-slow -dot  # Figure 1, Graphviz output
+//	remos-topo -name widearea -logical m-1,m-8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/graph"
+	"repro/internal/topofile"
+	"repro/internal/topology"
+)
+
+func build(name string) *graph.Graph {
+	switch name {
+	case "testbed":
+		return topology.Testbed()
+	case "figure1-fast":
+		return topology.Figure1(topology.Figure1FastSwitches())
+	case "figure1-slow":
+		return topology.Figure1(topology.Figure1SlowSwitches())
+	case "dumbbell":
+		return topology.Dumbbell(4, 100, 10)
+	case "widearea":
+		return topology.WideArea(3, 5, 100, 45)
+	default:
+		return nil
+	}
+}
+
+func main() {
+	name := flag.String("name", "testbed", "topology: testbed, figure1-fast, figure1-slow, dumbbell, widearea")
+	file := flag.String("file", "", "read the topology from a topofile instead of -name")
+	emit := flag.Bool("emit", false, "print the topology in topofile form")
+	dot := flag.Bool("dot", false, "emit Graphviz dot instead of ASCII")
+	logical := flag.String("logical", "", "comma-separated hosts: also print the collapsed logical topology connecting them")
+	flag.Parse()
+
+	var g *graph.Graph
+	if *file != "" {
+		f, err := os.Open(*file)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		g, err = topofile.Parse(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	} else {
+		g = build(*name)
+	}
+	if g == nil {
+		fmt.Fprintf(os.Stderr, "unknown topology %q\n", *name)
+		os.Exit(2)
+	}
+	if *emit {
+		fmt.Print(topofile.Format(g))
+		return
+	}
+	if *dot {
+		fmt.Print(g.DOT(*name))
+	} else {
+		fmt.Printf("Physical topology %q:\n%s", *name, g.ASCII())
+	}
+	if *logical != "" {
+		var hosts []graph.NodeID
+		keep := make(map[graph.NodeID]bool)
+		for _, h := range strings.Split(*logical, ",") {
+			id := graph.NodeID(strings.TrimSpace(h))
+			if !g.HasNode(id) {
+				fmt.Fprintf(os.Stderr, "unknown node %q\n", id)
+				os.Exit(2)
+			}
+			hosts = append(hosts, id)
+			keep[id] = true
+		}
+		rt, err := g.Routes()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "routing: %v\n", err)
+			os.Exit(1)
+		}
+		lg := g.InducedByRoutes(rt, hosts).CollapseChains(func(id graph.NodeID) bool { return keep[id] })
+		if *dot {
+			fmt.Print(lg.DOT(*name + "-logical"))
+		} else {
+			fmt.Printf("\nLogical topology connecting %s:\n%s", *logical, lg.ASCII())
+		}
+	}
+}

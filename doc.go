@@ -1,0 +1,15 @@
+// Package repro is a from-scratch Go reproduction of Remos — Lowekamp,
+// Miller, Gross, Subhlok, Steenkiste, Sutherland, "A Resource Query
+// Interface for Network-Aware Applications", HPDC 1998.
+//
+// The public API lives in the remos package; the substrates (network
+// simulator, SNMP, collector, modeler, clustering, Fx runtime,
+// applications) live under internal/. See README.md for a tour,
+// DESIGN.md for the system inventory, and EXPERIMENTS.md for the
+// paper-vs-measured record of every table and figure.
+//
+// The benchmarks in bench_test.go regenerate each of the paper's tables
+// and figures:
+//
+//	go test -bench=. -benchmem .
+package repro

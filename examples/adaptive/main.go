@@ -1,0 +1,49 @@
+// Adaptive reproduces the §8.3 runtime-adaptation scenario through the
+// public API: an iterative Airshed-like computation starts on the
+// timberline/whiteface hosts; midway through, heavy traffic appears on
+// its links; the Remos adaptation module notices and migrates the
+// program to the quiet side of the testbed.
+package main
+
+import (
+	"fmt"
+
+	"repro/remos"
+)
+
+func main() {
+	tb, err := remos.NewTestbed()
+	if err != nil {
+		panic(err)
+	}
+	tb.Run(10) // collector baseline
+
+	// Traffic appears 120 virtual seconds into the run.
+	tb.After(120, "start-traffic", func(now float64) {
+		tb.StartBlast("m-6", "m-8", 90e6)
+		tb.StartBlast("m-8", "m-6", 90e6)
+		fmt.Printf("t=%6.0fs  interfering traffic m-6 <-> m-8 started\n", now)
+	})
+
+	rt := tb.NewRuntime()
+	rt.MigrationCost = 8
+	rt.Adapter = &remos.RemosAdapter{
+		Modeler:      tb.Modeler,
+		Pool:         remos.TestbedHosts(),
+		Start:        "m-4",
+		Metric:       remos.TestbedClusterMetric(),
+		Timeframe:    remos.TFHistory(10),
+		DecisionCost: 2.5,
+	}
+
+	start := []remos.NodeID{"m-4", "m-5", "m-6", "m-7", "m-8"}
+	rep := rt.RunToCompletion(remos.AirshedProgram(), start)
+
+	fmt.Printf("\nAirshed finished in %.0f virtual seconds\n", rep.Elapsed())
+	fmt.Printf("Initial nodes: %v\n", start)
+	fmt.Printf("Final nodes:   %v\n", rep.Nodes)
+	fmt.Printf("Migrations:    %d (adaptation overhead %.0f s)\n", len(rep.Migrations), rep.AdaptSeconds)
+	for _, m := range rep.Migrations {
+		fmt.Printf("  t=%6.0fs  iteration %2d: %v -> %v\n", float64(m.At), m.Iteration, m.From, m.To)
+	}
+}

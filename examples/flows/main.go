@@ -1,0 +1,73 @@
+// Flows demonstrates the three flow classes of §4.2 on a single
+// bottleneck, including the paper's worked example: variable flows with
+// relative requirements 3 : 4.5 : 9 sharing 5.5 Mbps receive 1, 1.5 and
+// 3 Mbps.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/topology"
+	"repro/remos"
+)
+
+func main() {
+	// A dumbbell whose core link has exactly 5.5 Mbps.
+	tb, err := remos.NewTestbedOn(topology.Dumbbell(4, 100, 5.5))
+	if err != nil {
+		panic(err)
+	}
+	tb.Run(5)
+
+	fmt.Println("Paper §4.2 example: variable flows 3 : 4.5 : 9 on a 5.5 Mbps bottleneck")
+	fi, err := tb.Modeler.QueryFlowInfo(nil,
+		[]remos.Flow{
+			{Src: "l0", Dst: "r0", Kind: remos.VariableFlow, Bandwidth: 3e6},
+			{Src: "l1", Dst: "r1", Kind: remos.VariableFlow, Bandwidth: 4.5e6},
+			{Src: "l2", Dst: "r2", Kind: remos.VariableFlow, Bandwidth: 9e6},
+		}, nil, remos.TFCapacity())
+	if err != nil {
+		panic(err)
+	}
+	for _, r := range fi.Variable {
+		fmt.Printf("  variable flow wanting %3.1f Mbps relative -> gets %4.2f Mbps\n",
+			r.Flow.Bandwidth/1e6, r.Bandwidth.Median/1e6)
+	}
+
+	fmt.Println("\nAll three classes at once (audio + video tiers + bulk):")
+	fi, err = tb.Modeler.QueryFlowInfo(
+		[]remos.Flow{{Src: "l0", Dst: "r0", Kind: remos.FixedFlow, Bandwidth: 0.5e6}},
+		[]remos.Flow{
+			{Src: "l1", Dst: "r1", Kind: remos.VariableFlow, Bandwidth: 1},
+			{Src: "l2", Dst: "r2", Kind: remos.VariableFlow, Bandwidth: 3},
+		},
+		[]remos.Flow{{Src: "l3", Dst: "r3", Kind: remos.IndependentFlow}},
+		remos.TFCapacity())
+	if err != nil {
+		panic(err)
+	}
+	for _, r := range fi.All() {
+		fmt.Printf("  %-11s %s -> %s: %5.2f Mbps (satisfied=%v)\n",
+			r.Flow.Kind, r.Flow.Src, r.Flow.Dst, r.Bandwidth.Median/1e6, r.Satisfied)
+	}
+
+	// What changes once real traffic occupies the bottleneck?
+	tb.StartBlast("l3", "r3", 3e6)
+	tb.Run(20)
+	fmt.Println("\nSame query against measured history with a 3 Mbps blast running:")
+	fi, err = tb.Modeler.QueryFlowInfo(
+		[]remos.Flow{{Src: "l0", Dst: "r0", Kind: remos.FixedFlow, Bandwidth: 0.5e6}},
+		[]remos.Flow{
+			{Src: "l1", Dst: "r1", Kind: remos.VariableFlow, Bandwidth: 1},
+			{Src: "l2", Dst: "r2", Kind: remos.VariableFlow, Bandwidth: 3},
+		},
+		[]remos.Flow{{Src: "l0", Dst: "r1", Kind: remos.IndependentFlow}},
+		remos.TFHistory(15))
+	if err != nil {
+		panic(err)
+	}
+	for _, r := range fi.All() {
+		fmt.Printf("  %-11s %s -> %s: %5.2f Mbps (accuracy %.2f)\n",
+			r.Flow.Kind, r.Flow.Src, r.Flow.Dst, r.Bandwidth.Median/1e6, r.Bandwidth.Accuracy)
+	}
+}

@@ -1,0 +1,69 @@
+// Quickstart: bring up the simulated testbed, generate some competing
+// traffic, and ask Remos the two core questions — what does the network
+// look like (remos_get_graph) and what would my flows get
+// (remos_flow_info).
+package main
+
+import (
+	"fmt"
+
+	"repro/remos"
+)
+
+func main() {
+	tb, err := remos.NewTestbed()
+	if err != nil {
+		panic(err)
+	}
+
+	// Competing traffic: a non-responsive 60 Mbps stream m-6 -> m-8.
+	tb.StartBlast("m-6", "m-8", 60e6)
+
+	// Let the collector observe for 30 virtual seconds.
+	tb.Run(30)
+
+	// Topology query: the logical network connecting three hosts.
+	g, err := tb.Modeler.GetGraph([]remos.NodeID{"m-4", "m-5", "m-7"}, remos.TFHistory(20))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("Logical topology for {m-4, m-5, m-7}:")
+	for _, n := range g.Nodes {
+		fmt.Printf("  node %-12s %v\n", n.ID, n.Kind)
+	}
+	for _, l := range g.Links {
+		fmt.Printf("  link %s -- %s: capacity %s Mbps, latency %.2f ms\n",
+			l.A, l.B, fmtM(l.Capacity.Median), l.Latency.Median*1e3)
+		fmt.Printf("       avail %s->%s: %5.1f Mbps   %s->%s: %5.1f Mbps\n",
+			l.A, l.B, l.AvailFrom(l.A).Median/1e6, l.B, l.A, l.AvailFrom(l.B).Median/1e6)
+	}
+
+	// Flow query: one fixed audio flow, two proportional video flows,
+	// and a bulk transfer, all at once. Remos accounts for the sharing
+	// between them (§4.2).
+	fi, err := tb.Modeler.QueryFlowInfo(
+		[]remos.Flow{{Src: "m-4", Dst: "m-7", Kind: remos.FixedFlow, Bandwidth: 1e6}},
+		[]remos.Flow{
+			{Src: "m-4", Dst: "m-7", Kind: remos.VariableFlow, Bandwidth: 1},
+			{Src: "m-5", Dst: "m-7", Kind: remos.VariableFlow, Bandwidth: 2},
+		},
+		[]remos.Flow{{Src: "m-5", Dst: "m-4", Kind: remos.IndependentFlow}},
+		remos.TFHistory(20),
+	)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("\nFlow query (with 60 Mbps cross traffic on timberline->whiteface):")
+	for _, r := range fi.All() {
+		fmt.Printf("  %-11s %s -> %s: %7.2f Mbps  (quartiles %s, accuracy %.2f, satisfied=%v)\n",
+			r.Flow.Kind, r.Flow.Src, r.Flow.Dst,
+			r.Bandwidth.Median/1e6, fmtQuart(r.Bandwidth), r.Bandwidth.Accuracy, r.Satisfied)
+	}
+}
+
+func fmtM(v float64) string { return fmt.Sprintf("%.0f", v/1e6) }
+
+func fmtQuart(s remos.Stat) string {
+	return fmt.Sprintf("[%.1f %.1f %.1f %.1f %.1f]",
+		s.Min/1e6, s.Q1/1e6, s.Median/1e6, s.Q3/1e6, s.Max/1e6)
+}

@@ -1,0 +1,93 @@
+// Stream demonstrates the paper's §2 "application quality metrics" usage
+// model: an application that must meet a quality target (here: a video
+// stream that should never stall) adjusts itself as the network changes.
+//
+// A server on m-1 streams to a viewer on m-8. Every 10 virtual seconds
+// it asks Remos for the predicted availability of the path over the next
+// interval (a Future timeframe) and picks the highest bitrate tier that
+// fits inside 80% of the prediction. Competing traffic comes and goes;
+// the tier follows.
+package main
+
+import (
+	"fmt"
+
+	"repro/remos"
+)
+
+// tiers are the stream's available encodings, in bits/second.
+var tiers = []float64{1.5e6, 4e6, 8e6, 20e6, 40e6}
+
+func pickTier(avail float64) float64 {
+	best := tiers[0]
+	for _, t := range tiers {
+		if t <= 0.8*avail {
+			best = t
+		}
+	}
+	return best
+}
+
+func main() {
+	tb, err := remos.NewTestbed()
+	if err != nil {
+		panic(err)
+	}
+	tb.Run(15) // measurement baseline
+
+	// Background load schedule: heavy traffic in [60,120) and a milder
+	// load in [180,240).
+	var gen remos.TrafficGenerator
+	tb.After(60, "load-on", func(now float64) {
+		gen = tb.StartBlast("m-4", "m-7", 85e6)
+		fmt.Printf("t=%4.0fs  [network] 85 Mbps of competing traffic appears\n", now)
+	})
+	tb.After(120, "load-off", func(now float64) {
+		gen.Stop()
+		fmt.Printf("t=%4.0fs  [network] competing traffic stops\n", now)
+	})
+	tb.After(180, "load2-on", func(now float64) {
+		gen = tb.StartBlast("m-4", "m-7", 60e6)
+		fmt.Printf("t=%4.0fs  [network] 60 Mbps of competing traffic appears\n", now)
+	})
+	tb.After(240, "load2-off", func(now float64) {
+		gen.Stop()
+		fmt.Printf("t=%4.0fs  [network] competing traffic stops\n", now)
+	})
+
+	// The stream itself: a rate-capped flow whose cap is the tier.
+	//
+	// Crucially, the stream registers its own flow with the Modeler and
+	// enables self-traffic discounting — otherwise the availability it
+	// measures includes its own bits and the tier oscillates (the §8.3
+	// fallacy, reproduced in cmd/remos-experiments -ablation).
+	mod := remos.NewModeler(remos.Config{Source: tb.Collector, DiscountSelf: true})
+	var stream remos.TrafficGenerator
+	current := 0.0
+	switches := 0
+	adapt := func(now float64) {
+		st, err := mod.AvailableBandwidth("m-1", "m-8", remos.TFFuture(10))
+		if err != nil {
+			panic(err)
+		}
+		tier := pickTier(st.Median)
+		if tier != current {
+			if stream != nil {
+				stream.Stop()
+			}
+			stream = tb.StartCBR("m-1", "m-8", tier)
+			mod.ClearSelfFlows()
+			mod.RegisterSelfFlow("m-1", "m-8", tier)
+			fmt.Printf("t=%4.0fs  [stream]  predicted %.1f Mbps available -> tier %.1f Mbps\n",
+				now, st.Median/1e6, tier/1e6)
+			current = tier
+			switches++
+		}
+	}
+	adapt(tb.Now())
+	for i := 1; i <= 28; i++ {
+		tb.After(float64(i)*10, "adapt", adapt)
+	}
+	tb.Run(290)
+	fmt.Printf("\nfinal tier: %.1f Mbps (%d switches)\n", current/1e6, switches)
+}

@@ -1,0 +1,42 @@
+package repro_test
+
+import (
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// TestExamplesRun executes every example main end to end; all of them
+// are deterministic, so key output lines are asserted too.
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles and runs 7 binaries")
+	}
+	cases := map[string][]string{
+		"quickstart": {"Logical topology", "fixed", "independent"},
+		"flows":      {"1.00 Mbps", "1.50 Mbps", "3.00 Mbps"},
+		"nodeselect": {"Selected: [m-4 m-5 m-1 m-2]", "+170%"},
+		"adaptive":   {"Migrations:    1", "m-1 m-2 m-3"},
+		"shipping":   {"ship to the server", "compute locally"},
+		"stream":     {"tier 40.0 Mbps", "6 switches"},
+		"broadcast":  {"topology-aware", "wins"},
+	}
+	for name, wants := range cases {
+		name, wants := name, wants
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			cmd := exec.Command("go", "run", "./examples/"+name)
+			cmd.Env = os.Environ()
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				t.Fatalf("example %s failed: %v\n%s", name, err, out)
+			}
+			for _, want := range wants {
+				if !strings.Contains(string(out), want) {
+					t.Fatalf("example %s output missing %q:\n%s", name, want, out)
+				}
+			}
+		})
+	}
+}

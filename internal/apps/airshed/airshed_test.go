@@ -1,0 +1,190 @@
+package airshed
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestProgramShape(t *testing.T) {
+	p := Program(DefaultParams())
+	if p.Name != "Airshed" || p.Iterations != 24 {
+		t.Fatalf("program = %+v", p)
+	}
+	// broadcast + 4×(redistribute+phase) + gather = 10 steps.
+	if len(p.Steps) != 10 {
+		t.Fatalf("steps = %d", len(p.Steps))
+	}
+	// Parallel phases scale with node count.
+	var phaseIdx int
+	for i, s := range p.Steps {
+		if s.Name == "phase-0" {
+			phaseIdx = i
+		}
+	}
+	w3 := p.Steps[phaseIdx].WorkPerNode(3)
+	w5 := p.Steps[phaseIdx].WorkPerNode(5)
+	if math.Abs(w3/w5-5.0/3.0) > 1e-12 {
+		t.Fatalf("scaling: %v vs %v", w3, w5)
+	}
+	// Serial work does not scale.
+	if p.Steps[0].WorkPerNode(3) != p.Steps[0].WorkPerNode(5) {
+		t.Fatal("serial phase scales with nodes")
+	}
+}
+
+func TestProgramTotalWorkMatchesCalibration(t *testing.T) {
+	// Summing work across phases and iterations must recover the
+	// calibration totals: ParallelWork/P + SerialWork.
+	pr := DefaultParams()
+	p := Program(pr)
+	for _, nodes := range []int{3, 5} {
+		var total float64
+		for _, s := range p.Steps {
+			if s.WorkPerNode != nil {
+				total += s.WorkPerNode(nodes)
+			}
+		}
+		total *= float64(p.Iterations)
+		want := pr.ParallelWork/float64(nodes) + pr.SerialWork
+		if math.Abs(total-want) > 1e-6 {
+			t.Fatalf("nodes=%d total work %v, want %v", nodes, total, want)
+		}
+	}
+}
+
+func TestProgramPanicsOnBadIterations(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Program(Params{})
+}
+
+func TestGridBasics(t *testing.T) {
+	g := NewGrid(8, 2)
+	g.Set(0, 3, 4, 2.5)
+	if g.At(0, 3, 4) != 2.5 {
+		t.Fatal("Set/At broken")
+	}
+	if g.TotalMass(0) != 2.5 || g.TotalMass(1) != 0 {
+		t.Fatal("TotalMass wrong")
+	}
+}
+
+func TestAdvectMovesPlume(t *testing.T) {
+	g := NewGrid(8, 1)
+	g.Set(0, 2, 2, 1)
+	g.Advect(1, 0) // full-cell eastward wind
+	if g.At(0, 3, 2) != 1 || g.At(0, 2, 2) != 0 {
+		t.Fatalf("plume did not move east: center=%v east=%v", g.At(0, 2, 2), g.At(0, 3, 2))
+	}
+	g.Advect(0, -1) // northward (negative y)
+	if g.At(0, 3, 1) != 1 {
+		t.Fatal("plume did not move north")
+	}
+}
+
+func TestAdvectPeriodicWrap(t *testing.T) {
+	g := NewGrid(4, 1)
+	g.Set(0, 3, 0, 1)
+	g.Advect(1, 0)
+	if g.At(0, 0, 0) != 1 {
+		t.Fatal("no periodic wrap")
+	}
+}
+
+func TestAdvectConservesMassProperty(t *testing.T) {
+	f := func(seed uint8, uRaw, vRaw uint8) bool {
+		g := NewGrid(8, 2)
+		// Deterministic pseudo-random field from the seed.
+		v := float64(seed)
+		for s := 0; s < g.Species; s++ {
+			for i := range g.C[s] {
+				v = math.Mod(v*1103515245+12345, 1000)
+				g.C[s][i] = v / 1000
+			}
+		}
+		m0, m1 := g.TotalMass(0), g.TotalMass(1)
+		u := float64(uRaw)/255*2 - 1
+		w := float64(vRaw)/255*2 - 1
+		for step := 0; step < 5; step++ {
+			g.Advect(u, w)
+		}
+		return math.Abs(g.TotalMass(0)-m0) < 1e-9 && math.Abs(g.TotalMass(1)-m1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReactConservesTotalMassAndConverts(t *testing.T) {
+	g := NewGrid(4, 3)
+	for i := range g.C[0] {
+		g.C[0][i] = 1
+	}
+	before := g.TotalMass(0) + g.TotalMass(1) + g.TotalMass(2)
+	g.React(0.25)
+	after := g.TotalMass(0) + g.TotalMass(1) + g.TotalMass(2)
+	if math.Abs(before-after) > 1e-12 {
+		t.Fatalf("mass changed %v -> %v", before, after)
+	}
+	if g.TotalMass(0) >= before {
+		t.Fatal("no conversion happened")
+	}
+	if g.TotalMass(1) <= 0 {
+		t.Fatal("species 1 not produced")
+	}
+}
+
+func TestReactFullConversion(t *testing.T) {
+	g := NewGrid(2, 2)
+	g.Set(0, 0, 0, 1)
+	g.React(1)
+	if g.TotalMass(0) != 0 || g.TotalMass(1) != 1 {
+		t.Fatalf("full conversion failed: %v, %v", g.TotalMass(0), g.TotalMass(1))
+	}
+}
+
+func TestStepCombined(t *testing.T) {
+	g := NewGrid(8, 2)
+	g.Set(0, 4, 4, 1)
+	g.Step(0.5, 0.5, 0.1)
+	total := g.TotalMass(0) + g.TotalMass(1)
+	if math.Abs(total-1) > 1e-12 {
+		t.Fatalf("total mass = %v", total)
+	}
+}
+
+func TestPanicsOnBadKernelInput(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"bad grid": func() { NewGrid(0, 1) },
+		"cfl":      func() { NewGrid(4, 1).Advect(2, 0) },
+		"bad rate": func() { NewGrid(4, 2).React(1.5) },
+		"neg rate": func() { NewGrid(4, 2).React(-0.1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func BenchmarkAdvect64(b *testing.B) {
+	g := NewGrid(64, 4)
+	for s := range g.C {
+		for i := range g.C[s] {
+			g.C[s][i] = float64(i % 13)
+		}
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.Advect(0.5, -0.25)
+	}
+}

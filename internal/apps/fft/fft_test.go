@@ -1,0 +1,215 @@
+package fft
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randomSignal(n int, seed int64) []complex128 {
+	rng := rand.New(rand.NewSource(seed))
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(rng.Float64()*2-1, rng.Float64()*2-1)
+	}
+	return x
+}
+
+func maxErr(a, b []complex128) float64 {
+	worst := 0.0
+	for i := range a {
+		if d := cmplx.Abs(a[i] - b[i]); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+func TestTransformMatchesDFT(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 8, 16, 64, 256} {
+		x := randomSignal(n, int64(n))
+		want := DFT(x)
+		got := append([]complex128(nil), x...)
+		Transform(got)
+		if err := maxErr(got, want); err > 1e-9*float64(n) {
+			t.Fatalf("n=%d: max error %v", n, err)
+		}
+	}
+}
+
+func TestInverseRoundTrip(t *testing.T) {
+	x := randomSignal(128, 7)
+	y := append([]complex128(nil), x...)
+	Transform(y)
+	Inverse(y)
+	if err := maxErr(x, y); err > 1e-12*128 {
+		t.Fatalf("round trip error %v", err)
+	}
+}
+
+func TestTransformKnownValues(t *testing.T) {
+	// FFT of an impulse is all ones.
+	x := make([]complex128, 8)
+	x[0] = 1
+	Transform(x)
+	for i, v := range x {
+		if cmplx.Abs(v-1) > 1e-12 {
+			t.Fatalf("impulse FFT[%d] = %v", i, v)
+		}
+	}
+	// FFT of a constant is an impulse of size N.
+	c := []complex128{1, 1, 1, 1}
+	Transform(c)
+	if cmplx.Abs(c[0]-4) > 1e-12 || cmplx.Abs(c[1]) > 1e-12 {
+		t.Fatalf("constant FFT = %v", c)
+	}
+}
+
+func TestParsevalProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		x := randomSignal(64, seed)
+		var timeEnergy float64
+		for _, v := range x {
+			timeEnergy += real(v)*real(v) + imag(v)*imag(v)
+		}
+		Transform(x)
+		var freqEnergy float64
+		for _, v := range x {
+			freqEnergy += real(v)*real(v) + imag(v)*imag(v)
+		}
+		return math.Abs(freqEnergy/64-timeEnergy) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLinearityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		a := randomSignal(32, seed)
+		b := randomSignal(32, seed+1)
+		sum := make([]complex128, 32)
+		for i := range sum {
+			sum[i] = a[i] + b[i]
+		}
+		Transform(a)
+		Transform(b)
+		Transform(sum)
+		for i := range sum {
+			if cmplx.Abs(sum[i]-(a[i]+b[i])) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTransformPanicsOnNonPowerOfTwo(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Transform(make([]complex128, 6))
+}
+
+func TestTranspose(t *testing.T) {
+	m := []complex128{1, 2, 3, 4, 5, 6, 7, 8, 9}
+	Transpose(m, 3)
+	want := []complex128{1, 4, 7, 2, 5, 8, 3, 6, 9}
+	for i := range want {
+		if m[i] != want[i] {
+			t.Fatalf("transpose = %v", m)
+		}
+	}
+}
+
+func TestTransform2DRoundTripViaSeparability(t *testing.T) {
+	// 2-D FFT must equal row-wise DFT followed by column-wise DFT.
+	n := 8
+	m := make([]complex128, n*n)
+	rng := rand.New(rand.NewSource(3))
+	for i := range m {
+		m[i] = complex(rng.Float64(), 0)
+	}
+	want := make([]complex128, n*n)
+	copy(want, m)
+	// Reference: DFT rows, then DFT columns.
+	for r := 0; r < n; r++ {
+		copy(want[r*n:(r+1)*n], DFT(want[r*n:(r+1)*n]))
+	}
+	col := make([]complex128, n)
+	for c := 0; c < n; c++ {
+		for r := 0; r < n; r++ {
+			col[r] = want[r*n+c]
+		}
+		out := DFT(col)
+		for r := 0; r < n; r++ {
+			want[r*n+c] = out[r]
+		}
+	}
+	Transform2D(m, n)
+	if err := maxErr(m, want); err > 1e-9 {
+		t.Fatalf("2D error %v", err)
+	}
+}
+
+func TestTransform2DPanicsOnBadShape(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Transform2D(make([]complex128, 10), 3)
+}
+
+func TestProgramShape(t *testing.T) {
+	p := Program(512, 1)
+	if p.Name != "FFT(512)" || p.Iterations != 1 || len(p.Steps) != 3 {
+		t.Fatalf("program = %+v", p)
+	}
+	// Compute scales down with nodes.
+	w2 := p.Steps[0].WorkPerNode(2)
+	w4 := p.Steps[0].WorkPerNode(4)
+	if math.Abs(w2/w4-2) > 1e-12 {
+		t.Fatalf("work scaling: %v vs %v", w2, w4)
+	}
+	if TransposeBytes(512) != 512*512*16 {
+		t.Fatalf("transpose bytes = %v", TransposeBytes(512))
+	}
+}
+
+func TestProgramPanicsOnBadSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Program(100, 1)
+}
+
+func BenchmarkTransform1K(b *testing.B) {
+	x := randomSignal(1024, 1)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Transform(x)
+	}
+}
+
+func BenchmarkTransform2D256(b *testing.B) {
+	n := 256
+	m := make([]complex128, n*n)
+	for i := range m {
+		m[i] = complex(float64(i%17), 0)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Transform2D(m, n)
+	}
+}

@@ -1,0 +1,101 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// Computation-aware selection — the paper's stated next step for
+// clustering (§7.2): "we have focused on communication resources, but in
+// general, tradeoffs between computation and communication resources
+// would have to be considered for clustering."
+//
+// The extension adds a per-node cost to the pairwise communication
+// distance: a host at CPU load L effectively computes at (1-L) speed, so
+// a BSP iteration on it stretches by 1/(1-L). LoadPenalty converts that
+// stretch into the distance unit.
+
+// ComputeAwareGreedy runs the greedy heuristic with per-node load
+// penalties: when choosing the next node, the candidate's cost is its
+// total distance to the cluster plus LoadPenalty × load/(1-load).
+func ComputeAwareGreedy(nodes []graph.NodeID, dist [][]float64, loads []float64,
+	start graph.NodeID, k int, loadPenalty float64) (Result, error) {
+
+	if len(loads) != len(nodes) {
+		return Result{}, fmt.Errorf("cluster: %d loads for %d nodes", len(loads), len(nodes))
+	}
+	s, err := validate(nodes, dist, start, k)
+	if err != nil {
+		return Result{}, err
+	}
+	nodeCost := func(i int) float64 {
+		l := loads[i]
+		if l >= 1 {
+			return math.Inf(1)
+		}
+		if l < 0 {
+			l = 0
+		}
+		return loadPenalty * l / (1 - l)
+	}
+	selected := []int{s}
+	in := make([]bool, len(nodes))
+	in[s] = true
+	for len(selected) < k {
+		best := -1
+		bestD := math.Inf(1)
+		for cand := range nodes {
+			if in[cand] {
+				continue
+			}
+			d := nodeCost(cand)
+			for _, m := range selected {
+				d += math.Max(dist[m][cand], dist[cand][m])
+			}
+			if d < bestD {
+				bestD, best = d, cand
+			}
+		}
+		if best < 0 || math.IsInf(bestD, 1) {
+			return Result{}, fmt.Errorf("cluster: only %d of %d nodes selectable from %q", len(selected), k, start)
+		}
+		selected = append(selected, best)
+		in[best] = true
+	}
+	res := Result{Score: Score(dist, selected)}
+	for _, i := range selected {
+		res.Nodes = append(res.Nodes, nodes[i])
+	}
+	return res, nil
+}
+
+// ComputeAwareFromModeler gathers distances and host loads from Remos
+// and runs ComputeAwareGreedy. The load penalty is expressed in the same
+// unit as the metric's distances; a reasonable default for the testbed
+// metric is the distance equivalent of one congested link (~1e-7).
+func ComputeAwareFromModeler(m *core.Modeler, pool []graph.NodeID, start graph.NodeID,
+	k int, metric Metric, tf core.Timeframe, loadPenalty float64) (Result, error) {
+
+	bw, err := m.BandwidthMatrix(pool, tf)
+	if err != nil {
+		return Result{}, err
+	}
+	var lat [][]float64
+	if metric.LatencyWeight > 0 {
+		lat, err = m.LatencyMatrix(pool)
+		if err != nil {
+			return Result{}, err
+		}
+	}
+	dist := DistanceMatrix(bw, lat, metric)
+	loads := make([]float64, len(pool))
+	for i, id := range pool {
+		if st, err := m.HostLoad(id, tf); err == nil && st.Valid() {
+			loads[i] = st.Median
+		}
+	}
+	return ComputeAwareGreedy(pool, dist, loads, start, k, loadPenalty)
+}

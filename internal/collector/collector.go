@@ -1,0 +1,341 @@
+// Package collector implements the Remos Collector (Figure 2): the
+// network-facing half of the system. It discovers topology and polls
+// octet counters over SNMP, maintains per-channel utilization time
+// series, and answers the Modeler's queries either in-process or over a
+// TCP service (service.go). Multiple collectors covering different parts
+// of a network can be merged (merge.go), the paper's "large environment
+// may require multiple cooperating Collectors".
+package collector
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/graph"
+	"repro/internal/simclock"
+	"repro/internal/snmp"
+	"repro/internal/stats"
+)
+
+// ChannelKey names one direction of one physical link in a way that is
+// stable across collectors: the global link ID published by agents in the
+// Remos enterprise MIB, plus a direction relative to the canonical
+// (lexicographically smaller endpoint = A) orientation.
+type ChannelKey struct {
+	Global int
+	Dir    graph.Dir
+}
+
+func (k ChannelKey) String() string { return fmt.Sprintf("glink%d/%s", k.Global, k.Dir) }
+
+// Topology is a discovered network map.
+type Topology struct {
+	// Graph holds the discovered nodes and links. Links are inserted in
+	// ascending global-ID order with canonical endpoint orientation, so
+	// local IDs are deterministic.
+	Graph *graph.Graph
+	// GlobalID maps the Graph's local link IDs to global link IDs.
+	GlobalID map[graph.LinkID]int
+	// DiscoveredAt is the virtual time of discovery.
+	DiscoveredAt float64
+}
+
+// Key returns the ChannelKey for a directed traversal of a local link.
+func (t *Topology) Key(l *graph.Link, d graph.Dir) ChannelKey {
+	return ChannelKey{Global: t.GlobalID[l.ID], Dir: d}
+}
+
+// Source is the query surface the Modeler consumes. Implemented by
+// *Collector (in-process), *Client (TCP), and *Merged.
+type Source interface {
+	// Topology returns the discovered network map.
+	Topology() (*Topology, error)
+	// Utilization summarizes the traffic rate (bits/s) observed on a
+	// channel over the trailing span seconds; span 0 means latest sample.
+	Utilization(key ChannelKey, span float64) (stats.Stat, error)
+	// Samples returns the raw utilization samples for predictors.
+	Samples(key ChannelKey) ([]stats.Sample, error)
+	// HostLoad summarizes a host's CPU load fraction over the span.
+	HostLoad(node graph.NodeID, span float64) (stats.Stat, error)
+}
+
+// Config parameterizes a Collector.
+type Config struct {
+	Client *snmp.Client
+	Clock  *simclock.Clock
+
+	// Addrs maps node IDs to agent addresses; the collector polls all of
+	// them and discovers topology from them. This is the collector's
+	// administrative domain.
+	Addrs map[graph.NodeID]string
+
+	// PollPeriod is the counter-polling interval in (virtual) seconds.
+	PollPeriod float64
+
+	// WindowLen and WindowAge bound the per-channel sample windows.
+	WindowLen int
+	WindowAge float64
+
+	// PerHopLatency is the fixed per-hop delay annotated on discovered
+	// links, matching the paper's collector.
+	PerHopLatency float64
+
+	// RediscoverPeriod, when positive, re-runs topology discovery every
+	// that many virtual seconds, picking up capacity changes (degraded
+	// links report a new ifSpeed) and newly reachable agents. Zero
+	// disables periodic rediscovery.
+	RediscoverPeriod float64
+}
+
+func (c *Config) fill() {
+	if c.PollPeriod <= 0 {
+		c.PollPeriod = 2.0
+	}
+	if c.WindowLen <= 0 {
+		c.WindowLen = 512
+	}
+	if c.PerHopLatency <= 0 {
+		c.PerHopLatency = 0.0005
+	}
+}
+
+// Collector polls agents and accumulates utilization history.
+type Collector struct {
+	cfg Config
+
+	mu         sync.Mutex
+	topo       *Topology
+	counters   map[ChannelKey]counterState
+	windows    map[ChannelKey]*stats.Window
+	capacity   map[ChannelKey]float64
+	loads      map[graph.NodeID]*stats.Window
+	ticker     *simclock.Ticker
+	rediscover *simclock.Ticker
+
+	polls       uint64
+	pollErrors  uint64
+	discoveries uint64
+}
+
+type counterState struct {
+	at     float64
+	octets uint32
+	valid  bool
+}
+
+// New creates a Collector; call Discover (or Start, which discovers
+// first) before querying.
+func New(cfg Config) *Collector {
+	cfg.fill()
+	return &Collector{
+		cfg:      cfg,
+		counters: make(map[ChannelKey]counterState),
+		windows:  make(map[ChannelKey]*stats.Window),
+		capacity: make(map[ChannelKey]float64),
+		loads:    make(map[graph.NodeID]*stats.Window),
+	}
+}
+
+// Polls returns how many poll rounds completed.
+func (c *Collector) Polls() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.polls
+}
+
+// PollErrors returns how many per-agent poll failures occurred.
+func (c *Collector) PollErrors() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.pollErrors
+}
+
+// Start discovers the topology and begins periodic polling on the clock.
+func (c *Collector) Start() error {
+	if _, err := c.Discover(); err != nil {
+		return err
+	}
+	c.PollOnce() // baseline counters
+	clk := c.cfg.Clock
+	c.ticker = clk.NewTicker(clk.Now()+simclock.Time(c.cfg.PollPeriod), c.cfg.PollPeriod,
+		"collector-poll", func(simclock.Time) { c.PollOnce() })
+	if c.cfg.RediscoverPeriod > 0 {
+		c.rediscover = clk.NewTicker(clk.Now()+simclock.Time(c.cfg.RediscoverPeriod),
+			c.cfg.RediscoverPeriod, "collector-rediscover", func(simclock.Time) {
+				// Failures leave the previous topology in place; the
+				// error count already tracks them.
+				_, _ = c.Discover()
+			})
+	}
+	return nil
+}
+
+// Stop halts periodic polling and rediscovery.
+func (c *Collector) Stop() {
+	if c.ticker != nil {
+		c.ticker.Stop()
+		c.ticker = nil
+	}
+	if c.rediscover != nil {
+		c.rediscover.Stop()
+		c.rediscover = nil
+	}
+}
+
+// Discoveries returns how many topology discoveries have completed.
+func (c *Collector) Discoveries() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.discoveries
+}
+
+// Topology implements Source.
+func (c *Collector) Topology() (*Topology, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.topo == nil {
+		return nil, fmt.Errorf("collector: topology not discovered yet")
+	}
+	return c.topo, nil
+}
+
+// Utilization implements Source.
+func (c *Collector) Utilization(key ChannelKey, span float64) (stats.Stat, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	w := c.windows[key]
+	if w == nil {
+		return stats.NoData(), fmt.Errorf("collector: unknown channel %v", key)
+	}
+	return w.Summary(span), nil
+}
+
+// Samples implements Source.
+func (c *Collector) Samples(key ChannelKey) ([]stats.Sample, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	w := c.windows[key]
+	if w == nil {
+		return nil, fmt.Errorf("collector: unknown channel %v", key)
+	}
+	return w.Samples(), nil
+}
+
+// HostLoad implements Source.
+func (c *Collector) HostLoad(node graph.NodeID, span float64) (stats.Stat, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	w := c.loads[node]
+	if w == nil {
+		return stats.NoData(), fmt.Errorf("collector: no load data for %q", node)
+	}
+	return w.Summary(span), nil
+}
+
+// Capacity returns the discovered capacity of a channel in bits/s.
+func (c *Collector) Capacity(key ChannelKey) (float64, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	v, ok := c.capacity[key]
+	return v, ok
+}
+
+// sortedNodes returns the domain's node IDs in stable order.
+func (c *Collector) sortedNodes() []graph.NodeID {
+	ids := make([]graph.NodeID, 0, len(c.cfg.Addrs))
+	for id := range c.cfg.Addrs {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// PollOnce polls every agent in the domain once, recording one
+// utilization sample per channel. Agent failures are counted and
+// skipped: a collector must survive unreachable routers.
+func (c *Collector) PollOnce() {
+	now := float64(c.cfg.Clock.Now())
+	type obs struct {
+		key    ChannelKey
+		octets uint32
+	}
+	var observations []obs
+	seen := make(map[ChannelKey]bool)
+	var loadObs []struct {
+		node graph.NodeID
+		load float64
+	}
+
+	for _, id := range c.sortedNodes() {
+		addr := c.cfg.Addrs[id]
+		ifaces, err := c.walkInterfaces(addr)
+		if err != nil {
+			c.mu.Lock()
+			c.pollErrors++
+			c.mu.Unlock()
+			continue
+		}
+		for _, iface := range ifaces {
+			outKey := canonicalKey(iface.global, string(id), iface.neighbor)
+			inKey := canonicalKey(iface.global, iface.neighbor, string(id))
+			if !seen[outKey] {
+				seen[outKey] = true
+				observations = append(observations, obs{outKey, iface.outOctets})
+			}
+			if !seen[inKey] {
+				seen[inKey] = true
+				observations = append(observations, obs{inKey, iface.inOctets})
+			}
+		}
+		// Host CPU load, when exposed.
+		if vbs, err := c.cfg.Client.Get(addr, snmp.OIDHrProcessorLoad); err == nil && len(vbs) == 1 {
+			loadObs = append(loadObs, struct {
+				node graph.NodeID
+				load float64
+			}{id, float64(vbs[0].Value.Int) / 100})
+		}
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, o := range observations {
+		prev := c.counters[o.key]
+		c.counters[o.key] = counterState{at: now, octets: o.octets, valid: true}
+		if !prev.valid || now <= prev.at {
+			continue // baseline sample
+		}
+		// Counter32 wraparound-safe difference.
+		delta := uint32(o.octets - prev.octets)
+		rate := float64(delta) * 8 / (now - prev.at)
+		w := c.windows[o.key]
+		if w == nil {
+			w = stats.NewWindow(c.cfg.WindowLen, c.cfg.WindowAge)
+			c.windows[o.key] = w
+		}
+		if err := w.Add(now, rate); err != nil {
+			c.pollErrors++
+		}
+	}
+	for _, lo := range loadObs {
+		w := c.loads[lo.node]
+		if w == nil {
+			w = stats.NewWindow(c.cfg.WindowLen, c.cfg.WindowAge)
+			c.loads[lo.node] = w
+		}
+		if err := w.Add(now, lo.load); err != nil {
+			c.pollErrors++
+		}
+	}
+	c.polls++
+}
+
+// canonicalKey orients a directed channel relative to the canonical
+// (smaller-name = A) endpoint ordering.
+func canonicalKey(global int, from, to string) ChannelKey {
+	d := graph.AtoB
+	if from > to {
+		d = graph.BtoA
+	}
+	return ChannelKey{Global: global, Dir: d}
+}

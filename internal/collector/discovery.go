@@ -1,0 +1,191 @@
+package collector
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/snmp"
+)
+
+// ifaceInfo is one row of an agent's interface table, joined with the
+// Remos enterprise columns.
+type ifaceInfo struct {
+	index     uint32
+	neighbor  string
+	global    int // global link ID
+	speed     float64
+	inOctets  uint32
+	outOctets uint32
+}
+
+// walkInterfaces reads an agent's interface table. GETBULK keeps the
+// round-trip count low — the recurring cost the paper says must stay
+// "low and directly related to the depth and frequency of requests".
+func (c *Collector) walkInterfaces(addr string) ([]ifaceInfo, error) {
+	nbrs, err := c.cfg.Client.BulkWalk(addr, snmp.OIDRemosNeighbor, 16)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]ifaceInfo, 0, len(nbrs))
+	for _, vb := range nbrs {
+		idx := vb.OID[len(vb.OID)-1]
+		vbs, err := c.cfg.Client.Get(addr,
+			snmp.OIDRemosLinkID.Append(idx),
+			snmp.OIDIfSpeed.Append(idx),
+			snmp.OIDIfInOctets.Append(idx),
+			snmp.OIDIfOutOctets.Append(idx),
+		)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ifaceInfo{
+			index:     idx,
+			neighbor:  string(vb.Value.Bytes),
+			global:    int(vbs[0].Value.Int),
+			speed:     float64(vbs[1].Value.Uint),
+			inOctets:  vbs[2].Value.Uint,
+			outOctets: vbs[3].Value.Uint,
+		})
+	}
+	return out, nil
+}
+
+// nodeInfo is the per-node discovery record.
+type nodeInfo struct {
+	name       string
+	kind       graph.NodeKind
+	internalBW float64
+	memory     float64 // bytes; hosts only
+	ifaces     []ifaceInfo
+}
+
+func (c *Collector) queryNode(addr string) (*nodeInfo, error) {
+	vbs, err := c.cfg.Client.Get(addr, snmp.OIDSysName, snmp.OIDRemosNodeKind, snmp.OIDRemosInternalBW)
+	if err != nil {
+		return nil, err
+	}
+	ni := &nodeInfo{
+		name:       string(vbs[0].Value.Bytes),
+		internalBW: float64(vbs[2].Value.Uint),
+	}
+	if vbs[1].Value.Int == 1 {
+		ni.kind = graph.Network
+	} else {
+		ni.kind = graph.Compute
+		// Memory is optional (not every agent exposes it).
+		if mem, err := c.cfg.Client.Get(addr, snmp.OIDHrMemorySize); err == nil && len(mem) == 1 {
+			ni.memory = float64(mem[0].Value.Int) * 1024
+		}
+	}
+	ni.ifaces, err = c.walkInterfaces(addr)
+	if err != nil {
+		return nil, err
+	}
+	return ni, nil
+}
+
+// Discover queries every agent in the domain and assembles the Topology.
+// Nodes whose agents fail are reported as an error only if nothing could
+// be discovered; partial domains are normal (other collectors cover the
+// rest).
+func (c *Collector) Discover() (*Topology, error) {
+	type linkRec struct {
+		a, b     string // canonical: a < b
+		capacity float64
+	}
+	nodes := make(map[string]*nodeInfo)
+	links := make(map[int]linkRec)
+	var firstErr error
+	for _, id := range c.sortedNodes() {
+		ni, err := c.queryNode(c.cfg.Addrs[id])
+		if err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("collector: discovering %q: %w", id, err)
+			}
+			c.mu.Lock()
+			c.pollErrors++
+			c.mu.Unlock()
+			continue
+		}
+		nodes[ni.name] = ni
+		for _, iface := range ni.ifaces {
+			a, b := ni.name, iface.neighbor
+			if a > b {
+				a, b = b, a
+			}
+			if prev, ok := links[iface.global]; ok {
+				if prev.a != a || prev.b != b {
+					return nil, fmt.Errorf("collector: link %d reported as %s--%s and %s--%s",
+						iface.global, prev.a, prev.b, a, b)
+				}
+				if prev.capacity != iface.speed {
+					return nil, fmt.Errorf("collector: link %d speed mismatch %v vs %v",
+						iface.global, prev.capacity, iface.speed)
+				}
+				continue
+			}
+			links[iface.global] = linkRec{a: a, b: b, capacity: iface.speed}
+		}
+	}
+	if len(nodes) == 0 {
+		if firstErr != nil {
+			return nil, firstErr
+		}
+		return nil, fmt.Errorf("collector: empty domain")
+	}
+
+	g := graph.New()
+	names := make([]string, 0, len(nodes))
+	for n := range nodes {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		ni := nodes[n]
+		if ni.kind == graph.Network {
+			g.AddRouter(graph.NodeID(n), ni.internalBW)
+		} else {
+			g.AddNode(graph.Node{
+				ID: graph.NodeID(n), Kind: graph.Compute,
+				ComputePower: 1, MemoryBytes: ni.memory,
+			})
+		}
+	}
+	// Leaf neighbors we only heard about from the far end (hosts without
+	// their own agents, or nodes outside the domain) still belong in the
+	// topology; without better information they default to hosts.
+	for _, n := range names {
+		for _, iface := range nodes[n].ifaces {
+			if !g.HasNode(graph.NodeID(iface.neighbor)) {
+				g.AddHost(graph.NodeID(iface.neighbor), 1)
+			}
+		}
+	}
+
+	globals := make([]int, 0, len(links))
+	for id := range links {
+		globals = append(globals, id)
+	}
+	sort.Ints(globals)
+	topo := &Topology{
+		Graph:        g,
+		GlobalID:     make(map[graph.LinkID]int),
+		DiscoveredAt: float64(c.cfg.Clock.Now()),
+	}
+	for _, gid := range globals {
+		rec := links[gid]
+		l := g.AddLink(graph.NodeID(rec.a), graph.NodeID(rec.b), rec.capacity, c.cfg.PerHopLatency)
+		topo.GlobalID[l.ID] = gid
+		// Record capacities for both directions.
+		c.mu.Lock()
+		c.capacity[ChannelKey{Global: gid, Dir: graph.AtoB}] = rec.capacity
+		c.capacity[ChannelKey{Global: gid, Dir: graph.BtoA}] = rec.capacity
+		c.mu.Unlock()
+	}
+	c.mu.Lock()
+	c.topo = topo
+	c.discoveries++
+	c.mu.Unlock()
+	return topo, nil
+}

@@ -1,0 +1,143 @@
+package collector
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/stats"
+)
+
+// Merged combines several collectors covering (possibly overlapping)
+// parts of one network into a single Source — the paper's "multiple
+// cooperating Collectors" for large environments. Topologies are unioned
+// by node name and global link ID; measurement queries go to the first
+// member that has data for the channel.
+type Merged struct {
+	sources []Source
+}
+
+// Merge creates a merged source. At least one member is required.
+func Merge(sources ...Source) *Merged {
+	if len(sources) == 0 {
+		panic("collector: Merge requires at least one source")
+	}
+	return &Merged{sources: sources}
+}
+
+// Topology implements Source: the union of member topologies.
+func (m *Merged) Topology() (*Topology, error) {
+	type linkRec struct {
+		a, b     graph.NodeID
+		capacity float64
+		latency  float64
+	}
+	nodes := make(map[graph.NodeID]graph.Node)
+	links := make(map[int]linkRec)
+	latest := 0.0
+	any := false
+	var firstErr error
+	for _, s := range m.sources {
+		t, err := s.Topology()
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		any = true
+		if t.DiscoveredAt > latest {
+			latest = t.DiscoveredAt
+		}
+		for _, id := range t.Graph.Nodes() {
+			n := *t.Graph.Node(id)
+			// A member that only heard of a node as a leaf neighbor
+			// defaults it to Compute; a member that polled it directly
+			// knows better. Prefer Network kind when any member says so.
+			if prev, ok := nodes[id]; ok && prev.Kind == graph.Network {
+				continue
+			}
+			nodes[id] = n
+		}
+		for _, l := range t.Graph.Links() {
+			gid := t.GlobalID[l.ID]
+			if prev, ok := links[gid]; ok {
+				if prev.a != l.A || prev.b != l.B {
+					return nil, fmt.Errorf("collector: merge conflict on link %d: %s--%s vs %s--%s",
+						gid, prev.a, prev.b, l.A, l.B)
+				}
+				continue
+			}
+			links[gid] = linkRec{a: l.A, b: l.B, capacity: l.Capacity, latency: l.Latency}
+		}
+	}
+	if !any {
+		return nil, firstErr
+	}
+	g := graph.New()
+	ids := make([]string, 0, len(nodes))
+	for id := range nodes {
+		ids = append(ids, string(id))
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		g.AddNode(nodes[graph.NodeID(id)])
+	}
+	gids := make([]int, 0, len(links))
+	for gid := range links {
+		gids = append(gids, gid)
+	}
+	sort.Ints(gids)
+	out := &Topology{Graph: g, GlobalID: make(map[graph.LinkID]int), DiscoveredAt: latest}
+	for _, gid := range gids {
+		rec := links[gid]
+		l := g.AddLink(rec.a, rec.b, rec.capacity, rec.latency)
+		out.GlobalID[l.ID] = gid
+	}
+	return out, nil
+}
+
+// Utilization implements Source.
+func (m *Merged) Utilization(key ChannelKey, span float64) (stats.Stat, error) {
+	var firstErr error
+	for _, s := range m.sources {
+		st, err := s.Utilization(key, span)
+		if err == nil {
+			return st, nil
+		}
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	return stats.NoData(), firstErr
+}
+
+// Samples implements Source.
+func (m *Merged) Samples(key ChannelKey) ([]stats.Sample, error) {
+	var firstErr error
+	for _, s := range m.sources {
+		sm, err := s.Samples(key)
+		if err == nil {
+			return sm, nil
+		}
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	return nil, firstErr
+}
+
+// HostLoad implements Source.
+func (m *Merged) HostLoad(node graph.NodeID, span float64) (stats.Stat, error) {
+	var firstErr error
+	for _, s := range m.sources {
+		st, err := s.HostLoad(node, span)
+		if err == nil {
+			return st, nil
+		}
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	return stats.NoData(), firstErr
+}

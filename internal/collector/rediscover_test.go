@@ -1,0 +1,75 @@
+package collector
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/netsim"
+	"repro/internal/simclock"
+	"repro/internal/snmp"
+	"repro/internal/topology"
+)
+
+func TestPeriodicRediscoveryPicksUpDegradation(t *testing.T) {
+	clk := simclock.New()
+	n, err := netsim.New(clk, topology.Testbed())
+	if err != nil {
+		t.Fatal(err)
+	}
+	att := snmp.Attach(n, snmp.DefaultCommunity)
+	addrs := make(map[graph.NodeID]string)
+	for id := range att.Agents {
+		addrs[id] = snmp.Addr(id)
+	}
+	col := New(Config{
+		Client:           snmp.NewClient(att.Registry, snmp.DefaultCommunity),
+		Clock:            clk,
+		Addrs:            addrs,
+		PollPeriod:       1,
+		RediscoverPeriod: 10,
+	})
+	if err := col.Start(); err != nil {
+		t.Fatal(err)
+	}
+	clk.Advance(5)
+	if col.Discoveries() != 1 {
+		t.Fatalf("discoveries = %d", col.Discoveries())
+	}
+
+	// Degrade m-1--aspen to 30 Mbps; within a rediscovery period the
+	// collector's topology reflects it.
+	var target graph.LinkID = -1
+	for _, l := range n.Graph().Links() {
+		if (l.A == "m-1" && l.B == "aspen") || (l.A == "aspen" && l.B == "m-1") {
+			target = l.ID
+		}
+	}
+	n.SetLinkCapacity(target, 30e6)
+	clk.Advance(12)
+	if col.Discoveries() < 2 {
+		t.Fatalf("discoveries = %d after rediscovery period", col.Discoveries())
+	}
+	topo, err := col.Topology()
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, l := range topo.Graph.Links() {
+		if (l.A == "m-1" && l.B == "aspen") || (l.A == "aspen" && l.B == "m-1") {
+			found = true
+			if l.Capacity != 30e6 {
+				t.Fatalf("rediscovered capacity = %v", l.Capacity)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("link vanished from topology")
+	}
+	// Stopping also halts rediscovery.
+	col.Stop()
+	before := col.Discoveries()
+	clk.Advance(30)
+	if col.Discoveries() != before {
+		t.Fatal("rediscovery survived Stop")
+	}
+}

@@ -1,0 +1,311 @@
+package collector
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+
+	"repro/internal/graph"
+	"repro/internal/stats"
+)
+
+// The TCP/gob query service: how an application's Modeler reaches a
+// Collector running as a separate process (the deployment in the paper's
+// Figure 2). Virtual-time experiments use the Collector in-process; this
+// service exists for daemon mode and is covered by real-socket
+// integration tests.
+
+type wireNode struct {
+	ID           string
+	Kind         int
+	InternalBW   float64
+	ComputePower float64
+	MemoryBytes  float64
+}
+
+type wireLink struct {
+	A, B     string
+	Capacity float64
+	Latency  float64
+	Global   int
+}
+
+type wireTopo struct {
+	Nodes        []wireNode
+	Links        []wireLink
+	DiscoveredAt float64
+}
+
+func topoToWire(t *Topology) *wireTopo {
+	w := &wireTopo{DiscoveredAt: t.DiscoveredAt}
+	for _, id := range t.Graph.Nodes() {
+		n := t.Graph.Node(id)
+		w.Nodes = append(w.Nodes, wireNode{
+			ID: string(n.ID), Kind: int(n.Kind),
+			InternalBW: n.InternalBW, ComputePower: n.ComputePower,
+			MemoryBytes: n.MemoryBytes,
+		})
+	}
+	for _, l := range t.Graph.Links() {
+		w.Links = append(w.Links, wireLink{
+			A: string(l.A), B: string(l.B),
+			Capacity: l.Capacity, Latency: l.Latency,
+			Global: t.GlobalID[l.ID],
+		})
+	}
+	return w
+}
+
+func topoFromWire(w *wireTopo) *Topology {
+	g := graph.New()
+	for _, n := range w.Nodes {
+		g.AddNode(graph.Node{
+			ID: graph.NodeID(n.ID), Kind: graph.NodeKind(n.Kind),
+			InternalBW: n.InternalBW, ComputePower: n.ComputePower,
+			MemoryBytes: n.MemoryBytes,
+		})
+	}
+	t := &Topology{Graph: g, GlobalID: make(map[graph.LinkID]int), DiscoveredAt: w.DiscoveredAt}
+	for _, l := range w.Links {
+		gl := g.AddLink(graph.NodeID(l.A), graph.NodeID(l.B), l.Capacity, l.Latency)
+		t.GlobalID[gl.ID] = l.Global
+	}
+	return t
+}
+
+type request struct {
+	Op   string // "topo", "util", "samples", "load"
+	Key  ChannelKey
+	Span float64
+	Node string
+}
+
+type response struct {
+	Err     string
+	Stat    stats.Stat
+	Samples []stats.Sample
+	Topo    *wireTopo
+}
+
+// Server exposes a Source over TCP.
+type Server struct {
+	src Source
+	ln  net.Listener
+	wg  sync.WaitGroup
+
+	mu    sync.Mutex
+	conns map[net.Conn]bool
+}
+
+// Serve starts a query server on addr (e.g. "127.0.0.1:0").
+func Serve(src Source, addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("collector: %w", err)
+	}
+	s := &Server{src: src, ln: ln, conns: make(map[net.Conn]bool)}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the bound address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server, closes active connections, and waits for all
+// serving goroutines.
+func (s *Server) Close() error {
+	err := s.ln.Close()
+	s.mu.Lock()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		s.conns[conn] = true
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.serveConn(conn)
+			s.mu.Lock()
+			delete(s.conns, conn)
+			s.mu.Unlock()
+		}()
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer conn.Close()
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	for {
+		var req request
+		if err := dec.Decode(&req); err != nil {
+			return
+		}
+		var resp response
+		switch req.Op {
+		case "topo":
+			t, err := s.src.Topology()
+			if err != nil {
+				resp.Err = err.Error()
+			} else {
+				resp.Topo = topoToWire(t)
+			}
+		case "util":
+			st, err := s.src.Utilization(req.Key, req.Span)
+			if err != nil {
+				resp.Err = err.Error()
+			}
+			resp.Stat = st
+		case "samples":
+			sm, err := s.src.Samples(req.Key)
+			if err != nil {
+				resp.Err = err.Error()
+			}
+			resp.Samples = sm
+		case "load":
+			st, err := s.src.HostLoad(graph.NodeID(req.Node), req.Span)
+			if err != nil {
+				resp.Err = err.Error()
+			}
+			resp.Stat = st
+		default:
+			resp.Err = fmt.Sprintf("collector: unknown op %q", req.Op)
+		}
+		if err := enc.Encode(&resp); err != nil {
+			return
+		}
+	}
+}
+
+// Client is a Source backed by a remote collector service.
+type Client struct {
+	addr string
+
+	mu   sync.Mutex
+	conn net.Conn
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+}
+
+// Dial connects to a collector service.
+func Dial(addr string) (*Client, error) {
+	c := &Client{addr: addr}
+	if err := c.connect(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+func (c *Client) connect() error {
+	conn, err := net.Dial("tcp", c.addr)
+	if err != nil {
+		return fmt.Errorf("collector: %w", err)
+	}
+	c.conn = conn
+	c.enc = gob.NewEncoder(conn)
+	c.dec = gob.NewDecoder(conn)
+	return nil
+}
+
+// Close tears down the connection.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn != nil {
+		return c.conn.Close()
+	}
+	return nil
+}
+
+func (c *Client) call(req *request) (*response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	attempt := func() (*response, error) {
+		if c.conn == nil {
+			if err := c.connect(); err != nil {
+				return nil, err
+			}
+		}
+		if err := c.enc.Encode(req); err != nil {
+			return nil, err
+		}
+		var resp response
+		if err := c.dec.Decode(&resp); err != nil {
+			return nil, err
+		}
+		return &resp, nil
+	}
+	resp, err := attempt()
+	if err != nil {
+		// One reconnect: the server may have restarted between calls.
+		if c.conn != nil {
+			c.conn.Close()
+			c.conn = nil
+		}
+		resp, err = attempt()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if resp.Err != "" {
+		return resp, fmt.Errorf("%s", resp.Err)
+	}
+	return resp, nil
+}
+
+// Topology implements Source.
+func (c *Client) Topology() (*Topology, error) {
+	resp, err := c.call(&request{Op: "topo"})
+	if err != nil {
+		return nil, err
+	}
+	return topoFromWire(resp.Topo), nil
+}
+
+// Utilization implements Source.
+func (c *Client) Utilization(key ChannelKey, span float64) (stats.Stat, error) {
+	resp, err := c.call(&request{Op: "util", Key: key, Span: span})
+	if err != nil {
+		if resp != nil {
+			return resp.Stat, err
+		}
+		return stats.NoData(), err
+	}
+	return resp.Stat, nil
+}
+
+// Samples implements Source.
+func (c *Client) Samples(key ChannelKey) ([]stats.Sample, error) {
+	resp, err := c.call(&request{Op: "samples", Key: key})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Samples, nil
+}
+
+// HostLoad implements Source.
+func (c *Client) HostLoad(node graph.NodeID, span float64) (stats.Stat, error) {
+	resp, err := c.call(&request{Op: "load", Node: string(node), Span: span})
+	if err != nil {
+		if resp != nil {
+			return resp.Stat, err
+		}
+		return stats.NoData(), err
+	}
+	return resp.Stat, nil
+}

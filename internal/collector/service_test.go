@@ -1,0 +1,183 @@
+package collector
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/snmp"
+	"repro/internal/traffic"
+)
+
+// TestTCPService exercises the full daemon path: simulated network ->
+// SNMP agents -> collector -> TCP/gob service -> client, over a real
+// localhost socket.
+func TestTCPService(t *testing.T) {
+	r := newRig(t, 2)
+	if err := r.col.Start(); err != nil {
+		t.Fatal(err)
+	}
+	traffic.Blast(r.net, "m-6", "m-8", 40e6)
+	r.net.SetHostLoad("m-5", 0.25)
+	r.clk.RunUntil(30)
+
+	srv, err := Serve(r.col, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cli, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	// Topology round-trips.
+	remote, err := cli.Topology()
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, _ := r.col.Topology()
+	if remote.Graph.NumNodes() != local.Graph.NumNodes() || remote.Graph.NumLinks() != local.Graph.NumLinks() {
+		t.Fatalf("topology mismatch: %d/%d vs %d/%d nodes/links",
+			remote.Graph.NumNodes(), remote.Graph.NumLinks(),
+			local.Graph.NumNodes(), local.Graph.NumLinks())
+	}
+	if remote.Graph.Node("timberline").Kind != graph.Network {
+		t.Fatal("node kind lost in transit")
+	}
+
+	// Utilization agrees with the in-process answer.
+	k := keyFor(t, local, "timberline", "whiteface")
+	want, _ := r.col.Utilization(k, 20)
+	got, err := cli.Utilization(k, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got.Median-want.Median) > 1e-9 {
+		t.Fatalf("util = %v, want %v", got, want)
+	}
+
+	// Samples.
+	samples, err := cli.Samples(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) == 0 {
+		t.Fatal("no samples over TCP")
+	}
+
+	// Host load.
+	load, err := cli.HostLoad("m-5", 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(load.Median-0.25) > 1e-9 {
+		t.Fatalf("load = %v", load)
+	}
+
+	// Errors propagate.
+	if _, err := cli.Utilization(ChannelKey{Global: 999}, 5); err == nil {
+		t.Fatal("bogus channel succeeded over TCP")
+	}
+	if _, err := cli.HostLoad("aspen", 5); err == nil {
+		t.Fatal("router load succeeded over TCP")
+	}
+}
+
+func TestClientReconnects(t *testing.T) {
+	r := newRig(t, 2)
+	if err := r.col.Start(); err != nil {
+		t.Fatal(err)
+	}
+	r.clk.RunUntil(10)
+	srv, err := Serve(r.col, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr()
+	cli, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	if _, err := cli.Topology(); err != nil {
+		t.Fatal(err)
+	}
+	// Kill the connection server-side; the next call must reconnect.
+	srv.Close()
+	srv2, err := Serve(r.col, addr)
+	if err != nil {
+		t.Skipf("could not rebind %s: %v", addr, err)
+	}
+	defer srv2.Close()
+	if _, err := cli.Topology(); err != nil {
+		t.Fatalf("reconnect failed: %v", err)
+	}
+}
+
+func TestMergeDisjointDomains(t *testing.T) {
+	r := newRig(t, 2)
+	// Build two collectors over disjoint halves of the testbed.
+	mk := func(ids ...graph.NodeID) *Collector {
+		addrs := make(map[graph.NodeID]string)
+		for _, id := range ids {
+			addrs[id] = snmp.Addr(id)
+		}
+		return New(Config{
+			Client:     snmp.NewClient(r.att.Registry, snmp.DefaultCommunity),
+			Clock:      r.clk,
+			Addrs:      addrs,
+			PollPeriod: 2,
+		})
+	}
+	west := mk("aspen", "timberline", "m-1", "m-2", "m-3", "m-4", "m-5", "m-6")
+	east := mk("whiteface", "m-7", "m-8")
+	if err := west.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := east.Start(); err != nil {
+		t.Fatal(err)
+	}
+	traffic.Blast(r.net, "m-7", "m-8", 30e6)
+	r.clk.RunUntil(30)
+
+	m := Merge(west, east)
+	topo, err := m.Topology()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.Graph.NumLinks() != 10 {
+		t.Fatalf("merged links = %d", topo.Graph.NumLinks())
+	}
+	// whiteface appears as a leaf host to west but as a router to east;
+	// the merge must keep the router view.
+	if topo.Graph.Node("whiteface").Kind != graph.Network {
+		t.Fatal("merge lost router kind")
+	}
+	if !topo.Graph.Connected() {
+		t.Fatal("merged topology disconnected")
+	}
+	// Utilization on an east-side link is only known to east.
+	k := keyFor(t, topo, "m-7", "whiteface")
+	st, err := m.Utilization(k, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(st.Median-30e6) > 1e4 {
+		t.Fatalf("merged util = %v", st)
+	}
+	// Host load via merge.
+	r.net.SetHostLoad("m-7", 0.5)
+	r.clk.RunUntil(40)
+	ld, err := m.HostLoad("m-7", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ld.Median-0.5) > 1e-9 {
+		t.Fatalf("merged load = %v", ld)
+	}
+	if _, err := m.Samples(ChannelKey{Global: 999}); err == nil {
+		t.Fatal("bogus channel succeeded via merge")
+	}
+}

@@ -1,0 +1,349 @@
+// Package core implements the Remos Modeler — the paper's primary
+// contribution: a query-based, network-independent interface that
+// applications link against to ask about the network (Figure 2, right
+// half). It consumes a collector.Source (in-process collector, TCP
+// client, or multi-collector merge) and answers the two queries of §4:
+//
+//	remos_get_graph(nodes, graph, timeframe)   -> Modeler.GetGraph
+//	remos_flow_info(fixed, variable, indep, t) -> Modeler.FlowInfo
+//
+// plus the convenience queries the tool chain uses (bandwidth matrices
+// for clustering).
+//
+// All dynamic quantities are reported as quartile Stats (§4.4); flow
+// queries resolve sharing with weighted max-min over the queried flows
+// simultaneously (§4.2); topology queries return a logical topology with
+// unused links pruned and pass-through router chains collapsed (§4.3).
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"repro/internal/collector"
+	"repro/internal/graph"
+	"repro/internal/stats"
+)
+
+// TimeframeKind selects the variable-timescale semantics of a query.
+type TimeframeKind int
+
+const (
+	// Capacity reports invariant physical capacities, ignoring traffic.
+	Capacity TimeframeKind = iota
+	// Current reports the most recent measurement.
+	Current
+	// History reports measurements averaged over the trailing Span.
+	History
+	// Future reports a prediction Horizon seconds ahead, derived from
+	// the measurement history by the Modeler's predictor.
+	Future
+)
+
+func (k TimeframeKind) String() string {
+	switch k {
+	case Capacity:
+		return "capacity"
+	case Current:
+		return "current"
+	case History:
+		return "history"
+	case Future:
+		return "future"
+	default:
+		return fmt.Sprintf("TimeframeKind(%d)", int(k))
+	}
+}
+
+// Timeframe is the time context of a query (§4.4 "variable timescales").
+type Timeframe struct {
+	Kind    TimeframeKind
+	Span    float64 // History: trailing window in seconds
+	Horizon float64 // Future: seconds ahead
+}
+
+// TFCapacity, TFCurrent, TFHistory and TFFuture construct timeframes.
+func TFCapacity() Timeframe              { return Timeframe{Kind: Capacity} }
+func TFCurrent() Timeframe               { return Timeframe{Kind: Current} }
+func TFHistory(span float64) Timeframe   { return Timeframe{Kind: History, Span: span} }
+func TFFuture(horizon float64) Timeframe { return Timeframe{Kind: Future, Horizon: horizon} }
+
+// Config parameterizes a Modeler.
+type Config struct {
+	// Source supplies topology and measurements.
+	Source collector.Source
+
+	// Predictor is used for Future timeframes (default stats.EWMA).
+	Predictor stats.Predictor
+
+	// DiscountSelf subtracts the application's registered own flows from
+	// measured utilization before computing availability. The paper
+	// observes (§8.3) that without this an application "would migrate to
+	// avoid its own traffic, which is clearly a decision based on an
+	// inherent fallacy"; registering flows fixes it. Off by default to
+	// match the paper's implementation.
+	DiscountSelf bool
+
+	// Sharing selects the policy used to resolve flow queries. The
+	// default is max-min fair share, the paper's recommendation ("the
+	// basic sharing policy assumed by Remos corresponds to the max-min
+	// fair share policy"); ShareProportional is the naive model kept for
+	// the sharing-policy ablation.
+	Sharing SharingPolicy
+}
+
+// SharingPolicy selects how QueryFlowInfo splits contended bandwidth.
+type SharingPolicy int
+
+const (
+	// ShareMaxMin is weighted max-min fairness (the default).
+	ShareMaxMin SharingPolicy = iota
+	// ShareProportional splits every link proportionally to weights
+	// without redistributing what bottlenecked-elsewhere flows leave
+	// behind; it systematically under-promises (see the ablation).
+	ShareProportional
+)
+
+// Modeler answers Remos queries. Safe for use from a single goroutine
+// per instance (the usual pattern: one Modeler linked into the
+// application's adaptation module).
+type Modeler struct {
+	cfg Config
+
+	mu    sync.Mutex
+	topo  *collector.Topology
+	rt    *graph.RouteTable
+	self  []selfFlow
+	stale bool
+}
+
+type selfFlow struct {
+	src, dst graph.NodeID
+	rate     float64
+}
+
+// New creates a Modeler over a collector source.
+func New(cfg Config) *Modeler {
+	if cfg.Source == nil {
+		panic("core: Modeler requires a Source")
+	}
+	if cfg.Predictor == nil {
+		cfg.Predictor = stats.EWMA{Alpha: 0.3}
+	}
+	return &Modeler{cfg: cfg}
+}
+
+// Refresh drops the cached topology so the next query re-discovers.
+func (m *Modeler) Refresh() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.topo, m.rt = nil, nil
+}
+
+// topology returns the cached (or freshly fetched) topology and routes.
+func (m *Modeler) topology() (*collector.Topology, *graph.RouteTable, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.topo != nil {
+		return m.topo, m.rt, nil
+	}
+	t, err := m.cfg.Source.Topology()
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: %w", err)
+	}
+	rt, err := t.Graph.Routes()
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: routing discovered topology: %w", err)
+	}
+	m.topo, m.rt = t, rt
+	return t, rt, nil
+}
+
+// RegisterSelfFlow tells the Modeler about a flow the application itself
+// is currently sending, so DiscountSelf can exclude it. Rate is bits/s.
+func (m *Modeler) RegisterSelfFlow(src, dst graph.NodeID, rate float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.self = append(m.self, selfFlow{src, dst, rate})
+}
+
+// ClearSelfFlows forgets all registered self flows.
+func (m *Modeler) ClearSelfFlows() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.self = nil
+}
+
+// selfRateOn returns the registered self-traffic rate crossing a channel.
+func (m *Modeler) selfRateOn(topo *collector.Topology, rt *graph.RouteTable, key collector.ChannelKey) float64 {
+	m.mu.Lock()
+	flows := append([]selfFlow(nil), m.self...)
+	m.mu.Unlock()
+	var sum float64
+	for _, sf := range flows {
+		p := rt.Route(sf.src, sf.dst)
+		if p == nil {
+			continue
+		}
+		for i, l := range p.Links {
+			if topo.Key(l, l.DirFrom(p.Nodes[i])) == key {
+				sum += sf.rate
+			}
+		}
+	}
+	return sum
+}
+
+// channelAvailability computes the availability Stat of one channel under
+// a timeframe: capacity for TFCapacity, otherwise capacity minus the
+// (possibly predicted) utilization.
+func (m *Modeler) channelAvailability(topo *collector.Topology, rt *graph.RouteTable,
+	l *graph.Link, d graph.Dir, tf Timeframe) stats.Stat {
+
+	key := topo.Key(l, d)
+	if tf.Kind == Capacity {
+		return stats.Exact(l.Capacity)
+	}
+	var util stats.Stat
+	switch tf.Kind {
+	case Current:
+		u, err := m.cfg.Source.Utilization(key, 0)
+		if err != nil {
+			// No measurements yet: fall back to capacity with low
+			// accuracy, matching "initial implementations may only
+			// support historical performance".
+			return stats.Exact(l.Capacity).WithAccuracy(0.1)
+		}
+		util = u
+	case History:
+		u, err := m.cfg.Source.Utilization(key, tf.Span)
+		if err != nil {
+			return stats.Exact(l.Capacity).WithAccuracy(0.1)
+		}
+		util = u
+	case Future:
+		samples, err := m.cfg.Source.Samples(key)
+		if err != nil || len(samples) == 0 {
+			return stats.Exact(l.Capacity).WithAccuracy(0.1)
+		}
+		util = stats.PredictStat(samples, m.cfg.Predictor, tf.Horizon)
+	default:
+		panic(fmt.Sprintf("core: bad timeframe kind %v", tf.Kind))
+	}
+	if !util.Valid() {
+		return stats.Exact(l.Capacity).WithAccuracy(0.1)
+	}
+	if m.cfg.DiscountSelf {
+		if own := m.selfRateOn(topo, rt, key); own > 0 {
+			util = stats.Stat{
+				Min: util.Min - own, Q1: util.Q1 - own, Median: util.Median - own,
+				Q3: util.Q3 - own, Max: util.Max - own,
+				Accuracy: util.Accuracy, Samples: util.Samples,
+			}.ClampNonNegative()
+		}
+	}
+	return stats.SubFrom(l.Capacity, util)
+}
+
+// AvailableBandwidth reports the bottleneck availability between two
+// hosts under a timeframe: the element-wise minimum along the route.
+func (m *Modeler) AvailableBandwidth(src, dst graph.NodeID, tf Timeframe) (stats.Stat, error) {
+	topo, rt, err := m.topology()
+	if err != nil {
+		return stats.NoData(), err
+	}
+	if src == dst {
+		return stats.Exact(math.Inf(1)), nil
+	}
+	p := rt.Route(src, dst)
+	if p == nil {
+		return stats.NoData(), fmt.Errorf("core: no route %s -> %s", src, dst)
+	}
+	out := stats.NoData()
+	for i, l := range p.Links {
+		a := m.channelAvailability(topo, rt, l, l.DirFrom(p.Nodes[i]), tf)
+		out = stats.MinStat(out, a)
+	}
+	// Router internal bandwidth also caps the path (Figure 1).
+	for _, nid := range p.Nodes[1 : len(p.Nodes)-1] {
+		if n := topo.Graph.Node(nid); n != nil && n.InternalBW > 0 {
+			out = stats.MinStat(out, stats.Exact(n.InternalBW))
+		}
+	}
+	return out, nil
+}
+
+// PathLatency reports the one-way latency between two hosts (per-hop
+// constant model, exact).
+func (m *Modeler) PathLatency(src, dst graph.NodeID) (stats.Stat, error) {
+	_, rt, err := m.topology()
+	if err != nil {
+		return stats.NoData(), err
+	}
+	if src == dst {
+		return stats.Exact(0), nil
+	}
+	p := rt.Route(src, dst)
+	if p == nil {
+		return stats.NoData(), fmt.Errorf("core: no route %s -> %s", src, dst)
+	}
+	return stats.Exact(p.Latency()), nil
+}
+
+// HostLoad reports a host's CPU load fraction (Remos's "simple interface
+// to computation resources").
+func (m *Modeler) HostLoad(id graph.NodeID, tf Timeframe) (stats.Stat, error) {
+	span := 0.0
+	if tf.Kind == History {
+		span = tf.Span
+	}
+	st, err := m.cfg.Source.HostLoad(id, span)
+	if err != nil {
+		return stats.NoData(), err
+	}
+	return st, nil
+}
+
+// HostMemory reports a host's physical memory in bytes (0 if the agent
+// does not expose it). Applications use it for the §2 sizing constraint:
+// enough nodes to fit the data set.
+func (m *Modeler) HostMemory(id graph.NodeID) (float64, error) {
+	topo, _, err := m.topology()
+	if err != nil {
+		return 0, err
+	}
+	n := topo.Graph.Node(id)
+	if n == nil {
+		return 0, fmt.Errorf("core: unknown node %q", id)
+	}
+	if n.Kind != graph.Compute {
+		return 0, fmt.Errorf("core: %q is not a compute node", id)
+	}
+	return n.MemoryBytes, nil
+}
+
+// MinNodesForData returns the smallest node count whose pooled memory
+// holds dataBytes, given the per-host memories of the candidate pool
+// (largest hosts first). It returns an error when even the whole pool is
+// too small.
+func (m *Modeler) MinNodesForData(pool []graph.NodeID, dataBytes float64) (int, error) {
+	var mems []float64
+	for _, id := range pool {
+		mem, err := m.HostMemory(id)
+		if err != nil {
+			return 0, err
+		}
+		mems = append(mems, mem)
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(mems)))
+	var sum float64
+	for i, mem := range mems {
+		sum += mem
+		if sum >= dataBytes {
+			return i + 1, nil
+		}
+	}
+	return 0, fmt.Errorf("core: pool memory %v bytes cannot hold %v bytes", sum, dataBytes)
+}

@@ -1,0 +1,350 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/collector"
+	"repro/internal/graph"
+	"repro/internal/netsim"
+	"repro/internal/simclock"
+	"repro/internal/snmp"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+// rig wires topology -> netsim -> agents -> collector -> modeler.
+type rig struct {
+	clk *simclock.Clock
+	net *netsim.Network
+	col *collector.Collector
+	mod *Modeler
+}
+
+func newRig(t *testing.T, g *graph.Graph, cfgMod func(*Config)) *rig {
+	t.Helper()
+	clk := simclock.New()
+	n, err := netsim.New(clk, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	att := snmp.Attach(n, snmp.DefaultCommunity)
+	addrs := make(map[graph.NodeID]string)
+	for id := range att.Agents {
+		addrs[id] = snmp.Addr(id)
+	}
+	col := collector.New(collector.Config{
+		Client:        snmp.NewClient(att.Registry, snmp.DefaultCommunity),
+		Clock:         clk,
+		Addrs:         addrs,
+		PollPeriod:    1,
+		PerHopLatency: topology.PerHopLatency,
+	})
+	if err := col.Start(); err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Source: col}
+	if cfgMod != nil {
+		cfgMod(&cfg)
+	}
+	return &rig{clk: clk, net: n, col: col, mod: New(cfg)}
+}
+
+func testbedRig(t *testing.T) *rig { return newRig(t, topology.Testbed(), nil) }
+
+func TestAvailableBandwidthCapacity(t *testing.T) {
+	r := testbedRig(t)
+	st, err := r.mod.AvailableBandwidth("m-1", "m-5", TFCapacity())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Median != 100e6 {
+		t.Fatalf("capacity availability = %v", st)
+	}
+	if st.Accuracy != 1 {
+		t.Fatalf("capacity accuracy = %v", st.Accuracy)
+	}
+}
+
+func TestAvailableBandwidthUnderLoad(t *testing.T) {
+	r := testbedRig(t)
+	traffic.Blast(r.net, "m-6", "m-8", 60e6)
+	r.clk.RunUntil(30)
+	// m-4 -> m-7 shares timberline->whiteface with the blast.
+	st, err := r.mod.AvailableBandwidth("m-4", "m-7", TFHistory(20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(st.Median-40e6) > 1e5 {
+		t.Fatalf("availability = %v, want ~40e6", st)
+	}
+	// A pair avoiding the busy link sees full capacity.
+	st2, _ := r.mod.AvailableBandwidth("m-1", "m-3", TFHistory(20))
+	if math.Abs(st2.Median-100e6) > 1e5 {
+		t.Fatalf("clean-path availability = %v", st2)
+	}
+}
+
+func TestAvailableBandwidthCurrentVsHistory(t *testing.T) {
+	r := testbedRig(t)
+	// 20s idle then traffic; "current" sees the load, long history mixes.
+	r.clk.RunUntil(20)
+	traffic.Blast(r.net, "m-6", "m-8", 80e6)
+	r.clk.RunUntil(40)
+	cur, _ := r.mod.AvailableBandwidth("m-4", "m-7", TFCurrent())
+	hist, _ := r.mod.AvailableBandwidth("m-4", "m-7", TFHistory(39))
+	if math.Abs(cur.Median-20e6) > 1e5 {
+		t.Fatalf("current = %v", cur)
+	}
+	if hist.Max < 90e6 {
+		t.Fatalf("history max = %v, should include idle period", hist.Max)
+	}
+	if hist.IQR() < 1e6 {
+		t.Fatalf("history IQR = %v", hist.IQR())
+	}
+}
+
+func TestFutureTimeframe(t *testing.T) {
+	r := testbedRig(t)
+	traffic.Blast(r.net, "m-6", "m-8", 50e6)
+	r.clk.RunUntil(30)
+	fut, err := r.mod.AvailableBandwidth("m-4", "m-7", TFFuture(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Steady load: prediction should be close to the steady availability.
+	if math.Abs(fut.Median-50e6) > 2e6 {
+		t.Fatalf("future = %v", fut)
+	}
+	if fut.Accuracy <= 0 || fut.Accuracy > 1 {
+		t.Fatalf("future accuracy = %v", fut.Accuracy)
+	}
+}
+
+func TestPathLatencyAndErrors(t *testing.T) {
+	r := testbedRig(t)
+	st, err := r.mod.PathLatency("m-1", "m-8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(st.Median-4*topology.PerHopLatency) > 1e-12 {
+		t.Fatalf("latency = %v", st)
+	}
+	self, _ := r.mod.PathLatency("m-1", "m-1")
+	if self.Median != 0 {
+		t.Fatal("self latency != 0")
+	}
+	if _, err := r.mod.AvailableBandwidth("m-1", "nope", TFCurrent()); err == nil {
+		t.Fatal("unknown node accepted")
+	}
+}
+
+func TestHostLoadQuery(t *testing.T) {
+	r := testbedRig(t)
+	r.net.SetHostLoad("m-2", 0.3)
+	r.clk.RunUntil(5)
+	st, err := r.mod.HostLoad("m-2", TFHistory(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(st.Median-0.3) > 1e-9 {
+		t.Fatalf("load = %v", st)
+	}
+}
+
+func TestGetGraphFullTestbed(t *testing.T) {
+	r := testbedRig(t)
+	r.clk.RunUntil(5)
+	g, err := r.mod.GetGraph(nil, TFCapacity())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All 8 hosts; aspen & whiteface kept (degree > 2); timberline kept
+	// (degree 5).
+	if got := len(g.Nodes); got != 11 {
+		t.Fatalf("nodes = %d", got)
+	}
+	if got := len(g.Links); got != 10 {
+		t.Fatalf("links = %d", got)
+	}
+	for _, l := range g.Links {
+		if l.Capacity.Median != 100e6 {
+			t.Fatalf("link %s--%s capacity %v", l.A, l.B, l.Capacity)
+		}
+	}
+}
+
+func TestGetGraphPrunesAndCollapses(t *testing.T) {
+	r := testbedRig(t)
+	r.clk.RunUntil(5)
+	// Only m-1 and m-8: route crosses all three routers; m-2..m-7 links
+	// pruned; aspen and whiteface become degree-2 pass-throughs and the
+	// whole chain collapses to one logical link.
+	g, err := r.mod.GetGraph([]graph.NodeID{"m-1", "m-8"}, TFCapacity())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Nodes) != 2 {
+		names := []graph.NodeID{}
+		for _, n := range g.Nodes {
+			names = append(names, n.ID)
+		}
+		t.Fatalf("nodes = %v", names)
+	}
+	if len(g.Links) != 1 {
+		t.Fatalf("links = %d", len(g.Links))
+	}
+	l := g.Links[0]
+	if l.Capacity.Median != 100e6 {
+		t.Fatalf("capacity = %v", l.Capacity)
+	}
+	// Latency = 4 hops.
+	if math.Abs(l.Latency.Median-4*topology.PerHopLatency) > 1e-12 {
+		t.Fatalf("latency = %v", l.Latency)
+	}
+}
+
+func TestGetGraphLogicalAvailability(t *testing.T) {
+	r := testbedRig(t)
+	traffic.Blast(r.net, "m-6", "m-8", 70e6) // uses timberline->whiteface
+	r.clk.RunUntil(30)
+	g, err := r.mod.GetGraph([]graph.NodeID{"m-4", "m-7"}, TFHistory(20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Logical link m-4 -- m-7 via timberline, whiteface (both collapsed).
+	if len(g.Links) != 1 {
+		t.Fatalf("links = %d", len(g.Links))
+	}
+	l := g.Links[0]
+	fwd := l.AvailFrom("m-4")
+	if math.Abs(fwd.Median-30e6) > 1e5 {
+		t.Fatalf("forward avail = %v, want ~30e6", fwd)
+	}
+	// Reverse direction is unloaded.
+	rev := l.AvailFrom("m-7")
+	if math.Abs(rev.Median-100e6) > 1e5 {
+		t.Fatalf("reverse avail = %v", rev)
+	}
+}
+
+func TestGetGraphFutureTimeframe(t *testing.T) {
+	r := testbedRig(t)
+	traffic.Blast(r.net, "m-6", "m-8", 50e6)
+	r.clk.RunUntil(30)
+	g, err := r.mod.GetGraph([]graph.NodeID{"m-4", "m-7"}, TFFuture(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Links) != 1 {
+		t.Fatalf("links = %d", len(g.Links))
+	}
+	fwd := g.Links[0].AvailFrom("m-4")
+	// Steady load: the prediction should sit near the 50 Mbps leftover.
+	if math.Abs(fwd.Median-50e6) > 3e6 {
+		t.Fatalf("future avail = %v", fwd)
+	}
+	if !fwd.Ordered() || fwd.Accuracy <= 0 {
+		t.Fatalf("future stat = %+v", fwd)
+	}
+	if g.Timeframe.Kind != Future {
+		t.Fatalf("timeframe = %v", g.Timeframe)
+	}
+}
+
+func TestGetGraphRejectsBadNodes(t *testing.T) {
+	r := testbedRig(t)
+	r.clk.RunUntil(2)
+	if _, err := r.mod.GetGraph([]graph.NodeID{"m-1", "nope"}, TFCapacity()); err == nil {
+		t.Fatal("unknown node accepted")
+	}
+	if _, err := r.mod.GetGraph([]graph.NodeID{"m-1", "aspen"}, TFCapacity()); err == nil {
+		t.Fatal("router accepted as endpoint")
+	}
+}
+
+func TestGetGraphFigure1InternalBandwidth(t *testing.T) {
+	// Figure 1 second reading: switches with 10 Mbps internal bandwidth.
+	// n1 -- n5 logical path collapses A and B; capacity limited to 10.
+	r := newRig(t, topology.Figure1(topology.Figure1SlowSwitches()), nil)
+	r.clk.RunUntil(5)
+	g, err := r.mod.GetGraph([]graph.NodeID{"n1", "n5"}, TFCapacity())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Links) != 1 {
+		t.Fatalf("links = %d", len(g.Links))
+	}
+	if g.Links[0].Capacity.Median != 10e6 {
+		t.Fatalf("capacity = %v, want internal-BW-limited 10e6", g.Links[0].Capacity)
+	}
+}
+
+func TestBandwidthMatrix(t *testing.T) {
+	r := testbedRig(t)
+	traffic.Blast(r.net, "m-6", "m-8", 80e6)
+	r.clk.RunUntil(20)
+	nodes := []graph.NodeID{"m-4", "m-5", "m-7"}
+	mat, err := r.mod.BandwidthMatrix(nodes, TFHistory(15))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(mat[0][0], 1) {
+		t.Fatalf("diagonal = %v", mat[0][0])
+	}
+	// m-4 <-> m-5 avoid the busy link; m-4 -> m-7 crosses it.
+	if math.Abs(mat[0][1]-100e6) > 1e5 {
+		t.Fatalf("m-4->m-5 = %v", mat[0][1])
+	}
+	if math.Abs(mat[0][2]-20e6) > 1e5 {
+		t.Fatalf("m-4->m-7 = %v", mat[0][2])
+	}
+	lat, err := r.mod.LatencyMatrix(nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lat[0][1] <= 0 || lat[0][0] != 0 {
+		t.Fatalf("latency matrix = %v", lat)
+	}
+}
+
+func TestSelfTrafficDiscount(t *testing.T) {
+	mkRig := func(discount bool) *rig {
+		return newRig(t, topology.Testbed(), func(c *Config) { c.DiscountSelf = discount })
+	}
+	run := func(r *rig) (withSelf float64) {
+		// The "application" itself sends 50 Mbps m-4 -> m-7.
+		r.net.StartFlow(netsim.FlowSpec{Src: "m-4", Dst: "m-7", RateCap: 50e6, Owner: "app"})
+		r.mod.RegisterSelfFlow("m-4", "m-7", 50e6)
+		r.clk.RunUntil(30)
+		st, err := r.mod.AvailableBandwidth("m-4", "m-7", TFHistory(20))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st.Median
+	}
+	// Paper-faithful: the app's own traffic makes its path look busy.
+	naive := run(mkRig(false))
+	if math.Abs(naive-50e6) > 1e5 {
+		t.Fatalf("naive availability = %v, want ~50e6", naive)
+	}
+	// Discounted: its own 50 Mbps is excluded, path looks clean.
+	fixed := run(mkRig(true))
+	if math.Abs(fixed-100e6) > 1e5 {
+		t.Fatalf("discounted availability = %v, want ~100e6", fixed)
+	}
+}
+
+func TestRefreshAndClearSelfFlows(t *testing.T) {
+	r := testbedRig(t)
+	r.clk.RunUntil(2)
+	if _, err := r.mod.GetGraph(nil, TFCapacity()); err != nil {
+		t.Fatal(err)
+	}
+	r.mod.RegisterSelfFlow("m-1", "m-2", 1e6)
+	r.mod.ClearSelfFlows()
+	r.mod.Refresh()
+	if _, err := r.mod.GetGraph(nil, TFCapacity()); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,384 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/collector"
+	"repro/internal/graph"
+	"repro/internal/maxmin"
+	"repro/internal/stats"
+)
+
+// FlowKind is the three-class spectrum of §4.2.
+type FlowKind int
+
+const (
+	// FixedFlow has an absolute bandwidth requirement (audio).
+	FixedFlow FlowKind = iota
+	// VariableFlow shares bandwidth proportionally to its requirement
+	// relative to the other variable flows (video tiers).
+	VariableFlow
+	// IndependentFlow absorbs whatever is left after the first two
+	// classes (bulk transfer).
+	IndependentFlow
+)
+
+func (k FlowKind) String() string {
+	switch k {
+	case FixedFlow:
+		return "fixed"
+	case VariableFlow:
+		return "variable"
+	case IndependentFlow:
+		return "independent"
+	default:
+		return fmt.Sprintf("FlowKind(%d)", int(k))
+	}
+}
+
+// Flow is one application-level flow in a query.
+type Flow struct {
+	Src, Dst graph.NodeID
+	Kind     FlowKind
+
+	// Bandwidth is the absolute requirement for FixedFlow and the
+	// relative requirement (weight) for VariableFlow; ignored for
+	// IndependentFlow.
+	Bandwidth float64
+
+	// MaxBandwidth optionally caps a VariableFlow (0 = uncapped).
+	MaxBandwidth float64
+}
+
+// FlowResult reports what one queried flow would receive.
+type FlowResult struct {
+	Flow Flow
+
+	// Bandwidth is the predicted allocation as a quartile Stat whose
+	// median is the max-min allocation and whose spread follows the
+	// bottleneck availability's spread.
+	Bandwidth stats.Stat
+
+	// Satisfied reports whether a FixedFlow's full requirement fits.
+	Satisfied bool
+
+	// Latency is the one-way path latency.
+	Latency stats.Stat
+
+	// Hops is the route length in links.
+	Hops int
+}
+
+// FlowInfo is the answer to remos_flow_info.
+type FlowInfo struct {
+	Fixed       []FlowResult
+	Variable    []FlowResult
+	Independent []FlowResult
+	Timeframe   Timeframe
+}
+
+// All returns every result in query order (fixed, variable, independent).
+func (fi *FlowInfo) All() []FlowResult {
+	out := make([]FlowResult, 0, len(fi.Fixed)+len(fi.Variable)+len(fi.Independent))
+	out = append(out, fi.Fixed...)
+	out = append(out, fi.Variable...)
+	out = append(out, fi.Independent...)
+	return out
+}
+
+// QueryFlowInfo answers remos_flow_info(fixed, variable, independent,
+// timeframe): all flows are resolved *simultaneously*, so internal
+// sharing between the queried flows is accounted for (§4.2 "simultaneous
+// queries and sharing"). Fixed flows are satisfied first, then variable
+// flows share proportionally, then independent flows absorb the rest,
+// all under weighted max-min fairness on the availability implied by the
+// timeframe.
+func (m *Modeler) QueryFlowInfo(fixed, variable, independent []Flow, tf Timeframe) (*FlowInfo, error) {
+	topo, rt, err := m.topology()
+	if err != nil {
+		return nil, err
+	}
+
+	// Build the resource space: one resource per directed channel in use,
+	// plus router backplanes with finite internal bandwidth.
+	idx := newResourceIndex(m, topo, rt, tf)
+	toDemand := func(f Flow) (maxmin.Demand, *graph.Path, error) {
+		if f.Src == f.Dst {
+			return maxmin.Demand{}, nil, fmt.Errorf("core: flow with equal endpoints %q", f.Src)
+		}
+		p := rt.Route(f.Src, f.Dst)
+		if p == nil {
+			return maxmin.Demand{}, nil, fmt.Errorf("core: no route %s -> %s", f.Src, f.Dst)
+		}
+		d := maxmin.Demand{Resources: idx.resourcesFor(p), Weight: 1}
+		return d, p, nil
+	}
+
+	cp := &maxmin.ClassedProblem{}
+	paths := make(map[*Flow]*graph.Path)
+	fixedFlows := append([]Flow(nil), fixed...)
+	varFlows := append([]Flow(nil), variable...)
+	indFlows := append([]Flow(nil), independent...)
+	for i := range fixedFlows {
+		f := &fixedFlows[i]
+		if f.Bandwidth <= 0 {
+			return nil, fmt.Errorf("core: fixed flow %s->%s needs a positive bandwidth", f.Src, f.Dst)
+		}
+		d, p, err := toDemand(*f)
+		if err != nil {
+			return nil, err
+		}
+		d.Cap = f.Bandwidth
+		cp.Fixed = append(cp.Fixed, d)
+		paths[f] = p
+	}
+	for i := range varFlows {
+		f := &varFlows[i]
+		d, p, err := toDemand(*f)
+		if err != nil {
+			return nil, err
+		}
+		if f.Bandwidth > 0 {
+			d.Weight = f.Bandwidth
+		}
+		d.Cap = f.MaxBandwidth
+		cp.Variable = append(cp.Variable, d)
+		paths[f] = p
+	}
+	for i := range indFlows {
+		f := &indFlows[i]
+		d, p, err := toDemand(*f)
+		if err != nil {
+			return nil, err
+		}
+		cp.Independent = append(cp.Independent, d)
+		paths[f] = p
+	}
+	cp.Capacity = idx.capacities()
+
+	var res *maxmin.ClassedResult
+	if m.cfg.Sharing == ShareProportional {
+		res = solveProportionalClasses(cp)
+	} else {
+		res = maxmin.SolveClasses(cp)
+	}
+
+	out := &FlowInfo{Timeframe: tf}
+	mk := func(f *Flow, alloc float64, satisfied bool) FlowResult {
+		p := paths[f]
+		bottleneck := idx.bottleneckStat(p)
+		return FlowResult{
+			Flow:      *f,
+			Bandwidth: allocationStat(alloc, bottleneck),
+			Satisfied: satisfied,
+			Latency:   stats.Exact(p.Latency()),
+			Hops:      p.Hops(),
+		}
+	}
+	for i := range fixedFlows {
+		out.Fixed = append(out.Fixed, mk(&fixedFlows[i], res.Fixed[i], res.FixedSatisfied[i]))
+	}
+	for i := range varFlows {
+		out.Variable = append(out.Variable, mk(&varFlows[i], res.Variable[i], true))
+	}
+	for i := range indFlows {
+		out.Independent = append(out.Independent, mk(&indFlows[i], res.Independent[i], true))
+	}
+	return out, nil
+}
+
+// solveProportionalClasses resolves all three classes with the naive
+// proportional model: one flat solve, no phasing, no redistribution.
+// Fixed flows are capped at their requests; "satisfied" means the
+// proportional share covers the request.
+func solveProportionalClasses(cp *maxmin.ClassedProblem) *maxmin.ClassedResult {
+	var demands []maxmin.Demand
+	demands = append(demands, cp.Fixed...)
+	demands = append(demands, cp.Variable...)
+	demands = append(demands, cp.Independent...)
+	for i := range demands {
+		if demands[i].Weight <= 0 {
+			demands[i].Weight = 1
+		}
+	}
+	p := &maxmin.Problem{Capacity: cp.Capacity, Demands: demands}
+	alloc := p.SolveProportional()
+	res := &maxmin.ClassedResult{Residual: p.Residual(alloc)}
+	nf, nv := len(cp.Fixed), len(cp.Variable)
+	res.Fixed = alloc[:nf]
+	res.Variable = alloc[nf : nf+nv]
+	res.Independent = alloc[nf+nv:]
+	res.FixedSatisfied = make([]bool, nf)
+	for i, d := range cp.Fixed {
+		res.FixedSatisfied[i] = res.Fixed[i] >= d.Cap-1e-6
+	}
+	return res
+}
+
+// resourceIndex maps channels (and limited backplanes) to max-min
+// resources whose capacities are the timeframe's availability medians.
+type resourceIndex struct {
+	m    *Modeler
+	topo *collector.Topology
+	rt   *graph.RouteTable
+	tf   Timeframe
+
+	ids   map[resKey]int
+	caps  []float64
+	stats []stats.Stat
+}
+
+type resKey struct {
+	link graph.LinkID // -1 for node backplane resources
+	dir  graph.Dir
+	node graph.NodeID
+}
+
+func newResourceIndex(m *Modeler, topo *collector.Topology, rt *graph.RouteTable, tf Timeframe) *resourceIndex {
+	return &resourceIndex{m: m, topo: topo, rt: rt, tf: tf, ids: make(map[resKey]int)}
+}
+
+func (ri *resourceIndex) intern(k resKey, capacity float64, st stats.Stat) int {
+	if id, ok := ri.ids[k]; ok {
+		return id
+	}
+	id := len(ri.caps)
+	ri.ids[k] = id
+	ri.caps = append(ri.caps, capacity)
+	ri.stats = append(ri.stats, st)
+	return id
+}
+
+func (ri *resourceIndex) resourcesFor(p *graph.Path) []maxmin.ResourceID {
+	var out []maxmin.ResourceID
+	for i, l := range p.Links {
+		d := l.DirFrom(p.Nodes[i])
+		st := ri.m.channelAvailability(ri.topo, ri.rt, l, d, ri.tf)
+		capacity := st.Median
+		if !st.Valid() {
+			capacity = l.Capacity
+		}
+		id := ri.intern(resKey{link: l.ID, dir: d}, capacity, st)
+		out = append(out, maxmin.ResourceID(id))
+	}
+	for _, nid := range p.Nodes {
+		n := ri.topo.Graph.Node(nid)
+		if n != nil && n.Kind == graph.Network && n.InternalBW > 0 {
+			id := ri.intern(resKey{link: -1, node: nid}, n.InternalBW, stats.Exact(n.InternalBW))
+			out = append(out, maxmin.ResourceID(id))
+		}
+	}
+	return out
+}
+
+func (ri *resourceIndex) capacities() []float64 { return ri.caps }
+
+// bottleneckStat returns the availability Stat of the tightest resource
+// along the path (by median).
+func (ri *resourceIndex) bottleneckStat(p *graph.Path) stats.Stat {
+	best := stats.NoData()
+	bestMedian := math.Inf(1)
+	for i, l := range p.Links {
+		d := l.DirFrom(p.Nodes[i])
+		if id, ok := ri.ids[resKey{link: l.ID, dir: d}]; ok {
+			st := ri.stats[id]
+			if st.Valid() && st.Median < bestMedian {
+				best, bestMedian = st, st.Median
+			}
+		}
+	}
+	for _, nid := range p.Nodes {
+		if id, ok := ri.ids[resKey{link: -1, node: nid}]; ok {
+			st := ri.stats[id]
+			if st.Valid() && st.Median < bestMedian {
+				best, bestMedian = st, st.Median
+			}
+		}
+	}
+	return best
+}
+
+// allocationStat turns a point allocation into a quartile Stat: the
+// median is the allocation, and the relative spread follows the
+// bottleneck availability's spread (if the bottleneck wobbles ±20%, so
+// does the flow's share).
+func allocationStat(alloc float64, bottleneck stats.Stat) stats.Stat {
+	if math.IsInf(alloc, 1) {
+		return stats.Exact(math.Inf(1))
+	}
+	if !bottleneck.Valid() || bottleneck.Median <= 0 || alloc <= 0 {
+		return stats.Exact(alloc).WithAccuracy(bottleneck.Accuracy)
+	}
+	k := alloc / bottleneck.Median
+	out := bottleneck.Scale(k)
+	out.Median = alloc
+	// The allocation can never exceed what max-min granted under the
+	// median availability estimate if the bottleneck were at its max;
+	// keep quartiles ordered after the median override.
+	if out.Q1 > out.Median {
+		out.Q1 = out.Median
+	}
+	if out.Min > out.Q1 {
+		out.Min = out.Q1
+	}
+	if out.Q3 < out.Median {
+		out.Q3 = out.Median
+	}
+	if out.Max < out.Q3 {
+		out.Max = out.Q3
+	}
+	return out
+}
+
+// BandwidthMatrix computes the pairwise available-bandwidth matrix the
+// clustering module consumes: entry [i][j] is the bottleneck availability
+// median between nodes[i] and nodes[j]. This uses topology information
+// (one GetGraph-style pass) rather than O(n²) flow queries, matching the
+// paper's observation that flow queries for the matrix "would have been
+// needed, implying a much higher overhead".
+func (m *Modeler) BandwidthMatrix(nodes []graph.NodeID, tf Timeframe) ([][]float64, error) {
+	n := len(nodes)
+	out := make([][]float64, n)
+	for i := range out {
+		out[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				out[i][j] = math.Inf(1)
+				continue
+			}
+			st, err := m.AvailableBandwidth(nodes[i], nodes[j], tf)
+			if err != nil {
+				return nil, err
+			}
+			if st.Valid() {
+				out[i][j] = st.Median
+			}
+		}
+	}
+	return out, nil
+}
+
+// LatencyMatrix computes pairwise one-way latencies.
+func (m *Modeler) LatencyMatrix(nodes []graph.NodeID) ([][]float64, error) {
+	n := len(nodes)
+	out := make([][]float64, n)
+	for i := range out {
+		out[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			st, err := m.PathLatency(nodes[i], nodes[j])
+			if err != nil {
+				return nil, err
+			}
+			out[i][j] = st.Median
+		}
+	}
+	return out, nil
+}

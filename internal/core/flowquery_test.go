@@ -1,0 +1,282 @@
+package core
+
+import (
+	"math/rand"
+
+	"math"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+func TestFlowInfoPaperVariableExample(t *testing.T) {
+	// §4.2: variable flows with relative requirements 3 : 4.5 : 9 on a
+	// bottleneck with 5.5 Mbps available get 1, 1.5, 3 Mbps. Build a
+	// dumbbell whose core has exactly 5.5 Mbps capacity.
+	r := newRig(t, topology.Dumbbell(3, 100, 5.5), nil)
+	r.clk.RunUntil(3)
+	variable := []Flow{
+		{Src: "l0", Dst: "r0", Kind: VariableFlow, Bandwidth: 3e6},
+		{Src: "l1", Dst: "r1", Kind: VariableFlow, Bandwidth: 4.5e6},
+		{Src: "l2", Dst: "r2", Kind: VariableFlow, Bandwidth: 9e6},
+	}
+	fi, err := r.mod.QueryFlowInfo(nil, variable, nil, TFCapacity())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1e6, 1.5e6, 3e6}
+	for i, res := range fi.Variable {
+		if math.Abs(res.Bandwidth.Median-want[i]) > 1 {
+			t.Fatalf("variable[%d] = %v, want %v", i, res.Bandwidth.Median, want[i])
+		}
+	}
+}
+
+func TestFlowInfoClasses(t *testing.T) {
+	r := newRig(t, topology.Dumbbell(3, 100, 10), nil)
+	r.clk.RunUntil(3)
+	fixed := []Flow{{Src: "l0", Dst: "r0", Kind: FixedFlow, Bandwidth: 2e6}}
+	variable := []Flow{
+		{Src: "l1", Dst: "r1", Kind: VariableFlow, Bandwidth: 1},
+		{Src: "l2", Dst: "r2", Kind: VariableFlow, Bandwidth: 3},
+	}
+	independent := []Flow{{Src: "l0", Dst: "r1", Kind: IndependentFlow}}
+	fi, err := r.mod.QueryFlowInfo(fixed, variable, independent, TFCapacity())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fi.Fixed[0].Satisfied || math.Abs(fi.Fixed[0].Bandwidth.Median-2e6) > 1 {
+		t.Fatalf("fixed = %+v", fi.Fixed[0])
+	}
+	// Remaining 8 Mbps split 1:3 -> 2 and 6.
+	if math.Abs(fi.Variable[0].Bandwidth.Median-2e6) > 1 || math.Abs(fi.Variable[1].Bandwidth.Median-6e6) > 1 {
+		t.Fatalf("variable = %v, %v", fi.Variable[0].Bandwidth.Median, fi.Variable[1].Bandwidth.Median)
+	}
+	// Nothing left for the independent flow.
+	if fi.Independent[0].Bandwidth.Median > 1 {
+		t.Fatalf("independent = %v", fi.Independent[0].Bandwidth.Median)
+	}
+	if got := len(fi.All()); got != 4 {
+		t.Fatalf("All = %d", got)
+	}
+}
+
+func TestFlowInfoInternalSharing(t *testing.T) {
+	// §4.2 "simultaneous queries": two of the app's own flows crossing
+	// the same bottleneck must split it, not each see the full amount.
+	r := newRig(t, topology.Dumbbell(2, 100, 10), nil)
+	r.clk.RunUntil(3)
+	solo, err := r.mod.QueryFlowInfo(nil, nil,
+		[]Flow{{Src: "l0", Dst: "r0", Kind: IndependentFlow}}, TFCapacity())
+	if err != nil {
+		t.Fatal(err)
+	}
+	both, err := r.mod.QueryFlowInfo(nil, nil, []Flow{
+		{Src: "l0", Dst: "r0", Kind: IndependentFlow},
+		{Src: "l1", Dst: "r1", Kind: IndependentFlow},
+	}, TFCapacity())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(solo.Independent[0].Bandwidth.Median-10e6) > 1 {
+		t.Fatalf("solo = %v", solo.Independent[0].Bandwidth.Median)
+	}
+	for i, res := range both.Independent {
+		if math.Abs(res.Bandwidth.Median-5e6) > 1 {
+			t.Fatalf("shared[%d] = %v, want 5e6", i, res.Bandwidth.Median)
+		}
+	}
+}
+
+func TestFlowInfoUsesMeasuredAvailability(t *testing.T) {
+	r := testbedRig(t)
+	traffic.Blast(r.net, "m-6", "m-8", 60e6)
+	r.clk.RunUntil(30)
+	fi, err := r.mod.QueryFlowInfo(nil, nil,
+		[]Flow{{Src: "m-4", Dst: "m-7", Kind: IndependentFlow}}, TFHistory(20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fi.Independent[0].Bandwidth.Median-40e6) > 1e5 {
+		t.Fatalf("independent under load = %v", fi.Independent[0].Bandwidth.Median)
+	}
+	if fi.Independent[0].Hops != 3 { // m-4, timberline, whiteface, m-7
+		t.Fatalf("hops = %d", fi.Independent[0].Hops)
+	}
+	if fi.Independent[0].Latency.Median <= 0 {
+		t.Fatal("latency missing")
+	}
+}
+
+func TestFlowInfoUnsatisfiableFixed(t *testing.T) {
+	r := newRig(t, topology.Dumbbell(2, 100, 10), nil)
+	r.clk.RunUntil(3)
+	fixed := []Flow{
+		{Src: "l0", Dst: "r0", Kind: FixedFlow, Bandwidth: 8e6},
+		{Src: "l1", Dst: "r1", Kind: FixedFlow, Bandwidth: 8e6},
+	}
+	fi, err := r.mod.QueryFlowInfo(fixed, nil, nil, TFCapacity())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, res := range fi.Fixed {
+		if res.Satisfied {
+			t.Fatalf("fixed[%d] reported satisfied", i)
+		}
+		if math.Abs(res.Bandwidth.Median-5e6) > 1 {
+			t.Fatalf("fixed[%d] = %v, want 5e6", i, res.Bandwidth.Median)
+		}
+	}
+}
+
+func TestFlowInfoVariableCap(t *testing.T) {
+	r := newRig(t, topology.Dumbbell(2, 100, 12), nil)
+	r.clk.RunUntil(3)
+	variable := []Flow{
+		{Src: "l0", Dst: "r0", Kind: VariableFlow, Bandwidth: 1, MaxBandwidth: 2e6},
+		{Src: "l1", Dst: "r1", Kind: VariableFlow, Bandwidth: 1},
+	}
+	fi, err := r.mod.QueryFlowInfo(nil, variable, nil, TFCapacity())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fi.Variable[0].Bandwidth.Median-2e6) > 1 {
+		t.Fatalf("capped = %v", fi.Variable[0].Bandwidth.Median)
+	}
+	if math.Abs(fi.Variable[1].Bandwidth.Median-10e6) > 1 {
+		t.Fatalf("uncapped = %v", fi.Variable[1].Bandwidth.Median)
+	}
+}
+
+func TestFlowInfoFigure1Backplane(t *testing.T) {
+	// Figure 1 slow switches: four simultaneous independent flows from
+	// n1..n4 to n5..n8 share switch A's (and B's) 10 Mbps backplane.
+	r := newRig(t, topology.Figure1(topology.Figure1SlowSwitches()), nil)
+	r.clk.RunUntil(3)
+	var ind []Flow
+	for i := 1; i <= 4; i++ {
+		ind = append(ind, Flow{
+			Src:  graph.NodeID("n" + string(rune('0'+i))),
+			Dst:  graph.NodeID("n" + string(rune('0'+i+4))),
+			Kind: IndependentFlow,
+		})
+	}
+	fi, err := r.mod.QueryFlowInfo(nil, nil, ind, TFCapacity())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total float64
+	for _, res := range fi.Independent {
+		total += res.Bandwidth.Median
+	}
+	if math.Abs(total-10e6) > 1 {
+		t.Fatalf("aggregate = %v, want backplane-limited 10e6", total)
+	}
+}
+
+func TestFlowInfoErrors(t *testing.T) {
+	r := testbedRig(t)
+	r.clk.RunUntil(2)
+	if _, err := r.mod.QueryFlowInfo(
+		[]Flow{{Src: "m-1", Dst: "m-2", Kind: FixedFlow}}, nil, nil, TFCapacity()); err == nil {
+		t.Fatal("fixed flow without bandwidth accepted")
+	}
+	if _, err := r.mod.QueryFlowInfo(nil, nil,
+		[]Flow{{Src: "m-1", Dst: "m-1", Kind: IndependentFlow}}, TFCapacity()); err == nil {
+		t.Fatal("self flow accepted")
+	}
+	if _, err := r.mod.QueryFlowInfo(nil, nil,
+		[]Flow{{Src: "m-1", Dst: "ghost", Kind: IndependentFlow}}, TFCapacity()); err == nil {
+		t.Fatal("unroutable flow accepted")
+	}
+}
+
+// Property: random simultaneous queries never promise more than any
+// channel's availability — summing every returned allocation over each
+// physical channel stays within capacity.
+func TestQuickFlowQueryFeasibility(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	hosts := topology.TestbedHosts
+	r := testbedRig(t)
+	traffic.Blast(r.net, "m-6", "m-8", 40e6)
+	r.clk.RunUntil(20)
+	for trial := 0; trial < 25; trial++ {
+		var fixed, variable, independent []Flow
+		mk := func() (Flow, bool) {
+			src := hosts[rng.Intn(len(hosts))]
+			dst := hosts[rng.Intn(len(hosts))]
+			if src == dst {
+				return Flow{}, false
+			}
+			return Flow{Src: src, Dst: dst}, true
+		}
+		for i := 0; i < rng.Intn(3); i++ {
+			if f, ok := mk(); ok {
+				f.Kind = FixedFlow
+				f.Bandwidth = 1e6 + rng.Float64()*20e6
+				fixed = append(fixed, f)
+			}
+		}
+		for i := 0; i < rng.Intn(4); i++ {
+			if f, ok := mk(); ok {
+				f.Kind = VariableFlow
+				f.Bandwidth = 1 + rng.Float64()*5
+				variable = append(variable, f)
+			}
+		}
+		for i := 0; i < rng.Intn(3); i++ {
+			if f, ok := mk(); ok {
+				f.Kind = IndependentFlow
+				independent = append(independent, f)
+			}
+		}
+		fi, err := r.mod.QueryFlowInfo(fixed, variable, independent, TFHistory(15))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Accumulate allocations per physical channel.
+		load := make(map[graph.Channel]float64)
+		rt := r.net.Routes()
+		for _, res := range fi.All() {
+			p := rt.Route(res.Flow.Src, res.Flow.Dst)
+			for _, ch := range p.Channels() {
+				load[ch] += res.Bandwidth.Median
+			}
+		}
+		for ch, l := range load {
+			if l > r.net.ChannelCapacity(ch)+1 {
+				t.Fatalf("trial %d: channel %v promised %v over capacity %v",
+					trial, ch, l, r.net.ChannelCapacity(ch))
+			}
+		}
+		// Ordered quartiles everywhere.
+		for _, res := range fi.All() {
+			if !res.Bandwidth.Ordered() {
+				t.Fatalf("trial %d: unordered stat %+v", trial, res.Bandwidth)
+			}
+		}
+	}
+}
+
+func TestFlowResultStatShape(t *testing.T) {
+	r := testbedRig(t)
+	traffic.OnOff(r.net, "m-6", "m-8", traffic.OnOffConfig{Rate: 80e6, MeanOn: 2, MeanOff: 2, Seed: 1})
+	r.clk.RunUntil(60)
+	fi, err := r.mod.QueryFlowInfo(nil, nil,
+		[]Flow{{Src: "m-4", Dst: "m-7", Kind: IndependentFlow}}, TFHistory(50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bw := fi.Independent[0].Bandwidth
+	if !bw.Ordered() {
+		t.Fatalf("quartiles unordered: %+v", bw)
+	}
+	if bw.IQR() <= 0 {
+		t.Fatalf("bursty load should yield spread: %+v", bw)
+	}
+	if bw.Accuracy <= 0 || bw.Accuracy > 1 {
+		t.Fatalf("accuracy = %v", bw.Accuracy)
+	}
+}

@@ -1,0 +1,285 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/stats"
+)
+
+// LinkInfo annotates one logical link with static and dynamic data.
+type LinkInfo struct {
+	A, B graph.NodeID
+
+	// Capacity is the physical capacity (min along a collapsed chain).
+	Capacity stats.Stat
+
+	// Avail holds the availability per direction: Avail[0] for A->B,
+	// Avail[1] for B->A.
+	Avail [2]stats.Stat
+
+	// Latency is the one-way latency (summed along a collapsed chain).
+	Latency stats.Stat
+}
+
+// NodeInfo annotates one node of the logical topology.
+type NodeInfo struct {
+	ID   graph.NodeID
+	Kind graph.NodeKind
+
+	// InternalBW is the node's aggregate forwarding limit (0=unlimited).
+	InternalBW float64
+
+	// Load is the CPU load fraction for compute nodes, when known.
+	Load stats.Stat
+
+	// Memory is the compute node's physical memory in bytes (0 =
+	// unknown) — Remos's "simple interface to computation and memory
+	// resources".
+	Memory float64
+}
+
+// Graph is the answer to remos_get_graph: a logical topology whose links
+// and nodes carry performance annotations. It represents how the network
+// behaves as seen by the application, not the physical wiring (§4.3).
+type Graph struct {
+	Nodes []NodeInfo
+	Links []LinkInfo
+
+	// Timeframe records the time context the annotations were computed
+	// under.
+	Timeframe Timeframe
+}
+
+// Node returns the annotation for a node, or nil.
+func (g *Graph) Node(id graph.NodeID) *NodeInfo {
+	for i := range g.Nodes {
+		if g.Nodes[i].ID == id {
+			return &g.Nodes[i]
+		}
+	}
+	return nil
+}
+
+// LinksAt returns the logical links incident to a node.
+func (g *Graph) LinksAt(id graph.NodeID) []*LinkInfo {
+	var out []*LinkInfo
+	for i := range g.Links {
+		if g.Links[i].A == id || g.Links[i].B == id {
+			out = append(out, &g.Links[i])
+		}
+	}
+	return out
+}
+
+// AvailFrom returns the availability stat for traffic leaving `from` over
+// this link. It panics if from is not an endpoint.
+func (li *LinkInfo) AvailFrom(from graph.NodeID) stats.Stat {
+	switch from {
+	case li.A:
+		return li.Avail[0]
+	case li.B:
+		return li.Avail[1]
+	}
+	panic(fmt.Sprintf("core: %s is not an endpoint of %s--%s", from, li.A, li.B))
+}
+
+// annLink is the internal mutable form used during collapsing.
+type annLink struct {
+	a, b     graph.NodeID
+	capacity stats.Stat
+	avail    [2]stats.Stat // [0] = a->b
+	latency  stats.Stat
+}
+
+// GetGraph answers remos_get_graph: the logical topology relevant to
+// connecting the given compute nodes, annotated for the timeframe.
+//
+// Construction: (1) take the subgraph induced by the routes among the
+// requested nodes — links routing will never use are hidden; (2) annotate
+// every physical link with capacity, availability and latency; (3)
+// collapse chains of pass-through network nodes into single logical links
+// (capacity/availability: element-wise min; latency: sum), which also
+// abstracts a "complex network in the middle" into one edge.
+func (m *Modeler) GetGraph(nodes []graph.NodeID, tf Timeframe) (*Graph, error) {
+	topo, rt, err := m.topology()
+	if err != nil {
+		return nil, err
+	}
+	if len(nodes) == 0 {
+		nodes = topo.Graph.ComputeNodes()
+	}
+	for _, n := range nodes {
+		nd := topo.Graph.Node(n)
+		if nd == nil {
+			return nil, fmt.Errorf("core: unknown node %q", n)
+		}
+		if nd.Kind != graph.Compute {
+			return nil, fmt.Errorf("core: %q is not a compute node", n)
+		}
+	}
+	requested := make(map[graph.NodeID]bool, len(nodes))
+	for _, n := range nodes {
+		requested[n] = true
+	}
+
+	sub := topo.Graph.InducedByRoutes(rt, nodes)
+
+	// Annotate the physical sub-topology. The induced subgraph has fresh
+	// link IDs, so map back to original links by endpoints + capacity.
+	anns := make([]*annLink, 0, sub.NumLinks())
+	adj := make(map[graph.NodeID][]*annLink)
+	for _, l := range sub.Links() {
+		orig := findLink(topo.Graph, l.A, l.B, l.Capacity)
+		if orig == nil {
+			return nil, fmt.Errorf("core: internal: lost link %s--%s", l.A, l.B)
+		}
+		al := &annLink{
+			a: l.A, b: l.B,
+			capacity: stats.Exact(l.Capacity),
+			latency:  stats.Exact(l.Latency),
+		}
+		al.avail[0] = m.channelAvailability(topo, rt, orig, orig.DirFrom(l.A), tf)
+		al.avail[1] = m.channelAvailability(topo, rt, orig, orig.DirFrom(l.B), tf)
+		anns = append(anns, al)
+		adj[l.A] = append(adj[l.A], al)
+		adj[l.B] = append(adj[l.B], al)
+	}
+
+	// Collapse pass-through network-node chains over the annotations.
+	removed := make(map[graph.NodeID]bool)
+	for {
+		collapsed := false
+		ids := sub.Nodes()
+		for _, id := range ids {
+			if removed[id] || requested[id] {
+				continue
+			}
+			nd := sub.Node(id)
+			if nd == nil || nd.Kind != graph.Network {
+				continue
+			}
+			ls := live(adj[id])
+			if len(ls) != 2 {
+				continue
+			}
+			l1, l2 := ls[0], ls[1]
+			nbr1, nbr2 := other(l1, id), other(l2, id)
+			if nbr1 == nbr2 {
+				continue
+			}
+			merged := mergeAnn(l1, l2, id, nd.InternalBW)
+			// Mark originals dead and install the merged link.
+			l1.a, l1.b = "", ""
+			l2.a, l2.b = "", ""
+			adj[nbr1] = append(adj[nbr1], merged)
+			adj[nbr2] = append(adj[nbr2], merged)
+			anns = append(anns, merged)
+			removed[id] = true
+			collapsed = true
+		}
+		if !collapsed {
+			break
+		}
+	}
+
+	out := &Graph{Timeframe: tf}
+	for _, id := range sub.Nodes() {
+		if removed[id] {
+			continue
+		}
+		nd := sub.Node(id)
+		ni := NodeInfo{ID: id, Kind: nd.Kind, InternalBW: nd.InternalBW, Memory: nd.MemoryBytes}
+		if nd.Kind == graph.Compute {
+			if ld, err := m.cfg.Source.HostLoad(id, tfSpan(tf)); err == nil {
+				ni.Load = ld
+			} else {
+				ni.Load = stats.NoData()
+			}
+		}
+		out.Nodes = append(out.Nodes, ni)
+	}
+	for _, al := range anns {
+		if al.a == "" {
+			continue // merged away
+		}
+		out.Links = append(out.Links, LinkInfo{
+			A: al.a, B: al.b,
+			Capacity: al.capacity,
+			Avail:    al.avail,
+			Latency:  al.latency,
+		})
+	}
+	sort.Slice(out.Links, func(i, j int) bool {
+		if out.Links[i].A != out.Links[j].A {
+			return out.Links[i].A < out.Links[j].A
+		}
+		return out.Links[i].B < out.Links[j].B
+	})
+	return out, nil
+}
+
+func tfSpan(tf Timeframe) float64 {
+	if tf.Kind == History {
+		return tf.Span
+	}
+	return 0
+}
+
+func live(ls []*annLink) []*annLink {
+	var out []*annLink
+	for _, l := range ls {
+		if l.a != "" {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+func other(l *annLink, id graph.NodeID) graph.NodeID {
+	if l.a == id {
+		return l.b
+	}
+	return l.a
+}
+
+// availFrom returns the availability for traffic leaving `from`.
+func (l *annLink) availFrom(from graph.NodeID) stats.Stat {
+	if l.a == from {
+		return l.avail[0]
+	}
+	return l.avail[1]
+}
+
+// mergeAnn merges two annotated links sharing the pass-through node mid
+// into one logical link between their far endpoints. An internal
+// bandwidth limit on mid folds into the capacity and availability.
+func mergeAnn(l1, l2 *annLink, mid graph.NodeID, internalBW float64) *annLink {
+	a := other(l1, mid)
+	b := other(l2, mid)
+	out := &annLink{a: a, b: b}
+	out.capacity = stats.MinStat(l1.capacity, l2.capacity)
+	out.latency = stats.AddStat(l1.latency, l2.latency)
+	// a -> b traverses l1 from a, then l2 from mid.
+	out.avail[0] = stats.MinStat(l1.availFrom(a), l2.availFrom(mid))
+	// b -> a traverses l2 from b, then l1 from mid.
+	out.avail[1] = stats.MinStat(l2.availFrom(b), l1.availFrom(mid))
+	if internalBW > 0 {
+		cap := stats.Exact(internalBW)
+		out.capacity = stats.MinStat(out.capacity, cap)
+		out.avail[0] = stats.MinStat(out.avail[0], cap)
+		out.avail[1] = stats.MinStat(out.avail[1], cap)
+	}
+	return out
+}
+
+// findLink locates the original physical link by endpoints and capacity.
+func findLink(g *graph.Graph, a, b graph.NodeID, capacity float64) *graph.Link {
+	for _, l := range g.LinksAt(a) {
+		if o, ok := l.Other(a); ok && o == b && l.Capacity == capacity {
+			return l
+		}
+	}
+	return nil
+}

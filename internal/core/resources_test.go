@@ -1,0 +1,134 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/netsim"
+	"repro/internal/topology"
+)
+
+func TestHostMemoryQuery(t *testing.T) {
+	r := testbedRig(t)
+	r.clk.RunUntil(3)
+	mem, err := r.mod.HostMemory("m-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mem != topology.HostMemory {
+		t.Fatalf("memory = %v", mem)
+	}
+	if _, err := r.mod.HostMemory("aspen"); err == nil {
+		t.Fatal("router memory query succeeded")
+	}
+	if _, err := r.mod.HostMemory("ghost"); err == nil {
+		t.Fatal("unknown node accepted")
+	}
+}
+
+func TestMinNodesForData(t *testing.T) {
+	r := testbedRig(t)
+	r.clk.RunUntil(3)
+	pool := topology.TestbedHosts
+	// 256 MB per host: 600 MB needs 3 hosts.
+	n, err := r.mod.MinNodesForData(pool, 600e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("nodes = %d, want 3", n)
+	}
+	// Exactly one host's worth.
+	n, err = r.mod.MinNodesForData(pool, topology.HostMemory)
+	if err != nil || n != 1 {
+		t.Fatalf("nodes = %d, %v", n, err)
+	}
+	// More than the pool holds.
+	if _, err := r.mod.MinNodesForData(pool, 9*topology.HostMemory); err == nil {
+		t.Fatal("oversized data accepted")
+	}
+}
+
+func TestNodeInfoCarriesMemory(t *testing.T) {
+	r := testbedRig(t)
+	r.clk.RunUntil(3)
+	g, err := r.mod.GetGraph(nil, TFCapacity())
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := g.Node("m-5")
+	if n == nil || n.Memory != topology.HostMemory {
+		t.Fatalf("node info = %+v", n)
+	}
+}
+
+func TestLinkDegradationVisibleAfterRediscovery(t *testing.T) {
+	r := testbedRig(t)
+	r.clk.RunUntil(10)
+
+	before, err := r.mod.AvailableBandwidth("m-6", "m-8", TFCapacity())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before.Median != 100e6 {
+		t.Fatalf("before = %v", before)
+	}
+
+	// Degrade timberline--whiteface to 25 Mbps.
+	for _, l := range r.net.Graph().Links() {
+		if (l.A == "timberline" && l.B == "whiteface") || (l.A == "whiteface" && l.B == "timberline") {
+			r.net.SetLinkCapacity(l.ID, 25e6)
+		}
+	}
+	// A live transfer sees the new bottleneck immediately.
+	f := r.net.StartFlow(netsim.FlowSpec{Src: "m-6", Dst: "m-8"})
+	if math.Abs(f.Rate()-25e6) > 1 {
+		t.Fatalf("flow rate after degradation = %v", f.Rate())
+	}
+	r.net.StopFlow(f.ID)
+
+	// The modeler still believes the discovery-time capacity …
+	stale, _ := r.mod.AvailableBandwidth("m-6", "m-8", TFCapacity())
+	if stale.Median != 100e6 {
+		t.Fatalf("stale capacity = %v", stale.Median)
+	}
+	// … until the collector re-discovers (ifSpeed is dynamic) and the
+	// modeler refreshes.
+	if _, err := r.col.Discover(); err != nil {
+		t.Fatal(err)
+	}
+	r.mod.Refresh()
+	fresh, err := r.mod.AvailableBandwidth("m-6", "m-8", TFCapacity())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh.Median != 25e6 {
+		t.Fatalf("fresh capacity = %v", fresh.Median)
+	}
+}
+
+func TestLinkFailureStallsFlows(t *testing.T) {
+	r := testbedRig(t)
+	r.clk.RunUntil(5)
+	var linkID int = -1
+	for _, l := range r.net.Graph().Links() {
+		if (l.A == "timberline" && l.B == "whiteface") || (l.A == "whiteface" && l.B == "timberline") {
+			linkID = int(l.ID)
+		}
+	}
+	f := r.net.StartFlow(netsim.FlowSpec{Src: "m-4", Dst: "m-7"})
+	if f.Rate() != 100e6 {
+		t.Fatalf("rate = %v", f.Rate())
+	}
+	r.net.SetLinkCapacity(graph.LinkID(linkID), 0)
+	if f.Rate() != 0 {
+		t.Fatalf("rate over dead link = %v", f.Rate())
+	}
+	// Recovery restores service.
+	r.net.SetLinkCapacity(graph.LinkID(linkID), 100e6)
+	if f.Rate() != 100e6 {
+		t.Fatalf("rate after recovery = %v", f.Rate())
+	}
+	r.net.StopFlow(f.ID)
+}

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/netsim"
+	"repro/internal/topology"
+)
+
+// The sharing-policy ablation (§4.2/§4.3): the paper assumes max-min
+// fair share; the naive proportional model is the alternative a simpler
+// implementation might pick. When one flow is bottlenecked elsewhere,
+// max-min correctly promises the leftovers to its neighbor while the
+// proportional model under-promises — and the simulator (ground truth)
+// agrees with max-min.
+func TestSharingPolicyAblation(t *testing.T) {
+	build := func(policy SharingPolicy) (*rig, []Flow) {
+		r := newRig(t, topology.Dumbbell(2, 100, 10), func(c *Config) { c.Sharing = policy })
+		// Throttle l0's access link to 2 Mbps so flow A is bottlenecked
+		// off the shared core link.
+		for _, l := range r.net.Graph().Links() {
+			if (l.A == "l0" && l.B == "L") || (l.A == "L" && l.B == "l0") {
+				r.net.SetLinkCapacity(l.ID, 2e6)
+			}
+		}
+		// Rediscover so the modeler sees the degraded capacity.
+		if _, err := r.col.Discover(); err != nil {
+			t.Fatal(err)
+		}
+		r.mod.Refresh()
+		r.clk.RunUntil(5)
+		flows := []Flow{
+			{Src: "l0", Dst: "r0", Kind: IndependentFlow}, // A: stuck at 2
+			{Src: "l1", Dst: "r1", Kind: IndependentFlow}, // B
+		}
+		return r, flows
+	}
+
+	// Ground truth from the simulator.
+	r, _ := build(ShareMaxMin)
+	fa := r.net.StartFlow(netsim.FlowSpec{Src: "l0", Dst: "r0"})
+	fb := r.net.StartFlow(netsim.FlowSpec{Src: "l1", Dst: "r1"})
+	truthA, truthB := fa.Rate(), fb.Rate()
+	r.net.StopFlow(fa.ID)
+	r.net.StopFlow(fb.ID)
+	if math.Abs(truthA-2e6) > 1 || math.Abs(truthB-8e6) > 1 {
+		t.Fatalf("ground truth = %v, %v", truthA, truthB)
+	}
+
+	// Max-min prediction matches the truth.
+	r, flows := build(ShareMaxMin)
+	fi, err := r.mod.QueryFlowInfo(nil, nil, flows, TFCapacity())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fi.Independent[0].Bandwidth.Median-2e6) > 1 ||
+		math.Abs(fi.Independent[1].Bandwidth.Median-8e6) > 1 {
+		t.Fatalf("max-min predictions = %v, %v",
+			fi.Independent[0].Bandwidth.Median, fi.Independent[1].Bandwidth.Median)
+	}
+
+	// The proportional model under-promises flow B (5 instead of 8).
+	r, flows = build(ShareProportional)
+	fi, err = r.mod.QueryFlowInfo(nil, nil, flows, TFCapacity())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fi.Independent[1].Bandwidth.Median-5e6) > 1 {
+		t.Fatalf("proportional prediction for B = %v, want 5e6",
+			fi.Independent[1].Bandwidth.Median)
+	}
+	if fi.Independent[1].Bandwidth.Median >= truthB {
+		t.Fatal("proportional did not under-promise")
+	}
+}
+
+// Proportional still respects classes' basic contracts: fixed
+// satisfaction reporting and feasibility.
+func TestProportionalClassesContract(t *testing.T) {
+	r := newRig(t, topology.Dumbbell(2, 100, 10), func(c *Config) { c.Sharing = ShareProportional })
+	r.clk.RunUntil(3)
+	fi, err := r.mod.QueryFlowInfo(
+		[]Flow{{Src: "l0", Dst: "r0", Kind: FixedFlow, Bandwidth: 3e6}},
+		[]Flow{{Src: "l1", Dst: "r1", Kind: VariableFlow, Bandwidth: 1}},
+		nil, TFCapacity())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fi.Fixed[0].Satisfied {
+		t.Fatalf("3 Mbps of a 5 Mbps proportional share should satisfy: %+v", fi.Fixed[0])
+	}
+	var total float64
+	for _, res := range fi.All() {
+		total += res.Bandwidth.Median
+	}
+	if total > 10e6+1 {
+		t.Fatalf("proportional over-committed: %v", total)
+	}
+}

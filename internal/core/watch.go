@@ -1,0 +1,87 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/simclock"
+	"repro/internal/stats"
+)
+
+// Watching: the paper's applications "periodically check the resource
+// availability" (§1); a Watch packages that pattern — evaluate a query
+// on a timer, notify on threshold crossings — so adaptation modules
+// don't each reimplement the polling loop.
+
+// WatchEvent is one threshold crossing.
+type WatchEvent struct {
+	At    simclock.Time
+	Stat  stats.Stat
+	Below bool // true: availability dropped below Low; false: recovered above High
+}
+
+// WatchConfig parameterizes a bandwidth watch.
+type WatchConfig struct {
+	Src, Dst  graph.NodeID
+	Timeframe Timeframe
+
+	// Low fires a Below event when the median availability drops under
+	// it; High fires a recovery event when it rises above. High must be
+	// >= Low (the gap is the hysteresis band that suppresses flapping).
+	Low, High float64
+
+	// Period is the evaluation interval in virtual seconds.
+	Period float64
+}
+
+// Watch is a running periodic evaluation.
+type Watch struct {
+	cfg    WatchConfig
+	ticker *simclock.Ticker
+	below  bool
+	checks int
+	events int
+}
+
+// Checks returns how many evaluations have run.
+func (w *Watch) Checks() int { return w.checks }
+
+// Events returns how many crossings have fired.
+func (w *Watch) Events() int { return w.events }
+
+// Stop halts the watch.
+func (w *Watch) Stop() { w.ticker.Stop() }
+
+// WatchBandwidth starts a periodic availability watch between two hosts,
+// invoking fn on every threshold crossing. Evaluation errors are skipped
+// (the network may be mid-rediscovery); the watch keeps running.
+func (m *Modeler) WatchBandwidth(clk *simclock.Clock, cfg WatchConfig, fn func(WatchEvent)) (*Watch, error) {
+	if cfg.Period <= 0 {
+		return nil, fmt.Errorf("core: non-positive watch period %v", cfg.Period)
+	}
+	if cfg.High < cfg.Low {
+		return nil, fmt.Errorf("core: watch High %v < Low %v", cfg.High, cfg.Low)
+	}
+	if fn == nil {
+		return nil, fmt.Errorf("core: watch without a callback")
+	}
+	w := &Watch{cfg: cfg}
+	w.ticker = clk.NewTicker(clk.Now()+simclock.Time(cfg.Period), cfg.Period,
+		fmt.Sprintf("watch %s->%s", cfg.Src, cfg.Dst), func(now simclock.Time) {
+			st, err := m.AvailableBandwidth(cfg.Src, cfg.Dst, cfg.Timeframe)
+			if err != nil || !st.Valid() {
+				return
+			}
+			w.checks++
+			if !w.below && st.Median < cfg.Low {
+				w.below = true
+				w.events++
+				fn(WatchEvent{At: now, Stat: st, Below: true})
+			} else if w.below && st.Median > cfg.High {
+				w.below = false
+				w.events++
+				fn(WatchEvent{At: now, Stat: st, Below: false})
+			}
+		})
+	return w, nil
+}

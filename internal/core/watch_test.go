@@ -1,0 +1,96 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/netsim"
+)
+
+func TestWatchFiresOnCrossings(t *testing.T) {
+	r := testbedRig(t)
+	var events []WatchEvent
+	w, err := r.mod.WatchBandwidth(r.clk, WatchConfig{
+		Src: "m-4", Dst: "m-7",
+		Timeframe: TFHistory(6),
+		Low:       30e6,
+		High:      60e6,
+		Period:    2,
+	}, func(e WatchEvent) { events = append(events, e) })
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Quiet for 20s: no events.
+	r.clk.RunUntil(20)
+	if len(events) != 0 {
+		t.Fatalf("events on a quiet network: %+v", events)
+	}
+
+	// Heavy traffic: availability collapses -> one Below event.
+	f := r.net.StartFlow(netsim.FlowSpec{Src: "m-6", Dst: "m-8", RateCap: 90e6, Priority: true, Owner: "traffic"})
+	r.clk.RunUntil(50)
+	if len(events) != 1 || !events[0].Below {
+		t.Fatalf("events after load: %+v", events)
+	}
+
+	// Sustained load: no repeats (hysteresis).
+	r.clk.RunUntil(80)
+	if len(events) != 1 {
+		t.Fatalf("flapping under steady load: %+v", events)
+	}
+
+	// Traffic stops: one recovery event.
+	r.net.StopFlow(f.ID)
+	r.clk.RunUntil(120)
+	if len(events) != 2 || events[1].Below {
+		t.Fatalf("events after recovery: %+v", events)
+	}
+	if w.Events() != 2 || w.Checks() < 20 {
+		t.Fatalf("counters: events=%d checks=%d", w.Events(), w.Checks())
+	}
+
+	// Stop halts evaluation.
+	w.Stop()
+	before := w.Checks()
+	r.clk.RunUntil(140)
+	if w.Checks() != before {
+		t.Fatal("watch survived Stop")
+	}
+}
+
+func TestWatchMidBandNoEvent(t *testing.T) {
+	r := testbedRig(t)
+	fired := 0
+	_, err := r.mod.WatchBandwidth(r.clk, WatchConfig{
+		Src: "m-4", Dst: "m-7",
+		Timeframe: TFHistory(6),
+		Low:       30e6,
+		High:      80e6,
+		Period:    2,
+	}, func(WatchEvent) { fired++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 50 Mbps of load: availability ~50, inside the hysteresis band.
+	r.net.StartFlow(netsim.FlowSpec{Src: "m-6", Dst: "m-8", RateCap: 50e6, Priority: true, Owner: "traffic"})
+	r.clk.RunUntil(60)
+	if fired != 0 {
+		t.Fatalf("fired %d times inside the band", fired)
+	}
+}
+
+func TestWatchConfigValidation(t *testing.T) {
+	r := testbedRig(t)
+	cases := []WatchConfig{
+		{Src: "m-1", Dst: "m-2", Low: 1, High: 2},            // no period
+		{Src: "m-1", Dst: "m-2", Low: 5, High: 2, Period: 1}, // inverted band
+	}
+	for i, cfg := range cases {
+		if _, err := r.mod.WatchBandwidth(r.clk, cfg, func(WatchEvent) {}); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+	if _, err := r.mod.WatchBandwidth(r.clk, WatchConfig{Src: "m-1", Dst: "m-2", Low: 1, High: 2, Period: 1}, nil); err == nil {
+		t.Error("nil callback accepted")
+	}
+}

@@ -1,0 +1,73 @@
+// Package experiments wires the full Remos stack — simulated testbed,
+// SNMP agents, collector, modeler, clustering, Fx runtime, applications,
+// traffic generators — into the experiments of the paper's §8, and
+// regenerates every table and figure. See EXPERIMENTS.md for the
+// paper-vs-measured record.
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/collector"
+	"repro/internal/core"
+	"repro/internal/fx"
+	"repro/internal/graph"
+	"repro/internal/netsim"
+	"repro/internal/simclock"
+	"repro/internal/snmp"
+	"repro/internal/topology"
+)
+
+// Env is one fully wired testbed instance. Every experiment run uses a
+// fresh Env so runs are independent and deterministic.
+type Env struct {
+	Clk *simclock.Clock
+	Net *netsim.Network
+	Col *collector.Collector
+	Mod *core.Modeler
+}
+
+// NewEnv builds the standard environment over the Figure 3 testbed.
+func NewEnv() *Env {
+	return NewEnvOn(topology.Testbed())
+}
+
+// NewEnvOn builds an environment over an arbitrary topology.
+func NewEnvOn(g *graph.Graph) *Env {
+	clk := simclock.New()
+	n, err := netsim.New(clk, g)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: %v", err))
+	}
+	att := snmp.Attach(n, snmp.DefaultCommunity)
+	addrs := make(map[graph.NodeID]string)
+	for id := range att.Agents {
+		addrs[id] = snmp.Addr(id)
+	}
+	col := collector.New(collector.Config{
+		Client:        snmp.NewClient(att.Registry, snmp.DefaultCommunity),
+		Clock:         clk,
+		Addrs:         addrs,
+		PollPeriod:    2,
+		PerHopLatency: topology.PerHopLatency,
+	})
+	if err := col.Start(); err != nil {
+		panic(fmt.Sprintf("experiments: %v", err))
+	}
+	return &Env{Clk: clk, Net: n, Col: col, Mod: core.New(core.Config{Source: col})}
+}
+
+// Warmup advances virtual time so the collector accumulates measurement
+// history (15 s covers seven poll rounds).
+func (e *Env) Warmup() { e.Clk.Advance(15) }
+
+// RunProgram executes a program on the given nodes with the runtime
+// configuration and returns its report. The collector and any traffic
+// generators keep running during execution.
+func (e *Env) RunProgram(p *fx.Program, nodes []graph.NodeID, configure func(*fx.Runtime)) *fx.Report {
+	rt := &fx.Runtime{Net: e.Net, Owner: "app"}
+	if configure != nil {
+		configure(rt)
+	}
+	return rt.RunToCompletion(p, nodes)
+}

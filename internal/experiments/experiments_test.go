@@ -1,0 +1,236 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// These tests assert the *shape* of the paper's results, per the
+// reproduction brief: who wins, by roughly what factor, where the
+// crossovers fall — not absolute seconds.
+
+func TestFigure1Shape(t *testing.T) {
+	t.Parallel()
+	fast, slow := Figure1()
+	// Fast switches: host links limit; every pair gets its 10 Mbps and
+	// four pairs aggregate 40 Mbps.
+	if fast.PairBandwidth != 10e6 {
+		t.Fatalf("fast pair = %v", fast.PairBandwidth)
+	}
+	if fast.AggregateBandwidth != 40e6 {
+		t.Fatalf("fast aggregate = %v", fast.AggregateBandwidth)
+	}
+	// Slow switches: the 10 Mbps backplane caps the aggregate.
+	if slow.PairBandwidth != 10e6 {
+		t.Fatalf("slow pair = %v", slow.PairBandwidth)
+	}
+	if slow.AggregateBandwidth != 10e6 {
+		t.Fatalf("slow aggregate = %v", slow.AggregateBandwidth)
+	}
+	// Both logical links report 10 Mbps capacity.
+	if fast.LogicalLinkCapacity != 10e6 || slow.LogicalLinkCapacity != 10e6 {
+		t.Fatalf("logical capacities = %v, %v", fast.LogicalLinkCapacity, slow.LogicalLinkCapacity)
+	}
+	out := FormatFigure1(fast, slow)
+	if !strings.Contains(out, "aggregate") {
+		t.Fatalf("format output:\n%s", out)
+	}
+}
+
+func TestFigure4Shape(t *testing.T) {
+	t.Parallel()
+	r := Figure4()
+	want := map[graph.NodeID]bool{"m-1": true, "m-2": true, "m-4": true, "m-5": true}
+	if len(r.Selected) != 4 {
+		t.Fatalf("selected %v", r.Selected)
+	}
+	for _, n := range r.Selected {
+		if !want[n] {
+			t.Fatalf("selected %v, want the paper's m-1,m-2,m-4,m-5", r.Selected)
+		}
+	}
+	if r.Start != "m-4" {
+		t.Fatalf("start = %v", r.Start)
+	}
+	if len(r.TrafficRoute) != 4 || r.TrafficRoute[1] != "timberline" {
+		t.Fatalf("traffic route = %v", r.TrafficRoute)
+	}
+	if !strings.Contains(FormatFigure4(r), "m-1,2,4,5") {
+		t.Fatalf("format:\n%s", FormatFigure4(r))
+	}
+}
+
+func TestTable1Shape(t *testing.T) {
+	t.Parallel()
+	rows := Table1()
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if len(r.RemosSet) != r.Nodes {
+			t.Fatalf("%s/%d: selected %v", r.Program, r.Nodes, r.RemosSet)
+		}
+		if r.RemosTime <= 0 {
+			t.Fatalf("%s/%d: time %v", r.Program, r.Nodes, r.RemosTime)
+		}
+		for _, a := range r.Alts {
+			// §8.1: on an unloaded testbed differences are small —
+			// "generally (but not always) lower ... but only by
+			// relatively small amounts". Allow ±10%.
+			if a.PercentIncrease < -10 || a.PercentIncrease > 10 {
+				t.Fatalf("%s/%d vs %v: %+.1f%% is not a small difference",
+					r.Program, r.Nodes, a.Set, a.PercentIncrease)
+			}
+		}
+	}
+	// More nodes must be faster for the same program.
+	if rows[1].RemosTime >= rows[0].RemosTime {
+		t.Fatalf("FFT(512) did not speed up: %v vs %v", rows[1].RemosTime, rows[0].RemosTime)
+	}
+	if rows[5].RemosTime >= rows[4].RemosTime {
+		t.Fatalf("Airshed did not speed up: %v vs %v", rows[5].RemosTime, rows[4].RemosTime)
+	}
+	if !strings.Contains(FormatTable1(rows), "Airshed") {
+		t.Fatal("format missing rows")
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	t.Parallel()
+	rows := Table2()
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		// The headline claim: static selection is 80-200 percent slower
+		// under traffic. Allow a generous band around it.
+		if r.PercentIncrease < 40 || r.PercentIncrease > 250 {
+			t.Fatalf("%s/%d: static penalty %.0f%% outside the paper's band",
+				r.Program, r.Nodes, r.PercentIncrease)
+		}
+		// Dynamic selection must avoid the traffic endpoints' links:
+		// performance with traffic ≈ performance without (paper: "the
+		// performance degrades only marginally").
+		if r.DynamicTime > r.CleanTime*1.15 {
+			t.Fatalf("%s/%d: dynamic %.3f vs clean %.3f — selection did not avoid traffic",
+				r.Program, r.Nodes, r.DynamicTime, r.CleanTime)
+		}
+		// The dynamic set never contains the traffic source/sink.
+		for _, n := range r.DynamicSet {
+			if n == "m-6" || n == "m-8" {
+				t.Fatalf("%s/%d: dynamic set %v includes a traffic endpoint",
+					r.Program, r.Nodes, r.DynamicSet)
+			}
+		}
+	}
+	if !strings.Contains(FormatTable2(rows), "static-only") {
+		t.Fatal("format wrong")
+	}
+}
+
+func TestTable3Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long adaptive runs")
+	}
+	t.Parallel()
+	rows := Table3()
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byName := map[string]Table3Row{}
+	for _, r := range rows {
+		byName[r.Scenario] = r
+	}
+	none := byName["No Traffic"]
+	noninterf := byName["Non-interfering"]
+	i1 := byName["Interfering-1"]
+	i2 := byName["Interfering-2"]
+
+	// Adaptation costs a moderate overhead when idle (paper: 941 vs 862,
+	// ~9%). Allow 2-20%.
+	overhead := (none.AdaptiveTime - none.FixedTime) / none.FixedTime
+	if overhead < 0.02 || overhead > 0.20 {
+		t.Fatalf("idle adaptation overhead = %.1f%%", overhead*100)
+	}
+	// Non-interfering traffic leaves both variants approximately alone.
+	if noninterf.FixedTime > none.FixedTime*1.1 {
+		t.Fatalf("non-interfering hurt the fixed run: %v vs %v", noninterf.FixedTime, none.FixedTime)
+	}
+	// Interfering traffic hurts the fixed mapping dramatically (paper:
+	// +95%, +112%) but the adaptive version stays near its baseline.
+	for _, r := range []Table3Row{i1, i2} {
+		slowdown := (r.FixedTime - none.FixedTime) / none.FixedTime
+		if slowdown < 0.5 {
+			t.Fatalf("%s: fixed slowdown only %.0f%%", r.Scenario, slowdown*100)
+		}
+		if r.AdaptiveTime > none.AdaptiveTime*1.25 {
+			t.Fatalf("%s: adaptive %.0f vs idle adaptive %.0f — did not escape traffic",
+				r.Scenario, r.AdaptiveTime, none.AdaptiveTime)
+		}
+		if r.Migrations == 0 {
+			t.Fatalf("%s: no migrations", r.Scenario)
+		}
+		if r.AdaptiveTime >= r.FixedTime {
+			t.Fatalf("%s: adaptation did not pay off (%v vs %v)", r.Scenario, r.AdaptiveTime, r.FixedTime)
+		}
+		// Final nodes avoid the traffic endpoints.
+		for _, n := range r.FinalNodes {
+			if n == "m-6" || n == "m-7" || n == "m-8" {
+				t.Fatalf("%s: final nodes %v on traffic side", r.Scenario, r.FinalNodes)
+			}
+		}
+	}
+	// Interfering-2 is at least as harsh as Interfering-1 for the fixed
+	// mapping.
+	if i2.FixedTime < i1.FixedTime*0.95 {
+		t.Fatalf("interfering-2 (%v) unexpectedly milder than interfering-1 (%v)", i2.FixedTime, i1.FixedTime)
+	}
+	if !strings.Contains(FormatTable3(rows), "Interfering-2") {
+		t.Fatal("format wrong")
+	}
+}
+
+func TestAblationSelfTrafficShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long adaptive runs")
+	}
+	t.Parallel()
+	r := AblationSelfTraffic()
+	// The §8.3 fallacy: without discounting the app migrates to avoid
+	// its own traffic, repeatedly.
+	if r.NaiveMigrations < 2 {
+		t.Fatalf("naive migrations = %d; fallacy did not reproduce", r.NaiveMigrations)
+	}
+	if r.DiscountMigrations >= r.NaiveMigrations {
+		t.Fatalf("discounting did not reduce migrations: %d vs %d",
+			r.DiscountMigrations, r.NaiveMigrations)
+	}
+	// The pointless migrations cost real time.
+	if r.NaiveTime <= r.DiscountTime {
+		t.Fatalf("naive (%v) not slower than discounted (%v)", r.NaiveTime, r.DiscountTime)
+	}
+	if !strings.Contains(FormatAblation(r), "migrations") {
+		t.Fatal("format wrong")
+	}
+}
+
+func TestEnvHelpers(t *testing.T) {
+	t.Parallel()
+	e := NewEnv()
+	e.Warmup()
+	if e.Col.Polls() < 5 {
+		t.Fatalf("polls after warmup = %d", e.Col.Polls())
+	}
+	if got := nodeSet([]graph.NodeID{"m-4", "m-5"}); got != "m-4,5" {
+		t.Fatalf("nodeSet = %q", got)
+	}
+	if got := pathString([]graph.NodeID{"a", "b"}); got != "a -> b" {
+		t.Fatalf("pathString = %q", got)
+	}
+	s := sortedCopy([]graph.NodeID{"m-5", "m-1", "m-4"})
+	if s[0] != "m-1" || s[2] != "m-5" {
+		t.Fatalf("sortedCopy = %v", s)
+	}
+}

@@ -1,0 +1,141 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/topology"
+)
+
+// Figure1Result captures the §4.3 discussion around Figure 1: the same
+// 8-host/2-switch graph behaves completely differently depending on the
+// switches' internal bandwidth, and the Remos logical topology exposes
+// that.
+type Figure1Result struct {
+	Config string
+
+	// PairBandwidth is what one host pair (n1 -> n5) can get alone.
+	PairBandwidth float64
+
+	// AggregateBandwidth is what four simultaneous cross-switch flows
+	// (n1->n5 ... n4->n8) get in total — the paper's "all nodes can send
+	// and receive at up to 10 Mbps simultaneously" vs "the aggregate
+	// bandwidth will be limited to 10 Mbps".
+	AggregateBandwidth float64
+
+	// LogicalLinkCapacity is the capacity of the collapsed logical link
+	// between n1 and n5 in remos_get_graph's answer.
+	LogicalLinkCapacity float64
+}
+
+func figure1For(name string, cfg topology.Figure1Config) Figure1Result {
+	e := NewEnvOn(topology.Figure1(cfg))
+	e.Warmup()
+	out := Figure1Result{Config: name}
+
+	single, err := e.Mod.QueryFlowInfo(nil, nil,
+		[]core.Flow{{Src: "n1", Dst: "n5", Kind: core.IndependentFlow}}, core.TFCapacity())
+	if err != nil {
+		panic(fmt.Sprintf("experiments: figure1: %v", err))
+	}
+	out.PairBandwidth = single.Independent[0].Bandwidth.Median
+
+	var flows []core.Flow
+	for i := 1; i <= 4; i++ {
+		flows = append(flows, core.Flow{
+			Src:  graph.NodeID(fmt.Sprintf("n%d", i)),
+			Dst:  graph.NodeID(fmt.Sprintf("n%d", i+4)),
+			Kind: core.IndependentFlow,
+		})
+	}
+	multi, err := e.Mod.QueryFlowInfo(nil, nil, flows, core.TFCapacity())
+	if err != nil {
+		panic(fmt.Sprintf("experiments: figure1: %v", err))
+	}
+	for _, r := range multi.Independent {
+		out.AggregateBandwidth += r.Bandwidth.Median
+	}
+
+	g, err := e.Mod.GetGraph([]graph.NodeID{"n1", "n5"}, core.TFCapacity())
+	if err != nil {
+		panic(fmt.Sprintf("experiments: figure1: %v", err))
+	}
+	if len(g.Links) == 1 {
+		out.LogicalLinkCapacity = g.Links[0].Capacity.Median
+	}
+	return out
+}
+
+// Figure1 evaluates both readings of the Figure 1 network.
+func Figure1() (fast, slow Figure1Result) {
+	return figure1For("fast switches (100 Mbps internal)", topology.Figure1FastSwitches()),
+		figure1For("slow switches (10 Mbps internal)", topology.Figure1SlowSwitches())
+}
+
+// FormatFigure1 renders both scenarios.
+func FormatFigure1(fast, slow Figure1Result) string {
+	var b strings.Builder
+	b.WriteString("Figure 1: logical topology semantics (8 hosts, 2 switches, 10 Mbps host links)\n")
+	for _, r := range []Figure1Result{fast, slow} {
+		fmt.Fprintf(&b, "  %s:\n", r.Config)
+		fmt.Fprintf(&b, "    single pair n1->n5:      %6.1f Mbps\n", r.PairBandwidth/1e6)
+		fmt.Fprintf(&b, "    4 simultaneous pairs:    %6.1f Mbps aggregate\n", r.AggregateBandwidth/1e6)
+		fmt.Fprintf(&b, "    logical link capacity:   %6.1f Mbps\n", r.LogicalLinkCapacity/1e6)
+	}
+	return b.String()
+}
+
+// Figure4Result is the §8.2 node-selection walkthrough.
+type Figure4Result struct {
+	TrafficRoute []graph.NodeID
+	Start        graph.NodeID
+	Selected     []graph.NodeID
+}
+
+// Figure4 reproduces Figure 4: with traffic between m-6 and m-8, greedy
+// clustering from start node m-4 selects m-1, m-2, m-4, m-5.
+func Figure4() Figure4Result {
+	e := NewEnv()
+	startInterferingTraffic(e)
+	e.Warmup()
+	sel, err := selectNodes(e, 4, core.TFHistory(10))
+	if err != nil {
+		panic(fmt.Sprintf("experiments: figure4: %v", err))
+	}
+	route := e.Net.Routes().Route("m-6", "m-8")
+	return Figure4Result{
+		TrafficRoute: route.Nodes,
+		Start:        StartNode,
+		Selected:     sel,
+	}
+}
+
+// FormatFigure4 renders the selection walkthrough.
+func FormatFigure4(r Figure4Result) string {
+	var b strings.Builder
+	b.WriteString("Figure 4: node selection with busy communication links\n")
+	fmt.Fprintf(&b, "  Traffic route: %v\n", pathString(r.TrafficRoute))
+	fmt.Fprintf(&b, "  Start node:    %s\n", r.Start)
+	fmt.Fprintf(&b, "  Selected:      %s\n", nodeSet(sortedCopy(r.Selected)))
+	return b.String()
+}
+
+func pathString(nodes []graph.NodeID) string {
+	parts := make([]string, len(nodes))
+	for i, n := range nodes {
+		parts[i] = string(n)
+	}
+	return strings.Join(parts, " -> ")
+}
+
+func sortedCopy(nodes []graph.NodeID) []graph.NodeID {
+	out := append([]graph.NodeID(nil), nodes...)
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/collector"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/netsim"
+	"repro/internal/simclock"
+	"repro/internal/snmp"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+// The overhead study quantifies §1's claim that "the cost that an
+// application pays in terms of runtime overhead is low and directly
+// related to the depth and frequency of its requests for network
+// information": for a range of collector poll periods, it measures the
+// SNMP request rate the testbed's agents see (the monitoring cost) and
+// how quickly the Modeler notices a traffic change (the responsiveness
+// the application buys with that cost).
+
+// OverheadResult is one poll-period configuration.
+type OverheadResult struct {
+	PollPeriod float64
+
+	// SNMPRequestsPerMinute is the aggregate request rate across all 11
+	// agents during steady polling.
+	SNMPRequestsPerMinute float64
+
+	// DetectionDelay is how long after traffic starts the Modeler's
+	// current-timeframe availability first drops below half capacity.
+	DetectionDelay float64
+}
+
+// OverheadStudy sweeps collector poll periods.
+func OverheadStudy() []OverheadResult {
+	var out []OverheadResult
+	for _, period := range []float64{0.5, 1, 2, 5, 10} {
+		out = append(out, overheadFor(period))
+	}
+	return out
+}
+
+func overheadFor(period float64) OverheadResult {
+	clk := simclock.New()
+	n, err := netsim.New(clk, topology.Testbed())
+	if err != nil {
+		panic(fmt.Sprintf("experiments: %v", err))
+	}
+	att := snmp.Attach(n, snmp.DefaultCommunity)
+	addrs := make(map[graph.NodeID]string)
+	for id := range att.Agents {
+		addrs[id] = snmp.Addr(id)
+	}
+	col := collector.New(collector.Config{
+		Client:        snmp.NewClient(att.Registry, snmp.DefaultCommunity),
+		Clock:         clk,
+		Addrs:         addrs,
+		PollPeriod:    period,
+		PerHopLatency: topology.PerHopLatency,
+	})
+	if err := col.Start(); err != nil {
+		panic(fmt.Sprintf("experiments: %v", err))
+	}
+	mod := core.New(core.Config{Source: col})
+
+	// Steady-state request rate over one minute.
+	requestsAt := func() uint64 {
+		var sum uint64
+		for _, a := range att.Agents {
+			sum += a.Requests()
+		}
+		return sum
+	}
+	clk.Advance(30) // settle
+	before := requestsAt()
+	clk.Advance(60)
+	perMinute := float64(requestsAt() - before)
+
+	// Detection delay: traffic starts at t0; sample the modeler every
+	// 0.25 s until the current availability halves.
+	t0 := clk.Now()
+	traffic.Blast(n, "m-6", "m-8", 90e6)
+	detected := -1.0
+	for step := 0; step < 400; step++ {
+		clk.Advance(0.25)
+		st, err := mod.AvailableBandwidth("m-4", "m-7", core.TFCurrent())
+		if err != nil {
+			continue
+		}
+		if st.Valid() && st.Median < 50e6 {
+			detected = float64(clk.Now() - t0)
+			break
+		}
+	}
+	return OverheadResult{
+		PollPeriod:            period,
+		SNMPRequestsPerMinute: perMinute,
+		DetectionDelay:        detected,
+	}
+}
+
+// FormatOverheadStudy renders the sweep.
+func FormatOverheadStudy(rs []OverheadResult) string {
+	var b strings.Builder
+	b.WriteString("Overhead study: collector poll period vs monitoring cost and responsiveness\n")
+	fmt.Fprintf(&b, "%12s | %22s | %16s\n", "poll period", "SNMP requests / min", "detection delay")
+	b.WriteString(strings.Repeat("-", 60) + "\n")
+	for _, r := range rs {
+		det := fmt.Sprintf("%.2f s", r.DetectionDelay)
+		if r.DetectionDelay < 0 {
+			det = "never"
+		}
+		fmt.Fprintf(&b, "%10.1f s | %22.0f | %16s\n", r.PollPeriod, r.SNMPRequestsPerMinute, det)
+	}
+	return b.String()
+}

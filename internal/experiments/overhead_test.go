@@ -1,0 +1,42 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestOverheadStudyShape(t *testing.T) {
+	t.Parallel()
+	rs := OverheadStudy()
+	if len(rs) != 5 {
+		t.Fatalf("rows = %d", len(rs))
+	}
+	for i, r := range rs {
+		if r.DetectionDelay < 0 {
+			t.Fatalf("period %v never detected the traffic", r.PollPeriod)
+		}
+		// Detection happens within ~1.5 poll periods.
+		if r.DetectionDelay > 1.5*r.PollPeriod+0.5 {
+			t.Fatalf("period %v: detection %v too slow", r.PollPeriod, r.DetectionDelay)
+		}
+		if i > 0 {
+			// Monitoring cost falls as the period grows …
+			if rs[i].SNMPRequestsPerMinute >= rs[i-1].SNMPRequestsPerMinute {
+				t.Fatalf("requests not decreasing: %v", rs)
+			}
+			// … and detection slows.
+			if rs[i].DetectionDelay < rs[i-1].DetectionDelay {
+				t.Fatalf("detection not monotone: %v", rs)
+			}
+		}
+	}
+	// Cost scales ~linearly with frequency: 0.5 s polls cost ~20x the
+	// 10 s polls.
+	ratio := rs[0].SNMPRequestsPerMinute / rs[4].SNMPRequestsPerMinute
+	if ratio < 15 || ratio > 25 {
+		t.Fatalf("cost ratio = %v, want ~20", ratio)
+	}
+	if !strings.Contains(FormatOverheadStudy(rs), "detection delay") {
+		t.Fatal("format wrong")
+	}
+}

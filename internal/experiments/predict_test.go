@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPredictionStudyShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-pattern study")
+	}
+	t.Parallel()
+	evals := PredictionStudy()
+	if len(evals) != 16 { // 4 patterns × 4 predictors
+		t.Fatalf("cells = %d", len(evals))
+	}
+	get := func(pattern, predictor string) PredictorEval {
+		for _, e := range evals {
+			if e.Pattern == pattern && e.Predictor == predictor {
+				return e
+			}
+		}
+		t.Fatalf("missing cell %s/%s", pattern, predictor)
+		return PredictorEval{}
+	}
+	// Steady traffic is perfectly predictable by everything.
+	for _, p := range []string{"last-value", "moving-average", "ewma", "linear-trend"} {
+		if e := get("steady", p); e.MAE > 0.2e6 {
+			t.Fatalf("steady/%s MAE = %v", p, e.MAE)
+		}
+		if e := get("steady", p); e.N < 15 {
+			t.Fatalf("steady/%s N = %d", p, e.N)
+		}
+	}
+	// Bursty on-off traffic defeats point predictors — the paper's
+	// motivation for reporting quartiles instead of single numbers.
+	for _, p := range []string{"last-value", "ewma"} {
+		if e := get("onoff", p); e.MAE < 5e6 {
+			t.Fatalf("onoff/%s MAE = %v, suspiciously good", p, e.MAE)
+		}
+	}
+	// Averaging beats last-value on Poisson transfer noise.
+	if ma, lv := get("poisson", "moving-average"), get("poisson", "last-value"); ma.MAE >= lv.MAE {
+		t.Fatalf("moving-average (%v) not better than last-value (%v) on poisson", ma.MAE, lv.MAE)
+	}
+	// Sanity bound everywhere.
+	for _, e := range evals {
+		if e.MAE < 0 || e.MAE > 100e6 {
+			t.Fatalf("%s/%s MAE = %v", e.Pattern, e.Predictor, e.MAE)
+		}
+	}
+	out := FormatPredictionStudy(evals)
+	if !strings.Contains(out, "onoff") || !strings.Contains(out, "ewma") {
+		t.Fatalf("format:\n%s", out)
+	}
+}

@@ -1,0 +1,136 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/collector"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/netsim"
+	"repro/internal/simclock"
+	"repro/internal/snmp"
+	"repro/internal/topology"
+)
+
+// The scale study exercises the paper's closing concern: "we are also
+// looking into the problem of dealing with very large networks, where
+// multiple collectors will have to collaborate to collect the network
+// information." A router chain with many hosts is split into per-router
+// collector domains; the merged source must behave exactly like a single
+// global collector, while each collector polls only its share.
+
+// ScaleEnv is a large simulated network with partitioned collectors.
+type ScaleEnv struct {
+	Clk        *simclock.Clock
+	Net        *netsim.Network
+	Collectors []*collector.Collector
+	Merged     *collector.Merged
+	Mod        *core.Modeler
+	Hosts      []graph.NodeID
+}
+
+// NewScaleEnv builds `hosts` hosts over `routers` chained routers with
+// one collector per router domain (the router plus its attached hosts).
+func NewScaleEnv(hosts, routers int) *ScaleEnv {
+	g := topology.RouterChain(hosts, routers, 100)
+	clk := simclock.New()
+	n, err := netsim.New(clk, g)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: %v", err))
+	}
+	att := snmp.Attach(n, snmp.DefaultCommunity)
+	client := snmp.NewClient(att.Registry, snmp.DefaultCommunity)
+
+	// Partition: router rtI owns hosts h with h%routers == I.
+	domains := make([]map[graph.NodeID]string, routers)
+	for i := range domains {
+		domains[i] = make(map[graph.NodeID]string)
+		rt := graph.NodeID(fmt.Sprintf("rt%d", i))
+		domains[i][rt] = snmp.Addr(rt)
+	}
+	for h := 0; h < hosts; h++ {
+		id := graph.NodeID(fmt.Sprintf("h%d", h))
+		domains[h%routers][id] = snmp.Addr(id)
+	}
+
+	env := &ScaleEnv{Clk: clk, Net: n, Hosts: g.ComputeNodes()}
+	var sources []collector.Source
+	for i := range domains {
+		col := collector.New(collector.Config{
+			Client:        client,
+			Clock:         clk,
+			Addrs:         domains[i],
+			PollPeriod:    2,
+			PerHopLatency: topology.PerHopLatency,
+		})
+		if err := col.Start(); err != nil {
+			panic(fmt.Sprintf("experiments: domain %d: %v", i, err))
+		}
+		env.Collectors = append(env.Collectors, col)
+		sources = append(sources, col)
+	}
+	env.Merged = collector.Merge(sources...)
+	env.Mod = core.New(core.Config{Source: env.Merged})
+	return env
+}
+
+// ScaleResult summarizes one configuration of the study.
+type ScaleResult struct {
+	Hosts, Routers, Collectors int
+	MergedNodes, MergedLinks   int
+	PollsPerCollector          uint64
+	// SampleQueryOK verifies a cross-domain availability query answered
+	// through the merge.
+	SampleQueryMbps float64
+}
+
+// ScaleStudy runs the merge across three sizes and verifies cross-domain
+// queries.
+func ScaleStudy() []ScaleResult {
+	var out []ScaleResult
+	for _, cfg := range []struct{ hosts, routers int }{
+		{8, 2}, {24, 4}, {64, 8},
+	} {
+		e := NewScaleEnv(cfg.hosts, cfg.routers)
+		e.Clk.Advance(15)
+		topo, err := e.Merged.Topology()
+		if err != nil {
+			panic(fmt.Sprintf("experiments: %v", err))
+		}
+		// Cross-domain pair: first and last host live in different
+		// domains by construction.
+		st, err := e.Mod.AvailableBandwidth(e.Hosts[0], e.Hosts[len(e.Hosts)-1], core.TFHistory(10))
+		if err != nil {
+			panic(fmt.Sprintf("experiments: %v", err))
+		}
+		var minPolls uint64 = ^uint64(0)
+		for _, c := range e.Collectors {
+			if p := c.Polls(); p < minPolls {
+				minPolls = p
+			}
+		}
+		out = append(out, ScaleResult{
+			Hosts: cfg.hosts, Routers: cfg.routers, Collectors: len(e.Collectors),
+			MergedNodes: topo.Graph.NumNodes(), MergedLinks: topo.Graph.NumLinks(),
+			PollsPerCollector: minPolls,
+			SampleQueryMbps:   st.Median / 1e6,
+		})
+	}
+	return out
+}
+
+// FormatScaleStudy renders the study.
+func FormatScaleStudy(rs []ScaleResult) string {
+	var b strings.Builder
+	b.WriteString("Scale study: cooperating collectors over a router chain\n")
+	fmt.Fprintf(&b, "%6s %8s %11s | %12s %12s | %8s | %14s\n",
+		"hosts", "routers", "collectors", "merged nodes", "merged links", "polls", "x-domain Mbps")
+	b.WriteString(strings.Repeat("-", 96) + "\n")
+	for _, r := range rs {
+		fmt.Fprintf(&b, "%6d %8d %11d | %12d %12d | %8d | %14.1f\n",
+			r.Hosts, r.Routers, r.Collectors, r.MergedNodes, r.MergedLinks,
+			r.PollsPerCollector, r.SampleQueryMbps)
+	}
+	return b.String()
+}

@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/traffic"
+)
+
+func TestScaleStudyShape(t *testing.T) {
+	t.Parallel()
+	rs := ScaleStudy()
+	if len(rs) != 3 {
+		t.Fatalf("rows = %d", len(rs))
+	}
+	for _, r := range rs {
+		// Merged topology covers everything: hosts + routers nodes,
+		// hosts + (routers-1) links.
+		if r.MergedNodes != r.Hosts+r.Routers {
+			t.Fatalf("%d/%d: merged nodes = %d", r.Hosts, r.Routers, r.MergedNodes)
+		}
+		if r.MergedLinks != r.Hosts+r.Routers-1 {
+			t.Fatalf("%d/%d: merged links = %d", r.Hosts, r.Routers, r.MergedLinks)
+		}
+		if r.Collectors != r.Routers {
+			t.Fatalf("collectors = %d", r.Collectors)
+		}
+		if r.PollsPerCollector < 5 {
+			t.Fatalf("polls = %d", r.PollsPerCollector)
+		}
+		// Unloaded chain: full capacity end to end.
+		if math.Abs(r.SampleQueryMbps-100) > 1 {
+			t.Fatalf("cross-domain query = %v Mbps", r.SampleQueryMbps)
+		}
+	}
+	if !strings.Contains(FormatScaleStudy(rs), "collectors") {
+		t.Fatal("format wrong")
+	}
+}
+
+func TestScaleCrossDomainSeesTraffic(t *testing.T) {
+	t.Parallel()
+	e := NewScaleEnv(24, 4)
+	// Load the rt1--rt2 backbone segment with traffic between hosts in
+	// domains 1 and 2.
+	traffic.Blast(e.Net, "h1", "h2", 70e6)
+	e.Clk.Advance(20)
+	// h5 (domain 1) to h6 (domain 2) crosses the loaded segment; the
+	// measurement comes from two different collectors via the merge.
+	st, err := e.Mod.AvailableBandwidth("h5", "h6", core.TFHistory(15))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(st.Median-30e6) > 1e5 {
+		t.Fatalf("cross-domain availability = %v, want ~30 Mbps", st)
+	}
+	// A pair away from the traffic is clean.
+	st2, err := e.Mod.AvailableBandwidth("h3", "h7", core.TFHistory(15))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(st2.Median-100e6) > 1e5 {
+		t.Fatalf("clean pair = %v", st2)
+	}
+}
+
+func TestScaleNodeSelectionAcrossDomains(t *testing.T) {
+	t.Parallel()
+	e := NewScaleEnv(24, 4)
+	// Load everything near rt3 by blasting its hosts.
+	traffic.Blast(e.Net, "h3", "h7", 90e6)
+	traffic.Blast(e.Net, "h7", "h3", 90e6)
+	e.Clk.Advance(20)
+	bw, err := e.Mod.BandwidthMatrix(e.Hosts[:12], core.TFHistory(15))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Matrix entries for pairs touching h3/h7 show the load.
+	idx := map[string]int{}
+	for i, h := range e.Hosts[:12] {
+		idx[string(h)] = i
+	}
+	if got := bw[idx["h0"]][idx["h3"]]; got > 20e6 {
+		t.Fatalf("h0->h3 = %v, should be crushed", got)
+	}
+	if got := bw[idx["h0"]][idx["h4"]]; math.Abs(got-100e6) > 1e5 {
+		t.Fatalf("h0->h4 = %v, should be clean", got)
+	}
+}

@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/apps/fft"
+	"repro/internal/core"
+)
+
+// The node-count sweep quantifies the §2 node-selection motivation:
+// "many applications are developed so that they work with a variable
+// number of nodes, but increasing the number of nodes may drive up
+// communication costs". For FFT sizes on 2..8 hosts it measures
+// execution time, on a clean testbed and under the Table 2 interfering
+// traffic, exposing where adding nodes stops paying.
+
+// SweepRow is one (program, nodes) cell.
+type SweepRow struct {
+	Program   string
+	Nodes     int
+	CleanTime float64
+	BusyTime  float64 // with m-6 <-> m-8 interfering traffic
+}
+
+// NodeCountSweep measures FFT(512) and FFT(1K) on 2..8 Remos-selected
+// nodes.
+func NodeCountSweep() []SweepRow {
+	var out []SweepRow
+	for _, size := range []int{512, 1024} {
+		for nodes := 2; nodes <= 8; nodes++ {
+			row := SweepRow{Program: fmt.Sprintf("FFT (%d)", size), Nodes: nodes}
+			row.CleanTime = sweepRun(size, nodes, false)
+			row.BusyTime = sweepRun(size, nodes, true)
+			out = append(out, row)
+		}
+	}
+	return out
+}
+
+func sweepRun(size, nodes int, busy bool) float64 {
+	sel := NewEnv()
+	if busy {
+		startInterferingTraffic(sel)
+	}
+	sel.Warmup()
+	set, err := selectNodes(sel, nodes, core.TFHistory(10))
+	if err != nil {
+		panic(fmt.Sprintf("experiments: sweep selection: %v", err))
+	}
+	e := NewEnv()
+	if busy {
+		startInterferingTraffic(e)
+	}
+	e.Warmup()
+	rep := e.RunProgram(fft.Program(size, 1), set, nil)
+	return rep.Elapsed()
+}
+
+// FormatSweep renders the sweep with per-size speedups.
+func FormatSweep(rows []SweepRow) string {
+	var b strings.Builder
+	b.WriteString("Node-count sweep: FFT execution time vs Remos-selected node count\n")
+	fmt.Fprintf(&b, "%-10s %5s | %10s %8s | %10s %8s\n",
+		"Program", "N", "clean(s)", "speedup", "busy(s)", "speedup")
+	b.WriteString(strings.Repeat("-", 66) + "\n")
+	base := map[string][2]float64{}
+	for _, r := range rows {
+		if r.Nodes == 2 {
+			base[r.Program] = [2]float64{r.CleanTime, r.BusyTime}
+		}
+		bb := base[r.Program]
+		fmt.Fprintf(&b, "%-10s %5d | %10.3f %7.2fx | %10.3f %7.2fx\n",
+			r.Program, r.Nodes, r.CleanTime, bb[0]/r.CleanTime, r.BusyTime, bb[1]/r.BusyTime)
+	}
+	return b.String()
+}

@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNodeCountSweepShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("28 full runs")
+	}
+	t.Parallel()
+	rows := NodeCountSweep()
+	if len(rows) != 14 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byKey := map[string]map[int]SweepRow{}
+	for _, r := range rows {
+		if byKey[r.Program] == nil {
+			byKey[r.Program] = map[int]SweepRow{}
+		}
+		byKey[r.Program][r.Nodes] = r
+	}
+	for prog, m := range byKey {
+		// Clean runs speed up monotonically: the testbed's network is
+		// fast enough that communication never dominates up to 8 nodes.
+		for n := 3; n <= 8; n++ {
+			if m[n].CleanTime >= m[n-1].CleanTime {
+				t.Fatalf("%s: clean time not improving at %d nodes (%v vs %v)",
+					prog, n, m[n].CleanTime, m[n-1].CleanTime)
+			}
+		}
+		// Under interfering traffic the crossover appears: 5 Remos-
+		// selected nodes (all on the quiet side) beat 6 (which must
+		// include a traffic-side host) — the §2 motivation.
+		if m[5].BusyTime >= m[6].BusyTime {
+			t.Fatalf("%s: no crossover: 5 nodes %v vs 6 nodes %v",
+				prog, m[5].BusyTime, m[6].BusyTime)
+		}
+		// And at 5 nodes traffic costs almost nothing (selection avoids
+		// it), while at 8 it is unavoidable.
+		if m[5].BusyTime > m[5].CleanTime*1.1 {
+			t.Fatalf("%s: 5-node selection did not avoid traffic: %v vs %v",
+				prog, m[5].BusyTime, m[5].CleanTime)
+		}
+		if m[8].BusyTime < m[8].CleanTime*1.5 {
+			t.Fatalf("%s: 8-node run unexpectedly unaffected: %v vs %v",
+				prog, m[8].BusyTime, m[8].CleanTime)
+		}
+	}
+	if !strings.Contains(FormatSweep(rows), "speedup") {
+		t.Fatal("format wrong")
+	}
+}

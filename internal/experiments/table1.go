@@ -1,0 +1,147 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/apps/airshed"
+	"repro/internal/apps/fft"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/fx"
+	"repro/internal/graph"
+	"repro/internal/topology"
+)
+
+// workload describes one program/size row of Tables 1 and 2.
+type workload struct {
+	Name  string
+	Nodes int
+	Build func() *fx.Program
+}
+
+// tableWorkloads are the six rows of Tables 1 and 2.
+func tableWorkloads() []workload {
+	return []workload{
+		{"FFT (512)", 2, func() *fx.Program { return fft.Program(512, 1) }},
+		{"FFT (512)", 4, func() *fx.Program { return fft.Program(512, 1) }},
+		{"FFT (1K)", 2, func() *fx.Program { return fft.Program(1024, 1) }},
+		{"FFT (1K)", 4, func() *fx.Program { return fft.Program(1024, 1) }},
+		{"Airshed", 3, func() *fx.Program { return airshed.Program(airshed.DefaultParams()) }},
+		{"Airshed", 5, func() *fx.Program { return airshed.Program(airshed.DefaultParams()) }},
+	}
+}
+
+// StartNode is the application-provided clustering seed in all the
+// paper's experiments.
+const StartNode = graph.NodeID("m-4")
+
+// Table1Row is one row of Table 1: performance on Remos-selected nodes
+// versus other representative node sets on an unloaded testbed.
+type Table1Row struct {
+	Program   string
+	Nodes     int
+	RemosSet  []graph.NodeID
+	RemosTime float64
+	Alts      []Table1Alt
+}
+
+// Table1Alt is one "other representative node set" column.
+type Table1Alt struct {
+	Set             []graph.NodeID
+	Time            float64
+	PercentIncrease float64
+}
+
+// table1AltSets reproduces the paper's "other representative node sets"
+// columns verbatim.
+var table1AltSets = map[string][][]graph.NodeID{
+	"FFT (512)/2": {{"m-1", "m-4"}, {"m-4", "m-8"}},
+	"FFT (512)/4": {{"m-1", "m-2", "m-4", "m-5"}, {"m-1", "m-4", "m-6", "m-7"}},
+	"FFT (1K)/2":  {{"m-1", "m-4"}, {"m-4", "m-8"}},
+	"FFT (1K)/4":  {{"m-1", "m-2", "m-4", "m-5"}, {"m-1", "m-4", "m-6", "m-7"}},
+	"Airshed/3":   {{"m-4", "m-6", "m-8"}, {"m-1", "m-4", "m-7"}},
+	"Airshed/5":   {{"m-1", "m-2", "m-3", "m-4", "m-5"}, {"m-1", "m-2", "m-4", "m-5", "m-7"}},
+}
+
+func rowKey(w workload) string { return fmt.Sprintf("%s/%d", w.Name, w.Nodes) }
+
+// selectNodes runs the Remos-driven clustering of §7.3 on a fresh
+// environment and returns the chosen set.
+func selectNodes(e *Env, k int, tf core.Timeframe) ([]graph.NodeID, error) {
+	res, err := cluster.FromModeler(e.Mod, topology.TestbedHosts, StartNode, k, cluster.TestbedMetric(), tf)
+	if err != nil {
+		return nil, err
+	}
+	return res.Nodes, nil
+}
+
+// runOnce executes one program on one node set in a fresh environment,
+// optionally starting traffic first, and returns the elapsed seconds.
+func runOnce(w workload, nodes []graph.NodeID, startTraffic func(*Env)) float64 {
+	e := NewEnv()
+	if startTraffic != nil {
+		startTraffic(e)
+	}
+	e.Warmup()
+	rep := e.RunProgram(w.Build(), nodes, nil)
+	return rep.Elapsed()
+}
+
+// Table1 reproduces Table 1: node selection in a static (unloaded)
+// environment. Remos-selected sets are computed live; the comparison
+// sets are the paper's.
+func Table1() []Table1Row {
+	var out []Table1Row
+	for _, w := range tableWorkloads() {
+		// Selection on an unloaded testbed.
+		sel := NewEnv()
+		sel.Warmup()
+		remosSet, err := selectNodes(sel, w.Nodes, core.TFHistory(10))
+		if err != nil {
+			panic(fmt.Sprintf("experiments: table1 selection: %v", err))
+		}
+		row := Table1Row{
+			Program:   w.Name,
+			Nodes:     w.Nodes,
+			RemosSet:  remosSet,
+			RemosTime: runOnce(w, remosSet, nil),
+		}
+		for _, alt := range table1AltSets[rowKey(w)] {
+			t := runOnce(w, alt, nil)
+			row.Alts = append(row.Alts, Table1Alt{
+				Set:             alt,
+				Time:            t,
+				PercentIncrease: 100 * (t - row.RemosTime) / row.RemosTime,
+			})
+		}
+		out = append(out, row)
+	}
+	return out
+}
+
+// FormatTable1 renders the rows in the paper's layout.
+func FormatTable1(rows []Table1Row) string {
+	var b strings.Builder
+	b.WriteString("Table 1: Performance of programs on nodes selected using Remos (unloaded testbed)\n")
+	fmt.Fprintf(&b, "%-10s %-3s | %-22s %8s | %-22s %8s %6s | %-22s %8s %6s\n",
+		"Program", "N", "Remos set", "time(s)", "alt set 1", "time(s)", "+%", "alt set 2", "time(s)", "+%")
+	b.WriteString(strings.Repeat("-", 132) + "\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10s %-3d | %-22s %8.3f", r.Program, r.Nodes, nodeSet(r.RemosSet), r.RemosTime)
+		for _, a := range r.Alts {
+			fmt.Fprintf(&b, " | %-22s %8.3f %6.1f", nodeSet(a.Set), a.Time, a.PercentIncrease)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// nodeSet renders a node list compactly ("m-4,5,6").
+func nodeSet(nodes []graph.NodeID) string {
+	var parts []string
+	for _, n := range nodes {
+		parts = append(parts, strings.TrimPrefix(string(n), "m-"))
+	}
+	return "m-" + strings.Join(parts, ",")
+}

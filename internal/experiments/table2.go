@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/traffic"
+)
+
+// BlastRate is the interfering load between m-6 and m-8 (§8.2: "a
+// synthetic program that generates significant traffic").
+const BlastRate = 90e6
+
+// startInterferingTraffic launches the Table 2 load: bidirectional
+// non-responsive traffic between m-6 and m-8.
+func startInterferingTraffic(e *Env) *traffic.Scenario {
+	s := traffic.NewScenario("m-6 <-> m-8")
+	s.Add(traffic.Blast(e.Net, "m-6", "m-8", BlastRate))
+	s.Add(traffic.Blast(e.Net, "m-8", "m-6", BlastRate))
+	return s
+}
+
+// Table2Row is one row of Table 2: node selection with external traffic.
+type Table2Row struct {
+	Program string
+	Nodes   int
+
+	// Dynamic: Remos selection using live measurements (sees traffic).
+	DynamicSet  []graph.NodeID
+	DynamicTime float64
+
+	// Static: the node sets the paper's static-capacity-only selection
+	// chose (Table 2, column 2) — they ignore traffic and collide with
+	// it.
+	StaticSet       []graph.NodeID
+	StaticTime      float64
+	PercentIncrease float64
+
+	// CleanTime is the dynamic set's execution time without external
+	// traffic (the paper's last column).
+	CleanTime float64
+}
+
+// table2StaticSets are the "nodes selected with only static
+// measurements" reported in the paper's Table 2.
+var table2StaticSets = map[string][]graph.NodeID{
+	"FFT (512)/2": {"m-4", "m-6"},
+	"FFT (512)/4": {"m-4", "m-5", "m-6", "m-7"},
+	"FFT (1K)/2":  {"m-4", "m-6"},
+	"FFT (1K)/4":  {"m-4", "m-5", "m-6", "m-7"},
+	"Airshed/3":   {"m-4", "m-5", "m-6"},
+	"Airshed/5":   {"m-4", "m-5", "m-6", "m-7", "m-8"},
+}
+
+// Table2 reproduces Table 2: node selection in a dynamic environment
+// with competing traffic between m-6 and m-8.
+func Table2() []Table2Row {
+	var out []Table2Row
+	for _, w := range tableWorkloads() {
+		// Dynamic selection happens on a testbed that already carries
+		// the traffic, using measured history.
+		sel := NewEnv()
+		startInterferingTraffic(sel)
+		sel.Warmup()
+		dyn, err := selectNodes(sel, w.Nodes, core.TFHistory(10))
+		if err != nil {
+			panic(fmt.Sprintf("experiments: table2 selection: %v", err))
+		}
+		static := table2StaticSets[rowKey(w)]
+		row := Table2Row{
+			Program:    w.Name,
+			Nodes:      w.Nodes,
+			DynamicSet: dyn,
+			StaticSet:  static,
+		}
+		row.DynamicTime = runOnce(w, dyn, func(e *Env) { startInterferingTraffic(e) })
+		row.StaticTime = runOnce(w, static, func(e *Env) { startInterferingTraffic(e) })
+		row.PercentIncrease = 100 * (row.StaticTime - row.DynamicTime) / row.DynamicTime
+		row.CleanTime = runOnce(w, dyn, nil)
+		out = append(out, row)
+	}
+	return out
+}
+
+// FormatTable2 renders the rows in the paper's layout.
+func FormatTable2(rows []Table2Row) string {
+	var b strings.Builder
+	b.WriteString("Table 2: Node selection with external traffic between m-6 and m-8\n")
+	fmt.Fprintf(&b, "%-10s %-3s | %-22s %8s | %-22s %8s %6s | %10s\n",
+		"Program", "N", "Remos dynamic set", "time(s)", "static-only set", "time(s)", "+%", "no-traffic")
+	b.WriteString(strings.Repeat("-", 110) + "\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10s %-3d | %-22s %8.3f | %-22s %8.3f %6.0f | %10.3f\n",
+			r.Program, r.Nodes, nodeSet(r.DynamicSet), r.DynamicTime,
+			nodeSet(r.StaticSet), r.StaticTime, r.PercentIncrease, r.CleanTime)
+	}
+	return b.String()
+}

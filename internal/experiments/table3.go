@@ -1,0 +1,146 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/apps/airshed"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/fx"
+	"repro/internal/graph"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+// Table 3 runs the adaptive Airshed: the program is compiled for 8 nodes
+// but executes on 5, re-evaluating its mapping at every iteration and
+// migrating when a better-connected node set exists.
+
+// Table3FixedSet is the initial (and, for the fixed runs, permanent)
+// mapping: the timberline/whiteface side, which interfering traffic hits.
+var Table3FixedSet = []graph.NodeID{"m-4", "m-5", "m-6", "m-7", "m-8"}
+
+// Adaptive-runtime calibration (see EXPERIMENTS.md):
+const (
+	// CompiledNodes/overheadAlpha model the cost of compiling for 8 and
+	// running on 5 (paper: 862 s vs the plain build's 650 s).
+	table3CompiledNodes = 8
+	table3OverheadAlpha = 0.62
+
+	// DecisionCost is one adaptation check (Remos queries+clustering);
+	// MigrationCost is one executed re-mapping. Together they explain
+	// the paper's 941-vs-862 s active-adaptation overhead.
+	table3DecisionCost  = 2.5
+	table3MigrationCost = 8
+)
+
+// Table3Scenario names one traffic pattern of Table 3.
+type Table3Scenario struct {
+	Name  string
+	Start func(e *Env) *traffic.Scenario // nil = no traffic
+}
+
+// Table3Scenarios reproduces the four columns of Table 3.
+func Table3Scenarios() []Table3Scenario {
+	return []Table3Scenario{
+		{Name: "No Traffic", Start: nil},
+		{Name: "Non-interfering", Start: func(e *Env) *traffic.Scenario {
+			// Traffic confined to the aspen side: does not touch the
+			// fixed set's communication.
+			s := traffic.NewScenario("m-1 <-> m-3")
+			s.Add(traffic.Blast(e.Net, "m-1", "m-3", BlastRate))
+			s.Add(traffic.Blast(e.Net, "m-3", "m-1", BlastRate))
+			return s
+		}},
+		{Name: "Interfering-1", Start: func(e *Env) *traffic.Scenario {
+			s := traffic.NewScenario("m-6 <-> m-8")
+			s.Add(traffic.Blast(e.Net, "m-6", "m-8", BlastRate))
+			s.Add(traffic.Blast(e.Net, "m-8", "m-6", BlastRate))
+			return s
+		}},
+		{Name: "Interfering-2", Start: func(e *Env) *traffic.Scenario {
+			// Heavier pattern: both whiteface hosts are traffic
+			// endpoints and the two streams sharing m-6's access link
+			// sum to 92 Mbps (vs Table 2's 90), so the fixed mapping
+			// suffers a little more than under Interfering-1, as in the
+			// paper's Table 3.
+			const half = 46e6
+			s := traffic.NewScenario("m-6 <-> m-7, m-6 <-> m-8")
+			s.Add(traffic.Blast(e.Net, "m-6", "m-7", half))
+			s.Add(traffic.Blast(e.Net, "m-7", "m-6", half))
+			s.Add(traffic.Blast(e.Net, "m-6", "m-8", half))
+			s.Add(traffic.Blast(e.Net, "m-8", "m-6", half))
+			return s
+		}},
+	}
+}
+
+// Table3Row is one traffic scenario's fixed-vs-adaptive comparison.
+type Table3Row struct {
+	Scenario     string
+	FixedTime    float64
+	AdaptiveTime float64
+	Migrations   int
+	FinalNodes   []graph.NodeID
+}
+
+// runTable3 executes the Airshed program under one scenario.
+func runTable3(sc Table3Scenario, adaptive bool) (float64, int, []graph.NodeID) {
+	e := NewEnv()
+	if sc.Start != nil {
+		sc.Start(e)
+	}
+	e.Warmup()
+	prog := airshed.Program(airshed.DefaultParams())
+	rep := e.RunProgram(prog, Table3FixedSet, func(rt *fx.Runtime) {
+		rt.CompiledNodes = table3CompiledNodes
+		rt.OverheadAlpha = table3OverheadAlpha
+		if adaptive {
+			rt.MigrationCost = table3MigrationCost
+			rt.Adapter = &fx.RemosAdapter{
+				Modeler:      e.Mod,
+				Pool:         topology.TestbedHosts,
+				Start:        StartNode,
+				Metric:       cluster.TestbedMetric(),
+				Timeframe:    core.TFHistory(10),
+				Threshold:    0, // paper: migrate on any positive improvement
+				DecisionCost: table3DecisionCost,
+			}
+		}
+	})
+	return rep.Elapsed(), len(rep.Migrations), rep.Nodes
+}
+
+// Table3 reproduces Table 3: execution times of the adaptive Airshed on
+// a fixed node set versus with runtime adaptation, under four traffic
+// patterns.
+func Table3() []Table3Row {
+	var out []Table3Row
+	for _, sc := range Table3Scenarios() {
+		fixedTime, _, _ := runTable3(sc, false)
+		adaptTime, migs, finalNodes := runTable3(sc, true)
+		out = append(out, Table3Row{
+			Scenario:     sc.Name,
+			FixedTime:    fixedTime,
+			AdaptiveTime: adaptTime,
+			Migrations:   migs,
+			FinalNodes:   finalNodes,
+		})
+	}
+	return out
+}
+
+// FormatTable3 renders the rows in the paper's layout.
+func FormatTable3(rows []Table3Row) string {
+	var b strings.Builder
+	b.WriteString("Table 3: Adaptive Airshed (compiled for 8 nodes, executing on 5)\n")
+	fmt.Fprintf(&b, "%-16s | %10s | %10s | %5s | %-24s\n",
+		"Traffic", "Fixed(s)", "Adaptive(s)", "migr", "final adaptive nodes")
+	b.WriteString(strings.Repeat("-", 80) + "\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-16s | %10.0f | %10.0f | %5d | %-24s\n",
+			r.Scenario, r.FixedTime, r.AdaptiveTime, r.Migrations, nodeSet(r.FinalNodes))
+	}
+	return b.String()
+}

@@ -1,0 +1,94 @@
+package fx
+
+import (
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/simclock"
+)
+
+// RemosAdapter is the §7.3 adaptation module: at each migration point it
+// queries Remos for the logical topology, computes the node-distance
+// matrix, runs greedy clustering from the start node, and migrates when
+// the candidate cluster's expected communication performance beats the
+// current one by more than Threshold.
+type RemosAdapter struct {
+	Modeler *core.Modeler
+
+	// Pool is the candidate host set (the nodes the program was invoked
+	// on; migration can only target these).
+	Pool []graph.NodeID
+
+	// Start is the application-provided initial node, always selected.
+	Start graph.NodeID
+
+	// Metric converts measurements to distances.
+	Metric cluster.Metric
+
+	// Timeframe selects the measurement window.
+	Timeframe core.Timeframe
+
+	// Threshold is the minimum relative score improvement required to
+	// migrate; the paper's experiments migrate "whenever the potential
+	// improvement was positive" (Threshold 0), and observe needless
+	// oscillation — a positive threshold damps it.
+	Threshold float64
+
+	// DecisionCost is the virtual seconds one adaptation check costs
+	// (Remos queries plus clustering).
+	DecisionCost float64
+
+	// Every makes the adapter only check every N-th iteration (1 =
+	// every iteration; 0 behaves like 1).
+	Every int
+
+	// Checks counts adaptation decisions taken (diagnostic).
+	Checks int
+}
+
+// MaybeMigrate implements Adapter.
+func (a *RemosAdapter) MaybeMigrate(now simclock.Time, iteration int, current []graph.NodeID) ([]graph.NodeID, float64) {
+	every := a.Every
+	if every <= 0 {
+		every = 1
+	}
+	if iteration%every != 0 {
+		return nil, 0
+	}
+	a.Checks++
+	bw, err := a.Modeler.BandwidthMatrix(a.Pool, a.Timeframe)
+	if err != nil {
+		return nil, a.DecisionCost
+	}
+	var lat [][]float64
+	if a.Metric.LatencyWeight > 0 {
+		lat, err = a.Modeler.LatencyMatrix(a.Pool)
+		if err != nil {
+			return nil, a.DecisionCost
+		}
+	}
+	dist := cluster.DistanceMatrix(bw, lat, a.Metric)
+	cand, err := cluster.Greedy(a.Pool, dist, a.Start, len(current))
+	if err != nil {
+		return nil, a.DecisionCost
+	}
+	// Score the current mapping under the same measurements.
+	idx := make([]int, 0, len(current))
+	for _, n := range current {
+		for i, p := range a.Pool {
+			if p == n {
+				idx = append(idx, i)
+				break
+			}
+		}
+	}
+	curScore := cluster.Score(dist, idx)
+	if curScore <= 0 {
+		return nil, a.DecisionCost
+	}
+	improvement := (curScore - cand.Score) / curScore
+	if improvement > a.Threshold {
+		return cand.Nodes, a.DecisionCost
+	}
+	return nil, a.DecisionCost
+}

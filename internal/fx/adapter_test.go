@@ -1,0 +1,126 @@
+package fx
+
+import (
+	"testing"
+
+	"repro/internal/collector"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/netsim"
+	"repro/internal/simclock"
+	"repro/internal/snmp"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+
+	clusterpkg "repro/internal/cluster"
+)
+
+// adapterRig wires a full measurement stack for adapter tests.
+func adapterRig(t *testing.T) (*simclock.Clock, *netsim.Network, *core.Modeler) {
+	t.Helper()
+	clk := simclock.New()
+	n, err := netsim.New(clk, topology.Testbed())
+	if err != nil {
+		t.Fatal(err)
+	}
+	att := snmp.Attach(n, snmp.DefaultCommunity)
+	addrs := make(map[graph.NodeID]string)
+	for id := range att.Agents {
+		addrs[id] = snmp.Addr(id)
+	}
+	col := collector.New(collector.Config{
+		Client:     snmp.NewClient(att.Registry, snmp.DefaultCommunity),
+		Clock:      clk,
+		Addrs:      addrs,
+		PollPeriod: 1,
+	})
+	if err := col.Start(); err != nil {
+		t.Fatal(err)
+	}
+	return clk, n, core.New(core.Config{Source: col})
+}
+
+func TestRemosAdapterEverySkipsIterations(t *testing.T) {
+	clk, _, mod := adapterRig(t)
+	clk.Advance(10)
+	a := &RemosAdapter{
+		Modeler: mod,
+		Pool:    topology.TestbedHosts,
+		Start:   "m-4",
+		Metric:  clusterpkg.TestbedMetric(),
+		Every:   3,
+	}
+	cur := []graph.NodeID{"m-4", "m-5"}
+	for iter := 0; iter < 9; iter++ {
+		a.MaybeMigrate(clk.Now(), iter, cur)
+	}
+	if a.Checks != 3 { // iterations 0, 3, 6
+		t.Fatalf("checks = %d, want 3", a.Checks)
+	}
+}
+
+func TestRemosAdapterDecisionCostCharged(t *testing.T) {
+	clk, _, mod := adapterRig(t)
+	clk.Advance(10)
+	a := &RemosAdapter{
+		Modeler:      mod,
+		Pool:         topology.TestbedHosts,
+		Start:        "m-4",
+		Metric:       clusterpkg.TestbedMetric(),
+		DecisionCost: 1.5,
+	}
+	_, cost := a.MaybeMigrate(clk.Now(), 0, []graph.NodeID{"m-4", "m-5"})
+	if cost != 1.5 {
+		t.Fatalf("cost = %v", cost)
+	}
+}
+
+func TestRemosAdapterThresholdDampsMarginalMoves(t *testing.T) {
+	clk, n, mod := adapterRig(t)
+	// Mild traffic: a better set exists, but only marginally better.
+	traffic.Blast(n, "m-6", "m-8", 15e6)
+	clk.Advance(15)
+	cur := []graph.NodeID{"m-4", "m-6", "m-7", "m-8"} // lightly loaded links
+
+	zero := &RemosAdapter{
+		Modeler:   mod,
+		Pool:      topology.TestbedHosts,
+		Start:     "m-4",
+		Metric:    clusterpkg.TestbedMetric(),
+		Timeframe: core.TFHistory(10),
+		Threshold: 0,
+	}
+	moved, _ := zero.MaybeMigrate(clk.Now(), 0, cur)
+	if moved == nil {
+		t.Fatal("threshold-0 adapter should chase the marginal improvement")
+	}
+	damped := &RemosAdapter{
+		Modeler:   mod,
+		Pool:      topology.TestbedHosts,
+		Start:     "m-4",
+		Metric:    clusterpkg.TestbedMetric(),
+		Timeframe: core.TFHistory(10),
+		Threshold: 0.9, // require a 90% score improvement
+	}
+	if moved, _ := damped.MaybeMigrate(clk.Now(), 0, cur); moved != nil {
+		t.Fatalf("damped adapter migrated for a marginal gain: %v", moved)
+	}
+}
+
+func TestRemosAdapterStaysOnGoodSet(t *testing.T) {
+	clk, n, mod := adapterRig(t)
+	traffic.Blast(n, "m-6", "m-8", 90e6)
+	clk.Advance(15)
+	a := &RemosAdapter{
+		Modeler:   mod,
+		Pool:      topology.TestbedHosts,
+		Start:     "m-4",
+		Metric:    clusterpkg.TestbedMetric(),
+		Timeframe: core.TFHistory(10),
+	}
+	// Already on the best set: no move.
+	cur := []graph.NodeID{"m-4", "m-5", "m-1", "m-2"}
+	if moved, _ := a.MaybeMigrate(clk.Now(), 0, cur); moved != nil {
+		t.Fatalf("adapter left the optimal set for %v", moved)
+	}
+}

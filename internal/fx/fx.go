@@ -1,0 +1,334 @@
+// Package fx is a miniature rendering of the Fx runtime system the paper
+// builds on (§7.1): iterative task/data-parallel programs whose node
+// assignment can change at iteration boundaries.
+//
+// A Program is a sequence of Steps per iteration; each Step has a
+// per-node compute phase and a collective communication phase realized
+// as flows in the network simulator. The Runtime executes the program on
+// a node set, invoking an optional Adapter at every migration point (the
+// start of each outer iteration, where the paper's model guarantees no
+// live distributed data). Migration re-maps the active nodes, costs the
+// configured overhead, and is counted in the Report.
+//
+// The paper's observation that the adaptive build pays for being
+// "compiled for 8 nodes and running on 5" is modeled by the
+// CompiledNodes/OverheadAlpha factor.
+package fx
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/netsim"
+	"repro/internal/simclock"
+)
+
+// Step is one compute+communicate phase of an iteration.
+type Step struct {
+	Name string
+
+	// WorkPerNode returns the compute work units each active node
+	// executes, given the active node count. Nil means no compute.
+	WorkPerNode func(p int) float64
+
+	// Comm builds the communication flows for the step given the active
+	// node mapping. Nil means no communication.
+	Comm func(nodes []graph.NodeID) []netsim.FlowSpec
+}
+
+// Program is an iterative data-parallel application.
+type Program struct {
+	Name       string
+	Iterations int
+	Steps      []Step
+}
+
+// Adapter decides, at a migration point, whether to re-map the program.
+// It returns the new node set (nil to keep the current one) and the
+// decision overhead in seconds (the cost of querying Remos and running
+// clustering, which the paper measures as part of adaptation overhead).
+type Adapter interface {
+	MaybeMigrate(now simclock.Time, iteration int, current []graph.NodeID) (newNodes []graph.NodeID, decisionCost float64)
+}
+
+// MigrationEvent records one re-mapping.
+type MigrationEvent struct {
+	Iteration int
+	At        simclock.Time
+	From, To  []graph.NodeID
+}
+
+// Report summarizes one program execution.
+type Report struct {
+	Program        string
+	Nodes          []graph.NodeID // final mapping
+	Started, Ended simclock.Time
+	IterationTimes []float64
+	Migrations     []MigrationEvent
+	AdaptSeconds   float64 // total decision + migration overhead
+}
+
+// Elapsed returns the wall-clock (virtual) execution time.
+func (r *Report) Elapsed() float64 { return float64(r.Ended - r.Started) }
+
+// Runtime executes Programs on the simulated network.
+type Runtime struct {
+	Net *netsim.Network
+
+	// Owner tags the program's flows (default "app").
+	Owner string
+
+	// Adapter, when set, is consulted at every iteration start.
+	Adapter Adapter
+
+	// MigrationCost is the virtual seconds charged per executed
+	// migration (state redistribution bookkeeping; the experiments use
+	// replicated data, so this is small but not free).
+	MigrationCost float64
+
+	// MigrationDataBytes, when positive, makes migration pay for moving
+	// state over the network instead of (in addition to) the flat
+	// MigrationCost: each node leaving the mapping ships its partition
+	// (MigrationDataBytes / P bytes) to a node joining it, as real
+	// flows that contend with everything else. This models the paper's
+	// §7.1 caveat that copying live distributed data "can be expensive
+	// in terms of memory usage and copying time".
+	MigrationDataBytes float64
+
+	// CompiledNodes, when larger than the active node count, inflates
+	// compute work by OverheadAlpha*(compiled/active - 1): the paper's
+	// cost of invoking the program on all potentially-used nodes.
+	CompiledNodes int
+
+	// OverheadAlpha calibrates that inflation (default 0.55, fitted to
+	// the paper's 862s-vs-650s fixed-adaptive-vs-plain Airshed gap).
+	OverheadAlpha float64
+}
+
+func (r *Runtime) owner() string {
+	if r.Owner == "" {
+		return "app"
+	}
+	return r.Owner
+}
+
+func (r *Runtime) overheadFactor(active int) float64 {
+	if r.CompiledNodes <= active {
+		return 1
+	}
+	alpha := r.OverheadAlpha
+	if alpha == 0 {
+		alpha = 0.55
+	}
+	return 1 + alpha*(float64(r.CompiledNodes)/float64(active)-1)
+}
+
+// Run starts the program on the given nodes and calls done with the
+// Report when the last iteration finishes. Execution is event-driven;
+// the caller advances the simulation clock.
+func (r *Runtime) Run(p *Program, nodes []graph.NodeID, done func(*Report)) {
+	if p.Iterations <= 0 {
+		panic(fmt.Sprintf("fx: program %q has no iterations", p.Name))
+	}
+	if len(nodes) == 0 {
+		panic(fmt.Sprintf("fx: program %q started with no nodes", p.Name))
+	}
+	for _, n := range nodes {
+		nd := r.Net.Graph().Node(n)
+		if nd == nil || nd.Kind != graph.Compute {
+			panic(fmt.Sprintf("fx: %q is not a compute node", n))
+		}
+	}
+	clk := r.Net.Clock()
+	exec := &execution{
+		rt:     r,
+		prog:   p,
+		nodes:  append([]graph.NodeID(nil), nodes...),
+		report: &Report{Program: p.Name, Started: clk.Now()},
+		done:   done,
+	}
+	exec.startIteration(clk.Now(), 0)
+}
+
+type execution struct {
+	rt     *Runtime
+	prog   *Program
+	nodes  []graph.NodeID
+	report *Report
+	done   func(*Report)
+
+	iterStart simclock.Time
+}
+
+func (e *execution) clk() *simclock.Clock { return e.rt.Net.Clock() }
+
+func (e *execution) startIteration(now simclock.Time, iter int) {
+	if iter >= e.prog.Iterations {
+		e.finish(now)
+		return
+	}
+	e.iterStart = now
+	// Migration point: no live distributed data here (§7.1).
+	if e.rt.Adapter != nil {
+		newNodes, decisionCost := e.rt.Adapter.MaybeMigrate(now, iter, e.nodes)
+		delay := decisionCost
+		var xfer []netsim.FlowSpec
+		if newNodes != nil && !sameNodes(newNodes, e.nodes) {
+			oldNodes := append([]graph.NodeID(nil), e.nodes...)
+			e.report.Migrations = append(e.report.Migrations, MigrationEvent{
+				Iteration: iter, At: now,
+				From: oldNodes,
+				To:   append([]graph.NodeID(nil), newNodes...),
+			})
+			e.nodes = append(e.nodes[:0:0], newNodes...)
+			delay += e.rt.MigrationCost
+			xfer = migrationFlows(oldNodes, e.nodes, e.rt.MigrationDataBytes)
+		}
+		e.report.AdaptSeconds += delay
+		if delay > 0 || len(xfer) > 0 {
+			adaptStart := now
+			next := func(t simclock.Time) {
+				e.report.AdaptSeconds += float64(t-adaptStart) - delay
+				e.runStep(t, iter, 0)
+			}
+			run := func(t simclock.Time) {
+				if len(xfer) > 0 {
+					e.rt.Net.TransferGroup(xfer, e.rt.owner(), next)
+				} else {
+					next(t)
+				}
+			}
+			if delay > 0 {
+				e.clk().After(delay, "fx-adapt", run)
+			} else {
+				run(now)
+			}
+			return
+		}
+	}
+	e.runStep(now, iter, 0)
+}
+
+func (e *execution) runStep(now simclock.Time, iter, step int) {
+	if step >= len(e.prog.Steps) {
+		e.report.IterationTimes = append(e.report.IterationTimes, float64(now-e.iterStart))
+		e.startIteration(now, iter+1)
+		return
+	}
+	s := &e.prog.Steps[step]
+	next := func(t simclock.Time) { e.commPhase(t, iter, step) }
+	if s.WorkPerNode == nil {
+		next(now)
+		return
+	}
+	work := s.WorkPerNode(len(e.nodes)) * e.rt.overheadFactor(len(e.nodes))
+	if work <= 0 {
+		next(now)
+		return
+	}
+	// BSP compute phase: the step ends when the slowest node finishes.
+	worst := 0.0
+	for _, n := range e.nodes {
+		if d := e.rt.Net.ComputeDuration(n, work); d > worst {
+			worst = d
+		}
+	}
+	e.clk().After(worst, "fx-compute:"+s.Name, next)
+}
+
+func (e *execution) commPhase(now simclock.Time, iter, step int) {
+	s := &e.prog.Steps[step]
+	next := func(t simclock.Time) { e.runStep(t, iter, step+1) }
+	if s.Comm == nil {
+		next(now)
+		return
+	}
+	specs := s.Comm(e.nodes)
+	e.rt.Net.TransferGroup(specs, e.rt.owner(), next)
+}
+
+func (e *execution) finish(now simclock.Time) {
+	e.report.Ended = now
+	e.report.Nodes = append([]graph.NodeID(nil), e.nodes...)
+	if e.done != nil {
+		e.done(e.report)
+	}
+}
+
+// migrationFlows builds the state-redistribution transfers: every node
+// leaving the mapping ships its partition to a distinct joining node.
+// Nodes present in both mappings keep their partition locally.
+func migrationFlows(oldNodes, newNodes []graph.NodeID, totalBytes float64) []netsim.FlowSpec {
+	if totalBytes <= 0 {
+		return nil
+	}
+	inNew := make(map[graph.NodeID]bool, len(newNodes))
+	for _, n := range newNodes {
+		inNew[n] = true
+	}
+	inOld := make(map[graph.NodeID]bool, len(oldNodes))
+	for _, n := range oldNodes {
+		inOld[n] = true
+	}
+	var leavers, joiners []graph.NodeID
+	for _, n := range oldNodes {
+		if !inNew[n] {
+			leavers = append(leavers, n)
+		}
+	}
+	for _, n := range newNodes {
+		if !inOld[n] {
+			joiners = append(joiners, n)
+		}
+	}
+	per := totalBytes / float64(len(oldNodes))
+	var out []netsim.FlowSpec
+	for i, src := range leavers {
+		if len(joiners) == 0 {
+			break // shrinking mapping: partitions merge locally
+		}
+		dst := joiners[i%len(joiners)]
+		out = append(out, netsim.FlowSpec{Src: src, Dst: dst, Bytes: per})
+	}
+	return out
+}
+
+func sameNodes(a, b []graph.NodeID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	seen := make(map[graph.NodeID]bool, len(a))
+	for _, n := range a {
+		seen[n] = true
+	}
+	for _, n := range b {
+		if !seen[n] {
+			return false
+		}
+	}
+	return true
+}
+
+// RunToCompletion runs the program and drives the clock until it
+// finishes, returning the report. Convenient for experiments where the
+// program is the only actor besides already-scheduled traffic and
+// collectors.
+func (r *Runtime) RunToCompletion(p *Program, nodes []graph.NodeID) *Report {
+	var out *Report
+	r.Run(p, nodes, func(rep *Report) { out = rep })
+	clk := r.Net.Clock()
+	// Runaway guard: background tickers (collector polls, traffic) keep
+	// the event queue non-empty forever, so a deadlocked program would
+	// otherwise spin here. A year of virtual time is far beyond any
+	// experiment.
+	deadline := clk.Now() + simclock.Time(365*24*3600)
+	for out == nil {
+		if !clk.Step() {
+			panic(fmt.Sprintf("fx: %q never completed (event queue empty)", p.Name))
+		}
+		if clk.Now() > deadline {
+			panic(fmt.Sprintf("fx: %q made no progress for a year of virtual time (starved transfer?)", p.Name))
+		}
+	}
+	return out
+}

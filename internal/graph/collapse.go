@@ -1,0 +1,122 @@
+package graph
+
+import "sort"
+
+// CollapseChains produces the logical-topology reduction of §4.3: network
+// nodes of degree 2 that are not protected by keep are removed and their
+// two links merged into one logical link whose capacity is the minimum and
+// whose latency is the sum of the originals. Chains of such nodes collapse
+// into a single link, which is how Remos represents "two sets of hosts
+// connected by a complex network" as one edge.
+//
+// The input graph is not modified; a new graph is returned. Link IDs in
+// the result are freshly assigned.
+func (g *Graph) CollapseChains(keep func(NodeID) bool) *Graph {
+	work := g.Clone()
+	for {
+		collapsed := false
+		// Deterministic scan order.
+		ids := work.Nodes()
+		for _, id := range ids {
+			n := work.Node(id)
+			if n == nil || n.Kind != Network {
+				continue
+			}
+			if keep != nil && keep(id) {
+				continue
+			}
+			ls := work.LinksAt(id)
+			if len(ls) != 2 {
+				continue
+			}
+			l1, l2 := ls[0], ls[1]
+			a, _ := l1.Other(id)
+			b, _ := l2.Other(id)
+			if a == b {
+				// Parallel links through this node would become a
+				// self-link; leave the node in place.
+				continue
+			}
+			// A node with its own internal bandwidth limit below the
+			// merged link capacity still constrains traffic; fold the
+			// limit into the merged capacity.
+			mergedCap := minf(l1.Capacity, l2.Capacity)
+			if n.InternalBW > 0 && n.InternalBW < mergedCap {
+				mergedCap = n.InternalBW
+			}
+			mergedLat := l1.Latency + l2.Latency
+			work.RemoveNode(id)
+			work.AddLink(a, b, mergedCap, mergedLat)
+			collapsed = true
+		}
+		if !collapsed {
+			break
+		}
+	}
+	return renumber(work)
+}
+
+// InducedByRoutes returns the subgraph containing exactly the nodes and
+// links that appear on routes between the given compute nodes, which is
+// the first step of answering remos_get_graph for a node subset: links the
+// routing rules will never use are hidden (§4.3).
+func (g *Graph) InducedByRoutes(rt *RouteTable, hosts []NodeID) *Graph {
+	usedNodes := make(map[NodeID]bool)
+	usedLinks := make(map[LinkID]bool)
+	for _, h := range hosts {
+		usedNodes[h] = true
+	}
+	for i, a := range hosts {
+		for j, b := range hosts {
+			if i == j {
+				continue
+			}
+			p := rt.Route(a, b)
+			if p == nil {
+				continue
+			}
+			for _, n := range p.Nodes {
+				usedNodes[n] = true
+			}
+			for _, l := range p.Links {
+				usedLinks[l.ID] = true
+			}
+		}
+	}
+	sub := New()
+	for _, id := range g.Nodes() {
+		if usedNodes[id] {
+			sub.AddNode(*g.Node(id))
+		}
+	}
+	var ls []*Link
+	for _, l := range g.Links() {
+		if usedLinks[l.ID] {
+			ls = append(ls, l)
+		}
+	}
+	sort.Slice(ls, func(i, j int) bool { return ls[i].ID < ls[j].ID })
+	for _, l := range ls {
+		sub.AddLink(l.A, l.B, l.Capacity, l.Latency)
+	}
+	return sub
+}
+
+// renumber rebuilds a graph with dense link IDs after removals.
+func renumber(g *Graph) *Graph {
+	out := New()
+	for _, id := range g.Nodes() {
+		out.AddNode(*g.Node(id))
+	}
+	for _, l := range g.Links() {
+		out.AddLink(l.A, l.B, l.Capacity, l.Latency)
+	}
+	return out
+}
+
+func minf(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,56 @@
+package graph
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DOT renders the graph in Graphviz dot syntax. Compute nodes are boxes,
+// network nodes are ellipses, and links are labeled with capacity (Mbps)
+// and latency (ms). Used by cmd/remos-topo.
+func (g *Graph) DOT(title string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "graph %q {\n", title)
+	b.WriteString("  overlap=false;\n")
+	for _, id := range g.Nodes() {
+		n := g.Node(id)
+		shape := "ellipse"
+		extra := ""
+		if n.Kind == Compute {
+			shape = "box"
+		} else if n.InternalBW > 0 {
+			extra = fmt.Sprintf("\\n%.0fMbps internal", n.InternalBW/1e6)
+		}
+		fmt.Fprintf(&b, "  %q [shape=%s,label=\"%s%s\"];\n", id, shape, id, extra)
+	}
+	for _, l := range g.Links() {
+		fmt.Fprintf(&b, "  %q -- %q [label=\"%.0fMbps/%.2fms\"];\n",
+			l.A, l.B, l.Capacity/1e6, l.Latency*1e3)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// ASCII renders a compact textual summary of the graph: one line per node
+// with its links, suitable for terminals. Used by cmd/remos-topo.
+func (g *Graph) ASCII() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d nodes, %d links\n", g.NumNodes(), g.NumLinks())
+	for _, id := range g.Nodes() {
+		n := g.Node(id)
+		fmt.Fprintf(&b, "%-12s %-8s", id, n.Kind)
+		if n.Kind == Network && n.InternalBW > 0 {
+			fmt.Fprintf(&b, " internal=%.0fMbps", n.InternalBW/1e6)
+		}
+		if n.Kind == Compute && n.ComputePower > 0 {
+			fmt.Fprintf(&b, " power=%.2f", n.ComputePower)
+		}
+		b.WriteString("\n")
+		for _, l := range g.LinksAt(id) {
+			o, _ := l.Other(id)
+			fmt.Fprintf(&b, "    --%-12s %.0f Mbps, %.2f ms (link %d)\n",
+				o, l.Capacity/1e6, l.Latency*1e3, l.ID)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,399 @@
+// Package graph implements the annotated network graph used throughout the
+// Remos reproduction: compute and network nodes joined by point-to-point
+// links carrying capacity and latency annotations, plus the path and
+// topology algorithms the Collector and Modeler need (shortest and widest
+// paths, routed-subgraph extraction, degree-2 chain collapsing for logical
+// topologies, and DOT export).
+//
+// The representation follows §4.3 of the paper: nodes are either compute
+// nodes (hosts, the only senders and receivers) or network nodes (routers
+// and switches, forwarding only), every link is annotated with physical
+// characteristics, and network nodes may carry an internal bandwidth that
+// limits the aggregate traffic crossing them (the paper's Figure 1
+// discussion).
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// NodeID names a node. IDs follow the paper's testbed convention
+// ("m-1".."m-8", "aspen", "timberline", "whiteface") but are opaque here.
+type NodeID string
+
+// NodeKind distinguishes hosts from forwarding elements.
+type NodeKind int
+
+const (
+	// Compute nodes run applications and terminate flows.
+	Compute NodeKind = iota
+	// Network nodes (routers, switches) only forward.
+	Network
+)
+
+func (k NodeKind) String() string {
+	switch k {
+	case Compute:
+		return "compute"
+	case Network:
+		return "network"
+	default:
+		return fmt.Sprintf("NodeKind(%d)", int(k))
+	}
+}
+
+// Node is a vertex in the network graph.
+type Node struct {
+	ID   NodeID
+	Kind NodeKind
+
+	// InternalBW is the aggregate bandwidth, in bits per second, the node
+	// can move between its interfaces. Zero means unlimited. Figure 1 of
+	// the paper shows how this single number determines whether edge links
+	// or switches are the bottleneck.
+	InternalBW float64
+
+	// ComputePower is a relative speed factor for compute nodes: work
+	// units per second. Zero means the node cannot compute (the default
+	// for network nodes).
+	ComputePower float64
+
+	// MemoryBytes is a compute node's physical memory (0 = unknown).
+	// Node selection uses it for the paper's §2 constraint that "a
+	// certain minimum number of nodes are often required to fit the
+	// data sets into the physical memory of all participating nodes".
+	MemoryBytes float64
+}
+
+// LinkID identifies a link within its graph. IDs are dense and assigned in
+// insertion order, which gives deterministic iteration everywhere.
+type LinkID int
+
+// Dir selects one direction of a full-duplex link.
+type Dir int
+
+const (
+	// AtoB is the direction from Link.A to Link.B.
+	AtoB Dir = iota
+	// BtoA is the reverse direction.
+	BtoA
+)
+
+func (d Dir) String() string {
+	if d == AtoB {
+		return "a->b"
+	}
+	return "b->a"
+}
+
+// Reverse flips the direction.
+func (d Dir) Reverse() Dir { return 1 - d }
+
+// Link is a full-duplex point-to-point link. Capacity applies to each
+// direction independently, matching switched Ethernet.
+type Link struct {
+	ID LinkID
+	A  NodeID
+	B  NodeID
+
+	// Capacity is bits per second available in each direction.
+	Capacity float64
+
+	// Latency is the one-way propagation plus forwarding delay in
+	// seconds. The paper's collector assumes a fixed per-hop delay; this
+	// is where that constant lives.
+	Latency float64
+}
+
+// Other returns the endpoint opposite n, and whether n is an endpoint.
+func (l *Link) Other(n NodeID) (NodeID, bool) {
+	switch n {
+	case l.A:
+		return l.B, true
+	case l.B:
+		return l.A, true
+	}
+	return "", false
+}
+
+// DirFrom returns the direction of travel when leaving node n over this
+// link. It panics if n is not an endpoint.
+func (l *Link) DirFrom(n NodeID) Dir {
+	switch n {
+	case l.A:
+		return AtoB
+	case l.B:
+		return BtoA
+	}
+	panic(fmt.Sprintf("graph: node %s is not an endpoint of link %d (%s--%s)", n, l.ID, l.A, l.B))
+}
+
+// Head returns the node the given direction points at.
+func (l *Link) Head(d Dir) NodeID {
+	if d == AtoB {
+		return l.B
+	}
+	return l.A
+}
+
+// Tail returns the node the given direction leaves from.
+func (l *Link) Tail(d Dir) NodeID {
+	if d == AtoB {
+		return l.A
+	}
+	return l.B
+}
+
+// Channel is one direction of one link: the unit of capacity accounting in
+// the simulator and the collector.
+type Channel struct {
+	Link LinkID
+	Dir  Dir
+}
+
+func (c Channel) String() string { return fmt.Sprintf("link%d/%s", c.Link, c.Dir) }
+
+// Graph is a mutable annotated network graph. The zero value is not ready
+// to use; call New.
+type Graph struct {
+	nodes map[NodeID]*Node
+	order []NodeID // insertion order, for deterministic iteration
+	links []*Link
+	adj   map[NodeID][]*Link
+}
+
+// New returns an empty graph.
+func New() *Graph {
+	return &Graph{
+		nodes: make(map[NodeID]*Node),
+		adj:   make(map[NodeID][]*Link),
+	}
+}
+
+// AddNode inserts a node. It panics on duplicate IDs: topology files are
+// static data and a duplicate is a bug, not an environmental error.
+func (g *Graph) AddNode(n Node) *Node {
+	if n.ID == "" {
+		panic("graph: empty node ID")
+	}
+	if _, ok := g.nodes[n.ID]; ok {
+		panic(fmt.Sprintf("graph: duplicate node %q", n.ID))
+	}
+	cp := n
+	g.nodes[n.ID] = &cp
+	g.order = append(g.order, n.ID)
+	return &cp
+}
+
+// AddHost adds a compute node with the given compute power.
+func (g *Graph) AddHost(id NodeID, power float64) *Node {
+	return g.AddNode(Node{ID: id, Kind: Compute, ComputePower: power})
+}
+
+// AddRouter adds a network node with the given internal bandwidth
+// (0 = unlimited).
+func (g *Graph) AddRouter(id NodeID, internalBW float64) *Node {
+	return g.AddNode(Node{ID: id, Kind: Network, InternalBW: internalBW})
+}
+
+// AddLink connects two existing nodes with a full-duplex link and returns
+// it. Capacity must be positive; latency must be nonnegative.
+func (g *Graph) AddLink(a, b NodeID, capacity, latency float64) *Link {
+	if a == b {
+		panic(fmt.Sprintf("graph: self-link at %q", a))
+	}
+	if _, ok := g.nodes[a]; !ok {
+		panic(fmt.Sprintf("graph: link endpoint %q not in graph", a))
+	}
+	if _, ok := g.nodes[b]; !ok {
+		panic(fmt.Sprintf("graph: link endpoint %q not in graph", b))
+	}
+	if capacity <= 0 {
+		panic(fmt.Sprintf("graph: non-positive capacity %v on %s--%s", capacity, a, b))
+	}
+	if latency < 0 {
+		panic(fmt.Sprintf("graph: negative latency %v on %s--%s", latency, a, b))
+	}
+	l := &Link{ID: LinkID(len(g.links)), A: a, B: b, Capacity: capacity, Latency: latency}
+	g.links = append(g.links, l)
+	g.adj[a] = append(g.adj[a], l)
+	g.adj[b] = append(g.adj[b], l)
+	return l
+}
+
+// Node returns the node with the given ID, or nil.
+func (g *Graph) Node(id NodeID) *Node { return g.nodes[id] }
+
+// HasNode reports whether the node exists.
+func (g *Graph) HasNode(id NodeID) bool { return g.nodes[id] != nil }
+
+// Link returns the link with the given ID, or nil. Removed links stay
+// addressable (nil) so LinkIDs remain stable.
+func (g *Graph) Link(id LinkID) *Link {
+	if int(id) < 0 || int(id) >= len(g.links) {
+		return nil
+	}
+	return g.links[int(id)]
+}
+
+// Nodes returns all node IDs in insertion order.
+func (g *Graph) Nodes() []NodeID {
+	out := make([]NodeID, 0, len(g.order))
+	for _, id := range g.order {
+		if g.nodes[id] != nil {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// ComputeNodes returns the IDs of all compute nodes in insertion order.
+func (g *Graph) ComputeNodes() []NodeID {
+	var out []NodeID
+	for _, id := range g.Nodes() {
+		if g.nodes[id].Kind == Compute {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// NetworkNodes returns the IDs of all network nodes in insertion order.
+func (g *Graph) NetworkNodes() []NodeID {
+	var out []NodeID
+	for _, id := range g.Nodes() {
+		if g.nodes[id].Kind == Network {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Links returns all live links in ID order.
+func (g *Graph) Links() []*Link {
+	out := make([]*Link, 0, len(g.links))
+	for _, l := range g.links {
+		if l != nil {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// NumNodes returns the number of live nodes.
+func (g *Graph) NumNodes() int { return len(g.nodes) }
+
+// NumLinks returns the number of live links.
+func (g *Graph) NumLinks() int {
+	n := 0
+	for _, l := range g.links {
+		if l != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// LinksAt returns the live links incident to a node, in ID order.
+func (g *Graph) LinksAt(id NodeID) []*Link {
+	ls := append([]*Link(nil), g.adj[id]...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].ID < ls[j].ID })
+	return ls
+}
+
+// Degree returns the number of live links at a node.
+func (g *Graph) Degree(id NodeID) int { return len(g.adj[id]) }
+
+// Neighbors returns the IDs adjacent to a node, in link-ID order.
+func (g *Graph) Neighbors(id NodeID) []NodeID {
+	var out []NodeID
+	for _, l := range g.LinksAt(id) {
+		o, _ := l.Other(id)
+		out = append(out, o)
+	}
+	return out
+}
+
+// RemoveLink deletes a link. The LinkID is not reused.
+func (g *Graph) RemoveLink(id LinkID) {
+	l := g.Link(id)
+	if l == nil {
+		return
+	}
+	g.links[int(id)] = nil
+	g.adj[l.A] = removeLink(g.adj[l.A], l)
+	g.adj[l.B] = removeLink(g.adj[l.B], l)
+}
+
+// RemoveNode deletes a node and all incident links.
+func (g *Graph) RemoveNode(id NodeID) {
+	if g.nodes[id] == nil {
+		return
+	}
+	for _, l := range append([]*Link(nil), g.adj[id]...) {
+		g.RemoveLink(l.ID)
+	}
+	delete(g.nodes, id)
+	delete(g.adj, id)
+	for i, o := range g.order {
+		if o == id {
+			g.order = append(g.order[:i], g.order[i+1:]...)
+			break
+		}
+	}
+}
+
+// Clone returns a deep copy. Link IDs are preserved.
+func (g *Graph) Clone() *Graph {
+	c := New()
+	for _, id := range g.order {
+		if n := g.nodes[id]; n != nil {
+			c.AddNode(*n)
+		}
+	}
+	c.links = make([]*Link, len(g.links))
+	for i, l := range g.links {
+		if l == nil {
+			continue
+		}
+		cp := *l
+		c.links[i] = &cp
+		c.adj[l.A] = append(c.adj[l.A], &cp)
+		c.adj[l.B] = append(c.adj[l.B], &cp)
+	}
+	return c
+}
+
+// Validate checks structural invariants and returns the first violation.
+func (g *Graph) Validate() error {
+	for id, n := range g.nodes {
+		if n.ID != id {
+			return fmt.Errorf("graph: node map key %q != node ID %q", id, n.ID)
+		}
+		if n.Kind == Network && n.ComputePower != 0 {
+			return fmt.Errorf("graph: network node %q has compute power", id)
+		}
+	}
+	for _, l := range g.links {
+		if l == nil {
+			continue
+		}
+		if g.nodes[l.A] == nil || g.nodes[l.B] == nil {
+			return fmt.Errorf("graph: link %d references missing node", l.ID)
+		}
+		if l.Capacity <= 0 {
+			return fmt.Errorf("graph: link %d non-positive capacity", l.ID)
+		}
+	}
+	return nil
+}
+
+func removeLink(ls []*Link, target *Link) []*Link {
+	for i, l := range ls {
+		if l == target {
+			return append(ls[:i], ls[i+1:]...)
+		}
+	}
+	return ls
+}

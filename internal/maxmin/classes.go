@@ -1,0 +1,113 @@
+package maxmin
+
+import (
+	"fmt"
+	"math"
+)
+
+// ClassedProblem is the §4.2 three-class flow query:
+//
+//	remos_flow_info(fixed_flows, variable_flows, independent_flow, timeframe)
+//
+// "Remos tries to satisfy the fixed_flows, then the variable_flows
+// simultaneously, and finally the independent_flow." Fixed flows name an
+// absolute bandwidth; variable flows name relative requirements and share
+// proportionally; independent flows absorb whatever is left.
+type ClassedProblem struct {
+	Capacity    []float64
+	Fixed       []Demand // Cap = requested bandwidth (required > 0)
+	Variable    []Demand // Weight = relative requirement; Cap optional
+	Independent []Demand // weights ignored (equal split of leftovers)
+
+	// FixedHeadroom reserves a fraction of every resource from the fixed
+	// class: fixed flows solve against (1-FixedHeadroom)×Capacity, so
+	// later classes always see at least that fraction. The network
+	// simulator uses this to model that non-responsive traffic crushes
+	// but never fully starves elastic flows. Must be in [0,1).
+	FixedHeadroom float64
+}
+
+// ClassedResult carries per-class allocations plus the residual capacity
+// after all three classes, which the modeler reports as remaining
+// availability.
+type ClassedResult struct {
+	Fixed       []float64
+	Variable    []float64
+	Independent []float64
+	Residual    []float64
+
+	// FixedSatisfied[i] reports whether fixed flow i received its full
+	// request; the paper's "filled in to the extent that the flow
+	// requests can be satisfied".
+	FixedSatisfied []bool
+}
+
+// SolveClasses resolves the three classes sequentially. Each phase sees
+// the capacity left over by the previous one.
+func SolveClasses(cp *ClassedProblem) *ClassedResult {
+	if cp.FixedHeadroom < 0 || cp.FixedHeadroom >= 1 {
+		panic(fmt.Sprintf("maxmin: FixedHeadroom %v out of [0,1)", cp.FixedHeadroom))
+	}
+	res := &ClassedResult{}
+	capacity := append([]float64(nil), cp.Capacity...)
+
+	// Phase 1: fixed flows. Equal weights, capped at the request; if a
+	// bottleneck cannot fit them all, max-min decides who gets how much of
+	// their request. The fixed class sees capacities shrunk by the
+	// headroom fraction.
+	fixedCap := capacity
+	if cp.FixedHeadroom > 0 {
+		fixedCap = make([]float64, len(capacity))
+		for i, c := range capacity {
+			fixedCap[i] = c * (1 - cp.FixedHeadroom)
+		}
+	}
+	fixed := make([]Demand, len(cp.Fixed))
+	for i, d := range cp.Fixed {
+		if d.Cap <= 0 {
+			panic("maxmin: fixed flow without a positive requested bandwidth")
+		}
+		fixed[i] = Demand{Resources: d.Resources, Weight: 1, Cap: d.Cap}
+	}
+	p1 := &Problem{Capacity: fixedCap, Demands: fixed}
+	res.Fixed = p1.Solve()
+	res.FixedSatisfied = make([]bool, len(fixed))
+	for i := range fixed {
+		res.FixedSatisfied[i] = res.Fixed[i] >= fixed[i].Cap-eps
+	}
+	// Residual relative to the FULL capacity: the headroom remains for
+	// the later classes.
+	capacity = (&Problem{Capacity: capacity, Demands: fixed}).Residual(res.Fixed)
+
+	// Phase 2: variable flows. Weight = relative requirement.
+	variable := make([]Demand, len(cp.Variable))
+	for i, d := range cp.Variable {
+		w := d.Weight
+		if w <= 0 {
+			w = 1
+		}
+		variable[i] = Demand{Resources: d.Resources, Weight: w, Cap: d.Cap}
+	}
+	p2 := &Problem{Capacity: capacity, Demands: variable}
+	res.Variable = p2.Solve()
+	capacity = p2.Residual(res.Variable)
+
+	// Phase 3: independent flows split the leftovers equally.
+	independent := make([]Demand, len(cp.Independent))
+	for i, d := range cp.Independent {
+		independent[i] = Demand{Resources: d.Resources, Weight: 1}
+	}
+	p3 := &Problem{Capacity: capacity, Demands: independent}
+	res.Independent = p3.Solve()
+	res.Residual = p3.Residual(res.Independent)
+
+	// Infinite allocations only arise for resource-free demands; report
+	// them as 0 for independent flows with no path (same-node flows are
+	// filtered before reaching the solver).
+	for i, a := range res.Independent {
+		if math.IsInf(a, 1) && len(independent[i].Resources) == 0 {
+			res.Independent[i] = math.Inf(1)
+		}
+	}
+	return res
+}

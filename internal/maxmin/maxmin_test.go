@@ -1,0 +1,426 @@
+package maxmin
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+const tol = 1e-6
+
+func TestEqualShareSingleLink(t *testing.T) {
+	p := &Problem{
+		Capacity: []float64{30},
+		Demands: []Demand{
+			{Resources: []ResourceID{0}, Weight: 1},
+			{Resources: []ResourceID{0}, Weight: 1},
+			{Resources: []ResourceID{0}, Weight: 1},
+		},
+	}
+	alloc := p.Solve()
+	for i, a := range alloc {
+		if math.Abs(a-10) > tol {
+			t.Fatalf("alloc[%d] = %v, want 10", i, a)
+		}
+	}
+	if err := p.IsMaxMinFair(alloc, tol); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The classic three-link example: flows A (links 0,1), B (link 0), C (link 1).
+// Capacities 10 and 20: A and B split link0 (5 each would leave link1 at 15
+// for C)... max-min: level rises to 5 -> link0 saturates, A,B freeze at 5;
+// C continues to 15 on link1.
+func TestClassicBottleneck(t *testing.T) {
+	p := &Problem{
+		Capacity: []float64{10, 20},
+		Demands: []Demand{
+			{Resources: []ResourceID{0, 1}, Weight: 1}, // A
+			{Resources: []ResourceID{0}, Weight: 1},    // B
+			{Resources: []ResourceID{1}, Weight: 1},    // C
+		},
+	}
+	alloc := p.Solve()
+	want := []float64{5, 5, 15}
+	for i := range want {
+		if math.Abs(alloc[i]-want[i]) > tol {
+			t.Fatalf("alloc = %v, want %v", alloc, want)
+		}
+	}
+	if err := p.IsMaxMinFair(alloc, tol); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWeightedShare(t *testing.T) {
+	// Paper §4.2: requirements 3, 4.5, 9 relative; bottleneck 5.5 Mbps ->
+	// 1, 1.5, 3 Mbps.
+	p := &Problem{
+		Capacity: []float64{5.5e6},
+		Demands: []Demand{
+			{Resources: []ResourceID{0}, Weight: 3},
+			{Resources: []ResourceID{0}, Weight: 4.5},
+			{Resources: []ResourceID{0}, Weight: 9},
+		},
+	}
+	alloc := p.Solve()
+	want := []float64{1e6, 1.5e6, 3e6}
+	for i := range want {
+		if math.Abs(alloc[i]-want[i]) > 1 {
+			t.Fatalf("alloc = %v, want %v", alloc, want)
+		}
+	}
+	if err := p.IsMaxMinFair(alloc, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCapFreesBandwidthForOthers(t *testing.T) {
+	p := &Problem{
+		Capacity: []float64{30},
+		Demands: []Demand{
+			{Resources: []ResourceID{0}, Weight: 1, Cap: 4},
+			{Resources: []ResourceID{0}, Weight: 1},
+			{Resources: []ResourceID{0}, Weight: 1},
+		},
+	}
+	alloc := p.Solve()
+	want := []float64{4, 13, 13}
+	for i := range want {
+		if math.Abs(alloc[i]-want[i]) > tol {
+			t.Fatalf("alloc = %v, want %v", alloc, want)
+		}
+	}
+}
+
+func TestFreeDemand(t *testing.T) {
+	p := &Problem{
+		Capacity: []float64{10},
+		Demands: []Demand{
+			{Weight: 1},         // no resources, uncapped
+			{Weight: 1, Cap: 7}, // no resources, capped
+		},
+	}
+	alloc := p.Solve()
+	if !math.IsInf(alloc[0], 1) {
+		t.Fatalf("free uncapped = %v", alloc[0])
+	}
+	if alloc[1] != 7 {
+		t.Fatalf("free capped = %v", alloc[1])
+	}
+}
+
+func TestEmptyProblem(t *testing.T) {
+	p := &Problem{}
+	if got := p.Solve(); len(got) != 0 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestZeroCapacityResource(t *testing.T) {
+	p := &Problem{
+		Capacity: []float64{0},
+		Demands:  []Demand{{Resources: []ResourceID{0}, Weight: 1}},
+	}
+	alloc := p.Solve()
+	if alloc[0] != 0 {
+		t.Fatalf("alloc over dead link = %v", alloc[0])
+	}
+}
+
+func TestDuplicateResourceCountsDouble(t *testing.T) {
+	// A flow crossing the same resource twice gets half.
+	p := &Problem{
+		Capacity: []float64{10},
+		Demands:  []Demand{{Resources: []ResourceID{0, 0}, Weight: 1}},
+	}
+	alloc := p.Solve()
+	if math.Abs(alloc[0]-5) > tol {
+		t.Fatalf("alloc = %v, want 5", alloc[0])
+	}
+}
+
+func TestPanicsOnBadInput(t *testing.T) {
+	for name, p := range map[string]*Problem{
+		"negative weight": {Capacity: []float64{1}, Demands: []Demand{{Resources: []ResourceID{0}, Weight: -1}}},
+		"zero weight":     {Capacity: []float64{1}, Demands: []Demand{{Resources: []ResourceID{0}}}},
+		"bad resource":    {Capacity: []float64{1}, Demands: []Demand{{Resources: []ResourceID{5}, Weight: 1}}},
+		"negative cap":    {Capacity: []float64{1}, Demands: []Demand{{Resources: []ResourceID{0}, Weight: 1, Cap: -2}}},
+		"negative capcty": {Capacity: []float64{-1}, Demands: nil},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			p.Solve()
+		}()
+	}
+}
+
+func TestResidual(t *testing.T) {
+	p := &Problem{
+		Capacity: []float64{10, 20},
+		Demands: []Demand{
+			{Resources: []ResourceID{0, 1}, Weight: 1, Cap: 3},
+		},
+	}
+	alloc := p.Solve()
+	res := p.Residual(alloc)
+	if math.Abs(res[0]-7) > tol || math.Abs(res[1]-17) > tol {
+		t.Fatalf("residual = %v", res)
+	}
+}
+
+func TestFeasibleDetectsViolations(t *testing.T) {
+	p := &Problem{
+		Capacity: []float64{10},
+		Demands:  []Demand{{Resources: []ResourceID{0}, Weight: 1, Cap: 5}},
+	}
+	if err := p.Feasible([]float64{11}, tol); err == nil {
+		t.Fatal("overload not detected")
+	}
+	if err := p.Feasible([]float64{6}, tol); err == nil {
+		t.Fatal("cap violation not detected")
+	}
+	if err := p.Feasible([]float64{-1}, tol); err == nil {
+		t.Fatal("negative allocation not detected")
+	}
+	if err := p.Feasible([]float64{1, 2}, tol); err == nil {
+		t.Fatal("length mismatch not detected")
+	}
+}
+
+// Property: on random problems the solution is feasible and max-min fair.
+func TestQuickRandomProblemsFair(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 300; trial++ {
+		nRes := 1 + rng.Intn(6)
+		nDem := 1 + rng.Intn(8)
+		p := &Problem{Capacity: make([]float64, nRes)}
+		for r := range p.Capacity {
+			p.Capacity[r] = 1 + rng.Float64()*100
+		}
+		for d := 0; d < nDem; d++ {
+			dem := Demand{Weight: 0.5 + rng.Float64()*4}
+			used := map[int]bool{}
+			for r := 0; r < 1+rng.Intn(nRes); r++ {
+				rr := rng.Intn(nRes)
+				if !used[rr] {
+					used[rr] = true
+					dem.Resources = append(dem.Resources, ResourceID(rr))
+				}
+			}
+			if rng.Float64() < 0.3 {
+				dem.Cap = rng.Float64() * 60
+				if dem.Cap == 0 {
+					dem.Cap = 1
+				}
+			}
+			p.Demands = append(p.Demands, dem)
+		}
+		alloc := p.Solve()
+		if err := p.IsMaxMinFair(alloc, 1e-5); err != nil {
+			t.Fatalf("trial %d: %v\nproblem: %+v\nalloc: %v", trial, err, p, alloc)
+		}
+	}
+}
+
+// Property: scaling all capacities and caps scales the solution linearly.
+func TestQuickScaleInvariance(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := &Problem{Capacity: []float64{10 + rng.Float64()*50, 5 + rng.Float64()*20}}
+		for d := 0; d < 4; d++ {
+			dem := Demand{Weight: 1 + rng.Float64()}
+			dem.Resources = []ResourceID{ResourceID(rng.Intn(2))}
+			if rng.Float64() < 0.5 {
+				dem.Cap = 1 + rng.Float64()*30
+			}
+			p.Demands = append(p.Demands, dem)
+		}
+		a1 := p.Solve()
+		const k = 3.5
+		p2 := &Problem{Capacity: []float64{p.Capacity[0] * k, p.Capacity[1] * k}}
+		for _, d := range p.Demands {
+			d2 := d
+			d2.Cap = d.Cap * k
+			p2.Demands = append(p2.Demands, d2)
+		}
+		a2 := p2.Solve()
+		for i := range a1 {
+			if math.Abs(a2[i]-k*a1[i]) > 1e-6*(1+a1[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSolveClassesPhases(t *testing.T) {
+	// One 10 Mbps link. Fixed flow wants 2. Variable flows 1:3 share the
+	// remaining 8 -> 2 and 6. Independent gets 0.
+	cp := &ClassedProblem{
+		Capacity: []float64{10},
+		Fixed:    []Demand{{Resources: []ResourceID{0}, Cap: 2}},
+		Variable: []Demand{
+			{Resources: []ResourceID{0}, Weight: 1},
+			{Resources: []ResourceID{0}, Weight: 3},
+		},
+		Independent: []Demand{{Resources: []ResourceID{0}}},
+	}
+	r := SolveClasses(cp)
+	if math.Abs(r.Fixed[0]-2) > tol || !r.FixedSatisfied[0] {
+		t.Fatalf("fixed = %v sat=%v", r.Fixed, r.FixedSatisfied)
+	}
+	if math.Abs(r.Variable[0]-2) > tol || math.Abs(r.Variable[1]-6) > tol {
+		t.Fatalf("variable = %v", r.Variable)
+	}
+	if r.Independent[0] > tol {
+		t.Fatalf("independent = %v", r.Independent)
+	}
+	if r.Residual[0] > tol {
+		t.Fatalf("residual = %v", r.Residual)
+	}
+}
+
+func TestSolveClassesIndependentGetsLeftover(t *testing.T) {
+	cp := &ClassedProblem{
+		Capacity:    []float64{10},
+		Fixed:       []Demand{{Resources: []ResourceID{0}, Cap: 3}},
+		Independent: []Demand{{Resources: []ResourceID{0}}},
+	}
+	r := SolveClasses(cp)
+	if math.Abs(r.Independent[0]-7) > tol {
+		t.Fatalf("independent = %v, want 7", r.Independent[0])
+	}
+}
+
+func TestSolveClassesUnsatisfiableFixed(t *testing.T) {
+	// Two fixed flows want 8 each over a 10 link: max-min gives 5 each,
+	// neither satisfied.
+	cp := &ClassedProblem{
+		Capacity: []float64{10},
+		Fixed: []Demand{
+			{Resources: []ResourceID{0}, Cap: 8},
+			{Resources: []ResourceID{0}, Cap: 8},
+		},
+	}
+	r := SolveClasses(cp)
+	if math.Abs(r.Fixed[0]-5) > tol || math.Abs(r.Fixed[1]-5) > tol {
+		t.Fatalf("fixed = %v", r.Fixed)
+	}
+	if r.FixedSatisfied[0] || r.FixedSatisfied[1] {
+		t.Fatalf("satisfied = %v", r.FixedSatisfied)
+	}
+}
+
+func TestSolveClassesVariableCap(t *testing.T) {
+	// Variable flow with a cap stops at the cap; partner takes the rest.
+	cp := &ClassedProblem{
+		Capacity: []float64{12},
+		Variable: []Demand{
+			{Resources: []ResourceID{0}, Weight: 1, Cap: 2},
+			{Resources: []ResourceID{0}, Weight: 1},
+		},
+	}
+	r := SolveClasses(cp)
+	if math.Abs(r.Variable[0]-2) > tol || math.Abs(r.Variable[1]-10) > tol {
+		t.Fatalf("variable = %v", r.Variable)
+	}
+}
+
+func TestSolveClassesPaperVariableExample(t *testing.T) {
+	// §4.2: three variable flows 3:4.5:9 on a 5.5 Mbps bottleneck yield
+	// 1, 1.5, 3 Mbps.
+	cp := &ClassedProblem{
+		Capacity: []float64{5.5e6},
+		Variable: []Demand{
+			{Resources: []ResourceID{0}, Weight: 3e6},
+			{Resources: []ResourceID{0}, Weight: 4.5e6},
+			{Resources: []ResourceID{0}, Weight: 9e6},
+		},
+	}
+	r := SolveClasses(cp)
+	want := []float64{1e6, 1.5e6, 3e6}
+	for i := range want {
+		if math.Abs(r.Variable[i]-want[i]) > 1 {
+			t.Fatalf("variable = %v, want %v", r.Variable, want)
+		}
+	}
+}
+
+// Property: classed solve never over-commits any resource.
+func TestQuickClassedFeasibility(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 200; trial++ {
+		nRes := 1 + rng.Intn(4)
+		cp := &ClassedProblem{Capacity: make([]float64, nRes)}
+		for r := range cp.Capacity {
+			cp.Capacity[r] = rng.Float64() * 100
+		}
+		mk := func() Demand {
+			d := Demand{Weight: 0.5 + rng.Float64()*3}
+			d.Resources = []ResourceID{ResourceID(rng.Intn(nRes))}
+			return d
+		}
+		for i := 0; i < rng.Intn(4); i++ {
+			d := mk()
+			d.Cap = 1 + rng.Float64()*50
+			cp.Fixed = append(cp.Fixed, d)
+		}
+		for i := 0; i < rng.Intn(4); i++ {
+			cp.Variable = append(cp.Variable, mk())
+		}
+		for i := 0; i < rng.Intn(3); i++ {
+			cp.Independent = append(cp.Independent, mk())
+		}
+		r := SolveClasses(cp)
+		load := make([]float64, nRes)
+		add := func(ds []Demand, as []float64) {
+			for i, d := range ds {
+				for _, rr := range d.Resources {
+					load[rr] += as[i]
+				}
+			}
+		}
+		add(cp.Fixed, r.Fixed)
+		add(cp.Variable, r.Variable)
+		add(cp.Independent, r.Independent)
+		for rr := range load {
+			if load[rr] > cp.Capacity[rr]+1e-5 {
+				t.Fatalf("trial %d: resource %d overloaded %v > %v", trial, rr, load[rr], cp.Capacity[rr])
+			}
+			if math.Abs(load[rr]+r.Residual[rr]-math.Min(load[rr]+r.Residual[rr], cp.Capacity[rr])) > 1e-5 &&
+				load[rr]+r.Residual[rr] > cp.Capacity[rr]+1e-5 {
+				t.Fatalf("trial %d: residual accounting off at %d", trial, rr)
+			}
+		}
+	}
+}
+
+func BenchmarkSolve(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	p := &Problem{Capacity: make([]float64, 50)}
+	for r := range p.Capacity {
+		p.Capacity[r] = 10e6 + rng.Float64()*90e6
+	}
+	for d := 0; d < 200; d++ {
+		dem := Demand{Weight: 1}
+		for h := 0; h < 3; h++ {
+			dem.Resources = append(dem.Resources, ResourceID(rng.Intn(50)))
+		}
+		p.Demands = append(p.Demands, dem)
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p.Solve()
+	}
+}

@@ -1,0 +1,48 @@
+package maxmin
+
+import "math"
+
+// SolveProportional computes the naive proportional-share allocation:
+// each demand receives, on every resource it crosses, capacity scaled by
+// its weight fraction among that resource's users, and is limited by the
+// worst such share along its path (plus its cap).
+//
+// This is the simpler sharing model one might assume instead of max-min
+// (§4.2 discusses the choice; §4.3 recommends verifying the equal-share
+// assumption with queries). It is provided as the comparison policy for
+// the sharing-policy ablation: unlike max-min it never redistributes the
+// bandwidth that bottlenecked-elsewhere flows leave behind, so it
+// systematically under-promises on shared links — the ablation measures
+// exactly how much.
+func (p *Problem) SolveProportional() []float64 {
+	// Weight sums per resource.
+	wsum := make([]float64, len(p.Capacity))
+	for _, d := range p.Demands {
+		for _, r := range d.Resources {
+			wsum[r] += d.Weight
+		}
+	}
+	out := make([]float64, len(p.Demands))
+	for i, d := range p.Demands {
+		if len(d.Resources) == 0 {
+			if d.Cap > 0 {
+				out[i] = d.Cap
+			} else {
+				out[i] = math.Inf(1)
+			}
+			continue
+		}
+		share := math.Inf(1)
+		for _, r := range d.Resources {
+			s := p.Capacity[r] * d.Weight / wsum[r]
+			if s < share {
+				share = s
+			}
+		}
+		if d.Cap > 0 && d.Cap < share {
+			share = d.Cap
+		}
+		out[i] = share
+	}
+	return out
+}

@@ -1,0 +1,105 @@
+package maxmin
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestProportionalEqualsMaxMinWhenSymmetric(t *testing.T) {
+	p := &Problem{
+		Capacity: []float64{30},
+		Demands: []Demand{
+			{Resources: []ResourceID{0}, Weight: 1},
+			{Resources: []ResourceID{0}, Weight: 1},
+			{Resources: []ResourceID{0}, Weight: 1},
+		},
+	}
+	prop := p.SolveProportional()
+	mm := p.Solve()
+	for i := range prop {
+		if math.Abs(prop[i]-mm[i]) > tol {
+			t.Fatalf("symmetric case diverged: %v vs %v", prop, mm)
+		}
+	}
+}
+
+func TestProportionalUnderPromisesVsMaxMin(t *testing.T) {
+	// The classic topology: flow B shares link 0 with A, but A is
+	// bottlenecked on link 1. Max-min gives B the leftovers (8); the
+	// proportional model blindly splits link 0 (5).
+	p := &Problem{
+		Capacity: []float64{10, 2},
+		Demands: []Demand{
+			{Resources: []ResourceID{0, 1}, Weight: 1}, // A: stuck at 2
+			{Resources: []ResourceID{0}, Weight: 1},    // B
+		},
+	}
+	prop := p.SolveProportional()
+	mm := p.Solve()
+	if math.Abs(mm[1]-8) > tol {
+		t.Fatalf("maxmin B = %v", mm[1])
+	}
+	if math.Abs(prop[1]-5) > tol {
+		t.Fatalf("proportional B = %v", prop[1])
+	}
+	if prop[1] >= mm[1] {
+		t.Fatal("proportional did not under-promise")
+	}
+}
+
+func TestProportionalRespectsCapsAndFreeDemands(t *testing.T) {
+	p := &Problem{
+		Capacity: []float64{10},
+		Demands: []Demand{
+			{Resources: []ResourceID{0}, Weight: 1, Cap: 2},
+			{Weight: 1},
+			{Weight: 1, Cap: 3},
+		},
+	}
+	out := p.SolveProportional()
+	if out[0] != 2 {
+		t.Fatalf("capped = %v", out[0])
+	}
+	if !math.IsInf(out[1], 1) || out[2] != 3 {
+		t.Fatalf("free demands = %v", out[1:])
+	}
+}
+
+// Property: proportional never exceeds max-min for any demand (max-min
+// is Pareto-optimal; proportional only wastes).
+func TestQuickProportionalNeverBeatsMaxMin(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	for trial := 0; trial < 200; trial++ {
+		nRes := 1 + rng.Intn(4)
+		p := &Problem{Capacity: make([]float64, nRes)}
+		for r := range p.Capacity {
+			p.Capacity[r] = 1 + rng.Float64()*100
+		}
+		for d := 0; d < 1+rng.Intn(6); d++ {
+			dem := Demand{Weight: 0.5 + rng.Float64()*3}
+			dem.Resources = []ResourceID{ResourceID(rng.Intn(nRes))}
+			if rng.Float64() < 0.5 && nRes > 1 {
+				r2 := ResourceID(rng.Intn(nRes))
+				if r2 != dem.Resources[0] {
+					dem.Resources = append(dem.Resources, r2)
+				}
+			}
+			p.Demands = append(p.Demands, dem)
+		}
+		prop := p.SolveProportional()
+		mm := p.Solve()
+		// Proportional must at least be feasible.
+		if err := p.Feasible(prop, 1e-6); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		var propSum, mmSum float64
+		for i := range prop {
+			propSum += prop[i]
+			mmSum += mm[i]
+		}
+		if propSum > mmSum+1e-6 {
+			t.Fatalf("trial %d: proportional total %v exceeds max-min %v", trial, propSum, mmSum)
+		}
+	}
+}

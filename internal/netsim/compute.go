@@ -1,0 +1,140 @@
+package netsim
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/simclock"
+)
+
+// DeliveredBytes returns the total bytes delivered by completed flows.
+func (n *Network) DeliveredBytes() float64 { return n.totalDelivered / 8 }
+
+// SetLinkCapacity changes a link's capacity (both directions) at
+// runtime — degradation, recovery, or outright failure (capacity 0).
+// Active flows are re-allocated immediately; routing stays static, as on
+// the paper's testbed, so flows crossing a dead link stall until it
+// recovers. Agents report the new capacity as ifSpeed on their next
+// poll.
+func (n *Network) SetLinkCapacity(id graph.LinkID, capacity float64) {
+	l := n.g.Link(id)
+	if l == nil {
+		panic(fmt.Sprintf("netsim: unknown link %d", id))
+	}
+	if capacity < 0 {
+		panic(fmt.Sprintf("netsim: negative capacity %v", capacity))
+	}
+	l.Capacity = capacity
+	for _, d := range []graph.Dir{graph.AtoB, graph.BtoA} {
+		n.capacities[n.chanRes[graph.Channel{Link: id, Dir: d}]] = capacity
+	}
+	n.recompute()
+}
+
+// SetHostLoad sets a background CPU load fraction in [0,1) for a host:
+// compute on that host runs at (1-load) of its nominal power. The paper
+// focuses on network resources but Remos "does include a simple interface
+// to computation and memory resources"; this is the substrate behind it.
+func (n *Network) SetHostLoad(id graph.NodeID, load float64) {
+	if load < 0 || load >= 1 {
+		panic(fmt.Sprintf("netsim: host load %v out of [0,1)", load))
+	}
+	if n.hostLoad == nil {
+		n.hostLoad = make(map[graph.NodeID]float64)
+	}
+	n.hostLoad[id] = load
+}
+
+// HostLoad returns the background CPU load fraction for a host.
+func (n *Network) HostLoad(id graph.NodeID) float64 { return n.hostLoad[id] }
+
+// ComputeDuration returns how long `work` units take on a host given its
+// power and background load. Panics for non-compute nodes.
+func (n *Network) ComputeDuration(id graph.NodeID, work float64) float64 {
+	nd := n.g.Node(id)
+	if nd == nil || nd.Kind != graph.Compute || nd.ComputePower <= 0 {
+		panic(fmt.Sprintf("netsim: %q cannot compute", id))
+	}
+	eff := nd.ComputePower * (1 - n.hostLoad[id])
+	return work / eff
+}
+
+// RunCompute schedules `work` units on a host and invokes done when it
+// finishes. It returns the completion event.
+func (n *Network) RunCompute(id graph.NodeID, work float64, done func(now simclock.Time)) *simclock.Event {
+	d := n.ComputeDuration(id, work)
+	return n.clock.After(d, "compute:"+string(id), done)
+}
+
+// TransferGroup starts a set of finite flows and calls done once when the
+// last one completes — the shape of a collective communication step in a
+// BSP superstep (the FFT transpose, Airshed redistributions). Flows in
+// the group contend with each other (internal sharing, §3) and with
+// everything else in the network. An empty group completes immediately
+// (at the current time, synchronously).
+func (n *Network) TransferGroup(specs []FlowSpec, owner string, done func(now simclock.Time)) {
+	pending := 0
+	var flows []*Flow
+	fire := func(now simclock.Time) {
+		if done != nil {
+			done(now)
+		}
+	}
+	for _, s := range specs {
+		if s.Bytes <= 0 {
+			panic("netsim: TransferGroup requires finite flows")
+		}
+		s.Owner = owner
+		pending++
+		prev := s.OnComplete
+		s.OnComplete = func(now simclock.Time, f *Flow) {
+			if prev != nil {
+				prev(now, f)
+			}
+			pending--
+			if pending == 0 {
+				fire(now)
+			}
+		}
+		flows = append(flows, n.StartFlow(s))
+	}
+	_ = flows
+	if pending == 0 {
+		fire(n.clock.Now())
+	}
+}
+
+// MeasureTransferTime is a convenience for tests and probes: it runs an
+// isolated what-if query — if these flows started now, how long would the
+// slowest take assuming current competing traffic kept its allocation
+// frozen? It does not modify simulator state.
+//
+// This is the modeler-style computation (predictive), as opposed to
+// actually running the flows.
+func (n *Network) MeasureTransferTime(specs []FlowSpec) float64 {
+	worst := 0.0
+	for _, s := range specs {
+		p := n.rt.Route(s.Src, s.Dst)
+		if p == nil {
+			return math.Inf(1)
+		}
+		// Available bandwidth on the path right now (capacity minus
+		// competing usage, floor at a tiny trickle to avoid Inf).
+		avail := math.Inf(1)
+		for _, ch := range p.Channels() {
+			a := n.ChannelCapacity(ch) - n.ChannelRate(ch, "")
+			if a < avail {
+				avail = a
+			}
+		}
+		if avail < 1 {
+			avail = 1
+		}
+		t := s.Bytes * 8 / avail
+		if t > worst {
+			worst = t
+		}
+	}
+	return worst
+}

@@ -1,0 +1,106 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/simclock"
+)
+
+// Regression test for the Table 3 deadlock: two priority blasts
+// oversubscribing one link must not starve an elastic transfer to a
+// literal zero rate — the headroom guarantees progress.
+func TestOversubscribedPriorityLeavesHeadroom(t *testing.T) {
+	clk, n := dumbbell()
+	n.StartFlow(FlowSpec{Src: "h1", Dst: "h3", RateCap: 90e6, Priority: true})
+	n.StartFlow(FlowSpec{Src: "h2", Dst: "h4", RateCap: 90e6, Priority: true})
+	var doneAt simclock.Time
+	n.StartFlow(FlowSpec{Src: "h1", Dst: "h4", Bytes: 1e5,
+		OnComplete: func(now simclock.Time, f *Flow) { doneAt = now }})
+	// The elastic flow gets at least the 2% headroom of the 10 Mbps
+	// bottleneck: 0.2 Mbps -> 0.1 MB in at most ~4s.
+	clk.RunUntil(10)
+	if doneAt == 0 {
+		t.Fatal("elastic transfer starved by priority traffic")
+	}
+	want := 1e5 * 8 / (10e6 * PriorityHeadroom)
+	if math.Abs(float64(doneAt)-want) > 0.1 {
+		t.Fatalf("completed at %v, want ~%v", doneAt, want)
+	}
+	// The blasts share the remaining 98%.
+	for _, f := range n.ActiveFlows() {
+		if !f.Spec.Priority {
+			continue
+		}
+		if math.Abs(f.Rate()-10e6*(1-PriorityHeadroom)/2) > 1 {
+			t.Fatalf("priority rate = %v", f.Rate())
+		}
+	}
+}
+
+// Priority flows under their cap but within headroom limits keep their
+// full rate: the headroom only binds at saturation.
+func TestHeadroomOnlyBindsAtSaturation(t *testing.T) {
+	_, n := dumbbell()
+	f := n.StartFlow(FlowSpec{Src: "h1", Dst: "h3", RateCap: 5e6, Priority: true})
+	if math.Abs(f.Rate()-5e6) > 1 {
+		t.Fatalf("rate = %v", f.Rate())
+	}
+}
+
+// Elastic flows with unequal weights split a bottleneck proportionally.
+func TestWeightedElasticFlows(t *testing.T) {
+	_, n := dumbbell()
+	f1 := n.StartFlow(FlowSpec{Src: "h1", Dst: "h3", Weight: 1})
+	f2 := n.StartFlow(FlowSpec{Src: "h2", Dst: "h4", Weight: 3})
+	if math.Abs(f1.Rate()-2.5e6) > 1 || math.Abs(f2.Rate()-7.5e6) > 1 {
+		t.Fatalf("rates = %v, %v; want 2.5/7.5 Mbps", f1.Rate(), f2.Rate())
+	}
+}
+
+func TestPriorityWithoutCapPanics(t *testing.T) {
+	_, n := dumbbell()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	n.StartFlow(FlowSpec{Src: "h1", Dst: "h3", Priority: true})
+}
+
+func TestSetLinkCapacityPanicsOnBadInput(t *testing.T) {
+	_, n := dumbbell()
+	for name, fn := range map[string]func(){
+		"unknown link": func() { n.SetLinkCapacity(999, 1e6) },
+		"negative":     func() { n.SetLinkCapacity(0, -1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// Degrading a link mid-transfer stretches the completion time exactly.
+func TestDegradationMidTransfer(t *testing.T) {
+	clk, n := dumbbell()
+	var doneAt simclock.Time
+	n.StartFlow(FlowSpec{Src: "h1", Dst: "h3", Bytes: 10e6 / 8, // 10 Mbit
+		OnComplete: func(now simclock.Time, f *Flow) { doneAt = now }})
+	// After 0.5s (5 Mbit sent at 10 Mbps), halve the bottleneck.
+	clk.Schedule(0.5, "degrade", func(simclock.Time) {
+		n.SetLinkCapacity(2, 5e6) // the 10 Mbps core link
+	})
+	clk.Run(0)
+	// Remaining 5 Mbit at 5 Mbps = 1s more: total 1.5s.
+	if math.Abs(float64(doneAt)-1.5) > 1e-9 {
+		t.Fatalf("done at %v, want 1.5", doneAt)
+	}
+	if err := n.CheckConservation(1e-9); err != nil {
+		t.Fatal(err)
+	}
+}

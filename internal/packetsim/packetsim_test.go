@@ -1,0 +1,195 @@
+package packetsim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/maxmin"
+	"repro/internal/simclock"
+)
+
+// rel returns |a-b| / max(b, 1).
+func rel(a, b float64) float64 {
+	d := math.Abs(a - b)
+	if b > 1 {
+		return d / b
+	}
+	return d
+}
+
+func TestEqualShareAtPacketGranularity(t *testing.T) {
+	clk := simclock.New()
+	n := New(clk)
+	link := NewLink("L", 30e6, 1500)
+	for i := 0; i < 3; i++ {
+		n.AddFlow(&Flow{Path: []*Link{link}, Kind: Greedy})
+	}
+	rates := n.MeasureRates(2, 10)
+	for i, r := range rates {
+		if rel(r, 10e6) > 0.02 {
+			t.Fatalf("flow %d rate = %v, want ~10e6", i, r)
+		}
+	}
+}
+
+func TestWeightedDRRMatchesPaperExample(t *testing.T) {
+	// The §4.2 example at packet level: weights 3 : 4.5 : 9 over a
+	// 5.5 Mbps link deliver 1 / 1.5 / 3 Mbps.
+	clk := simclock.New()
+	n := New(clk)
+	link := NewLink("L", 5.5e6, 1500)
+	for _, w := range []float64{3, 4.5, 9} {
+		n.AddFlow(&Flow{Path: []*Link{link}, Kind: Greedy, Weight: w})
+	}
+	rates := n.MeasureRates(5, 30)
+	want := []float64{1e6, 1.5e6, 3e6}
+	for i := range want {
+		if rel(rates[i], want[i]) > 0.03 {
+			t.Fatalf("rates = %v, want %v", rates, want)
+		}
+	}
+}
+
+func TestCBRKeepsItsRateUnderDRR(t *testing.T) {
+	clk := simclock.New()
+	n := New(clk)
+	link := NewLink("L", 10e6, 1500)
+	cbr := n.AddFlow(&Flow{Path: []*Link{link}, Kind: CBR, Rate: 2e6})
+	greedy := n.AddFlow(&Flow{Path: []*Link{link}, Kind: Greedy})
+	rates := n.MeasureRates(2, 10)
+	if rel(rates[cbr.ID], 2e6) > 0.05 {
+		t.Fatalf("cbr rate = %v", rates[cbr.ID])
+	}
+	if rel(rates[greedy.ID], 8e6) > 0.05 {
+		t.Fatalf("greedy rate = %v", rates[greedy.ID])
+	}
+}
+
+func TestPriorityBlasterCrushesElastic(t *testing.T) {
+	// netsim semantics at packet level: a priority CBR at 90% takes its
+	// rate; the greedy flow gets the leftover.
+	clk := simclock.New()
+	n := New(clk)
+	link := NewLink("L", 100e6, 1500)
+	blast := n.AddFlow(&Flow{Path: []*Link{link}, Kind: CBR, Rate: 90e6, Priority: true})
+	greedy := n.AddFlow(&Flow{Path: []*Link{link}, Kind: Greedy})
+	rates := n.MeasureRates(2, 10)
+	if rel(rates[blast.ID], 90e6) > 0.02 {
+		t.Fatalf("blast rate = %v", rates[blast.ID])
+	}
+	if rel(rates[greedy.ID], 10e6) > 0.1 {
+		t.Fatalf("greedy leftover = %v, want ~10e6", rates[greedy.ID])
+	}
+}
+
+func TestSeriesBottleneck(t *testing.T) {
+	// Flow A crosses fast then slow link; its rate is the slow link's.
+	clk := simclock.New()
+	n := New(clk)
+	fast := NewLink("fast", 100e6, 1500)
+	slow := NewLink("slow", 10e6, 1500)
+	a := n.AddFlow(&Flow{Path: []*Link{fast, slow}, Kind: Greedy})
+	rates := n.MeasureRates(2, 10)
+	if rel(rates[a.ID], 10e6) > 0.03 {
+		t.Fatalf("rate = %v", rates[a.ID])
+	}
+}
+
+func TestClassicBottleneckTopologyAtPacketLevel(t *testing.T) {
+	// The maxmin classic: A over links L1+L2, B over L1, C over L2.
+	// L1 = 10 Mbps, L2 = 20 Mbps: A=5, B=5, C=15.
+	clk := simclock.New()
+	n := New(clk)
+	l1 := NewLink("L1", 10e6, 1500)
+	l2 := NewLink("L2", 20e6, 1500)
+	a := n.AddFlow(&Flow{Path: []*Link{l1, l2}, Kind: Greedy})
+	b := n.AddFlow(&Flow{Path: []*Link{l1}, Kind: Greedy})
+	c := n.AddFlow(&Flow{Path: []*Link{l2}, Kind: Greedy})
+	rates := n.MeasureRates(5, 20)
+	want := map[int]float64{a.ID: 5e6, b.ID: 5e6, c.ID: 15e6}
+	for id, w := range want {
+		if rel(rates[id], w) > 0.06 {
+			t.Fatalf("flow %d rate = %v, want %v (all: %v)", id, rates[id], w, rates)
+		}
+	}
+}
+
+// The central validation: random single-bottleneck mixes agree with the
+// max-min solver that the fluid simulator uses.
+func TestPacketLevelMatchesMaxMinProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 12; trial++ {
+		clk := simclock.New()
+		n := New(clk)
+		capacity := 20e6 + rng.Float64()*80e6
+		link := NewLink("L", capacity, 1500)
+		nFlows := 2 + rng.Intn(4)
+		var demands []maxmin.Demand
+		var flows []*Flow
+		for i := 0; i < nFlows; i++ {
+			w := 1 + rng.Float64()*3
+			f := &Flow{Path: []*Link{link}, Kind: Greedy, Weight: w}
+			n.AddFlow(f)
+			flows = append(flows, f)
+			demands = append(demands, maxmin.Demand{
+				Resources: []maxmin.ResourceID{0}, Weight: w,
+			})
+		}
+		expected := (&maxmin.Problem{Capacity: []float64{capacity}, Demands: demands}).Solve()
+		rates := n.MeasureRates(5, 20)
+		for i := range flows {
+			if rel(rates[i], expected[i]) > 0.05 {
+				t.Fatalf("trial %d flow %d: packet %v vs maxmin %v",
+					trial, i, rates[i], expected[i])
+			}
+		}
+	}
+}
+
+func TestFiniteTransferDeliversExactly(t *testing.T) {
+	clk := simclock.New()
+	n := New(clk)
+	link := NewLink("L", 10e6, 1500)
+	f := n.AddFlow(&Flow{Path: []*Link{link}, Kind: Finite, TotalBytes: 1e6})
+	clk.Advance(2)
+	if f.Delivered() != 1e6 {
+		t.Fatalf("delivered = %v", f.Delivered())
+	}
+	// ~0.8s at 10 Mbps; nothing more arrives afterwards.
+	clk.Advance(5)
+	if f.Delivered() != 1e6 {
+		t.Fatalf("delivered grew to %v", f.Delivered())
+	}
+}
+
+func TestBadInputsPanic(t *testing.T) {
+	clk := simclock.New()
+	n := New(clk)
+	for name, fn := range map[string]func(){
+		"bad link":    func() { NewLink("x", 0, 1500) },
+		"no path":     func() { n.AddFlow(&Flow{Kind: Greedy}) },
+		"greedy prio": func() { n.AddFlow(&Flow{Path: []*Link{NewLink("l", 1e6, 1500)}, Kind: Greedy, Priority: true}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func BenchmarkPacketSimSecond(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		clk := simclock.New()
+		n := New(clk)
+		link := NewLink("L", 100e6, 1500)
+		for j := 0; j < 4; j++ {
+			n.AddFlow(&Flow{Path: []*Link{link}, Kind: Greedy})
+		}
+		clk.Advance(1) // ~8300 packets
+	}
+}

@@ -1,0 +1,75 @@
+package probe
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/graph"
+	"repro/internal/netsim"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+
+	simclockpkg "repro/internal/simclock"
+)
+
+// TestClusteringFromProbes demonstrates the paper's second collector
+// path end to end: on a network whose routers answer no SNMP, the
+// benchmark prober measures pairwise bandwidth and the §7.2 clustering
+// runs on those measurements alone — no agents, no collector.
+func TestClusteringFromProbes(t *testing.T) {
+	clk := simclockpkg.New()
+	n, err := netsim.New(clk, topology.Testbed())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The Figure 4 situation: traffic between m-6 and m-8.
+	traffic.Blast(n, "m-6", "m-8", 90e6)
+	traffic.Blast(n, "m-8", "m-6", 90e6)
+
+	p := New(n)
+	p.ProbeBytes = 2e5
+	hosts := topology.TestbedHosts
+	// Probe every ordered pair a few times.
+	for round := 0; round < 3; round++ {
+		for _, src := range hosts {
+			for _, dst := range hosts {
+				if src != dst {
+					p.ProbeOnce(src, dst, nil)
+				}
+			}
+		}
+		clk.Advance(5)
+	}
+	clk.Run(0)
+
+	// Build the distance matrix from probe medians.
+	nh := len(hosts)
+	bw := make([][]float64, nh)
+	lat := make([][]float64, nh)
+	for i := range hosts {
+		bw[i] = make([]float64, nh)
+		lat[i] = make([]float64, nh)
+		for j := range hosts {
+			if i == j {
+				continue
+			}
+			st := p.Bandwidth(hosts[i], hosts[j], 1e9)
+			if !st.Valid() {
+				t.Fatalf("no probe data %s->%s", hosts[i], hosts[j])
+			}
+			bw[i][j] = st.Median
+			lat[i][j] = p.RTT(hosts[i], hosts[j]) / 2
+		}
+	}
+	dist := cluster.DistanceMatrix(bw, lat, cluster.TestbedMetric())
+	res, err := cluster.Greedy(hosts, dist, "m-4", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[graph.NodeID]bool{"m-1": true, "m-2": true, "m-4": true, "m-5": true}
+	for _, id := range res.Nodes {
+		if !want[id] {
+			t.Fatalf("probe-driven selection = %v, want m-1,m-2,m-4,m-5", res.Nodes)
+		}
+	}
+}

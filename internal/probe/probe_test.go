@@ -1,0 +1,130 @@
+package probe
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/netsim"
+	"repro/internal/simclock"
+	"repro/internal/topology"
+)
+
+func sim(t *testing.T) (*simclock.Clock, *netsim.Network) {
+	t.Helper()
+	clk := simclock.New()
+	n, err := netsim.New(clk, topology.Testbed())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return clk, n
+}
+
+func TestProbeUnloadedPath(t *testing.T) {
+	clk, n := sim(t)
+	p := New(n)
+	var got Result
+	p.ProbeOnce("m-1", "m-5", func(r Result) { got = r })
+	clk.Run(0)
+	if math.Abs(got.Bandwidth-100e6) > 1 {
+		t.Fatalf("bandwidth = %v, want 100e6", got.Bandwidth)
+	}
+	// m-1 -> aspen -> timberline -> m-5: 3 links, RTT = 2 × 3 × 0.5 ms.
+	if math.Abs(got.RTT-2*3*topology.PerHopLatency) > 1e-12 {
+		t.Fatalf("rtt = %v", got.RTT)
+	}
+}
+
+func TestProbeSeesCongestion(t *testing.T) {
+	clk, n := sim(t)
+	// A 60 Mbps responsive CBR shares max-min with the elastic probe on
+	// the 100 Mbps link: both converge to 50 Mbps (the CBR's cap is above
+	// the fair share, so it does not bind).
+	cbr := n.StartFlow(netsim.FlowSpec{Src: "m-6", Dst: "m-8", RateCap: 60e6, Owner: "traffic"})
+	p := New(n)
+	var got Result
+	p.ProbeOnce("m-4", "m-7", func(r Result) { got = r })
+	clk.Run(0)
+	if math.Abs(got.Bandwidth-50e6) > 1e5 {
+		t.Fatalf("bandwidth vs responsive CBR = %v, want ~50e6", got.Bandwidth)
+	}
+	n.StopFlow(cbr.ID)
+
+	// A non-responsive 60 Mbps blaster takes its full rate first; the
+	// probe measures the 40 Mbps leftover.
+	n.StartFlow(netsim.FlowSpec{Src: "m-6", Dst: "m-8", RateCap: 60e6, Priority: true, Owner: "traffic"})
+	p.ProbeOnce("m-4", "m-7", func(r Result) { got = r })
+	clk.Run(0)
+	if math.Abs(got.Bandwidth-40e6) > 1e5 {
+		t.Fatalf("bandwidth vs blaster = %v, want ~40e6", got.Bandwidth)
+	}
+}
+
+func TestPeriodicProbing(t *testing.T) {
+	clk, n := sim(t)
+	p := New(n)
+	p.ProbeBytes = 1e5
+	p.StartPeriodic("m-1", "m-5", 1.0)
+	clk.RunUntil(10.5)
+	st := p.Bandwidth("m-1", "m-5", 100)
+	if !st.Valid() || st.Samples < 8 {
+		t.Fatalf("stat = %+v", st)
+	}
+	if math.Abs(st.Median-100e6) > 1e3 {
+		t.Fatalf("median = %v", st.Median)
+	}
+	rtt := p.RTTStat("m-1", "m-5", 100)
+	if !rtt.Valid() {
+		t.Fatal("no rtt stat")
+	}
+	p.StopAll()
+	before := len(p.Samples("m-1", "m-5"))
+	clk.Advance(10)
+	if len(p.Samples("m-1", "m-5")) != before {
+		t.Fatal("probing continued after StopAll")
+	}
+}
+
+func TestUnknownPairNoData(t *testing.T) {
+	_, n := sim(t)
+	p := New(n)
+	if p.Bandwidth("m-1", "m-2", 10).Valid() {
+		t.Fatal("unprobed pair has data")
+	}
+	if p.RTTStat("m-1", "m-2", 10).Valid() {
+		t.Fatal("unprobed pair has rtt data")
+	}
+	if p.Samples("m-1", "m-2") != nil {
+		t.Fatal("unprobed pair has samples")
+	}
+}
+
+func TestProbeQuartilesReflectBurstyTraffic(t *testing.T) {
+	clk, n := sim(t)
+	// Alternate a 90 Mbps hog on/off deterministically; probes land in
+	// both regimes, so quartile spread must be wide.
+	hogOn := false
+	var hog *netsim.Flow
+	clk.NewTicker(0.25, 2.0, "hog-toggle", func(now simclock.Time) {
+		if hogOn {
+			n.StopFlow(hog.ID)
+			hogOn = false
+		} else {
+			hog = n.StartFlow(netsim.FlowSpec{Src: "m-6", Dst: "m-8", RateCap: 90e6, Priority: true, Owner: "traffic"})
+			hogOn = true
+		}
+	})
+	p := New(n)
+	p.ProbeBytes = 1e5
+	p.StartPeriodic("m-4", "m-7", 0.5)
+	clk.RunUntil(30)
+	st := p.Bandwidth("m-4", "m-7", 100)
+	if !st.Valid() {
+		t.Fatal("no data")
+	}
+	if st.IQR() < 10e6 {
+		t.Fatalf("IQR = %v; expected wide spread from bursty hog (stat %v)", st.IQR(), st)
+	}
+	if st.Min > 15e6 || st.Max < 90e6 {
+		t.Fatalf("range [%v, %v] does not span both regimes", st.Min, st.Max)
+	}
+}

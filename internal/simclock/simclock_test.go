@@ -1,0 +1,276 @@
+package simclock
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestZeroValueReady(t *testing.T) {
+	var c Clock
+	if c.Now() != 0 {
+		t.Fatalf("zero clock Now = %v, want 0", c.Now())
+	}
+	fired := false
+	c.After(1.5, "x", func(now Time) { fired = true })
+	c.Run(0)
+	if !fired {
+		t.Fatal("event did not fire")
+	}
+	if c.Now() != 1.5 {
+		t.Fatalf("Now = %v, want 1.5", c.Now())
+	}
+}
+
+func TestOrdering(t *testing.T) {
+	c := New()
+	var order []string
+	c.Schedule(2, "b", func(Time) { order = append(order, "b") })
+	c.Schedule(1, "a", func(Time) { order = append(order, "a") })
+	c.Schedule(3, "c", func(Time) { order = append(order, "c") })
+	c.Run(0)
+	want := []string{"a", "b", "c"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestFIFOAtSameTime(t *testing.T) {
+	c := New()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		c.Schedule(5, "tie", func(Time) { order = append(order, i) })
+	}
+	c.Run(0)
+	for i := range order {
+		if order[i] != i {
+			t.Fatalf("FIFO violated: %v", order)
+		}
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	c := New()
+	c.Schedule(10, "x", func(Time) {})
+	c.Run(0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic scheduling in the past")
+		}
+	}()
+	c.Schedule(5, "past", func(Time) {})
+}
+
+func TestCancel(t *testing.T) {
+	c := New()
+	fired := false
+	e := c.Schedule(1, "x", func(Time) { fired = true })
+	if !c.Cancel(e) {
+		t.Fatal("Cancel reported not pending")
+	}
+	if c.Cancel(e) {
+		t.Fatal("double Cancel reported pending")
+	}
+	c.Run(0)
+	if fired {
+		t.Fatal("canceled event fired")
+	}
+	if c.Pending() != 0 {
+		t.Fatalf("Pending = %d, want 0", c.Pending())
+	}
+}
+
+func TestReschedule(t *testing.T) {
+	c := New()
+	var at Time
+	e := c.Schedule(1, "x", func(now Time) { at = now })
+	c.Reschedule(e, 7)
+	c.Run(0)
+	if at != 7 {
+		t.Fatalf("fired at %v, want 7", at)
+	}
+	if c.Fired() != 1 {
+		t.Fatalf("Fired = %d, want 1", c.Fired())
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	c := New()
+	var fired []Time
+	for _, d := range []Time{1, 2, 3, 4, 5} {
+		d := d
+		c.Schedule(d, "x", func(now Time) { fired = append(fired, now) })
+	}
+	n := c.RunUntil(3)
+	if n != 3 {
+		t.Fatalf("executed %d, want 3", n)
+	}
+	if c.Now() != 3 {
+		t.Fatalf("Now = %v, want 3", c.Now())
+	}
+	n = c.RunUntil(10)
+	if n != 2 {
+		t.Fatalf("executed %d, want 2", n)
+	}
+	if c.Now() != 10 {
+		t.Fatalf("Now = %v, want 10 (advance to deadline)", c.Now())
+	}
+}
+
+func TestAdvance(t *testing.T) {
+	c := New()
+	c.Advance(2.5)
+	if c.Now() != 2.5 {
+		t.Fatalf("Now = %v, want 2.5", c.Now())
+	}
+}
+
+func TestEventSchedulesEvent(t *testing.T) {
+	c := New()
+	var times []Time
+	var chain func(now Time)
+	chain = func(now Time) {
+		times = append(times, now)
+		if len(times) < 5 {
+			c.After(1, "chain", chain)
+		}
+	}
+	c.After(1, "chain", chain)
+	c.Run(0)
+	if len(times) != 5 || times[4] != 5 {
+		t.Fatalf("chain times = %v", times)
+	}
+}
+
+func TestTicker(t *testing.T) {
+	c := New()
+	var ticks []Time
+	tk := c.NewTicker(0.5, 1.0, "tick", func(now Time) {
+		ticks = append(ticks, now)
+		if len(ticks) == 4 {
+			// Stop from within the callback.
+		}
+	})
+	c.RunUntil(3.6)
+	tk.Stop()
+	c.RunUntil(10)
+	want := []Time{0.5, 1.5, 2.5, 3.5}
+	if len(ticks) != len(want) {
+		t.Fatalf("ticks = %v, want %v", ticks, want)
+	}
+	for i := range want {
+		if ticks[i] != want[i] {
+			t.Fatalf("ticks = %v, want %v", ticks, want)
+		}
+	}
+	if tk.Ticks != 4 {
+		t.Fatalf("Ticks = %d, want 4", tk.Ticks)
+	}
+}
+
+func TestTickerStopInsideCallback(t *testing.T) {
+	c := New()
+	var tk *Ticker
+	n := 0
+	tk = c.NewTicker(0, 1, "t", func(Time) {
+		n++
+		if n == 2 {
+			tk.Stop()
+		}
+	})
+	c.Run(0)
+	if n != 2 {
+		t.Fatalf("ticks = %d, want 2", n)
+	}
+}
+
+func TestNextDue(t *testing.T) {
+	c := New()
+	if c.NextDue() != Infinity {
+		t.Fatal("empty queue NextDue != Infinity")
+	}
+	e := c.Schedule(4, "x", func(Time) {})
+	if c.NextDue() != 4 {
+		t.Fatalf("NextDue = %v, want 4", c.NextDue())
+	}
+	c.Cancel(e)
+	if c.NextDue() != Infinity {
+		t.Fatal("canceled event still visible via NextDue")
+	}
+}
+
+// Property: for any set of due times, events fire in nondecreasing time
+// order and the clock ends at the max time.
+func TestQuickOrderingProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		c := New()
+		var fired []Time
+		for _, r := range raw {
+			d := Time(r) / 100
+			c.Schedule(d, "q", func(now Time) { fired = append(fired, now) })
+		}
+		c.Run(0)
+		if len(fired) != len(raw) {
+			return false
+		}
+		if !sort.SliceIsSorted(fired, func(i, j int) bool { return fired[i] < fired[j] }) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: random interleavings of schedule/cancel never fire a canceled
+// event and fire every live event exactly once.
+func TestQuickCancelProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 100; trial++ {
+		c := New()
+		type tracked struct {
+			e     *Event
+			alive bool
+		}
+		var evs []*tracked
+		firedCount := make(map[int]int)
+		for i := 0; i < 50; i++ {
+			i := i
+			tr := &tracked{alive: true}
+			tr.e = c.Schedule(Time(rng.Float64()*100), "q", func(Time) { firedCount[i]++ })
+			evs = append(evs, tr)
+		}
+		for _, tr := range evs {
+			if rng.Float64() < 0.3 {
+				c.Cancel(tr.e)
+				tr.alive = false
+			}
+		}
+		c.Run(0)
+		for i, tr := range evs {
+			want := 0
+			if tr.alive {
+				want = 1
+			}
+			if firedCount[i] != want {
+				t.Fatalf("trial %d event %d fired %d times, want %d", trial, i, firedCount[i], want)
+			}
+		}
+	}
+}
+
+func BenchmarkScheduleRun(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c := New()
+		for j := 0; j < 1000; j++ {
+			c.Schedule(Time(j%97), "b", func(Time) {})
+		}
+		c.Run(0)
+	}
+}

@@ -1,0 +1,143 @@
+package snmp
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/netsim"
+	"repro/internal/simclock"
+	"repro/internal/topology"
+)
+
+func TestAttachTestbed(t *testing.T) {
+	clk := simclock.New()
+	n, err := netsim.New(clk, topology.Testbed())
+	if err != nil {
+		t.Fatal(err)
+	}
+	att := Attach(n, DefaultCommunity)
+	if len(att.Agents) != 11 {
+		t.Fatalf("agents = %d, want 11", len(att.Agents))
+	}
+	c := NewClient(att.Registry, DefaultCommunity)
+
+	// Timberline has 5 interfaces: m-4, m-5, m-6, aspen, whiteface.
+	vbs, err := c.Get(Addr("timberline"), OIDIfNumber, OIDSysName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vbs[0].Value.Int != 5 {
+		t.Fatalf("timberline ifNumber = %v", vbs[0].Value)
+	}
+	if string(vbs[1].Value.Bytes) != "timberline" {
+		t.Fatalf("sysName = %v", vbs[1].Value)
+	}
+
+	// Neighbor discovery walk.
+	nbrs, err := c.Walk(Addr("timberline"), OIDRemosNeighbor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := map[string]bool{}
+	for _, vb := range nbrs {
+		found[string(vb.Value.Bytes)] = true
+	}
+	for _, want := range []string{"m-4", "m-5", "m-6", "aspen", "whiteface"} {
+		if !found[want] {
+			t.Fatalf("neighbor %s missing from %v", want, found)
+		}
+	}
+}
+
+func TestAttachCountersTrackSimulator(t *testing.T) {
+	clk := simclock.New()
+	n, _ := netsim.New(clk, topology.Testbed())
+	att := Attach(n, DefaultCommunity)
+	c := NewClient(att.Registry, DefaultCommunity)
+
+	// Start a 60 Mbps CBR m-6 -> m-8 and advance 10 seconds.
+	n.StartFlow(netsim.FlowSpec{Src: "m-6", Dst: "m-8", RateCap: 60e6})
+	clk.Advance(10)
+
+	// Find timberline's interface toward whiteface.
+	nbrs, _ := c.Walk(Addr("timberline"), OIDRemosNeighbor)
+	var idx uint32
+	for _, vb := range nbrs {
+		if string(vb.Value.Bytes) == "whiteface" {
+			idx = vb.OID[len(vb.OID)-1]
+		}
+	}
+	if idx == 0 {
+		t.Fatal("whiteface interface not found")
+	}
+	vbs, err := c.Get(Addr("timberline"), OIDIfOutOctets.Append(idx), OIDIfInOctets.Append(idx), OIDIfSpeed.Append(idx))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantOctets := 60e6 * 10 / 8
+	if got := float64(vbs[0].Value.Uint); math.Abs(got-wantOctets) > 1 {
+		t.Fatalf("ifOutOctets = %v, want %v", got, wantOctets)
+	}
+	if vbs[1].Value.Uint != 0 {
+		t.Fatalf("ifInOctets = %v, want 0 (one-way flow)", vbs[1].Value.Uint)
+	}
+	if vbs[2].Value.Uint != 100e6 {
+		t.Fatalf("ifSpeed = %v", vbs[2].Value.Uint)
+	}
+}
+
+func TestAttachCounterWraps(t *testing.T) {
+	// Counter32 wraps at 2^32 octets = ~4.3 GB. At 100 Mbps that is
+	// ~344 s; run 400 s and verify wrap.
+	clk := simclock.New()
+	n, _ := netsim.New(clk, topology.Testbed())
+	att := Attach(n, DefaultCommunity)
+	c := NewClient(att.Registry, DefaultCommunity)
+	n.StartFlow(netsim.FlowSpec{Src: "m-1", Dst: "m-2", RateCap: 100e6})
+	clk.Advance(400)
+	// m-1's agent interface 1 is its only link (to aspen).
+	vbs, err := c.Get(Addr("m-1"), OIDIfOutOctets.Append(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 100e6 * 400 / 8 // 5e9 octets
+	want := uint32(uint64(total) % (1 << 32))
+	if vbs[0].Value.Uint != want {
+		t.Fatalf("wrapped counter = %v, want %v", vbs[0].Value.Uint, want)
+	}
+}
+
+func TestAttachHostLoadGauge(t *testing.T) {
+	clk := simclock.New()
+	n, _ := netsim.New(clk, topology.Testbed())
+	n.SetHostLoad("m-3", 0.4)
+	att := Attach(n, DefaultCommunity)
+	c := NewClient(att.Registry, DefaultCommunity)
+	vbs, err := c.Get(Addr("m-3"), OIDHrProcessorLoad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vbs[0].Value.Int != 40 {
+		t.Fatalf("load = %v", vbs[0].Value)
+	}
+	// Routers have no processor-load OID.
+	if _, err := c.Get(Addr("aspen"), OIDHrProcessorLoad); err == nil {
+		t.Fatal("router answered hrProcessorLoad")
+	}
+	_ = clk
+}
+
+func TestAttachSysUpTime(t *testing.T) {
+	clk := simclock.New()
+	n, _ := netsim.New(clk, topology.Testbed())
+	att := Attach(n, DefaultCommunity)
+	c := NewClient(att.Registry, DefaultCommunity)
+	clk.Advance(12.5)
+	vbs, err := c.Get(Addr("aspen"), OIDSysUpTime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vbs[0].Value.Uint != 1250 {
+		t.Fatalf("sysUpTime = %v, want 1250 ticks", vbs[0].Value.Uint)
+	}
+}

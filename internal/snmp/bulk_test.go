@@ -1,0 +1,127 @@
+package snmp
+
+import (
+	"testing"
+)
+
+func bulkAgent() (*Agent, *InProcRegistry, *Client) {
+	a := NewAgent("bulk", "public")
+	for i := uint32(1); i <= 25; i++ {
+		a.MIB.Set(OIDIfInOctets.Append(i), Counter32(uint64(i*100)))
+	}
+	a.MIB.Set(OIDSysName, OctetString("bulk"))
+	reg := NewInProcRegistry()
+	reg.Register("a", a)
+	return a, reg, NewClient(reg, "public")
+}
+
+func TestGetBulk(t *testing.T) {
+	_, _, c := bulkAgent()
+	vbs, err := c.GetBulk("a", OIDIfInOctets, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vbs) != 5 {
+		t.Fatalf("got %d varbinds", len(vbs))
+	}
+	for i, vb := range vbs {
+		if vb.Value.Uint != uint32((i+1)*100) {
+			t.Fatalf("vb[%d] = %v", i, vb.Value)
+		}
+	}
+	// Default repetitions when 0.
+	vbs, err = c.GetBulk("a", OIDIfInOctets, 0)
+	if err != nil || len(vbs) != 10 {
+		t.Fatalf("default reps: %d, %v", len(vbs), err)
+	}
+}
+
+func TestGetBulkStopsAtEndOfMIB(t *testing.T) {
+	_, _, c := bulkAgent()
+	// sysName (1.3.6.1.2.1.1.5.0) sorts before the ifTable, so from the
+	// 24th octet entry only the 25th remains.
+	vbs, err := c.GetBulk("a", OIDIfInOctets.Append(24), 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vbs) != 1 {
+		t.Fatalf("got %d varbinds at MIB tail", len(vbs))
+	}
+}
+
+func TestBulkWalkMatchesWalk(t *testing.T) {
+	a, _, c := bulkAgent()
+	slow, err := c.Walk("a", OIDIfInOctets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := c.BulkWalk("a", OIDIfInOctets, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fast) != len(slow) || len(fast) != 25 {
+		t.Fatalf("bulk %d vs walk %d", len(fast), len(slow))
+	}
+	for i := range slow {
+		if fast[i].OID.Cmp(slow[i].OID) != 0 || !fast[i].Value.Equal(slow[i].Value) {
+			t.Fatalf("entry %d differs", i)
+		}
+	}
+	// BulkWalk should need ~ceil(25/7)+1 = 5 requests vs 26+ for Walk.
+	before := a.Requests()
+	if _, err := c.BulkWalk("a", OIDIfInOctets, 7); err != nil {
+		t.Fatal(err)
+	}
+	bulkReqs := a.Requests() - before
+	before = a.Requests()
+	if _, err := c.Walk("a", OIDIfInOctets); err != nil {
+		t.Fatal(err)
+	}
+	walkReqs := a.Requests() - before
+	if bulkReqs*3 > walkReqs {
+		t.Fatalf("bulk used %d requests vs walk's %d — no savings", bulkReqs, walkReqs)
+	}
+}
+
+func TestGetBulkOverUDP(t *testing.T) {
+	a, _, _ := bulkAgent()
+	srv, err := ServeUDP(a, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c := NewClient(&UDPTransport{}, "public")
+	vbs, err := c.BulkWalk(srv.Addr(), OIDIfInOctets, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vbs) != 25 {
+		t.Fatalf("got %d entries over UDP", len(vbs))
+	}
+}
+
+func TestGetBulkWrongCommunity(t *testing.T) {
+	_, reg, _ := bulkAgent()
+	c := NewClient(reg, "nope")
+	if _, err := c.GetBulk("a", OIDIfInOctets, 5); err == nil {
+		t.Fatal("wrong community accepted")
+	}
+}
+
+func BenchmarkWalkVsBulkWalk(b *testing.B) {
+	_, _, c := bulkAgent()
+	b.Run("walk", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := c.Walk("a", OIDIfInOctets); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("bulkwalk", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := c.BulkWalk("a", OIDIfInOctets, 16); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

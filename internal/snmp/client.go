@@ -1,0 +1,256 @@
+package snmp
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// Transport moves one request to one agent and returns its response.
+// Implementations: InProc (virtual-time experiments) and UDP (daemon
+// mode, integration tests).
+type Transport interface {
+	// RoundTrip sends an encoded request to the named agent address and
+	// returns the encoded response.
+	RoundTrip(addr string, req []byte) ([]byte, error)
+}
+
+// InProcRegistry is an in-process transport: agents register under
+// string addresses; RoundTrip runs the full encode/decode path without a
+// socket, so collector polls stay inside virtual time.
+type InProcRegistry struct {
+	mu     sync.RWMutex
+	agents map[string]*Agent
+}
+
+// NewInProcRegistry returns an empty registry.
+func NewInProcRegistry() *InProcRegistry {
+	return &InProcRegistry{agents: make(map[string]*Agent)}
+}
+
+// Register binds an agent to an address.
+func (r *InProcRegistry) Register(addr string, a *Agent) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.agents[addr] = a
+}
+
+// RoundTrip implements Transport.
+func (r *InProcRegistry) RoundTrip(addr string, req []byte) ([]byte, error) {
+	r.mu.RLock()
+	a := r.agents[addr]
+	r.mu.RUnlock()
+	if a == nil {
+		return nil, fmt.Errorf("snmp: no agent at %q", addr)
+	}
+	resp := a.HandleBytes(req)
+	if resp == nil {
+		return nil, fmt.Errorf("snmp: agent %q dropped request", addr)
+	}
+	return resp, nil
+}
+
+// UDPTransport sends requests over UDP with timeout and retry.
+type UDPTransport struct {
+	Timeout time.Duration // per attempt; default 500ms
+	Retries int           // default 2
+}
+
+// RoundTrip implements Transport.
+func (t *UDPTransport) RoundTrip(addr string, req []byte) ([]byte, error) {
+	timeout := t.Timeout
+	if timeout == 0 {
+		timeout = 500 * time.Millisecond
+	}
+	retries := t.Retries
+	if retries == 0 {
+		retries = 2
+	}
+	var lastErr error
+	for attempt := 0; attempt <= retries; attempt++ {
+		conn, err := net.Dial("udp", addr)
+		if err != nil {
+			return nil, fmt.Errorf("snmp: %w", err)
+		}
+		resp, err := func() ([]byte, error) {
+			defer conn.Close()
+			if err := conn.SetDeadline(time.Now().Add(timeout)); err != nil {
+				return nil, err
+			}
+			if _, err := conn.Write(req); err != nil {
+				return nil, err
+			}
+			buf := make([]byte, 65536)
+			n, err := conn.Read(buf)
+			if err != nil {
+				return nil, err
+			}
+			return buf[:n], nil
+		}()
+		if err == nil {
+			return resp, nil
+		}
+		lastErr = err
+	}
+	return nil, fmt.Errorf("snmp: %d attempts failed: %w", retries+1, lastErr)
+}
+
+// Client issues Get/GetNext/Walk requests through a Transport.
+type Client struct {
+	Transport Transport
+	Community string
+
+	mu     sync.Mutex
+	nextID uint32
+}
+
+// NewClient creates a client.
+func NewClient(tr Transport, community string) *Client {
+	return &Client{Transport: tr, Community: community}
+}
+
+func (c *Client) id() uint32 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.nextID++
+	return c.nextID
+}
+
+func (c *Client) roundTrip(addr string, req *Message) (*Message, error) {
+	raw, err := Encode(req)
+	if err != nil {
+		return nil, err
+	}
+	rawResp, err := c.Transport.RoundTrip(addr, raw)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := Decode(rawResp)
+	if err != nil {
+		return nil, err
+	}
+	if resp.RequestID != req.RequestID {
+		return nil, fmt.Errorf("snmp: response ID %d != request ID %d", resp.RequestID, req.RequestID)
+	}
+	if resp.Type != PDUResponse {
+		return nil, fmt.Errorf("snmp: unexpected PDU type %v", resp.Type)
+	}
+	return resp, nil
+}
+
+// Get fetches exact OIDs. A NoSuchName error from the agent is returned
+// as an error carrying the failing index.
+func (c *Client) Get(addr string, oids ...OID) ([]VarBind, error) {
+	req := &Message{Community: c.Community, Type: PDUGet, RequestID: c.id()}
+	for _, o := range oids {
+		req.VarBinds = append(req.VarBinds, VarBind{OID: o, Value: Null()})
+	}
+	resp, err := c.roundTrip(addr, req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.Error != NoError {
+		return resp.VarBinds, fmt.Errorf("snmp: %v at index %d", resp.Error, resp.ErrorIndex)
+	}
+	return resp.VarBinds, nil
+}
+
+// ErrNoSuchName reports that an OID has no successor (end of MIB) or
+// does not exist.
+var ErrNoSuchName = errors.New("snmp: noSuchName")
+
+// GetNext fetches the lexicographic successor of one OID.
+func (c *Client) GetNext(addr string, oid OID) (VarBind, error) {
+	req := &Message{
+		Community: c.Community, Type: PDUGetNext, RequestID: c.id(),
+		VarBinds: []VarBind{{OID: oid, Value: Null()}},
+	}
+	resp, err := c.roundTrip(addr, req)
+	if err != nil {
+		return VarBind{}, err
+	}
+	if resp.Error == NoSuchName {
+		return VarBind{}, ErrNoSuchName
+	}
+	if resp.Error != NoError {
+		return VarBind{}, fmt.Errorf("snmp: %v", resp.Error)
+	}
+	if len(resp.VarBinds) != 1 {
+		return VarBind{}, fmt.Errorf("snmp: %d varbinds in GetNext response", len(resp.VarBinds))
+	}
+	return resp.VarBinds[0], nil
+}
+
+// GetBulk fetches up to maxRepetitions successors of oid in one round
+// trip. A zero maxRepetitions uses the agent's default (10).
+func (c *Client) GetBulk(addr string, oid OID, maxRepetitions int) ([]VarBind, error) {
+	req := &Message{
+		Community: c.Community, Type: PDUGetBulk, RequestID: c.id(),
+		ErrorIndex: uint32(maxRepetitions),
+		VarBinds:   []VarBind{{OID: oid, Value: Null()}},
+	}
+	resp, err := c.roundTrip(addr, req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.Error != NoError {
+		return nil, fmt.Errorf("snmp: %v", resp.Error)
+	}
+	return resp.VarBinds, nil
+}
+
+// BulkWalk retrieves every entry under prefix using GetBulk batches —
+// the same result as Walk with ~maxRepetitions× fewer round trips.
+func (c *Client) BulkWalk(addr string, prefix OID, maxRepetitions int) ([]VarBind, error) {
+	if maxRepetitions <= 0 {
+		maxRepetitions = 10
+	}
+	var out []VarBind
+	cur := prefix.Clone()
+	for {
+		vbs, err := c.GetBulk(addr, cur, maxRepetitions)
+		if err != nil {
+			return out, err
+		}
+		if len(vbs) == 0 {
+			return out, nil // end of MIB
+		}
+		for _, vb := range vbs {
+			if !vb.OID.HasPrefix(prefix) {
+				return out, nil
+			}
+			out = append(out, vb)
+			if len(out) > maxVarBinds {
+				return out, fmt.Errorf("snmp: bulk walk under %v exceeded %d entries", prefix, maxVarBinds)
+			}
+		}
+		cur = vbs[len(vbs)-1].OID
+	}
+}
+
+// Walk retrieves every entry under prefix via repeated GetNext — how the
+// collector discovers interface tables.
+func (c *Client) Walk(addr string, prefix OID) ([]VarBind, error) {
+	var out []VarBind
+	cur := prefix.Clone()
+	for {
+		vb, err := c.GetNext(addr, cur)
+		if err != nil {
+			if errors.Is(err, ErrNoSuchName) {
+				// End of MIB.
+				return out, nil
+			}
+			return out, err
+		}
+		if !vb.OID.HasPrefix(prefix) {
+			return out, nil
+		}
+		out = append(out, vb)
+		cur = vb.OID
+		if len(out) > maxVarBinds {
+			return out, fmt.Errorf("snmp: walk under %v exceeded %d entries", prefix, maxVarBinds)
+		}
+	}
+}

@@ -1,0 +1,77 @@
+package snmp
+
+import (
+	"sort"
+	"sync"
+)
+
+// MIB is an OID-addressed store. Entries may be static values or dynamic
+// getters evaluated at query time (counters read from the simulator).
+// MIB is safe for concurrent use: the UDP transport serves from its own
+// goroutine.
+type MIB struct {
+	mu      sync.RWMutex
+	entries map[string]func() Value
+	sorted  []OID // lexicographically sorted keys for GETNEXT
+	dirty   bool
+}
+
+// NewMIB returns an empty MIB.
+func NewMIB() *MIB {
+	return &MIB{entries: make(map[string]func() Value)}
+}
+
+// Set installs a static value at an OID.
+func (m *MIB) Set(oid OID, v Value) {
+	m.SetFunc(oid, func() Value { return v })
+}
+
+// SetFunc installs a dynamic value. The getter runs on every query.
+func (m *MIB) SetFunc(oid OID, get func() Value) {
+	key := oid.String()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, exists := m.entries[key]; !exists {
+		m.sorted = append(m.sorted, oid.Clone())
+		m.dirty = true
+	}
+	m.entries[key] = get
+}
+
+// Get returns the value at exactly oid.
+func (m *MIB) Get(oid OID) (Value, bool) {
+	m.mu.RLock()
+	get, ok := m.entries[oid.String()]
+	m.mu.RUnlock()
+	if !ok {
+		return Null(), false
+	}
+	return get(), true
+}
+
+// Next returns the first entry strictly after oid in lexicographic
+// order — GETNEXT semantics, which Walk builds on.
+func (m *MIB) Next(oid OID) (OID, Value, bool) {
+	m.mu.Lock()
+	if m.dirty {
+		sort.Slice(m.sorted, func(i, j int) bool { return m.sorted[i].Cmp(m.sorted[j]) < 0 })
+		m.dirty = false
+	}
+	// Binary search for the first key > oid.
+	idx := sort.Search(len(m.sorted), func(i int) bool { return m.sorted[i].Cmp(oid) > 0 })
+	if idx == len(m.sorted) {
+		m.mu.Unlock()
+		return nil, Null(), false
+	}
+	next := m.sorted[idx]
+	get := m.entries[next.String()]
+	m.mu.Unlock()
+	return next.Clone(), get(), true
+}
+
+// Len returns the number of entries.
+func (m *MIB) Len() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.entries)
+}

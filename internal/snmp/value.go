@@ -1,0 +1,159 @@
+package snmp
+
+import "fmt"
+
+// ValueKind tags the wire type of a value.
+type ValueKind uint8
+
+const (
+	// KindNull marks an absent value (error varbinds).
+	KindNull ValueKind = iota
+	// KindInteger is a signed 64-bit integer.
+	KindInteger
+	// KindCounter32 is a monotonically increasing counter that wraps at
+	// 2^32, exactly like SNMP's Counter32 — the collector must handle
+	// wraparound when differencing octet counters.
+	KindCounter32
+	// KindGauge32 is a non-wrapping unsigned value (ifSpeed).
+	KindGauge32
+	// KindTimeTicks counts hundredths of a second (sysUpTime).
+	KindTimeTicks
+	// KindOctetString is a byte string (sysName, ifDescr).
+	KindOctetString
+)
+
+func (k ValueKind) String() string {
+	switch k {
+	case KindNull:
+		return "Null"
+	case KindInteger:
+		return "Integer"
+	case KindCounter32:
+		return "Counter32"
+	case KindGauge32:
+		return "Gauge32"
+	case KindTimeTicks:
+		return "TimeTicks"
+	case KindOctetString:
+		return "OctetString"
+	default:
+		return fmt.Sprintf("ValueKind(%d)", uint8(k))
+	}
+}
+
+// Value is a typed SNMP value.
+type Value struct {
+	Kind  ValueKind
+	Int   int64  // Integer
+	Uint  uint32 // Counter32, Gauge32, TimeTicks
+	Bytes []byte // OctetString
+}
+
+// Null returns the null value.
+func Null() Value { return Value{Kind: KindNull} }
+
+// Integer wraps an int64.
+func Integer(v int64) Value { return Value{Kind: KindInteger, Int: v} }
+
+// Counter32 wraps a counter, truncating to 32 bits like a real agent.
+func Counter32(v uint64) Value { return Value{Kind: KindCounter32, Uint: uint32(v)} }
+
+// Gauge32 wraps a gauge, saturating at 2^32-1 like SNMP's Gauge32.
+func Gauge32(v uint64) Value {
+	if v > 0xFFFFFFFF {
+		v = 0xFFFFFFFF
+	}
+	return Value{Kind: KindGauge32, Uint: uint32(v)}
+}
+
+// TimeTicks wraps hundredths of seconds.
+func TimeTicks(hundredths uint64) Value { return Value{Kind: KindTimeTicks, Uint: uint32(hundredths)} }
+
+// OctetString wraps a string.
+func OctetString(s string) Value { return Value{Kind: KindOctetString, Bytes: []byte(s)} }
+
+func (v Value) String() string {
+	switch v.Kind {
+	case KindNull:
+		return "null"
+	case KindInteger:
+		return fmt.Sprintf("%d", v.Int)
+	case KindCounter32, KindGauge32, KindTimeTicks:
+		return fmt.Sprintf("%d", v.Uint)
+	case KindOctetString:
+		return string(v.Bytes)
+	default:
+		return "?"
+	}
+}
+
+// Equal compares two values structurally.
+func (v Value) Equal(o Value) bool {
+	if v.Kind != o.Kind || v.Int != o.Int || v.Uint != o.Uint {
+		return false
+	}
+	return string(v.Bytes) == string(o.Bytes)
+}
+
+// VarBind pairs an OID with a value, as in a PDU.
+type VarBind struct {
+	OID   OID
+	Value Value
+}
+
+// PDUType is the request/response discriminator.
+type PDUType uint8
+
+const (
+	// PDUGet requests exact OIDs.
+	PDUGet PDUType = iota
+	// PDUGetNext requests the lexicographic successor of each OID.
+	PDUGetNext
+	// PDUResponse answers any request.
+	PDUResponse
+	// PDUGetBulk requests up to Message.ErrorIndex successors of each
+	// OID in one round trip (as in SNMPv2, the request reuses the
+	// error-index field for max-repetitions). Collectors use it to walk
+	// interface tables with far fewer round trips.
+	PDUGetBulk
+)
+
+// ErrorStatus mirrors SNMP's error-status field.
+type ErrorStatus uint8
+
+const (
+	// NoError means success.
+	NoError ErrorStatus = iota
+	// NoSuchName means an OID does not exist (Get) or has no successor
+	// (GetNext).
+	NoSuchName
+	// BadCommunity means authentication failed.
+	BadCommunity
+	// GenErr covers everything else.
+	GenErr
+)
+
+func (e ErrorStatus) String() string {
+	switch e {
+	case NoError:
+		return "noError"
+	case NoSuchName:
+		return "noSuchName"
+	case BadCommunity:
+		return "badCommunity"
+	case GenErr:
+		return "genErr"
+	default:
+		return fmt.Sprintf("ErrorStatus(%d)", uint8(e))
+	}
+}
+
+// Message is one protocol message (request or response).
+type Message struct {
+	Community  string
+	Type       PDUType
+	RequestID  uint32
+	Error      ErrorStatus
+	ErrorIndex uint32 // 1-based index of the offending varbind
+	VarBinds   []VarBind
+}

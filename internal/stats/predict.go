@@ -1,0 +1,159 @@
+package stats
+
+import "math"
+
+// Predictor estimates future values of a time series. The paper (§4.4)
+// notes that "initial implementations may only support historical
+// performance, or use a simplistic model to predict future performance
+// from current and historical data" — these are those simplistic models.
+type Predictor interface {
+	// Predict returns the expected value `horizon` seconds after the last
+	// sample, with a confidence in [0,1].
+	Predict(samples []Sample, horizon float64) (value, confidence float64)
+	Name() string
+}
+
+// LastValue predicts the most recent observation (random-walk model).
+type LastValue struct{}
+
+// Name implements Predictor.
+func (LastValue) Name() string { return "last-value" }
+
+// Predict implements Predictor.
+func (LastValue) Predict(samples []Sample, horizon float64) (float64, float64) {
+	if len(samples) == 0 {
+		return 0, 0
+	}
+	// Confidence decays with horizon relative to observed history length.
+	conf := 0.8
+	if n := len(samples); n > 1 {
+		hist := samples[n-1].Time - samples[0].Time
+		if hist > 0 {
+			conf = 0.8 * math.Min(1, hist/(hist+horizon))
+		}
+	}
+	return samples[len(samples)-1].Value, conf
+}
+
+// MovingAverage predicts the mean of the last K samples.
+type MovingAverage struct {
+	K int // number of samples; 0 means all
+}
+
+// Name implements Predictor.
+func (m MovingAverage) Name() string { return "moving-average" }
+
+// Predict implements Predictor.
+func (m MovingAverage) Predict(samples []Sample, horizon float64) (float64, float64) {
+	n := len(samples)
+	if n == 0 {
+		return 0, 0
+	}
+	k := m.K
+	if k <= 0 || k > n {
+		k = n
+	}
+	var sum float64
+	for _, s := range samples[n-k:] {
+		sum += s.Value
+	}
+	return sum / float64(k), float64(k) / float64(k+2)
+}
+
+// EWMA predicts with an exponentially weighted moving average.
+type EWMA struct {
+	Alpha float64 // smoothing factor in (0,1]; typical 0.25
+}
+
+// Name implements Predictor.
+func (e EWMA) Name() string { return "ewma" }
+
+// Predict implements Predictor.
+func (e EWMA) Predict(samples []Sample, horizon float64) (float64, float64) {
+	if len(samples) == 0 {
+		return 0, 0
+	}
+	a := e.Alpha
+	if a <= 0 || a > 1 {
+		a = 0.25
+	}
+	v := samples[0].Value
+	for _, s := range samples[1:] {
+		v = a*s.Value + (1-a)*v
+	}
+	return v, float64(len(samples)) / float64(len(samples)+2)
+}
+
+// LinearTrend fits value = a + b*t by least squares and extrapolates.
+// Useful when load ramps steadily; degrades to LastValue with <2 samples.
+type LinearTrend struct{}
+
+// Name implements Predictor.
+func (LinearTrend) Name() string { return "linear-trend" }
+
+// Predict implements Predictor.
+func (LinearTrend) Predict(samples []Sample, horizon float64) (float64, float64) {
+	n := len(samples)
+	if n == 0 {
+		return 0, 0
+	}
+	if n == 1 {
+		return samples[0].Value, 0.3
+	}
+	var st, sv, stt, stv float64
+	for _, s := range samples {
+		st += s.Time
+		sv += s.Value
+		stt += s.Time * s.Time
+		stv += s.Time * s.Value
+	}
+	fn := float64(n)
+	den := fn*stt - st*st
+	if den == 0 {
+		return sv / fn, 0.3
+	}
+	b := (fn*stv - st*sv) / den
+	a := (sv - b*st) / fn
+	t := samples[n-1].Time + horizon
+	pred := a + b*t
+	// Confidence from fit quality (1 - normalized residual).
+	var ss, ssRes float64
+	mean := sv / fn
+	for _, s := range samples {
+		ss += (s.Value - mean) * (s.Value - mean)
+		r := s.Value - (a + b*s.Time)
+		ssRes += r * r
+	}
+	conf := 0.5
+	if ss > 0 {
+		conf = math.Max(0, math.Min(1, 1-ssRes/ss)) * float64(n) / float64(n+2)
+	}
+	return pred, conf
+}
+
+// PredictStat turns a point prediction into a Stat by reusing the
+// historical spread around the predicted center: the quartile offsets of
+// the samples are translated so their median sits at the prediction. This
+// keeps the variability information while moving the location, which is
+// what a future-timeframe Remos query reports.
+func PredictStat(samples []Sample, p Predictor, horizon float64) Stat {
+	if len(samples) == 0 {
+		return NoData()
+	}
+	vals := make([]float64, len(samples))
+	for i, s := range samples {
+		vals[i] = s.Value
+	}
+	hist := Quartiles(vals)
+	center, conf := p.Predict(samples, horizon)
+	shift := center - hist.Median
+	out := Stat{
+		Min:     hist.Min + shift,
+		Q1:      hist.Q1 + shift,
+		Median:  center,
+		Q3:      hist.Q3 + shift,
+		Max:     hist.Max + shift,
+		Samples: hist.Samples,
+	}
+	return out.WithAccuracy(hist.Accuracy * conf).ClampNonNegative()
+}

@@ -1,0 +1,136 @@
+package stats
+
+import "fmt"
+
+// Sample is one timestamped measurement. Time is virtual seconds (the
+// collector's poll timestamps).
+type Sample struct {
+	Time  float64
+	Value float64
+}
+
+// Window is a bounded time-series of samples, oldest first. The collector
+// keeps one per directed channel (utilization) and per host (CPU load).
+// The zero value is unusable; call NewWindow.
+type Window struct {
+	maxAge  float64 // samples older than newest-maxAge are dropped; 0 = keep all
+	maxLen  int     // hard cap on retained samples
+	samples []Sample
+	start   int // ring start
+	count   int
+	dropped uint64
+}
+
+// NewWindow creates a window retaining at most maxLen samples no older
+// than maxAge seconds relative to the most recent sample. maxLen must be
+// positive.
+func NewWindow(maxLen int, maxAge float64) *Window {
+	if maxLen <= 0 {
+		panic(fmt.Sprintf("stats: non-positive window length %d", maxLen))
+	}
+	return &Window{maxAge: maxAge, maxLen: maxLen, samples: make([]Sample, maxLen)}
+}
+
+// Add appends a sample. Samples must arrive in nondecreasing time order;
+// out-of-order samples are rejected with an error (a multi-collector merge
+// bug, worth surfacing, not panicking over).
+func (w *Window) Add(t, v float64) error {
+	if w.count > 0 {
+		last := w.at(w.count - 1)
+		if t < last.Time {
+			return fmt.Errorf("stats: out-of-order sample t=%v after t=%v", t, last.Time)
+		}
+	}
+	if w.count == w.maxLen {
+		w.start = (w.start + 1) % w.maxLen
+		w.count--
+		w.dropped++
+	}
+	w.samples[(w.start+w.count)%w.maxLen] = Sample{Time: t, Value: v}
+	w.count++
+	w.expire(t)
+	return nil
+}
+
+func (w *Window) expire(now float64) {
+	if w.maxAge <= 0 {
+		return
+	}
+	for w.count > 0 && w.at(0).Time < now-w.maxAge {
+		w.start = (w.start + 1) % w.maxLen
+		w.count--
+		w.dropped++
+	}
+}
+
+func (w *Window) at(i int) Sample { return w.samples[(w.start+i)%w.maxLen] }
+
+// Len returns the number of retained samples.
+func (w *Window) Len() int { return w.count }
+
+// Dropped returns how many samples have aged or been evicted (diagnostic).
+func (w *Window) Dropped() uint64 { return w.dropped }
+
+// Latest returns the most recent sample and whether one exists.
+func (w *Window) Latest() (Sample, bool) {
+	if w.count == 0 {
+		return Sample{}, false
+	}
+	return w.at(w.count - 1), true
+}
+
+// Since returns the values of samples with Time >= t, oldest first.
+func (w *Window) Since(t float64) []float64 {
+	var out []float64
+	for i := 0; i < w.count; i++ {
+		s := w.at(i)
+		if s.Time >= t {
+			out = append(out, s.Value)
+		}
+	}
+	return out
+}
+
+// Samples returns a copy of all retained samples, oldest first.
+func (w *Window) Samples() []Sample {
+	out := make([]Sample, w.count)
+	for i := range out {
+		out[i] = w.at(i)
+	}
+	return out
+}
+
+// Summary computes the quartile Stat over the samples in the last `span`
+// seconds (ending at the newest sample), matching the paper's variable-
+// timescale queries: "data collected and averaged for a specific time
+// window". Accuracy combines sample-count saturation with how much of the
+// requested span the samples actually cover.
+func (w *Window) Summary(span float64) Stat {
+	latest, ok := w.Latest()
+	if !ok {
+		return NoData()
+	}
+	if span <= 0 {
+		// "current": just the most recent measurement.
+		return Exact(latest.Value).WithAccuracy(0.5)
+	}
+	cut := latest.Time - span
+	vals := w.Since(cut)
+	st := Quartiles(vals)
+	if !st.Valid() {
+		return NoData()
+	}
+	// Coverage: fraction of the span the retained samples actually cover.
+	oldest := w.at(0).Time
+	covered := latest.Time - oldest
+	if covered > span {
+		covered = span
+	}
+	coverage := 1.0
+	if span > 0 && w.count > 1 {
+		coverage = covered / span
+	} else if w.count == 1 {
+		coverage = 0.5
+	}
+	return st.WithAccuracy(st.Accuracy * coverage)
+}

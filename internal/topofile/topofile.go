@@ -1,0 +1,211 @@
+// Package topofile reads and writes a small declarative topology format,
+// so deployments can describe their network the way the paper's testbed
+// configuration did, instead of constructing graphs in code:
+//
+//	# the CMU testbed (Figure 3)
+//	host   m-1    power=1.0
+//	router aspen
+//	router slowsw internal=10Mbps
+//	link   m-1 aspen 100Mbps 0.5ms
+//
+// Lines are `host NAME [power=F]`, `router NAME [internal=BW]`, and
+// `link A B BANDWIDTH LATENCY`. Bandwidth accepts bps with an optional
+// Kbps/Mbps/Gbps suffix; latency accepts s/ms/us. '#' starts a comment.
+package topofile
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/graph"
+)
+
+// Parse reads a topology description.
+func Parse(r io.Reader) (*graph.Graph, error) {
+	g := graph.New()
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		if err := parseLine(g, fields); err != nil {
+			return nil, fmt.Errorf("topofile: line %d: %w", lineNo, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("topofile: %w", err)
+	}
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("topofile: %w", err)
+	}
+	return g, nil
+}
+
+// ParseString parses a topology from a string.
+func ParseString(s string) (*graph.Graph, error) {
+	return Parse(strings.NewReader(s))
+}
+
+func parseLine(g *graph.Graph, fields []string) (err error) {
+	defer func() {
+		// The graph builder panics on structural errors (duplicate
+		// nodes, unknown endpoints); surface those as parse errors.
+		if r := recover(); r != nil {
+			err = fmt.Errorf("%v", r)
+		}
+	}()
+	switch fields[0] {
+	case "host":
+		if len(fields) < 2 {
+			return fmt.Errorf("host needs a name")
+		}
+		power := 1.0
+		for _, opt := range fields[2:] {
+			k, v, ok := strings.Cut(opt, "=")
+			if !ok {
+				return fmt.Errorf("bad option %q", opt)
+			}
+			switch k {
+			case "power":
+				power, err = strconv.ParseFloat(v, 64)
+				if err != nil {
+					return fmt.Errorf("bad power %q", v)
+				}
+			default:
+				return fmt.Errorf("unknown host option %q", k)
+			}
+		}
+		g.AddHost(graph.NodeID(fields[1]), power)
+	case "router", "switch":
+		if len(fields) < 2 {
+			return fmt.Errorf("router needs a name")
+		}
+		internal := 0.0
+		for _, opt := range fields[2:] {
+			k, v, ok := strings.Cut(opt, "=")
+			if !ok {
+				return fmt.Errorf("bad option %q", opt)
+			}
+			switch k {
+			case "internal":
+				internal, err = ParseBandwidth(v)
+				if err != nil {
+					return err
+				}
+			default:
+				return fmt.Errorf("unknown router option %q", k)
+			}
+		}
+		g.AddRouter(graph.NodeID(fields[1]), internal)
+	case "link":
+		if len(fields) != 5 {
+			return fmt.Errorf("link needs: link A B BANDWIDTH LATENCY")
+		}
+		bw, err := ParseBandwidth(fields[3])
+		if err != nil {
+			return err
+		}
+		lat, err := ParseLatency(fields[4])
+		if err != nil {
+			return err
+		}
+		g.AddLink(graph.NodeID(fields[1]), graph.NodeID(fields[2]), bw, lat)
+	default:
+		return fmt.Errorf("unknown directive %q", fields[0])
+	}
+	return nil
+}
+
+// ParseBandwidth parses "100Mbps", "1.5Gbps", "64Kbps", or a raw
+// bits-per-second number.
+func ParseBandwidth(s string) (float64, error) {
+	mult := 1.0
+	num := s
+	for _, suf := range []struct {
+		name string
+		mult float64
+	}{
+		{"Gbps", 1e9}, {"Mbps", 1e6}, {"Kbps", 1e3}, {"bps", 1},
+	} {
+		if strings.HasSuffix(s, suf.name) {
+			mult = suf.mult
+			num = strings.TrimSuffix(s, suf.name)
+			break
+		}
+	}
+	v, err := strconv.ParseFloat(num, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad bandwidth %q", s)
+	}
+	if v < 0 {
+		return 0, fmt.Errorf("negative bandwidth %q", s)
+	}
+	return v * mult, nil
+}
+
+// ParseLatency parses "0.5ms", "2us", "1s", or a raw seconds number.
+func ParseLatency(s string) (float64, error) {
+	mult := 1.0
+	num := s
+	for _, suf := range []struct {
+		name string
+		mult float64
+	}{
+		{"ms", 1e-3}, {"us", 1e-6}, {"s", 1},
+	} {
+		if strings.HasSuffix(s, suf.name) {
+			mult = suf.mult
+			num = strings.TrimSuffix(s, suf.name)
+			break
+		}
+	}
+	v, err := strconv.ParseFloat(num, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad latency %q", s)
+	}
+	if v < 0 {
+		return 0, fmt.Errorf("negative latency %q", s)
+	}
+	return v * mult, nil
+}
+
+// Format writes a graph in canonical topofile form: hosts, routers, then
+// links, each sorted; bandwidths in Mbps, latencies in ms.
+func Format(g *graph.Graph) string {
+	var b strings.Builder
+	hosts := g.ComputeNodes()
+	sort.Slice(hosts, func(i, j int) bool { return hosts[i] < hosts[j] })
+	for _, id := range hosts {
+		n := g.Node(id)
+		if n.ComputePower != 1 {
+			fmt.Fprintf(&b, "host %s power=%g\n", id, n.ComputePower)
+		} else {
+			fmt.Fprintf(&b, "host %s\n", id)
+		}
+	}
+	routers := g.NetworkNodes()
+	sort.Slice(routers, func(i, j int) bool { return routers[i] < routers[j] })
+	for _, id := range routers {
+		n := g.Node(id)
+		if n.InternalBW > 0 {
+			fmt.Fprintf(&b, "router %s internal=%gMbps\n", id, n.InternalBW/1e6)
+		} else {
+			fmt.Fprintf(&b, "router %s\n", id)
+		}
+	}
+	for _, l := range g.Links() {
+		fmt.Fprintf(&b, "link %s %s %gMbps %gms\n", l.A, l.B, l.Capacity/1e6, l.Latency*1e3)
+	}
+	return b.String()
+}

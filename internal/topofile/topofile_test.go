@@ -1,0 +1,185 @@
+package topofile
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/topology"
+)
+
+const testbedFile = `
+# the CMU testbed (Figure 3)
+host m-1
+host m-2
+router aspen
+router slowsw internal=10Mbps
+link m-1 aspen 100Mbps 0.5ms
+link m-2 slowsw 10Mbps 0.5ms
+link aspen slowsw 100Mbps 2ms
+`
+
+func TestParseBasics(t *testing.T) {
+	g, err := ParseString(testbedFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 4 || g.NumLinks() != 3 {
+		t.Fatalf("%d nodes %d links", g.NumNodes(), g.NumLinks())
+	}
+	if g.Node("m-1").Kind != graph.Compute || g.Node("m-1").ComputePower != 1 {
+		t.Fatalf("m-1 = %+v", g.Node("m-1"))
+	}
+	if g.Node("slowsw").InternalBW != 10e6 {
+		t.Fatalf("slowsw internal = %v", g.Node("slowsw").InternalBW)
+	}
+	l := g.Links()[2]
+	if l.Capacity != 100e6 || math.Abs(l.Latency-0.002) > 1e-12 {
+		t.Fatalf("link = %+v", l)
+	}
+}
+
+func TestParseHostPowerAndSwitchAlias(t *testing.T) {
+	g, err := ParseString("host fast power=2.5\nswitch sw internal=1Gbps\nlink fast sw 1Gbps 1us\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Node("fast").ComputePower != 2.5 {
+		t.Fatalf("power = %v", g.Node("fast").ComputePower)
+	}
+	if g.Node("sw").InternalBW != 1e9 {
+		t.Fatalf("internal = %v", g.Node("sw").InternalBW)
+	}
+	if math.Abs(g.Links()[0].Latency-1e-6) > 1e-18 {
+		t.Fatalf("latency = %v", g.Links()[0].Latency)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"unknown directive": "frobnicate x\n",
+		"host no name":      "host\n",
+		"bad option":        "host a power\n",
+		"bad power":         "host a power=abc\n",
+		"unknown host opt":  "host a speed=2\n",
+		"router no name":    "router\n",
+		"bad internal":      "router r internal=xyz\n",
+		"unknown rtr opt":   "router r color=red\n",
+		"short link":        "host a\nhost b\nlink a b 100Mbps\n",
+		"bad bandwidth":     "host a\nrouter r\nlink a r fast 1ms\n",
+		"bad latency":       "host a\nrouter r\nlink a r 1Mbps soon\n",
+		"duplicate node":    "host a\nhost a\n",
+		"unknown endpoint":  "host a\nlink a b 1Mbps 1ms\n",
+		"negative bw":       "host a\nrouter r\nlink a r -5Mbps 1ms\n",
+		"negative latency":  "host a\nrouter r\nlink a r 5Mbps -1ms\n",
+	}
+	for name, src := range cases {
+		if _, err := ParseString(src); err == nil {
+			t.Errorf("%s: accepted %q", name, src)
+		}
+	}
+}
+
+func TestCommentsAndBlanks(t *testing.T) {
+	g, err := ParseString("# only comments\n\n   \nhost a # trailing comment\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 1 {
+		t.Fatalf("nodes = %d", g.NumNodes())
+	}
+}
+
+func TestParseBandwidthUnits(t *testing.T) {
+	cases := map[string]float64{
+		"100Mbps": 100e6,
+		"1.5Gbps": 1.5e9,
+		"64Kbps":  64e3,
+		"250bps":  250,
+		"1000":    1000,
+	}
+	for s, want := range cases {
+		got, err := ParseBandwidth(s)
+		if err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+		if got != want {
+			t.Fatalf("%s = %v, want %v", s, got, want)
+		}
+	}
+}
+
+func TestParseLatencyUnits(t *testing.T) {
+	cases := map[string]float64{
+		"0.5ms": 0.0005,
+		"2us":   2e-6,
+		"1s":    1,
+		"0.25":  0.25,
+	}
+	for s, want := range cases {
+		got, err := ParseLatency(s)
+		if err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+		if math.Abs(got-want) > 1e-15 {
+			t.Fatalf("%s = %v, want %v", s, got, want)
+		}
+	}
+}
+
+// Round trip: Format(Parse(x)) == Format(Parse(Format(Parse(x)))) and
+// the graphs match structurally.
+func TestRoundTripTestbed(t *testing.T) {
+	orig := topology.Testbed()
+	text := Format(orig)
+	back, err := ParseString(text)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, text)
+	}
+	if back.NumNodes() != orig.NumNodes() || back.NumLinks() != orig.NumLinks() {
+		t.Fatalf("shape changed: %d/%d vs %d/%d",
+			back.NumNodes(), back.NumLinks(), orig.NumNodes(), orig.NumLinks())
+	}
+	for _, id := range orig.Nodes() {
+		on, bn := orig.Node(id), back.Node(id)
+		if bn == nil || on.Kind != bn.Kind || on.InternalBW != bn.InternalBW || on.ComputePower != bn.ComputePower {
+			t.Fatalf("node %s changed: %+v vs %+v", id, on, bn)
+		}
+	}
+	if Format(back) != text {
+		t.Fatal("Format not canonical")
+	}
+	// Routes computed from the round-tripped graph agree.
+	rt1, _ := orig.Routes()
+	rt2, err := back.Routes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1 := rt1.Route("m-1", "m-8")
+	p2 := rt2.Route("m-1", "m-8")
+	if p1.Hops() != p2.Hops() {
+		t.Fatalf("routes differ: %v vs %v", p1, p2)
+	}
+}
+
+func TestRoundTripFigure1(t *testing.T) {
+	orig := topology.Figure1(topology.Figure1SlowSwitches())
+	back, err := ParseString(Format(orig))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Node("A").InternalBW != 10e6 {
+		t.Fatalf("internal BW lost: %v", back.Node("A").InternalBW)
+	}
+}
+
+func TestFormatReadable(t *testing.T) {
+	text := Format(topology.Testbed())
+	if !strings.Contains(text, "host m-1\n") {
+		t.Fatalf("format:\n%s", text)
+	}
+	if !strings.Contains(text, "link m-1 aspen 100Mbps 0.5ms") {
+		t.Fatalf("format:\n%s", text)
+	}
+}

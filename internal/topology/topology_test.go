@@ -1,0 +1,168 @@
+package topology
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestTestbedShape(t *testing.T) {
+	g := Testbed()
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(g.ComputeNodes()); got != 8 {
+		t.Fatalf("hosts = %d", got)
+	}
+	if got := len(g.NetworkNodes()); got != 3 {
+		t.Fatalf("routers = %d", got)
+	}
+	if got := g.NumLinks(); got != 10 {
+		t.Fatalf("links = %d", got)
+	}
+	if !g.Connected() {
+		t.Fatal("testbed not connected")
+	}
+	for _, l := range g.Links() {
+		if l.Capacity != 100*Mbps {
+			t.Fatalf("link %d capacity %v", l.ID, l.Capacity)
+		}
+	}
+}
+
+func TestTestbedThreeHopDiameter(t *testing.T) {
+	// §8.1: "any node can be reached from any other node with at most 3
+	// hops".
+	g := Testbed()
+	rt, err := g.Routes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxHops := 0
+	for _, pair := range rt.Pairs() {
+		p := rt.Route(pair[0], pair[1])
+		if p.Hops() > maxHops {
+			maxHops = p.Hops()
+		}
+	}
+	// Hosts hang one hop off their router; m-1 -> m-8 is host-aspen-
+	// timberline-whiteface-host = 4 links. The paper counts router hops;
+	// our link count for the farthest pair is 4.
+	if maxHops != 4 {
+		t.Fatalf("max link hops = %d, want 4 (3 router hops)", maxHops)
+	}
+}
+
+func TestTestbedTrafficRoute(t *testing.T) {
+	// §8.2: traffic m-6 -> m-8 routes via timberline -> whiteface.
+	g := Testbed()
+	rt, _ := g.Routes()
+	p := rt.Route("m-6", "m-8")
+	want := []graph.NodeID{"m-6", "timberline", "whiteface", "m-8"}
+	if len(p.Nodes) != len(want) {
+		t.Fatalf("route = %v", p)
+	}
+	for i := range want {
+		if p.Nodes[i] != want[i] {
+			t.Fatalf("route = %v, want %v", p.Nodes, want)
+		}
+	}
+}
+
+func TestFigure1Scenarios(t *testing.T) {
+	fast := Figure1(Figure1FastSwitches())
+	if err := fast.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if fast.Node("A").InternalBW != 100*Mbps {
+		t.Fatalf("A internal = %v", fast.Node("A").InternalBW)
+	}
+	slow := Figure1(Figure1SlowSwitches())
+	if slow.Node("A").InternalBW != 10*Mbps {
+		t.Fatalf("slow A internal = %v", slow.Node("A").InternalBW)
+	}
+	if got := len(fast.ComputeNodes()); got != 8 {
+		t.Fatalf("hosts = %d", got)
+	}
+	rt, err := fast.Routes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := rt.Route("n1", "n5")
+	if p.Hops() != 3 {
+		t.Fatalf("n1->n5 hops = %d", p.Hops())
+	}
+}
+
+func TestDumbbell(t *testing.T) {
+	g := Dumbbell(3, 100, 10)
+	if !g.Connected() {
+		t.Fatal("not connected")
+	}
+	rt, _ := g.Routes()
+	p := rt.Route("l0", "r0")
+	if p.Bottleneck() != 10*Mbps {
+		t.Fatalf("bottleneck = %v", p.Bottleneck())
+	}
+}
+
+func TestStar(t *testing.T) {
+	g := Star(5, 100, 50)
+	if got := g.NumLinks(); got != 5 {
+		t.Fatalf("links = %d", got)
+	}
+	if g.Node("hub").InternalBW != 50*Mbps {
+		t.Fatal("hub internal wrong")
+	}
+	if !g.Connected() {
+		t.Fatal("not connected")
+	}
+}
+
+func TestRouterChain(t *testing.T) {
+	g := RouterChain(12, 4, 100)
+	if !g.Connected() {
+		t.Fatal("not connected")
+	}
+	if got := len(g.ComputeNodes()); got != 12 {
+		t.Fatalf("hosts = %d", got)
+	}
+	rt, err := g.Routes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// h0 on rt0, h3 on rt3: 1 + 3 + 1 links.
+	if p := rt.Route("h0", "h3"); p.Hops() != 5 {
+		t.Fatalf("hops = %d", p.Hops())
+	}
+}
+
+func TestRouterChainPanicsWithoutRouters(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	RouterChain(2, 0, 100)
+}
+
+func TestWideAreaCollapses(t *testing.T) {
+	g := WideArea(2, 5, 100, 45)
+	if !g.Connected() {
+		t.Fatal("not connected")
+	}
+	// Collapsing the backbone should eliminate all bb* routers.
+	c := g.CollapseChains(nil)
+	for _, id := range c.Nodes() {
+		if len(id) >= 2 && id[:2] == "bb" {
+			t.Fatalf("backbone router %s survived collapse", id)
+		}
+	}
+	rt, _ := g.Routes()
+	p := rt.Route("a0", "b0")
+	crt, _ := c.Routes()
+	cp := crt.Route("a0", "b0")
+	if p.Bottleneck() != cp.Bottleneck() {
+		t.Fatalf("bottleneck changed: %v -> %v", p.Bottleneck(), cp.Bottleneck())
+	}
+}

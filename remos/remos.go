@@ -1,0 +1,230 @@
+// Package remos is the public API of the Remos reproduction: a uniform,
+// network-independent query interface for network-aware applications
+// (Lowekamp et al., "A Resource Query Interface for Network-Aware
+// Applications", HPDC 1998).
+//
+// Applications link a Modeler and ask it two kinds of questions:
+//
+//   - Topology queries — Modeler.GetGraph, the paper's remos_get_graph:
+//     a logical topology of the hosts the application cares about,
+//     annotated with capacities, availability and latency.
+//
+//   - Flow queries — Modeler.QueryFlowInfo, the paper's remos_flow_info:
+//     what bandwidth a set of application-level flows would receive,
+//     resolved simultaneously under max-min fair sharing, in three
+//     classes (fixed, variable, independent).
+//
+// Every dynamic quantity is a quartile Stat with an accuracy measure.
+// Queries carry a Timeframe: invariant capacities, the current
+// measurement, a trailing historical window, or a predicted future.
+//
+// The Modeler is fed by a Collector (see NewTestbed for the simulated
+// deployment, and DialCollector for connecting to a collector daemon
+// over TCP).
+package remos
+
+import (
+	"io"
+
+	"repro/internal/cluster"
+	"repro/internal/collector"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/netsim"
+	"repro/internal/simclock"
+	"repro/internal/snmp"
+	"repro/internal/stats"
+	"repro/internal/topofile"
+	"repro/internal/topology"
+)
+
+// Core data types re-exported for applications.
+type (
+	// NodeID names a host or network node.
+	NodeID = graph.NodeID
+
+	// NodeKind distinguishes hosts from routers/switches.
+	NodeKind = graph.NodeKind
+
+	// Stat is the quartile summary attached to every dynamic quantity.
+	Stat = stats.Stat
+
+	// Timeframe selects the time context of a query.
+	Timeframe = core.Timeframe
+
+	// Flow describes one application-level flow in a flow query.
+	Flow = core.Flow
+
+	// FlowKind is the flow class (fixed, variable, independent).
+	FlowKind = core.FlowKind
+
+	// FlowInfo is the answer to a flow query.
+	FlowInfo = core.FlowInfo
+
+	// FlowResult is one flow's entry in a FlowInfo.
+	FlowResult = core.FlowResult
+
+	// Graph is the annotated logical topology from a topology query.
+	Graph = core.Graph
+
+	// LinkInfo annotates one logical link.
+	LinkInfo = core.LinkInfo
+
+	// NodeInfo annotates one node.
+	NodeInfo = core.NodeInfo
+
+	// Modeler answers Remos queries; obtain one from NewModeler.
+	Modeler = core.Modeler
+
+	// Source supplies the Modeler with topology and measurements: a
+	// local Collector, a TCP client to a collector daemon, or a merge
+	// of several.
+	Source = collector.Source
+
+	// Config parameterizes NewModeler.
+	Config = core.Config
+)
+
+// Flow classes (§4.2 of the paper).
+const (
+	FixedFlow       = core.FixedFlow
+	VariableFlow    = core.VariableFlow
+	IndependentFlow = core.IndependentFlow
+)
+
+// Node kinds.
+const (
+	ComputeNode = graph.Compute
+	NetworkNode = graph.Network
+)
+
+// Timeframe constructors.
+var (
+	// TFCapacity queries invariant physical capacities.
+	TFCapacity = core.TFCapacity
+	// TFCurrent queries the most recent measurements.
+	TFCurrent = core.TFCurrent
+	// TFHistory queries a trailing measurement window (seconds).
+	TFHistory = core.TFHistory
+	// TFFuture queries a prediction horizon (seconds ahead).
+	TFFuture = core.TFFuture
+)
+
+// NewModeler creates a Modeler over a measurement source.
+func NewModeler(cfg Config) *Modeler { return core.New(cfg) }
+
+// DialCollector connects to a collector daemon's TCP query service and
+// returns it as a Source.
+func DialCollector(addr string) (Source, error) { return collector.Dial(addr) }
+
+// MergeSources combines several collectors into one Source (the paper's
+// "multiple cooperating Collectors").
+func MergeSources(sources ...Source) Source { return collector.Merge(sources...) }
+
+// LoadHistorySource reads a measurement dump written by
+// Testbed.SaveHistory (or a collector daemon) and returns it as an
+// offline Source: a Modeler over it answers queries about the recorded
+// network without any live collector.
+func LoadHistorySource(r io.Reader) (Source, error) { return collector.LoadHistory(r) }
+
+// SelectNodes runs the paper's §7.2 greedy clustering on live Remos
+// measurements: choose k well-connected hosts from pool, starting from
+// start. It returns the chosen hosts in selection order.
+func SelectNodes(m *Modeler, pool []NodeID, start NodeID, k int, tf Timeframe) ([]NodeID, error) {
+	res, err := cluster.FromModeler(m, pool, start, k, cluster.TestbedMetric(), tf)
+	if err != nil {
+		return nil, err
+	}
+	return res.Nodes, nil
+}
+
+// Testbed is a fully wired simulated deployment: the Figure 3 testbed
+// (or a custom topology) with SNMP agents, a running Collector, and a
+// Modeler — everything an example or experiment needs. Time is virtual:
+// advance it with Run.
+type Testbed struct {
+	Clock     *simclock.Clock
+	Network   *netsim.Network
+	Agents    *snmp.AttachedAgents
+	Collector *collector.Collector
+	Modeler   *Modeler
+}
+
+// NewTestbed builds the standard simulated testbed of the paper's
+// Figure 3 (hosts m-1..m-8, routers aspen/timberline/whiteface, 100 Mbps
+// links) with a collector polling every 2 virtual seconds.
+func NewTestbed() (*Testbed, error) {
+	return NewTestbedOn(topology.Testbed())
+}
+
+// LoadTopology parses a topofile description (see internal/topofile for
+// the format: `host NAME`, `router NAME [internal=BW]`,
+// `link A B 100Mbps 0.5ms`) for use with NewTestbedOn.
+func LoadTopology(text string) (*graph.Graph, error) {
+	return topofile.ParseString(text)
+}
+
+// FormatTopology renders a graph in topofile form.
+func FormatTopology(g *graph.Graph) string { return topofile.Format(g) }
+
+// NewTestbedOn builds a simulated deployment over a custom topology.
+func NewTestbedOn(g *graph.Graph) (*Testbed, error) {
+	clk := simclock.New()
+	n, err := netsim.New(clk, g)
+	if err != nil {
+		return nil, err
+	}
+	att := snmp.Attach(n, snmp.DefaultCommunity)
+	addrs := make(map[NodeID]string)
+	for id := range att.Agents {
+		addrs[id] = snmp.Addr(id)
+	}
+	col := collector.New(collector.Config{
+		Client:        snmp.NewClient(att.Registry, snmp.DefaultCommunity),
+		Clock:         clk,
+		Addrs:         addrs,
+		PollPeriod:    2,
+		PerHopLatency: topology.PerHopLatency,
+	})
+	if err := col.Start(); err != nil {
+		return nil, err
+	}
+	return &Testbed{
+		Clock:     clk,
+		Network:   n,
+		Agents:    att,
+		Collector: col,
+		Modeler:   NewModeler(Config{Source: col}),
+	}, nil
+}
+
+// Run advances virtual time by d seconds, executing everything scheduled
+// in that span (collector polls, traffic, transfers).
+func (t *Testbed) Run(d float64) { t.Clock.Advance(d) }
+
+// After schedules fn to run d virtual seconds from now; the callback
+// receives the virtual time in seconds.
+func (t *Testbed) After(d float64, label string, fn func(now float64)) {
+	t.Clock.After(d, label, func(ts simclock.Time) { fn(float64(ts)) })
+}
+
+// Now returns the current virtual time in seconds.
+func (t *Testbed) Now() float64 { return float64(t.Clock.Now()) }
+
+// Hosts returns the testbed's compute nodes.
+func (t *Testbed) Hosts() []NodeID { return t.Network.Graph().ComputeNodes() }
+
+// SaveHistory writes the testbed collector's topology and measurement
+// history to w for later offline analysis via LoadHistorySource.
+func (t *Testbed) SaveHistory(w io.Writer) error { return t.Collector.SaveHistory(w) }
+
+// ServeCollector exposes the testbed's collector on a TCP address
+// (e.g. "127.0.0.1:0") for out-of-process Modelers; returns the bound
+// address and a shutdown function.
+func (t *Testbed) ServeCollector(addr string) (string, func() error, error) {
+	srv, err := collector.Serve(t.Collector, addr)
+	if err != nil {
+		return "", nil, err
+	}
+	return srv.Addr(), srv.Close, nil
+}

@@ -1,0 +1,159 @@
+package remos
+
+import (
+	"repro/internal/apps/airshed"
+	"repro/internal/apps/fft"
+	"repro/internal/cluster"
+	"repro/internal/collective"
+	"repro/internal/core"
+	"repro/internal/fx"
+	"repro/internal/graph"
+	"repro/internal/netsim"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+// The adaptive-parallel-computing tool chain of §6-§7: the Fx-style
+// runtime, communication patterns, the two benchmark applications, and
+// traffic generation — everything needed to write a network-aware
+// parallel program against the simulated testbed.
+
+type (
+	// Program is an iterative task/data-parallel application.
+	Program = fx.Program
+
+	// ProgramStep is one compute+communicate phase of an iteration.
+	ProgramStep = fx.Step
+
+	// Runtime executes Programs on a Testbed's network.
+	Runtime = fx.Runtime
+
+	// Report summarizes one program execution.
+	Report = fx.Report
+
+	// Adapter decides migrations at iteration boundaries.
+	Adapter = fx.Adapter
+
+	// RemosAdapter is the standard Remos-driven adaptation module:
+	// query, cluster, migrate when a better set exists.
+	RemosAdapter = fx.RemosAdapter
+
+	// FlowSpec describes a transfer injected into the simulated network.
+	FlowSpec = netsim.FlowSpec
+
+	// TrafficGenerator is a running synthetic load.
+	TrafficGenerator = traffic.Generator
+
+	// ClusterMetric converts measurements into node distances.
+	ClusterMetric = cluster.Metric
+)
+
+// Communication patterns for ProgramStep.Comm.
+var (
+	// AllToAll exchanges bytesPerPair between every ordered node pair.
+	AllToAll = fx.AllToAll
+	// AllToAllTotal exchanges a fixed total volume (matrix transpose).
+	AllToAllTotal = fx.AllToAllTotal
+	// BroadcastPattern sends from the first node to all others.
+	BroadcastPattern = fx.Broadcast
+	// GatherPattern sends from all others to the first node.
+	GatherPattern = fx.Gather
+	// RingPattern exchanges between cyclic neighbors.
+	RingPattern = fx.Ring
+)
+
+// FFTProgram builds the paper's 2-D FFT benchmark (size n×n, power of
+// two) for the given number of transforms.
+func FFTProgram(n, iterations int) *Program { return fft.Program(n, iterations) }
+
+// AirshedProgram builds the paper's Airshed pollution-model benchmark
+// with the calibrated default parameters.
+func AirshedProgram() *Program { return airshed.Program(airshed.DefaultParams()) }
+
+// TestbedClusterMetric is the node-distance metric used in the paper's
+// experiments: bandwidth-dominant with a latency tie-break.
+func TestbedClusterMetric() ClusterMetric { return cluster.TestbedMetric() }
+
+// StartCBR launches a responsive constant-bit-rate flow on the testbed.
+func (t *Testbed) StartCBR(src, dst NodeID, rate float64) TrafficGenerator {
+	return traffic.CBR(t.Network, src, dst, rate)
+}
+
+// StartBlast launches a non-responsive constant-rate flow (the paper's
+// interfering synthetic traffic).
+func (t *Testbed) StartBlast(src, dst NodeID, rate float64) TrafficGenerator {
+	return traffic.Blast(t.Network, src, dst, rate)
+}
+
+// StartOnOff launches a bursty on-off source with exponential periods.
+func (t *Testbed) StartOnOff(src, dst NodeID, rate, meanOn, meanOff float64, seed int64) TrafficGenerator {
+	return traffic.OnOff(t.Network, src, dst, traffic.OnOffConfig{
+		Rate: rate, MeanOn: meanOn, MeanOff: meanOff, Seed: seed,
+	})
+}
+
+// NewRuntime creates a program runtime over the testbed's network.
+func (t *Testbed) NewRuntime() *Runtime { return &Runtime{Net: t.Network} }
+
+// TestbedHosts lists the Figure 3 testbed's hosts (m-1..m-8).
+func TestbedHosts() []NodeID {
+	return append([]graph.NodeID(nil), topology.TestbedHosts...)
+}
+
+// SelectNodesComputeAware runs the computation-aware variant of node
+// selection: well-connected hosts, discounted by their measured CPU
+// load (the paper's §7.2 compute/communication tradeoff).
+func SelectNodesComputeAware(m *Modeler, pool []NodeID, start NodeID, k int, tf Timeframe) ([]NodeID, error) {
+	res, err := cluster.ComputeAwareFromModeler(m, pool, start, k, cluster.TestbedMetric(), tf, 1e-7)
+	if err != nil {
+		return nil, err
+	}
+	return res.Nodes, nil
+}
+
+// Watching -----------------------------------------------------------------
+
+type (
+	// WatchConfig parameterizes a bandwidth watch.
+	WatchConfig = core.WatchConfig
+	// WatchEvent is one threshold crossing.
+	WatchEvent = core.WatchEvent
+	// Watch is a running periodic availability evaluation.
+	Watch = core.Watch
+)
+
+// WatchBandwidth starts a periodic availability watch on the testbed,
+// invoking fn on threshold crossings (with hysteresis between Low and
+// High).
+func (t *Testbed) WatchBandwidth(cfg WatchConfig, fn func(WatchEvent)) (*Watch, error) {
+	return t.Modeler.WatchBandwidth(t.Clock, cfg, fn)
+}
+
+// Collective-communication optimization (§2 "optimization of
+// communication"): compile broadcast schedules and run them on the
+// testbed.
+
+// BroadcastSchedule is a compiled collective operation.
+type BroadcastSchedule = collective.Schedule
+
+// FlatBroadcast compiles the naive root-sends-to-all schedule.
+func FlatBroadcast(root NodeID, nodes []NodeID, bytes float64) (*BroadcastSchedule, error) {
+	return collective.Flat(root, nodes, bytes)
+}
+
+// BinomialBroadcast compiles the topology-oblivious binomial tree.
+func BinomialBroadcast(root NodeID, nodes []NodeID, bytes float64) (*BroadcastSchedule, error) {
+	return collective.Binomial(root, nodes, bytes)
+}
+
+// TopologyAwareBroadcast compiles a broadcast tree from live Remos
+// measurements so every slow link is crossed exactly once.
+func TopologyAwareBroadcast(m *Modeler, root NodeID, nodes []NodeID, bytes float64, tf Timeframe) (*BroadcastSchedule, error) {
+	return collective.TopologyAware(m, root, nodes, bytes, tf)
+}
+
+// MeasureSchedule executes a schedule on the testbed and returns its
+// virtual completion time in seconds.
+func (t *Testbed) MeasureSchedule(s *BroadcastSchedule) float64 {
+	return collective.Measure(t.Network, s, "app")
+}
