@@ -1,0 +1,19 @@
+GO ?= go
+
+.PHONY: build test race vet verify
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# The full gate CI runs: build, vet, tests, race detector.
+verify:
+	./scripts/verify.sh

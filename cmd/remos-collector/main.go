@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"repro/internal/collector"
+	"repro/internal/faults"
 	"repro/internal/netsim"
 	"repro/internal/snmp"
 	"repro/internal/topology"
@@ -43,6 +44,11 @@ func main() {
 	udp := flag.Bool("udp", false, "also serve each node's SNMP agent over UDP")
 	poll := flag.Float64("poll", 2, "collector poll period (virtual seconds)")
 	history := flag.String("history", "", "write the measurement history to this file on shutdown")
+	downAfter := flag.Int("down-after", 3, "consecutive failures before an agent is marked down")
+	backoff := flag.Float64("backoff", 0, "base retry backoff for failing agents (virtual seconds; 0 = poll period)")
+	backoffMax := flag.Float64("backoff-max", 0, "maximum retry backoff (virtual seconds; 0 = 16x base)")
+	halfLife := flag.Float64("half-life", 0, "data age at which accuracy halves (virtual seconds; 0 = 10x poll, negative disables)")
+	seed := flag.Int64("seed", 1, "seed for fault injection and backoff jitter")
 	var blasts []blastSpec
 	flag.Func("blast", "src,dst,mbps — non-responsive traffic (repeatable)", func(s string) error {
 		parts := strings.Split(s, ",")
@@ -54,6 +60,27 @@ func main() {
 			return err
 		}
 		blasts = append(blasts, blastSpec{parts[0], parts[1], mbps})
+		return nil
+	})
+	type blackholeSpec struct {
+		node     string
+		from, to float64
+	}
+	var blackholes []blackholeSpec
+	flag.Func("blackhole", "node,from,to — drop the node's SNMP traffic in [from,to) virtual seconds, to<=0 = forever (repeatable)", func(s string) error {
+		parts := strings.Split(s, ",")
+		if len(parts) != 3 {
+			return fmt.Errorf("want node,from,to")
+		}
+		from, err := strconv.ParseFloat(parts[1], 64)
+		if err != nil {
+			return err
+		}
+		to, err := strconv.ParseFloat(parts[2], 64)
+		if err != nil {
+			return err
+		}
+		blackholes = append(blackholes, blackholeSpec{parts[0], from, to})
 		return nil
 	})
 	flag.Parse()
@@ -93,12 +120,25 @@ func main() {
 		}
 	}
 
+	// All collector traffic crosses the fault injector, so scripted
+	// blackholes exercise the breaker/staleness path of a live daemon.
+	inj := faults.New(att.Registry, clk, *seed)
+	for _, b := range blackholes {
+		inj.Blackhole(snmp.Addr(graphpkg.NodeID(b.node)), b.from, b.to)
+		fmt.Printf("fault: blackhole %s in [%g, %g)\n", b.node, b.from, b.to)
+	}
+
 	col := collector.New(collector.Config{
-		Client:        snmp.NewClient(att.Registry, snmp.DefaultCommunity),
+		Client:        snmp.NewClient(inj, snmp.DefaultCommunity),
 		Clock:         clk,
 		Addrs:         addrs,
 		PollPeriod:    *poll,
 		PerHopLatency: topology.PerHopLatency,
+		DownAfter:     *downAfter,
+		BackoffBase:   *backoff,
+		BackoffMax:    *backoffMax,
+		StaleHalfLife: *halfLife,
+		Seed:          *seed,
 	})
 	mu.Lock()
 	if err := col.Start(); err != nil {

@@ -9,6 +9,8 @@ package collector
 
 import (
 	"fmt"
+	"math"
+	"math/rand"
 	"sort"
 	"sync"
 
@@ -58,6 +60,10 @@ type Source interface {
 	Samples(key ChannelKey) ([]stats.Sample, error)
 	// HostLoad summarizes a host's CPU load fraction over the span.
 	HostLoad(node graph.NodeID, span float64) (stats.Stat, error)
+	// DataAge reports how many seconds old the newest sample for a
+	// channel is — the staleness a Modeler uses to decay prediction
+	// accuracy at query time.
+	DataAge(key ChannelKey) (float64, error)
 }
 
 // Config parameterizes a Collector.
@@ -86,6 +92,33 @@ type Config struct {
 	// links report a new ifSpeed) and newly reachable agents. Zero
 	// disables periodic rediscovery.
 	RediscoverPeriod float64
+
+	// DownAfter is the number of consecutive failed attempts at which an
+	// agent's health goes from Degraded to Down (default 3). The first
+	// failure already marks it Degraded.
+	DownAfter int
+
+	// BackoffBase and BackoffMax bound the exponential retry backoff the
+	// circuit breaker applies to failing agents, in virtual seconds:
+	// after the n-th consecutive failure the next attempt waits
+	// min(BackoffBase·2^(n-1), BackoffMax). Defaults: PollPeriod and
+	// 16×PollPeriod.
+	BackoffBase float64
+	BackoffMax  float64
+
+	// BackoffJitter randomizes each backoff by ±(jitter fraction),
+	// drawn from the seeded RNG so schedules stay reproducible. Zero
+	// (the default) keeps the schedule exact.
+	BackoffJitter float64
+
+	// Seed seeds the jitter RNG (default 1).
+	Seed int64
+
+	// StaleHalfLife is the data age, in virtual seconds, at which a
+	// channel's reported Accuracy has decayed to half — the §4.4
+	// estimation-accuracy channel carrying outage information. Zero
+	// means 10×PollPeriod; negative disables decay.
+	StaleHalfLife float64
 }
 
 func (c *Config) fill() {
@@ -98,6 +131,29 @@ func (c *Config) fill() {
 	if c.PerHopLatency <= 0 {
 		c.PerHopLatency = 0.0005
 	}
+	if c.DownAfter <= 0 {
+		c.DownAfter = 3
+	}
+	if c.BackoffBase <= 0 {
+		c.BackoffBase = c.PollPeriod
+	}
+	if c.BackoffMax <= 0 {
+		c.BackoffMax = 16 * c.BackoffBase
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.StaleHalfLife == 0 {
+		c.StaleHalfLife = 10 * c.PollPeriod
+	}
+}
+
+// staleHalfLife returns the effective half-life (0 = decay disabled).
+func (c *Config) staleHalfLife() float64 {
+	if c.StaleHalfLife < 0 {
+		return 0
+	}
+	return c.StaleHalfLife
 }
 
 // Collector polls agents and accumulates utilization history.
@@ -110,6 +166,9 @@ type Collector struct {
 	windows    map[ChannelKey]*stats.Window
 	capacity   map[ChannelKey]float64
 	loads      map[graph.NodeID]*stats.Window
+	health     map[graph.NodeID]*AgentHealth
+	lastNode   map[graph.NodeID]*nodeInfo
+	rng        *rand.Rand
 	ticker     *simclock.Ticker
 	rediscover *simclock.Ticker
 
@@ -134,6 +193,9 @@ func New(cfg Config) *Collector {
 		windows:  make(map[ChannelKey]*stats.Window),
 		capacity: make(map[ChannelKey]float64),
 		loads:    make(map[graph.NodeID]*stats.Window),
+		health:   make(map[graph.NodeID]*AgentHealth),
+		lastNode: make(map[graph.NodeID]*nodeInfo),
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
 	}
 }
 
@@ -200,6 +262,18 @@ func (c *Collector) Topology() (*Topology, error) {
 	return c.topo, nil
 }
 
+// ageAdjustLocked stamps the data age onto a summary and decays its
+// accuracy by the configured half-life: how an agent outage shows up in
+// query answers (stale-but-served) instead of as an error.
+func (c *Collector) ageAdjustLocked(st stats.Stat, w *stats.Window) stats.Stat {
+	latest, ok := w.Latest()
+	if !ok {
+		return st
+	}
+	st.Age = math.Max(0, float64(c.cfg.Clock.Now())-latest.Time)
+	return st.AgeDecayed(c.cfg.staleHalfLife())
+}
+
 // Utilization implements Source.
 func (c *Collector) Utilization(key ChannelKey, span float64) (stats.Stat, error) {
 	c.mu.Lock()
@@ -208,7 +282,22 @@ func (c *Collector) Utilization(key ChannelKey, span float64) (stats.Stat, error
 	if w == nil {
 		return stats.NoData(), fmt.Errorf("collector: unknown channel %v", key)
 	}
-	return w.Summary(span), nil
+	return c.ageAdjustLocked(w.Summary(span), w), nil
+}
+
+// DataAge implements Source: seconds since the newest sample for key.
+func (c *Collector) DataAge(key ChannelKey) (float64, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	w := c.windows[key]
+	if w == nil {
+		return 0, fmt.Errorf("collector: unknown channel %v", key)
+	}
+	latest, ok := w.Latest()
+	if !ok {
+		return math.Inf(1), nil
+	}
+	return math.Max(0, float64(c.cfg.Clock.Now())-latest.Time), nil
 }
 
 // Samples implements Source.
@@ -230,7 +319,7 @@ func (c *Collector) HostLoad(node graph.NodeID, span float64) (stats.Stat, error
 	if w == nil {
 		return stats.NoData(), fmt.Errorf("collector: no load data for %q", node)
 	}
-	return w.Summary(span), nil
+	return c.ageAdjustLocked(w.Summary(span), w), nil
 }
 
 // Capacity returns the discovered capacity of a channel in bits/s.
@@ -268,12 +357,16 @@ func (c *Collector) PollOnce() {
 	}
 
 	for _, id := range c.sortedNodes() {
+		// Circuit breaker: agents on a backoff schedule are skipped, so
+		// a dead router costs a few probes per backoff period while the
+		// surviving topology keeps being polled at full rate.
+		if !c.allowAttempt(id, now) {
+			continue
+		}
 		addr := c.cfg.Addrs[id]
 		ifaces, err := c.walkInterfaces(addr)
 		if err != nil {
-			c.mu.Lock()
-			c.pollErrors++
-			c.mu.Unlock()
+			c.recordFailure(id, now)
 			continue
 		}
 		for _, iface := range ifaces {
@@ -295,6 +388,7 @@ func (c *Collector) PollOnce() {
 				load float64
 			}{id, float64(vbs[0].Value.Int) / 100})
 		}
+		c.recordSuccess(id, now)
 	}
 
 	c.mu.Lock()

@@ -96,37 +96,44 @@ func (c *Collector) Discover() (*Topology, error) {
 	}
 	nodes := make(map[string]*nodeInfo)
 	links := make(map[int]linkRec)
+	live := make(map[string]bool)
+	now := float64(c.cfg.Clock.Now())
 	var firstErr error
+	// remember falls back to the last good discovery record for an agent
+	// the breaker is skipping or that just failed: the dead router stays
+	// in the topology with its links (partial-topology serving) and only
+	// its measurements go stale.
+	remember := func(id graph.NodeID) {
+		c.mu.Lock()
+		ni := c.lastNode[id]
+		c.mu.Unlock()
+		if ni != nil {
+			nodes[ni.name] = ni
+		}
+	}
 	for _, id := range c.sortedNodes() {
+		// The breaker throttles discovery the same way it throttles
+		// polling: a Down agent is re-probed on the backoff schedule, and
+		// a successful probe here is how it rejoins the topology.
+		if !c.allowAttempt(id, now) {
+			remember(id)
+			continue
+		}
 		ni, err := c.queryNode(c.cfg.Addrs[id])
 		if err != nil {
 			if firstErr == nil {
 				firstErr = fmt.Errorf("collector: discovering %q: %w", id, err)
 			}
-			c.mu.Lock()
-			c.pollErrors++
-			c.mu.Unlock()
+			c.recordFailure(id, now)
+			remember(id)
 			continue
 		}
+		c.recordSuccess(id, now)
+		c.mu.Lock()
+		c.lastNode[id] = ni
+		c.mu.Unlock()
 		nodes[ni.name] = ni
-		for _, iface := range ni.ifaces {
-			a, b := ni.name, iface.neighbor
-			if a > b {
-				a, b = b, a
-			}
-			if prev, ok := links[iface.global]; ok {
-				if prev.a != a || prev.b != b {
-					return nil, fmt.Errorf("collector: link %d reported as %s--%s and %s--%s",
-						iface.global, prev.a, prev.b, a, b)
-				}
-				if prev.capacity != iface.speed {
-					return nil, fmt.Errorf("collector: link %d speed mismatch %v vs %v",
-						iface.global, prev.capacity, iface.speed)
-				}
-				continue
-			}
-			links[iface.global] = linkRec{a: a, b: b, capacity: iface.speed}
-		}
+		live[ni.name] = true
 	}
 	if len(nodes) == 0 {
 		if firstErr != nil {
@@ -135,12 +142,46 @@ func (c *Collector) Discover() (*Topology, error) {
 		return nil, fmt.Errorf("collector: empty domain")
 	}
 
-	g := graph.New()
 	names := make([]string, 0, len(nodes))
 	for n := range nodes {
 		names = append(names, n)
 	}
 	sort.Strings(names)
+	// Links reported by live agents win and are cross-checked against
+	// each other; remembered (stale) records only fill in links no live
+	// agent covers — e.g. a backbone link whose both ends are dark — and
+	// are exempt from conflict checks, since a link may well have changed
+	// while its reporter was unreachable.
+	for pass := 0; pass < 2; pass++ {
+		for _, n := range names {
+			if live[n] != (pass == 0) {
+				continue
+			}
+			for _, iface := range nodes[n].ifaces {
+				a, b := n, iface.neighbor
+				if a > b {
+					a, b = b, a
+				}
+				if prev, ok := links[iface.global]; ok {
+					if pass == 1 {
+						continue
+					}
+					if prev.a != a || prev.b != b {
+						return nil, fmt.Errorf("collector: link %d reported as %s--%s and %s--%s",
+							iface.global, prev.a, prev.b, a, b)
+					}
+					if prev.capacity != iface.speed {
+						return nil, fmt.Errorf("collector: link %d speed mismatch %v vs %v",
+							iface.global, prev.capacity, iface.speed)
+					}
+					continue
+				}
+				links[iface.global] = linkRec{a: a, b: b, capacity: iface.speed}
+			}
+		}
+	}
+
+	g := graph.New()
 	for _, n := range names {
 		ni := nodes[n]
 		if ni.kind == graph.Network {

@@ -1,0 +1,157 @@
+package collector
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+)
+
+// Per-agent health tracking: the collector's reaction layer. Every poll
+// or discovery attempt feeds a small state machine per agent —
+//
+//	Healthy --failure--> Degraded --DownAfter failures--> Down
+//	   ^___________________success___________________________|
+//
+// — and failing agents are retried on an exponential-backoff schedule
+// (a circuit breaker) instead of on every poll tick, so a dead router
+// costs a handful of probe attempts per backoff period while healthy
+// agents keep being polled at full rate. Queries keep being answered
+// from the surviving topology; staleness surfaces through Stat.Age and
+// accuracy decay rather than errors.
+
+// HealthState is an agent's position in the health state machine.
+type HealthState int
+
+const (
+	// Healthy: the last attempt succeeded.
+	Healthy HealthState = iota
+	// Degraded: at least one failure since the last success, but fewer
+	// than Config.DownAfter consecutive ones.
+	Degraded
+	// Down: DownAfter or more consecutive failures; the circuit breaker
+	// is throttling attempts to the backoff schedule.
+	Down
+)
+
+func (s HealthState) String() string {
+	switch s {
+	case Healthy:
+		return "healthy"
+	case Degraded:
+		return "degraded"
+	case Down:
+		return "down"
+	default:
+		return fmt.Sprintf("HealthState(%d)", int(s))
+	}
+}
+
+// AgentHealth is a snapshot of one agent's collection health.
+type AgentHealth struct {
+	State HealthState
+
+	// ConsecutiveFailures counts failed attempts since the last success.
+	ConsecutiveFailures int
+
+	// LastSuccess and LastAttempt are virtual times; -1 before the first.
+	LastSuccess float64
+	LastAttempt float64
+
+	// NextAttempt is the earliest virtual time the breaker allows another
+	// attempt (0 when the agent is healthy).
+	NextAttempt float64
+
+	// Skipped counts poll opportunities the breaker suppressed.
+	Skipped uint64
+}
+
+// HealthSource is implemented by Sources that track per-agent health
+// (the in-process Collector, the TCP Client, and Merged). A nil map
+// means the source has no health information.
+type HealthSource interface {
+	Health() map[graph.NodeID]AgentHealth
+}
+
+// healthLocked returns (creating if needed) the mutable health record
+// for an agent. Callers hold c.mu.
+func (c *Collector) healthLocked(id graph.NodeID) *AgentHealth {
+	h := c.health[id]
+	if h == nil {
+		h = &AgentHealth{LastSuccess: -1, LastAttempt: -1}
+		c.health[id] = h
+	}
+	return h
+}
+
+// allowAttempt consults the circuit breaker: it reports whether the
+// agent may be contacted now, recording either the attempt or the skip.
+func (c *Collector) allowAttempt(id graph.NodeID, now float64) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	h := c.healthLocked(id)
+	if now < h.NextAttempt {
+		h.Skipped++
+		return false
+	}
+	h.LastAttempt = now
+	return true
+}
+
+// recordSuccess closes the breaker and resets the agent to Healthy.
+func (c *Collector) recordSuccess(id graph.NodeID, now float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	h := c.healthLocked(id)
+	h.State = Healthy
+	h.ConsecutiveFailures = 0
+	h.LastSuccess = now
+	h.NextAttempt = 0
+}
+
+// recordFailure advances the state machine and re-arms the breaker with
+// exponential backoff (plus optional seeded jitter so a fleet of
+// collectors does not re-probe a recovering router in lockstep).
+func (c *Collector) recordFailure(id graph.NodeID, now float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.pollErrors++
+	h := c.healthLocked(id)
+	h.ConsecutiveFailures++
+	if h.ConsecutiveFailures >= c.cfg.DownAfter {
+		h.State = Down
+	} else {
+		h.State = Degraded
+	}
+	backoff := c.cfg.BackoffBase * math.Exp2(float64(h.ConsecutiveFailures-1))
+	if backoff > c.cfg.BackoffMax {
+		backoff = c.cfg.BackoffMax
+	}
+	if j := c.cfg.BackoffJitter; j > 0 {
+		backoff *= 1 + j*(2*c.rng.Float64()-1)
+	}
+	h.NextAttempt = now + backoff
+}
+
+// Health implements HealthSource: a snapshot of every agent's health,
+// keyed by node ID.
+func (c *Collector) Health() map[graph.NodeID]AgentHealth {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[graph.NodeID]AgentHealth, len(c.health))
+	for id, h := range c.health {
+		out[id] = *h
+	}
+	return out
+}
+
+// HealthOf returns one agent's health snapshot.
+func (c *Collector) HealthOf(id graph.NodeID) (AgentHealth, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	h, ok := c.health[id]
+	if !ok {
+		return AgentHealth{}, false
+	}
+	return *h, true
+}

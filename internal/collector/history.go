@@ -130,3 +130,13 @@ func (r *Replay) HostLoad(node graph.NodeID, span float64) (stats.Stat, error) {
 	}
 	return w.Summary(span), nil
 }
+
+// DataAge implements Source. Recorded data has no live reference clock;
+// a replayed trace is by definition as fresh as it will ever be, so the
+// age is zero for channels the dump contains.
+func (r *Replay) DataAge(key ChannelKey) (float64, error) {
+	if r.channels[key] == nil {
+		return 0, fmt.Errorf("collector: no recorded data for %v", key)
+	}
+	return 0, nil
+}

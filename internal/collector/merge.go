@@ -141,3 +141,51 @@ func (m *Merged) HostLoad(node graph.NodeID, span float64) (stats.Stat, error) {
 	}
 	return stats.NoData(), firstErr
 }
+
+// DataAge implements Source: the freshest age any member reports for the
+// channel (overlapping members may poll at different rates).
+func (m *Merged) DataAge(key ChannelKey) (float64, error) {
+	best := 0.0
+	any := false
+	var firstErr error
+	for _, s := range m.sources {
+		age, err := s.DataAge(key)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		if !any || age < best {
+			best = age
+		}
+		any = true
+	}
+	if !any {
+		return 0, firstErr
+	}
+	return best, nil
+}
+
+// Health implements HealthSource: the union of member health maps. When
+// members overlap on an agent, the healthier view wins — one collector
+// still reaching the agent means the data keeps flowing.
+func (m *Merged) Health() map[graph.NodeID]AgentHealth {
+	var out map[graph.NodeID]AgentHealth
+	for _, s := range m.sources {
+		hs, ok := s.(HealthSource)
+		if !ok {
+			continue
+		}
+		for id, h := range hs.Health() {
+			if out == nil {
+				out = make(map[graph.NodeID]AgentHealth)
+			}
+			if prev, ok := out[id]; ok && prev.State <= h.State {
+				continue
+			}
+			out[id] = h
+		}
+	}
+	return out
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"repro/internal/graph"
 	"repro/internal/stats"
@@ -75,7 +76,7 @@ func topoFromWire(w *wireTopo) *Topology {
 }
 
 type request struct {
-	Op   string // "topo", "util", "samples", "load"
+	Op   string // "topo", "util", "samples", "load", "age", "health"
 	Key  ChannelKey
 	Span float64
 	Node string
@@ -86,6 +87,8 @@ type response struct {
 	Stat    stats.Stat
 	Samples []stats.Sample
 	Topo    *wireTopo
+	Age     float64
+	Health  map[string]AgentHealth
 }
 
 // Server exposes a Source over TCP.
@@ -183,6 +186,22 @@ func (s *Server) serveConn(conn net.Conn) {
 				resp.Err = err.Error()
 			}
 			resp.Stat = st
+		case "age":
+			age, err := s.src.DataAge(req.Key)
+			if err != nil {
+				resp.Err = err.Error()
+			}
+			resp.Age = age
+		case "health":
+			if hs, ok := s.src.(HealthSource); ok {
+				h := hs.Health()
+				resp.Health = make(map[string]AgentHealth, len(h))
+				for id, ah := range h {
+					resp.Health[string(id)] = ah
+				}
+			} else {
+				resp.Err = "collector: source does not track health"
+			}
 		default:
 			resp.Err = fmt.Sprintf("collector: unknown op %q", req.Op)
 		}
@@ -192,9 +211,39 @@ func (s *Server) serveConn(conn net.Conn) {
 	}
 }
 
+// DefaultCallTimeout bounds one query round trip (dial + write + read):
+// a hung or half-dead server must never block the Modeler forever.
+const DefaultCallTimeout = 5 * time.Second
+
+// DefaultRetryBackoff is the pause before the reconnect attempt after a
+// failed call, giving a restarting server a moment to rebind.
+const DefaultRetryBackoff = 100 * time.Millisecond
+
+// ClientConfig tunes a client's failure behaviour. The zero value of
+// each field selects its default.
+type ClientConfig struct {
+	// CallTimeout is the per-call I/O deadline (default
+	// DefaultCallTimeout); negative disables deadlines.
+	CallTimeout time.Duration
+	// RetryBackoff is the wait between the failed attempt and the one
+	// reconnect retry (default DefaultRetryBackoff); negative disables
+	// the pause.
+	RetryBackoff time.Duration
+}
+
+func (cc *ClientConfig) fill() {
+	if cc.CallTimeout == 0 {
+		cc.CallTimeout = DefaultCallTimeout
+	}
+	if cc.RetryBackoff == 0 {
+		cc.RetryBackoff = DefaultRetryBackoff
+	}
+}
+
 // Client is a Source backed by a remote collector service.
 type Client struct {
 	addr string
+	cfg  ClientConfig
 
 	mu   sync.Mutex
 	conn net.Conn
@@ -202,9 +251,16 @@ type Client struct {
 	dec  *gob.Decoder
 }
 
-// Dial connects to a collector service.
+// Dial connects to a collector service with default timeouts.
 func Dial(addr string) (*Client, error) {
-	c := &Client{addr: addr}
+	return DialConfig(addr, ClientConfig{})
+}
+
+// DialConfig connects to a collector service with explicit failure
+// behaviour.
+func DialConfig(addr string, cfg ClientConfig) (*Client, error) {
+	cfg.fill()
+	c := &Client{addr: addr, cfg: cfg}
 	if err := c.connect(); err != nil {
 		return nil, err
 	}
@@ -212,7 +268,7 @@ func Dial(addr string) (*Client, error) {
 }
 
 func (c *Client) connect() error {
-	conn, err := net.Dial("tcp", c.addr)
+	conn, err := net.DialTimeout("tcp", c.addr, c.dialTimeout())
 	if err != nil {
 		return fmt.Errorf("collector: %w", err)
 	}
@@ -220,6 +276,13 @@ func (c *Client) connect() error {
 	c.enc = gob.NewEncoder(conn)
 	c.dec = gob.NewDecoder(conn)
 	return nil
+}
+
+func (c *Client) dialTimeout() time.Duration {
+	if c.cfg.CallTimeout < 0 {
+		return 0 // no limit
+	}
+	return c.cfg.CallTimeout
 }
 
 // Close tears down the connection.
@@ -241,6 +304,13 @@ func (c *Client) call(req *request) (*response, error) {
 				return nil, err
 			}
 		}
+		// Per-call deadline: a hung server surfaces as a timeout error
+		// the reconnect path handles, never as a blocked Modeler.
+		if c.cfg.CallTimeout > 0 {
+			if err := c.conn.SetDeadline(time.Now().Add(c.cfg.CallTimeout)); err != nil {
+				return nil, err
+			}
+		}
 		if err := c.enc.Encode(req); err != nil {
 			return nil, err
 		}
@@ -252,10 +322,14 @@ func (c *Client) call(req *request) (*response, error) {
 	}
 	resp, err := attempt()
 	if err != nil {
-		// One reconnect: the server may have restarted between calls.
+		// One reconnect after a short backoff: the server may be
+		// restarting; retrying instantly tends to race its rebind.
 		if c.conn != nil {
 			c.conn.Close()
 			c.conn = nil
+		}
+		if c.cfg.RetryBackoff > 0 {
+			time.Sleep(c.cfg.RetryBackoff)
 		}
 		resp, err = attempt()
 		if err != nil {
@@ -308,4 +382,27 @@ func (c *Client) HostLoad(node graph.NodeID, span float64) (stats.Stat, error) {
 		return stats.NoData(), err
 	}
 	return resp.Stat, nil
+}
+
+// DataAge implements Source.
+func (c *Client) DataAge(key ChannelKey) (float64, error) {
+	resp, err := c.call(&request{Op: "age", Key: key})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Age, nil
+}
+
+// Health implements HealthSource: the remote collector's per-agent
+// health snapshot (nil when the server cannot provide one).
+func (c *Client) Health() map[graph.NodeID]AgentHealth {
+	resp, err := c.call(&request{Op: "health"})
+	if err != nil {
+		return nil
+	}
+	out := make(map[graph.NodeID]AgentHealth, len(resp.Health))
+	for id, h := range resp.Health {
+		out[graph.NodeID(id)] = h
+	}
+	return out
 }

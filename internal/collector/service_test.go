@@ -1,8 +1,11 @@
 package collector
 
 import (
+	"io"
 	"math"
+	"net"
 	"testing"
+	"time"
 
 	"repro/internal/graph"
 	"repro/internal/snmp"
@@ -113,6 +116,87 @@ func TestClientReconnects(t *testing.T) {
 	defer srv2.Close()
 	if _, err := cli.Topology(); err != nil {
 		t.Fatalf("reconnect failed: %v", err)
+	}
+}
+
+// TestServerRestartMidQueryStream kills and rebinds the server in the
+// middle of a stream of queries; the client's reconnect-with-backoff
+// path must hide the restart from the caller entirely.
+func TestServerRestartMidQueryStream(t *testing.T) {
+	r := newRig(t, 2)
+	if err := r.col.Start(); err != nil {
+		t.Fatal(err)
+	}
+	traffic.Blast(r.net, "m-6", "m-8", 40e6)
+	r.clk.RunUntil(20)
+
+	srv, err := Serve(r.col, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr()
+	cli, err := DialConfig(addr, ClientConfig{
+		CallTimeout:  2 * time.Second,
+		RetryBackoff: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	local, _ := r.col.Topology()
+	k := keyFor(t, local, "timberline", "whiteface")
+	for i := 0; i < 10; i++ {
+		if i == 5 {
+			srv.Close()
+			srv, err = Serve(r.col, addr)
+			if err != nil {
+				t.Skipf("could not rebind %s: %v", addr, err)
+			}
+		}
+		if _, err := cli.Utilization(k, 10); err != nil {
+			t.Fatalf("query %d: %v", i, err)
+		}
+		if _, err := cli.Topology(); err != nil {
+			t.Fatalf("query %d (topo): %v", i, err)
+		}
+	}
+	srv.Close()
+}
+
+// TestClientCallDeadline points the client at a server that accepts and
+// reads but never answers: calls must fail within the configured
+// deadline instead of blocking the Modeler forever.
+func TestClientCallDeadline(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go io.Copy(io.Discard, c)
+		}
+	}()
+	cli, err := DialConfig(ln.Addr().String(), ClientConfig{
+		CallTimeout:  150 * time.Millisecond,
+		RetryBackoff: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	start := time.Now()
+	if _, err := cli.Topology(); err == nil {
+		t.Fatal("hung server produced an answer")
+	}
+	// Two attempts at 150 ms each plus slack.
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("deadline not enforced: call took %v", elapsed)
 	}
 }
 

@@ -92,6 +92,14 @@ type Config struct {
 	// fair share policy"); ShareProportional is the naive model kept for
 	// the sharing-policy ablation.
 	Sharing SharingPolicy
+
+	// StaleHalfLife decays the accuracy of Future predictions by the age
+	// of the measurement history they extrapolate from: accuracy is
+	// halved for every StaleHalfLife seconds since the channel's newest
+	// sample. Current and History answers already carry collector-side
+	// decay (collector.Config.StaleHalfLife); this setting covers the
+	// prediction path, which is rebuilt from raw samples. Zero disables.
+	StaleHalfLife float64
 }
 
 // SharingPolicy selects how QueryFlowInfo splits contended bandwidth.
@@ -229,6 +237,12 @@ func (m *Modeler) channelAvailability(topo *collector.Topology, rt *graph.RouteT
 			return stats.Exact(l.Capacity).WithAccuracy(0.1)
 		}
 		util = stats.PredictStat(samples, m.cfg.Predictor, tf.Horizon)
+		if m.cfg.StaleHalfLife > 0 {
+			if age, err := m.cfg.Source.DataAge(key); err == nil && age > 0 {
+				util.Age = age
+				util = util.AgeDecayed(m.cfg.StaleHalfLife)
+			}
+		}
 	default:
 		panic(fmt.Sprintf("core: bad timeframe kind %v", tf.Kind))
 	}
@@ -290,6 +304,23 @@ func (m *Modeler) PathLatency(src, dst graph.NodeID) (stats.Stat, error) {
 		return stats.NoData(), fmt.Errorf("core: no route %s -> %s", src, dst)
 	}
 	return stats.Exact(p.Latency()), nil
+}
+
+// Health reports per-agent collection health when the underlying source
+// tracks it (in-process Collector, TCP Client, or Merged over those);
+// nil otherwise. Applications use it to tell "the link is idle" apart
+// from "nobody has heard from that router lately".
+func (m *Modeler) Health() map[graph.NodeID]collector.AgentHealth {
+	if hs, ok := m.cfg.Source.(collector.HealthSource); ok {
+		return hs.Health()
+	}
+	return nil
+}
+
+// DataAge reports how many seconds old the newest measurement for a
+// channel is (+Inf before the first sample).
+func (m *Modeler) DataAge(key collector.ChannelKey) (float64, error) {
+	return m.cfg.Source.DataAge(key)
 }
 
 // HostLoad reports a host's CPU load fraction (Remos's "simple interface

@@ -1,0 +1,117 @@
+package faults
+
+import (
+	"math"
+	"sort"
+	"sync"
+
+	"repro/internal/graph"
+	"repro/internal/netsim"
+	"repro/internal/simclock"
+)
+
+// Compute wraps the netsim compute model with per-host fault windows: a
+// slowdown multiplies compute durations while it is in effect, and an
+// outage (infinite slowdown) stalls work entirely until the host
+// returns. Work submitted during an outage queues and resumes when the
+// window closes, mirroring a crashed-and-rebooted node that picks its
+// task back up.
+type Compute struct {
+	net *netsim.Network
+
+	mu   sync.Mutex
+	slow map[graph.NodeID][]slowdown
+}
+
+type slowdown struct {
+	factor   float64 // duration multiplier; +Inf = outage
+	from, to float64
+}
+
+// NewCompute wraps a simulated network's compute model.
+func NewCompute(n *netsim.Network) *Compute {
+	return &Compute{net: n, slow: make(map[graph.NodeID][]slowdown)}
+}
+
+// Slowdown multiplies id's compute durations by factor (> 1) during the
+// virtual-time interval [from, to). A non-positive `to` means forever.
+func (c *Compute) Slowdown(id graph.NodeID, factor, from, to float64) {
+	if to <= 0 {
+		to = math.Inf(1)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.slow[id] = append(c.slow[id], slowdown{factor: factor, from: from, to: to})
+	sort.SliceStable(c.slow[id], func(i, j int) bool { return c.slow[id][i].from < c.slow[id][j].from })
+}
+
+// Outage takes host id down for compute in [from, to): no progress at
+// all while the window is open.
+func (c *Compute) Outage(id graph.NodeID, from, to float64) {
+	c.Slowdown(id, math.Inf(1), from, to)
+}
+
+// Restore clears id's fault windows.
+func (c *Compute) Restore(id graph.NodeID) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.slow, id)
+}
+
+// factorAt returns the active duration multiplier at time t and the
+// next window boundary after t (Inf if none).
+func (c *Compute) factorAt(id graph.NodeID, t float64) (factor, next float64) {
+	factor, next = 1, math.Inf(1)
+	for _, s := range c.slow[id] {
+		if s.from > t {
+			next = math.Min(next, s.from)
+			continue
+		}
+		if t < s.to {
+			// Overlapping windows compound multiplicatively.
+			factor *= s.factor
+			next = math.Min(next, s.to)
+		}
+	}
+	return factor, next
+}
+
+// Duration returns how long `work` units submitted now would take on
+// id, integrating the fault schedule piecewise over virtual time. It
+// returns +Inf when an unbounded outage never lets the work finish.
+func (c *Compute) Duration(id graph.NodeID, work float64) float64 {
+	nominal := c.net.ComputeDuration(id, work)
+	now := float64(c.net.Clock().Now())
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t, remaining := now, nominal // remaining nominal compute-seconds
+	for remaining > 0 {
+		factor, next := c.factorAt(id, t)
+		if math.IsInf(next, 1) {
+			if math.IsInf(factor, 1) {
+				return math.Inf(1)
+			}
+			return t - now + remaining*factor
+		}
+		if !math.IsInf(factor, 1) {
+			if progress := (next - t) / factor; progress >= remaining {
+				return t - now + remaining*factor
+			} else {
+				remaining -= progress
+			}
+		}
+		t = next
+	}
+	return t - now
+}
+
+// Run schedules `work` units on id under the fault schedule and invokes
+// done at completion. It returns nil (and never calls done) when the
+// schedule keeps the host down forever.
+func (c *Compute) Run(id graph.NodeID, work float64, done func(now simclock.Time)) *simclock.Event {
+	d := c.Duration(id, work)
+	if math.IsInf(d, 1) {
+		return nil
+	}
+	return c.net.Clock().After(d, "faulty-compute:"+string(id), done)
+}

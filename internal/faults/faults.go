@@ -1,0 +1,214 @@
+// Package faults is the deterministic fault-injection layer for the
+// simulated deployment. It wraps an snmp.Transport with per-agent,
+// virtual-time failure schedules — blackholes (drop everything),
+// probabilistic loss, added response latency, response corruption, and
+// flap-at-time-T windows — and wraps the netsim compute model with
+// per-host slowdown and outage windows (compute.go).
+//
+// Every probabilistic fault draws from one seeded RNG and every
+// scheduled fault consults the simulation clock, so a robustness
+// scenario replays bit-for-bit under a fixed seed: the substrate the
+// collection pipeline's health machine, backoff, and accuracy-decay
+// behaviour are tested on.
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+
+	"repro/internal/simclock"
+	"repro/internal/snmp"
+)
+
+// ErrInjected is the sentinel wrapped by every injected failure, so
+// tests and callers can distinguish injected faults from real ones.
+var ErrInjected = errors.New("faults: injected failure")
+
+// DefaultTimeout is the virtual-time budget an injected latency must
+// stay under for a request to be answered at all (see Latency).
+const DefaultTimeout = 0.5
+
+// Counters snapshots what the injector did to one agent's traffic.
+type Counters struct {
+	Attempts   uint64 // requests presented to the injector
+	Delivered  uint64 // requests that reached the agent and returned
+	Blackholed uint64 // dropped by a blackhole window
+	Lost       uint64 // dropped by probabilistic loss
+	TimedOut   uint64 // answered too late (injected latency >= timeout)
+	Corrupted  uint64 // delivered with a flipped response byte
+}
+
+type window struct{ from, to float64 }
+
+func (w window) contains(t float64) bool { return t >= w.from && t < w.to }
+
+// agentFaults is the live schedule for one agent address.
+type agentFaults struct {
+	windows []window // blackhole intervals
+	loss    float64  // per-request drop probability
+	latency float64  // added response latency (virtual seconds)
+	corrupt float64  // per-request corruption probability
+}
+
+// Injector wraps a Transport with a per-agent fault schedule. It is
+// itself a snmp.Transport, so it slots between the collector's client
+// and whatever real transport carries the requests.
+type Injector struct {
+	inner   snmp.Transport
+	clock   *simclock.Clock
+	timeout float64
+
+	mu       sync.Mutex
+	rng      *rand.Rand
+	agents   map[string]*agentFaults
+	counters map[string]*Counters
+}
+
+// New wraps inner with an empty fault schedule. The clock positions
+// scheduled faults in virtual time; seed drives probabilistic loss and
+// corruption deterministically.
+func New(inner snmp.Transport, clock *simclock.Clock, seed int64) *Injector {
+	return &Injector{
+		inner:    inner,
+		clock:    clock,
+		timeout:  DefaultTimeout,
+		rng:      rand.New(rand.NewSource(seed)),
+		agents:   make(map[string]*agentFaults),
+		counters: make(map[string]*Counters),
+	}
+}
+
+// SetTimeout changes the virtual-time response budget that injected
+// latency is compared against (default DefaultTimeout). A request whose
+// injected latency meets or exceeds it times out instead of answering.
+func (i *Injector) SetTimeout(d float64) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.timeout = d
+}
+
+func (i *Injector) faultsFor(addr string) *agentFaults {
+	f := i.agents[addr]
+	if f == nil {
+		f = &agentFaults{}
+		i.agents[addr] = f
+	}
+	return f
+}
+
+func (i *Injector) countersFor(addr string) *Counters {
+	c := i.counters[addr]
+	if c == nil {
+		c = &Counters{}
+		i.counters[addr] = c
+	}
+	return c
+}
+
+// Blackhole drops every request to addr in the virtual-time interval
+// [from, to). A non-positive `to` means forever (until Restore).
+func (i *Injector) Blackhole(addr string, from, to float64) {
+	if to <= 0 {
+		to = math.Inf(1)
+	}
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	f := i.faultsFor(addr)
+	f.windows = append(f.windows, window{from: from, to: to})
+}
+
+// FlapAt takes addr down at virtual time `at` for `downFor` seconds —
+// the router-reboot scenario.
+func (i *Injector) FlapAt(addr string, at, downFor float64) {
+	i.Blackhole(addr, at, at+downFor)
+}
+
+// Loss drops each request to addr independently with probability p.
+func (i *Injector) Loss(addr string, p float64) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.faultsFor(addr).loss = p
+}
+
+// Latency adds d virtual seconds to every response from addr. A
+// synchronous poll cannot observe sub-timeout latency, so the only
+// visible effect is binary: latency at or above the injector timeout
+// turns the request into a timeout failure.
+func (i *Injector) Latency(addr string, d float64) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.faultsFor(addr).latency = d
+}
+
+// Corrupt flips one byte of each response from addr independently with
+// probability p, so the decode/validation path upstream must reject it.
+func (i *Injector) Corrupt(addr string, p float64) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.faultsFor(addr).corrupt = p
+}
+
+// Restore clears addr's entire fault schedule.
+func (i *Injector) Restore(addr string) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	delete(i.agents, addr)
+}
+
+// CountersFor returns a snapshot of the injector's effect on addr.
+func (i *Injector) CountersFor(addr string) Counters {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return *i.countersFor(addr)
+}
+
+// RoundTrip implements snmp.Transport: it applies addr's schedule at
+// the current virtual time, then delegates survivors to the wrapped
+// transport.
+func (i *Injector) RoundTrip(addr string, req []byte) ([]byte, error) {
+	now := float64(i.clock.Now())
+	i.mu.Lock()
+	ctr := i.countersFor(addr)
+	ctr.Attempts++
+	corrupt := false
+	if f := i.agents[addr]; f != nil {
+		for _, w := range f.windows {
+			if w.contains(now) {
+				ctr.Blackholed++
+				i.mu.Unlock()
+				return nil, fmt.Errorf("faults: %s blackholed at t=%.3f: %w", addr, now, ErrInjected)
+			}
+		}
+		if f.loss > 0 && i.rng.Float64() < f.loss {
+			ctr.Lost++
+			i.mu.Unlock()
+			return nil, fmt.Errorf("faults: %s lost request at t=%.3f: %w", addr, now, ErrInjected)
+		}
+		if f.latency > 0 && f.latency >= i.timeout {
+			ctr.TimedOut++
+			i.mu.Unlock()
+			return nil, fmt.Errorf("faults: %s response %.3fs late (budget %.3fs): %w",
+				addr, f.latency, i.timeout, ErrInjected)
+		}
+		corrupt = f.corrupt > 0 && i.rng.Float64() < f.corrupt
+	}
+	i.mu.Unlock()
+
+	resp, err := i.inner.RoundTrip(addr, req)
+	if err != nil {
+		return nil, err
+	}
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	if corrupt && len(resp) > 0 {
+		out := append([]byte(nil), resp...)
+		out[i.rng.Intn(len(out))] ^= 0xFF
+		ctr.Corrupted++
+		return out, nil
+	}
+	ctr.Delivered++
+	return resp, nil
+}

@@ -90,7 +90,7 @@ func TestGetBulkOverUDP(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer srv.Close()
-	c := NewClient(&UDPTransport{}, "public")
+	c := NewClient(NewUDPTransport(), "public")
 	vbs, err := c.BulkWalk(srv.Addr(), OIDIfInOctets, 8)
 	if err != nil {
 		t.Fatal(err)

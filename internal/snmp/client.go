@@ -52,49 +52,78 @@ func (r *InProcRegistry) RoundTrip(addr string, req []byte) ([]byte, error) {
 	return resp, nil
 }
 
-// UDPTransport sends requests over UDP with timeout and retry.
+// UDPTransport sends requests over UDP with timeout and retry. The zero
+// value is literal: Timeout 0 means no I/O deadline and Retries 0 means
+// a single attempt. Use NewUDPTransport for sensible defaults.
 type UDPTransport struct {
-	Timeout time.Duration // per attempt; default 500ms
-	Retries int           // default 2
+	Timeout time.Duration // per attempt; 0 = no deadline
+	Retries int           // attempts beyond the first; 0 = one attempt
+	Backoff time.Duration // pause between attempts; 0 = none
 }
 
-// RoundTrip implements Transport.
+// DefaultUDPTimeout, DefaultUDPRetries, and DefaultUDPBackoff are the
+// NewUDPTransport defaults.
+const (
+	DefaultUDPTimeout = 500 * time.Millisecond
+	DefaultUDPRetries = 2
+	DefaultUDPBackoff = 100 * time.Millisecond
+)
+
+// NewUDPTransport returns a transport with the default timeout, retry
+// count, and inter-attempt backoff.
+func NewUDPTransport() *UDPTransport {
+	return &UDPTransport{
+		Timeout: DefaultUDPTimeout,
+		Retries: DefaultUDPRetries,
+		Backoff: DefaultUDPBackoff,
+	}
+}
+
+// RoundTrip implements Transport. One socket is dialed per call and
+// reused across retry attempts; dial errors count as failed attempts
+// (they can be as transient as packet loss), so they retry too.
 func (t *UDPTransport) RoundTrip(addr string, req []byte) ([]byte, error) {
-	timeout := t.Timeout
-	if timeout == 0 {
-		timeout = 500 * time.Millisecond
-	}
-	retries := t.Retries
-	if retries == 0 {
-		retries = 2
-	}
-	var lastErr error
-	for attempt := 0; attempt <= retries; attempt++ {
-		conn, err := net.Dial("udp", addr)
-		if err != nil {
-			return nil, fmt.Errorf("snmp: %w", err)
+	var conn net.Conn
+	defer func() {
+		if conn != nil {
+			conn.Close()
 		}
-		resp, err := func() ([]byte, error) {
-			defer conn.Close()
-			if err := conn.SetDeadline(time.Now().Add(timeout)); err != nil {
-				return nil, err
-			}
-			if _, err := conn.Write(req); err != nil {
-				return nil, err
-			}
-			buf := make([]byte, 65536)
-			n, err := conn.Read(buf)
+	}()
+	attempt := func() ([]byte, error) {
+		if conn == nil {
+			c, err := net.Dial("udp", addr)
 			if err != nil {
 				return nil, err
 			}
-			return buf[:n], nil
-		}()
+			conn = c
+		}
+		if t.Timeout > 0 {
+			if err := conn.SetDeadline(time.Now().Add(t.Timeout)); err != nil {
+				return nil, err
+			}
+		}
+		if _, err := conn.Write(req); err != nil {
+			return nil, err
+		}
+		buf := make([]byte, 65536)
+		n, err := conn.Read(buf)
+		if err != nil {
+			return nil, err
+		}
+		return buf[:n], nil
+	}
+	var lastErr error
+	for i := 0; i <= t.Retries; i++ {
+		if i > 0 && t.Backoff > 0 {
+			time.Sleep(t.Backoff)
+		}
+		resp, err := attempt()
 		if err == nil {
 			return resp, nil
 		}
 		lastErr = err
 	}
-	return nil, fmt.Errorf("snmp: %d attempts failed: %w", retries+1, lastErr)
+	return nil, fmt.Errorf("snmp: %d attempts failed: %w", t.Retries+1, lastErr)
 }
 
 // Client issues Get/GetNext/Walk requests through a Transport.

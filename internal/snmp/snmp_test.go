@@ -340,7 +340,7 @@ func TestUDPTransport(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer srv.Close()
-	c := NewClient(&UDPTransport{}, "public")
+	c := NewClient(NewUDPTransport(), "public")
 	vbs, err := c.Get(srv.Addr(), OIDSysName)
 	if err != nil {
 		t.Fatal(err)

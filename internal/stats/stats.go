@@ -28,6 +28,14 @@ type Stat struct {
 	Max      float64
 	Accuracy float64
 	Samples  int
+
+	// Age is how many seconds old the newest underlying sample was when
+	// the query was answered (0 for invariant quantities). Composite
+	// stats carry the age of their stalest input, so an application can
+	// always tell how current an answer is — the collection pipeline
+	// keeps answering through agent outages and reports the staleness
+	// here instead of failing.
+	Age float64
 }
 
 // Exact returns a Stat for an invariant quantity such as a physical link
@@ -96,6 +104,7 @@ func MinStat(a, b Stat) Stat {
 		Max:      math.Min(a.Max, b.Max),
 		Accuracy: math.Min(a.Accuracy, b.Accuracy),
 		Samples:  minInt(a.Samples, b.Samples),
+		Age:      math.Max(a.Age, b.Age),
 	}
 }
 
@@ -115,6 +124,7 @@ func SubFrom(c float64, util Stat) Stat {
 		Max:      c - util.Min,
 		Accuracy: util.Accuracy,
 		Samples:  util.Samples,
+		Age:      util.Age,
 	}
 	return out.ClampNonNegative()
 }
@@ -135,6 +145,7 @@ func AddStat(a, b Stat) Stat {
 		Max:      a.Max + b.Max,
 		Accuracy: math.Min(a.Accuracy, b.Accuracy),
 		Samples:  minInt(a.Samples, b.Samples),
+		Age:      math.Max(a.Age, b.Age),
 	}
 }
 
@@ -172,6 +183,19 @@ func Quartiles(samples []float64) Stat {
 func (s Stat) WithAccuracy(a float64) Stat {
 	s.Accuracy = math.Max(0, math.Min(1, a))
 	return s
+}
+
+// AgeDecayed discounts Accuracy for data age: it halves for every
+// halfLife seconds the newest sample is old. This is how an agent outage
+// surfaces to applications — the channel keeps answering from the last
+// known samples, but the estimation-accuracy measure (§4.4) decays
+// toward zero instead of the query turning into a hard error. halfLife
+// <= 0 disables decay.
+func (s Stat) AgeDecayed(halfLife float64) Stat {
+	if halfLife <= 0 || s.Age <= 0 {
+		return s
+	}
+	return s.WithAccuracy(s.Accuracy * math.Exp2(-s.Age/halfLife))
 }
 
 // percentileSorted interpolates the p-th percentile (p in [0,1]) of an

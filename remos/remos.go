@@ -29,6 +29,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/collector"
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/graph"
 	"repro/internal/netsim"
 	"repro/internal/simclock"
@@ -83,6 +84,22 @@ type (
 
 	// Config parameterizes NewModeler.
 	Config = core.Config
+
+	// ChannelKey names one directed link channel in measurement queries
+	// (e.g. Modeler.DataAge).
+	ChannelKey = collector.ChannelKey
+
+	// AgentHealth is one agent's collection-health snapshot: its state
+	// machine position, consecutive-failure count, and the circuit
+	// breaker's next allowed probe time.
+	AgentHealth = collector.AgentHealth
+
+	// HealthState is an agent's position in the health state machine.
+	HealthState = collector.HealthState
+
+	// FaultInjector scripts deterministic agent failures on a testbed's
+	// SNMP plane (see Testbed.Faults).
+	FaultInjector = faults.Injector
 )
 
 // Flow classes (§4.2 of the paper).
@@ -96,6 +113,19 @@ const (
 const (
 	ComputeNode = graph.Compute
 	NetworkNode = graph.Network
+)
+
+// Agent health states (see Modeler.Health).
+const (
+	// AgentHealthy: the last collection attempt succeeded.
+	AgentHealthy = collector.Healthy
+	// AgentDegraded: recent failures, but the breaker is still probing
+	// at full rate.
+	AgentDegraded = collector.Degraded
+	// AgentDown: enough consecutive failures that attempts are throttled
+	// to an exponential-backoff schedule; queries are served from the
+	// surviving topology with decaying accuracy.
+	AgentDown = collector.Down
 )
 
 // Timeframe constructors.
@@ -148,6 +178,12 @@ type Testbed struct {
 	Agents    *snmp.AttachedAgents
 	Collector *collector.Collector
 	Modeler   *Modeler
+
+	// Faults scripts deterministic failures on the path between the
+	// collector and the agents: blackhole windows, probabilistic loss,
+	// added latency, response corruption, flaps. Experiments use it to
+	// study how queries degrade when parts of the network stop answering.
+	Faults *FaultInjector
 }
 
 // NewTestbed builds the standard simulated testbed of the paper's
@@ -179,8 +215,12 @@ func NewTestbedOn(g *graph.Graph) (*Testbed, error) {
 	for id := range att.Agents {
 		addrs[id] = snmp.Addr(id)
 	}
+	// All collector traffic crosses the fault injector, which is inert
+	// until the experiment scripts a failure. The fixed seed keeps
+	// probabilistic faults reproducible run to run.
+	inj := faults.New(att.Registry, clk, 1)
 	col := collector.New(collector.Config{
-		Client:        snmp.NewClient(att.Registry, snmp.DefaultCommunity),
+		Client:        snmp.NewClient(inj, snmp.DefaultCommunity),
 		Clock:         clk,
 		Addrs:         addrs,
 		PollPeriod:    2,
@@ -195,6 +235,7 @@ func NewTestbedOn(g *graph.Graph) (*Testbed, error) {
 		Agents:    att,
 		Collector: col,
 		Modeler:   NewModeler(Config{Source: col}),
+		Faults:    inj,
 	}, nil
 }
 

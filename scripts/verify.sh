@@ -1,0 +1,20 @@
+#!/bin/sh
+# Full verification gate: build, vet, tests, race detector.
+# Run from the repository root (or via `make verify`).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> go test ./..."
+go test ./...
+
+echo "==> go test -race ./..."
+go test -race ./...
+
+echo "verify: OK"
