@@ -1,0 +1,190 @@
+package repro_test
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// lockedBuf collects daemon banner lines; the scanner goroutine writes
+// while the test reads.
+type lockedBuf struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+func (l *lockedBuf) WriteLine(s string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.b.WriteString(s + "\n")
+}
+
+func (l *lockedBuf) String() string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.b.String()
+}
+
+// startDaemon launches a remos-collector with the given flags, scrapes
+// the bound query address from its banner, and returns the process,
+// the address, and a buffer accumulating every banner line seen.
+func startDaemon(t *testing.T, bin string, args ...string) (*exec.Cmd, string, *lockedBuf) {
+	t.Helper()
+	daemon := exec.Command(bin, args...)
+	stdout, err := daemon.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	daemon.Stderr = os.Stderr
+	if err := daemon.Start(); err != nil {
+		t.Fatal(err)
+	}
+	banner := new(lockedBuf)
+	addrRe := regexp.MustCompile(`collector query service on tcp://(\S+)`)
+	found := make(chan string, 1)
+	go func() {
+		scanner := bufio.NewScanner(stdout)
+		for scanner.Scan() {
+			line := scanner.Text()
+			banner.WriteLine(line)
+			if m := addrRe.FindStringSubmatch(line); m != nil {
+				select {
+				case found <- m[1]:
+				default:
+				}
+			}
+		}
+	}()
+	select {
+	case addr := <-found:
+		return daemon, addr, banner
+	case <-time.After(20 * time.Second):
+		daemon.Process.Kill()
+		daemon.Wait()
+		t.Fatal("daemon never announced its address")
+		return nil, "", nil
+	}
+}
+
+// TestCLIWarmRestart is the daemon-level warm-restart acceptance run: a
+// collector daemon writes periodic checkpoints, is killed with SIGTERM
+// (graceful drain + final checkpoint), and a second daemon restarted
+// from the checkpoint answers util/age queries immediately — no new
+// discovery or poll cycle — with data ages that include the downtime.
+func TestCLIWarmRestart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries and runs daemons")
+	}
+	dir := t.TempDir()
+	build := func(name string) string {
+		out := filepath.Join(dir, name)
+		cmd := exec.Command("go", "build", "-o", out, "./cmd/"+name)
+		cmd.Env = os.Environ()
+		if msg, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("building %s: %v\n%s", name, err, msg)
+		}
+		return out
+	}
+	collectorBin := build("remos-collector")
+	queryBin := build("remos-query")
+	ckpt := filepath.Join(dir, "collector.ckpt")
+
+	// First life: accumulate measurements fast, checkpoint every 10
+	// virtual seconds (0.2 wall seconds at 50x).
+	daemon1, addr1, _ := startDaemon(t, collectorBin,
+		"-listen", "127.0.0.1:0", "-speed", "50",
+		"-blast", "m-6,m-8,90",
+		"-checkpoint", ckpt, "-checkpoint-every", "10")
+	defer func() {
+		daemon1.Process.Kill()
+		daemon1.Wait()
+	}()
+
+	// Wait until measurements exist and a periodic checkpoint landed.
+	time.Sleep(1 * time.Second)
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		if fi, err := os.Stat(ckpt); err == nil && fi.Size() > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("periodic checkpoint never appeared")
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	// Graceful shutdown: SIGTERM drains and writes a final checkpoint.
+	if err := daemon1.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- daemon1.Wait() }()
+	select {
+	case <-done:
+	case <-time.After(15 * time.Second):
+		t.Fatal("daemon did not exit after SIGTERM")
+	}
+	_ = addr1
+
+	// Downtime: ≥0.2 wall seconds = ≥10 virtual seconds at 50x.
+	time.Sleep(300 * time.Millisecond)
+
+	// Second life: restore from the checkpoint. The huge -poll keeps
+	// new samples from landing before our queries, so a fresh poll
+	// cycle cannot be what answers them.
+	daemon2, addr2, banner2 := startDaemon(t, collectorBin,
+		"-listen", "127.0.0.1:0", "-speed", "50", "-poll", "1000",
+		"-checkpoint", ckpt)
+	defer func() {
+		daemon2.Process.Kill()
+		daemon2.Wait()
+	}()
+
+	query := func(args ...string) string {
+		cmd := exec.Command(queryBin, append([]string{"-addr", addr2}, args...)...)
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			t.Fatalf("remos-query %v: %v\n%s", args, err, out)
+		}
+		return string(out)
+	}
+
+	// First queries, immediately: topology and utilization both come
+	// from the restored state.
+	graphOut := query("graph")
+	if !strings.Contains(graphOut, "timberline") || !strings.Contains(graphOut, "10 logical links") {
+		t.Fatalf("graph after warm restart:\n%s", graphOut)
+	}
+	bwOut := query("-window", "15", "bw", "m-4", "m-7")
+	var mbps float64
+	if _, err := fmt.Sscanf(bwOut, "m-4 -> m-7: %f Mbps", &mbps); err != nil {
+		t.Fatalf("bw output %q: %v", bwOut, err)
+	}
+	if mbps > 25 || mbps < 2 {
+		t.Fatalf("restored availability on the loaded path = %v Mbps (want the pre-crash ~10)", mbps)
+	}
+
+	// Data age includes the downtime: ≥10 virtual seconds passed while
+	// no daemon was running, and -poll 1000 means no sample since.
+	ageOut := query("age", "timberline", "whiteface")
+	var age float64
+	if _, err := fmt.Sscanf(ageOut, "timberline -> whiteface: data age %fs", &age); err != nil {
+		t.Fatalf("age output %q: %v", ageOut, err)
+	}
+	if age < 10 {
+		t.Fatalf("data age %vs does not include the downtime (want >= 10 virtual seconds)", age)
+	}
+
+	// The daemon said so itself.
+	if !strings.Contains(banner2.String(), "warm start") {
+		t.Fatalf("daemon did not warm-start:\n%s", banner2.String())
+	}
+}

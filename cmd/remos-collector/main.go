@@ -20,6 +20,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"syscall"
 	"time"
 
 	"repro/internal/collector"
@@ -49,6 +50,11 @@ func main() {
 	backoffMax := flag.Float64("backoff-max", 0, "maximum retry backoff (virtual seconds; 0 = 16x base)")
 	halfLife := flag.Float64("half-life", 0, "data age at which accuracy halves (virtual seconds; 0 = 10x poll, negative disables)")
 	seed := flag.Int64("seed", 1, "seed for fault injection and backoff jitter")
+	checkpoint := flag.String("checkpoint", "", "checkpoint file: restore from it on start, write it periodically and on shutdown")
+	checkpointEvery := flag.Float64("checkpoint-every", 30, "periodic checkpoint interval (virtual seconds)")
+	drainTimeout := flag.Duration("drain-timeout", 5*time.Second, "graceful-shutdown drain budget for in-flight requests")
+	maxConns := flag.Int("max-conns", 256, "max concurrent client connections (0 = unlimited); extras get a typed busy refusal")
+	idleTimeout := flag.Duration("idle-timeout", 2*time.Minute, "per-connection idle read deadline (negative disables)")
 	var blasts []blastSpec
 	flag.Func("blast", "src,dst,mbps — non-responsive traffic (repeatable)", func(s string) error {
 		parts := strings.Split(s, ",")
@@ -141,6 +147,29 @@ func main() {
 		Seed:          *seed,
 	})
 	mu.Lock()
+	// Warm restart: restore checkpointed state first, advance the clock
+	// past the save point plus the (virtual-time-scaled) downtime so
+	// data ages stay honest, then Start — which skips the cold
+	// discovery when a topology was restored.
+	if *checkpoint != "" {
+		if f, err := os.Open(*checkpoint); err == nil {
+			info, rerr := col.RestoreCheckpoint(f)
+			f.Close()
+			if rerr != nil {
+				fmt.Fprintf(os.Stderr, "checkpoint %s unusable, starting cold: %v\n", *checkpoint, rerr)
+			} else {
+				down := time.Since(info.SavedAtWall).Seconds()
+				if down < 0 {
+					down = 0
+				}
+				clk.Advance(info.SavedAt + down**speed)
+				fmt.Printf("restored checkpoint %s (saved at t=%.1fs, down %.1fs wall); warm start at t=%.1fs\n",
+					*checkpoint, info.SavedAt, down, float64(clk.Now()))
+			}
+		} else if !os.IsNotExist(err) {
+			fmt.Fprintf(os.Stderr, "opening checkpoint: %v\n", err)
+		}
+	}
 	if err := col.Start(); err != nil {
 		mu.Unlock()
 		fatal(err)
@@ -149,9 +178,33 @@ func main() {
 		traffic.Blast(net, graphpkg.NodeID(b.src), graphpkg.NodeID(b.dst), b.mbps*1e6)
 		fmt.Printf("traffic: %s -> %s at %.0f Mbps\n", b.src, b.dst, b.mbps)
 	}
+	saveCheckpoint := func() {
+		tmp := *checkpoint + ".tmp"
+		f, err := os.Create(tmp)
+		if err == nil {
+			err = col.SaveCheckpoint(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+			if err == nil {
+				err = os.Rename(tmp, *checkpoint) // atomic: never a half-written checkpoint
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "writing checkpoint: %v\n", err)
+			os.Remove(tmp)
+		}
+	}
+	if *checkpoint != "" && *checkpointEvery > 0 {
+		clk.NewTicker(clk.Now()+simclockpkg.Time(*checkpointEvery), *checkpointEvery,
+			"collector-checkpoint", func(simclockpkg.Time) { saveCheckpoint() })
+	}
 	mu.Unlock()
 
-	srv, err := collector.Serve(col, *listen)
+	srv, err := collector.ServeConfig(col, *listen, collector.ServerConfig{
+		IdleTimeout: *idleTimeout,
+		MaxConns:    *maxConns,
+	})
 	if err != nil {
 		fatal(err)
 	}
@@ -160,7 +213,7 @@ func main() {
 
 	// Real-time clock driver: 20 Hz wall ticks.
 	stop := make(chan os.Signal, 1)
-	signal.Notify(stop, os.Interrupt)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	ticker := time.NewTicker(50 * time.Millisecond)
 	defer ticker.Stop()
 	for {
@@ -170,9 +223,16 @@ func main() {
 			clk.Advance(0.05 * *speed)
 			mu.Unlock()
 		case <-stop:
-			fmt.Println("\nshutting down")
+			fmt.Println("\nshutting down: draining in-flight requests")
+			// Graceful drain: stop accepting, let in-flight requests
+			// finish within the budget, then force-close stragglers.
+			srv.Shutdown(*drainTimeout)
+			mu.Lock()
+			if *checkpoint != "" {
+				saveCheckpoint()
+				fmt.Printf("checkpoint saved to %s\n", *checkpoint)
+			}
 			if *history != "" {
-				mu.Lock()
 				f, err := os.Create(*history)
 				if err == nil {
 					err = col.SaveHistory(f)
@@ -180,14 +240,13 @@ func main() {
 						err = cerr
 					}
 				}
-				mu.Unlock()
 				if err != nil {
 					fmt.Fprintf(os.Stderr, "saving history: %v\n", err)
 				} else {
 					fmt.Printf("history saved to %s\n", *history)
 				}
 			}
-			srv.Close()
+			mu.Unlock()
 			return
 		}
 	}

@@ -7,8 +7,16 @@
 //	remos-query -addr HOST:PORT bw SRC DST
 //	remos-query -addr HOST:PORT latency SRC DST
 //	remos-query -addr HOST:PORT load HOST
+//	remos-query -addr HOST:PORT age SRC DST
+//	remos-query -addr HOST:PORT health
 //	remos-query -addr HOST:PORT select START K
 //	remos-query -addr HOST:PORT flows fixed:m-1,m-7,2 var:m-2,m-7,1 indep:m-3,m-8
+//
+// With one or more repeatable -collector flags the query plane is
+// replicated: queries go to the first healthy replica and fail over
+// transparently when it dies:
+//
+//	remos-query -collector HOST:7070 -collector HOST:7071 graph
 //
 // The flows command is remos_flow_info from the shell: each argument is
 // CLASS:SRC,DST[,X] where X is Mbps for fixed flows and the relative
@@ -24,6 +32,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 
 	"repro/remos"
@@ -32,13 +41,24 @@ import (
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7070", "collector query-service address")
 	window := flag.Float64("window", 10, "history window seconds (0=current, <0=capacity)")
+	var collectors []string
+	flag.Func("collector", "replica collector address (repeatable; takes precedence over -addr)", func(s string) error {
+		collectors = append(collectors, s)
+		return nil
+	})
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
 		usage()
 	}
 
-	src, err := remos.DialCollector(*addr)
+	var src remos.Source
+	var err error
+	if len(collectors) > 0 {
+		src, err = remos.DialCollectors(collectors...)
+	} else {
+		src, err = remos.DialCollector(*addr)
+	}
 	if err != nil {
 		fatal(err)
 	}
@@ -94,6 +114,46 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("%s: %.0f%% CPU load\n", args[1], st.Median*100)
+	case "age":
+		need(args, 3)
+		from, to := remos.NodeID(args[1]), remos.NodeID(args[2])
+		topo, err := src.Topology()
+		if err != nil {
+			fatal(err)
+		}
+		var key remos.ChannelKey
+		found := false
+		for _, l := range topo.Graph.Links() {
+			if (l.A == from && l.B == to) || (l.A == to && l.B == from) {
+				key = topo.Key(l, l.DirFrom(from))
+				found = true
+				break
+			}
+		}
+		if !found {
+			fatalf("no direct link %s--%s", from, to)
+		}
+		age, err := mod.DataAge(key)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s -> %s: data age %.2fs\n", from, to, age)
+	case "health":
+		h := mod.Health()
+		if h == nil {
+			fmt.Println("no health information available")
+			break
+		}
+		ids := make([]string, 0, len(h))
+		for id := range h {
+			ids = append(ids, string(id))
+		}
+		sort.Strings(ids)
+		for _, id := range ids {
+			ah := h[remos.NodeID(id)]
+			fmt.Printf("%-12s %-8s consecutive-failures=%d last-success=%.1fs\n",
+				id, ah.State, ah.ConsecutiveFailures, ah.LastSuccess)
+		}
 	case "flows":
 		if len(args) < 2 {
 			usage()
@@ -176,7 +236,7 @@ func need(args []string, n int) {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: remos-query -addr HOST:PORT {graph [hosts...] | bw SRC DST | latency SRC DST | load HOST | select START K | flows CLASS:SRC,DST[,X]...}")
+	fmt.Fprintln(os.Stderr, "usage: remos-query [-addr HOST:PORT | -collector HOST:PORT ...] {graph [hosts...] | bw SRC DST | latency SRC DST | load HOST | age SRC DST | health | select START K | flows CLASS:SRC,DST[,X]...}")
 	os.Exit(2)
 }
 

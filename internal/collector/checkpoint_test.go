@@ -1,0 +1,255 @@
+package collector
+
+import (
+	"bytes"
+	"encoding/gob"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/simclock"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+// checkpointedRig runs a collector long enough to have real state and
+// returns it plus its serialized checkpoint.
+func checkpointedRig(t *testing.T) (*rig, []byte) {
+	t.Helper()
+	r := newRig(t, 2)
+	if err := r.col.Start(); err != nil {
+		t.Fatal(err)
+	}
+	traffic.Blast(r.net, "m-6", "m-8", 40e6)
+	r.net.SetHostLoad("m-5", 0.25)
+	r.clk.RunUntil(40)
+	var buf bytes.Buffer
+	if err := r.col.SaveCheckpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return r, buf.Bytes()
+}
+
+// restoreInto restores a checkpoint into a fresh collector whose clock
+// has been advanced to `at` virtual seconds.
+func restoreInto(t *testing.T, ckpt []byte, at float64) *Collector {
+	t.Helper()
+	clk := simclock.New()
+	clk.Advance(at)
+	col := New(Config{Clock: clk, PollPeriod: 2, PerHopLatency: topology.PerHopLatency})
+	info, err := col.RestoreCheckpoint(bytes.NewReader(ckpt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Version != CheckpointVersion {
+		t.Fatalf("restored version %d", info.Version)
+	}
+	return col
+}
+
+// TestCheckpointRoundTrip saves, restores into a fresh collector at the
+// same virtual time, and asserts Topology/Utilization/Health/DataAge
+// agree bit-for-bit.
+func TestCheckpointRoundTrip(t *testing.T) {
+	r, ckpt := checkpointedRig(t)
+	col2 := restoreInto(t, ckpt, float64(r.clk.Now()))
+
+	// Topology: identical structure, kinds, capacities, global IDs.
+	t1, err := r.col.Topology()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := col2.Topology()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(topoToWire(t1), topoToWire(t2)) {
+		t.Fatal("topology did not round-trip bit-for-bit")
+	}
+
+	// Every channel: Utilization (several spans), Samples, DataAge.
+	for _, l := range t1.Graph.Links() {
+		for _, d := range []graph.Dir{graph.AtoB, graph.BtoA} {
+			k := t1.Key(l, d)
+			for _, span := range []float64{0, 5, 20} {
+				u1, e1 := r.col.Utilization(k, span)
+				u2, e2 := col2.Utilization(k, span)
+				if (e1 == nil) != (e2 == nil) {
+					t.Fatalf("util(%v,%v) error mismatch: %v vs %v", k, span, e1, e2)
+				}
+				if e1 == nil && !reflect.DeepEqual(u1, u2) {
+					t.Fatalf("util(%v,%v) = %+v, restored %+v", k, span, u1, u2)
+				}
+			}
+			s1, e1 := r.col.Samples(k)
+			s2, e2 := col2.Samples(k)
+			if (e1 == nil) != (e2 == nil) || !reflect.DeepEqual(s1, s2) {
+				t.Fatalf("samples(%v) mismatch", k)
+			}
+			a1, e1 := r.col.DataAge(k)
+			a2, e2 := col2.DataAge(k)
+			if (e1 == nil) != (e2 == nil) || a1 != a2 {
+				t.Fatalf("age(%v) = %v/%v, restored %v/%v", k, a1, e1, a2, e2)
+			}
+		}
+	}
+
+	// Host loads.
+	l1, err := r.col.HostLoad("m-5", 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2, err := col2.HostLoad("m-5", 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(l1, l2) {
+		t.Fatalf("load = %+v, restored %+v", l1, l2)
+	}
+
+	// Health and poll statistics.
+	if !reflect.DeepEqual(r.col.Health(), col2.Health()) {
+		t.Fatal("health map did not round-trip")
+	}
+	if r.col.Polls() != col2.Polls() || r.col.PollErrors() != col2.PollErrors() ||
+		r.col.Discoveries() != col2.Discoveries() {
+		t.Fatalf("poll statistics lost: %d/%d/%d vs %d/%d/%d",
+			r.col.Polls(), r.col.PollErrors(), r.col.Discoveries(),
+			col2.Polls(), col2.PollErrors(), col2.Discoveries())
+	}
+}
+
+// TestCheckpointHonestAges: restored at a later virtual time (the
+// downtime), reported data ages include the gap instead of resetting.
+func TestCheckpointHonestAges(t *testing.T) {
+	r, ckpt := checkpointedRig(t)
+	saveAt := float64(r.clk.Now())
+	const downtime = 60.0
+	col2 := restoreInto(t, ckpt, saveAt+downtime)
+
+	topo, _ := col2.Topology()
+	k := keyFor(t, topo, "timberline", "whiteface")
+	ageBefore, err := r.col.DataAge(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ageAfter, err := col2.DataAge(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ageAfter-(ageBefore+downtime)) > 1e-9 {
+		t.Fatalf("age after restart = %v, want %v (pre-crash %v + downtime %v)",
+			ageAfter, ageBefore+downtime, ageBefore, downtime)
+	}
+	// The staleness shows up as decayed accuracy too.
+	st, err := col2.Utilization(k, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Age < downtime {
+		t.Fatalf("stat age %v does not include downtime %v", st.Age, downtime)
+	}
+	fresh, _ := r.col.Utilization(k, 20)
+	if st.Accuracy >= fresh.Accuracy {
+		t.Fatalf("accuracy did not decay across downtime: %v >= %v", st.Accuracy, fresh.Accuracy)
+	}
+}
+
+// TestWarmStartSkipsDiscovery: a restored collector starts warm — no
+// new discovery cycle; polling resumes on the restored topology.
+func TestWarmStartSkipsDiscovery(t *testing.T) {
+	r, ckpt := checkpointedRig(t)
+	preDiscoveries := r.col.Discoveries()
+
+	// Fresh collector over the same live network and clock.
+	col2 := New(Config{
+		Client:        r.col.cfg.Client,
+		Clock:         r.clk,
+		Addrs:         r.col.cfg.Addrs,
+		PollPeriod:    2,
+		PerHopLatency: topology.PerHopLatency,
+	})
+	if _, err := col2.RestoreCheckpoint(bytes.NewReader(ckpt)); err != nil {
+		t.Fatal(err)
+	}
+	if err := col2.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer col2.Stop()
+	if got := col2.Discoveries(); got != preDiscoveries {
+		t.Fatalf("warm start ran a new discovery: %d -> %d", preDiscoveries, got)
+	}
+	// Queries are answerable immediately, and polling still works: new
+	// samples keep arriving on the restored windows.
+	topo2, err := col2.Topology()
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := keyFor(t, topo2, "timberline", "whiteface")
+	before, err := col2.Samples(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.clk.RunUntil(r.clk.Now() + 10)
+	after, err := col2.Samples(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after) <= len(before) {
+		t.Fatalf("polling did not resume after warm start: %d -> %d samples", len(before), len(after))
+	}
+}
+
+// TestCheckpointRejection: corrupt, truncated, alien, and
+// wrong-version files are rejected with a clear error and leave the
+// collector untouched.
+func TestCheckpointRejection(t *testing.T) {
+	_, ckpt := checkpointedRig(t)
+
+	fresh := func() *Collector {
+		clk := simclock.New()
+		return New(Config{Clock: clk, PollPeriod: 2})
+	}
+	expectErr := func(name string, data []byte, wantSub string) {
+		t.Helper()
+		col := fresh()
+		_, err := col.RestoreCheckpoint(bytes.NewReader(data))
+		if err == nil {
+			t.Fatalf("%s: restore succeeded", name)
+		}
+		if wantSub != "" && !strings.Contains(err.Error(), wantSub) {
+			t.Fatalf("%s: error %q lacks %q", name, err, wantSub)
+		}
+		// The failed restore must not have half-applied state.
+		if _, terr := col.Topology(); terr == nil {
+			t.Fatalf("%s: collector has a topology after failed restore", name)
+		}
+	}
+
+	expectErr("empty", nil, "header")
+	expectErr("garbage", []byte("definitely not a gob stream"), "")
+	for _, frac := range []float64{0.25, 0.5, 0.9} {
+		expectErr("truncated", ckpt[:int(float64(len(ckpt))*frac)], "")
+	}
+
+	var alien bytes.Buffer
+	gob.NewEncoder(&alien).Encode(&checkpointHeader{Magic: "SOMETHING", Version: CheckpointVersion})
+	expectErr("alien magic", alien.Bytes(), "not a collector checkpoint")
+
+	var vnext bytes.Buffer
+	gob.NewEncoder(&vnext).Encode(&checkpointHeader{Magic: checkpointMagic, Version: CheckpointVersion + 1})
+	expectErr("future version", vnext.Bytes(), "unsupported checkpoint version")
+
+	// Bit-flip corruption inside the dump body.
+	flipped := append([]byte(nil), ckpt...)
+	flipped[len(flipped)/2] ^= 0xff
+	col := fresh()
+	if _, err := col.RestoreCheckpoint(bytes.NewReader(flipped)); err == nil {
+		// A single flipped byte may survive gob decoding (it can land in
+		// sample payload); only structural corruption must error. But it
+		// must never panic — reaching here at all is the assertion.
+		t.Log("bit flip decoded cleanly (landed in payload)")
+	}
+}

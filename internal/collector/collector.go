@@ -213,12 +213,23 @@ func (c *Collector) PollErrors() uint64 {
 	return c.pollErrors
 }
 
-// Start discovers the topology and begins periodic polling on the clock.
+// Start discovers the topology and begins periodic polling on the
+// clock. A collector that already has a topology — restored from a
+// checkpoint via RestoreCheckpoint — starts warm: the blocking cold
+// discovery and baseline poll are skipped, queries are answerable from
+// the first instant with honest (downtime-inclusive) data ages, and
+// polling resumes at the next tick using the restored counter
+// baselines.
 func (c *Collector) Start() error {
-	if _, err := c.Discover(); err != nil {
-		return err
+	c.mu.Lock()
+	warm := c.topo != nil
+	c.mu.Unlock()
+	if !warm {
+		if _, err := c.Discover(); err != nil {
+			return err
+		}
+		c.PollOnce() // baseline counters
 	}
-	c.PollOnce() // baseline counters
 	clk := c.cfg.Clock
 	c.ticker = clk.NewTicker(clk.Now()+simclock.Time(c.cfg.PollPeriod), c.cfg.PollPeriod,
 		"collector-poll", func(simclock.Time) { c.PollOnce() })

@@ -1,0 +1,312 @@
+package collector
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/stats"
+)
+
+// Client-side replication: a FailoverSource wraps N replica collector
+// daemons behind one Source, the query-plane mirror of the per-agent
+// breaker the collection pipeline already has. Each replica gets its own
+// Client and a small health record; calls go to the preferred (earliest
+// listed) healthy replica and fail over transparently — including in the
+// middle of a query stream — when one dies. Downed replicas are
+// re-probed in the background on an exponential-backoff schedule and
+// rejoin the preference order as soon as they answer.
+
+// DefaultProbeInterval is how often the background prober wakes to
+// re-check downed replicas.
+const DefaultProbeInterval = 500 * time.Millisecond
+
+// DefaultReplicaDownAfter is the consecutive-failure count at which a
+// replica is marked Down and removed from the preference order until a
+// probe succeeds. The first failure already makes the replica
+// less-preferred for the failing call (it fails over immediately);
+// Down additionally stops routing new calls at it.
+const DefaultReplicaDownAfter = 2
+
+// FailoverConfig tunes a FailoverSource. The zero value of each field
+// selects its default.
+type FailoverConfig struct {
+	// Client configures each per-replica client. SingleAttempt is
+	// forced on: the failover layer owns retries, and trying the next
+	// replica beats retrying the one that just failed.
+	Client ClientConfig
+	// DownAfter is the consecutive-failure threshold for marking a
+	// replica Down (default DefaultReplicaDownAfter).
+	DownAfter int
+	// ProbeInterval is the background re-probe wakeup period for downed
+	// replicas (default DefaultProbeInterval); negative disables the
+	// prober (downed replicas are then only retried as a last resort
+	// when every other replica fails).
+	ProbeInterval time.Duration
+	// BackoffBase and BackoffMax bound the exponential backoff between
+	// probe attempts at a downed replica: after the n-th consecutive
+	// failure the next attempt waits min(BackoffBase·2^(n-1),
+	// BackoffMax). Defaults: ProbeInterval and 16×BackoffBase.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+}
+
+func (fc *FailoverConfig) fill() {
+	fc.Client.fill()
+	fc.Client.SingleAttempt = true
+	if fc.DownAfter <= 0 {
+		fc.DownAfter = DefaultReplicaDownAfter
+	}
+	if fc.ProbeInterval == 0 {
+		fc.ProbeInterval = DefaultProbeInterval
+	}
+	if fc.BackoffBase <= 0 {
+		if fc.ProbeInterval > 0 {
+			fc.BackoffBase = fc.ProbeInterval
+		} else {
+			fc.BackoffBase = DefaultProbeInterval
+		}
+	}
+	if fc.BackoffMax <= 0 {
+		fc.BackoffMax = 16 * fc.BackoffBase
+	}
+}
+
+// ReplicaStatus is an observability snapshot of one replica.
+type ReplicaStatus struct {
+	Addr                string
+	State               HealthState
+	ConsecutiveFailures int
+	// Calls counts calls this replica answered (including app-level
+	// errors, which prove the replica alive); Failures counts transport
+	// failures and busy refusals.
+	Calls    uint64
+	Failures uint64
+	LastErr  string
+}
+
+// replica is the mutable per-replica record; fields are guarded by
+// FailoverSource.mu. The client has its own lock and is used outside it.
+type replica struct {
+	addr   string
+	client *Client
+
+	state       HealthState
+	consec      int
+	calls       uint64
+	failures    uint64
+	lastErr     string
+	nextAttempt time.Time
+}
+
+// FailoverSource is a replicated Source over several collector daemons.
+type FailoverSource struct {
+	cfg      FailoverConfig
+	replicas []*replica
+
+	mu       sync.Mutex
+	stop     chan struct{}
+	stopOnce sync.Once
+	probeWG  sync.WaitGroup
+}
+
+// DialFailover connects to a set of replica collector daemons. At least
+// one replica must be reachable at dial time; unreachable ones start out
+// Down and are re-probed in the background.
+func DialFailover(addrs []string, cfg FailoverConfig) (*FailoverSource, error) {
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("collector: DialFailover needs at least one address")
+	}
+	cfg.fill()
+	f := &FailoverSource{cfg: cfg, stop: make(chan struct{})}
+	reachable := 0
+	var firstErr error
+	for _, addr := range addrs {
+		r := &replica{addr: addr, client: &Client{addr: addr, cfg: cfg.Client}}
+		if err := r.client.connect(); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			r.state = Down
+			r.consec = cfg.DownAfter
+			r.lastErr = err.Error()
+			r.nextAttempt = time.Now().Add(cfg.BackoffBase)
+		} else {
+			reachable++
+		}
+		f.replicas = append(f.replicas, r)
+	}
+	if reachable == 0 {
+		f.closeClients()
+		return nil, fmt.Errorf("collector: no replica reachable (tried %d): %w", len(addrs), firstErr)
+	}
+	if cfg.ProbeInterval > 0 {
+		f.probeWG.Add(1)
+		go f.probeLoop()
+	}
+	return f, nil
+}
+
+// Close stops the background prober and closes every replica client.
+func (f *FailoverSource) Close() error {
+	f.stopOnce.Do(func() { close(f.stop) })
+	f.probeWG.Wait()
+	f.closeClients()
+	return nil
+}
+
+func (f *FailoverSource) closeClients() {
+	for _, r := range f.replicas {
+		r.client.Close()
+	}
+}
+
+// Replicas returns a status snapshot in preference order.
+func (f *FailoverSource) Replicas() []ReplicaStatus {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]ReplicaStatus, len(f.replicas))
+	for i, r := range f.replicas {
+		out[i] = ReplicaStatus{
+			Addr: r.addr, State: r.state,
+			ConsecutiveFailures: r.consec,
+			Calls:               r.calls, Failures: r.failures,
+			LastErr: r.lastErr,
+		}
+	}
+	return out
+}
+
+// eligible reports whether the routing pass may use replica i now: not
+// Down, or Down but due for a retry.
+func (f *FailoverSource) eligible(i int, now time.Time) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	r := f.replicas[i]
+	return r.state != Down || !now.Before(r.nextAttempt)
+}
+
+func (f *FailoverSource) recordSuccess(i int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	r := f.replicas[i]
+	r.state = Healthy
+	r.consec = 0
+	r.calls++
+	r.lastErr = ""
+	r.nextAttempt = time.Time{}
+}
+
+func (f *FailoverSource) recordFailure(i int, err error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	r := f.replicas[i]
+	r.failures++
+	r.consec++
+	if err != nil {
+		r.lastErr = err.Error()
+	}
+	if r.consec >= f.cfg.DownAfter {
+		r.state = Down
+	} else {
+		r.state = Degraded
+	}
+	backoff := f.cfg.BackoffBase << uint(min(r.consec-1, 30))
+	if backoff > f.cfg.BackoffMax {
+		backoff = f.cfg.BackoffMax
+	}
+	r.nextAttempt = time.Now().Add(backoff)
+}
+
+// call implements caller by routing one request across the replica set:
+// first over eligible replicas in preference order, then — if every one
+// of those failed — over anything not yet tried, because a marked-Down
+// replica that actually recovered beats returning an error. A replica
+// that answers (even with an application-level error such as "unknown
+// channel") is authoritative; transport failures and busy refusals move
+// on to the next replica.
+func (f *FailoverSource) call(req *request) (*response, error) {
+	now := time.Now()
+	tried := make([]bool, len(f.replicas))
+	var firstErr error
+	for pass := 0; pass < 2; pass++ {
+		for i, r := range f.replicas {
+			if tried[i] {
+				continue
+			}
+			if pass == 0 && !f.eligible(i, now) {
+				continue
+			}
+			tried[i] = true
+			resp, err := r.client.call(req)
+			if resp != nil && !errors.Is(err, ErrServerBusy) {
+				f.recordSuccess(i)
+				return resp, err
+			}
+			f.recordFailure(i, err)
+			if firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	return nil, fmt.Errorf("collector: all %d replicas failed: %w", len(f.replicas), firstErr)
+}
+
+// probeLoop re-probes downed replicas in the background so a restarted
+// primary rejoins the preference order without waiting for a foreground
+// call to gamble on it.
+func (f *FailoverSource) probeLoop() {
+	defer f.probeWG.Done()
+	t := time.NewTicker(f.cfg.ProbeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-f.stop:
+			return
+		case <-t.C:
+		}
+		for i, r := range f.replicas {
+			f.mu.Lock()
+			due := r.state == Down && !time.Now().Before(r.nextAttempt)
+			f.mu.Unlock()
+			if !due {
+				continue
+			}
+			resp, err := r.client.call(&request{Op: "ping"})
+			if resp != nil && !errors.Is(err, ErrServerBusy) {
+				f.recordSuccess(i)
+			} else {
+				f.recordFailure(i, err)
+			}
+		}
+	}
+}
+
+// Topology implements Source.
+func (f *FailoverSource) Topology() (*Topology, error) { return callTopology(f) }
+
+// Utilization implements Source.
+func (f *FailoverSource) Utilization(key ChannelKey, span float64) (stats.Stat, error) {
+	return callUtilization(f, key, span)
+}
+
+// Samples implements Source.
+func (f *FailoverSource) Samples(key ChannelKey) ([]stats.Sample, error) {
+	return callSamples(f, key)
+}
+
+// HostLoad implements Source.
+func (f *FailoverSource) HostLoad(node graph.NodeID, span float64) (stats.Stat, error) {
+	return callHostLoad(f, node, span)
+}
+
+// DataAge implements Source.
+func (f *FailoverSource) DataAge(key ChannelKey) (float64, error) {
+	return callDataAge(f, key)
+}
+
+// Health implements HealthSource: the serving replica's view of the
+// per-agent collection health.
+func (f *FailoverSource) Health() map[graph.NodeID]AgentHealth { return callHealth(f) }

@@ -2,7 +2,9 @@ package collector
 
 import (
 	"encoding/gob"
+	"errors"
 	"fmt"
+	"log"
 	"net"
 	"sync"
 	"time"
@@ -76,7 +78,7 @@ func topoFromWire(w *wireTopo) *Topology {
 }
 
 type request struct {
-	Op   string // "topo", "util", "samples", "load", "age", "health"
+	Op   string // "topo", "util", "samples", "load", "age", "health", "ping"
 	Key  ChannelKey
 	Span float64
 	Node string
@@ -91,23 +93,73 @@ type response struct {
 	Health  map[string]AgentHealth
 }
 
+// DefaultIdleTimeout is how long a connection may sit between requests
+// (or mid-frame) before the server drops it: a client that connects and
+// sends nothing — or a truncated gob frame — must not pin a goroutine
+// and an FD forever.
+const DefaultIdleTimeout = 2 * time.Minute
+
+// ErrServerBusy is the typed refusal a server at its connection cap
+// answers with instead of silently queueing the client. Clients surface
+// it via errors.Is; FailoverSource treats it as "try another replica".
+var ErrServerBusy = errors.New("collector: server busy")
+
+// busyMsg is ErrServerBusy's wire form (errors don't cross gob).
+var busyMsg = ErrServerBusy.Error()
+
+// ServerConfig tunes the server's lifecycle protections. The zero value
+// of each field selects its default.
+type ServerConfig struct {
+	// IdleTimeout is the per-connection read deadline between (and
+	// within) request frames (default DefaultIdleTimeout); negative
+	// disables it. It also bounds response writes, so a client that
+	// stops reading cannot pin the serving goroutine.
+	IdleTimeout time.Duration
+	// MaxConns caps concurrently served connections; connections beyond
+	// the cap are answered with ErrServerBusy and closed. Zero means
+	// unlimited.
+	MaxConns int
+}
+
+func (sc *ServerConfig) fill() {
+	if sc.IdleTimeout == 0 {
+		sc.IdleTimeout = DefaultIdleTimeout
+	}
+}
+
 // Server exposes a Source over TCP.
 type Server struct {
 	src Source
+	cfg ServerConfig
 	ln  net.Listener
 	wg  sync.WaitGroup
 
-	mu    sync.Mutex
-	conns map[net.Conn]bool
+	mu       sync.Mutex
+	conns    map[net.Conn]*connState
+	draining bool
 }
 
-// Serve starts a query server on addr (e.g. "127.0.0.1:0").
+// connState tracks whether a connection is mid-request (the server has
+// decoded a request and not yet written its response). Draining closes
+// idle connections immediately and lets busy ones finish.
+type connState struct {
+	busy bool
+}
+
+// Serve starts a query server on addr (e.g. "127.0.0.1:0") with default
+// lifecycle protections.
 func Serve(src Source, addr string) (*Server, error) {
+	return ServeConfig(src, addr, ServerConfig{})
+}
+
+// ServeConfig starts a query server with explicit lifecycle protections.
+func ServeConfig(src Source, addr string, cfg ServerConfig) (*Server, error) {
+	cfg.fill()
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("collector: %w", err)
 	}
-	s := &Server{src: src, ln: ln, conns: make(map[net.Conn]bool)}
+	s := &Server{src: src, cfg: cfg, ln: ln, conns: make(map[net.Conn]*connState)}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -116,15 +168,54 @@ func Serve(src Source, addr string) (*Server, error) {
 // Addr returns the bound address.
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
-// Close stops the server, closes active connections, and waits for all
-// serving goroutines.
+// Close stops the server immediately: it stops accepting, force-closes
+// active connections (in-flight requests see a write error), and waits
+// for all serving goroutines. Use Shutdown for a graceful drain.
 func (s *Server) Close() error {
 	err := s.ln.Close()
 	s.mu.Lock()
+	s.draining = true
 	for c := range s.conns {
 		c.Close()
 	}
 	s.mu.Unlock()
+	s.wg.Wait()
+	return err
+}
+
+// Shutdown drains the server gracefully: it stops accepting, closes
+// idle connections, lets in-flight requests finish for up to timeout,
+// then force-closes whatever remains and waits for all serving
+// goroutines. A non-positive timeout degenerates to Close.
+func (s *Server) Shutdown(timeout time.Duration) error {
+	err := s.ln.Close()
+	s.mu.Lock()
+	s.draining = true
+	for c, st := range s.conns {
+		if !st.busy {
+			c.Close() // wakes the blocked Decode; the loop exits
+		}
+	}
+	s.mu.Unlock()
+
+	deadline := time.Now().Add(timeout)
+	for {
+		s.mu.Lock()
+		n := len(s.conns)
+		s.mu.Unlock()
+		if n == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			s.mu.Lock()
+			for c := range s.conns {
+				c.Close()
+			}
+			s.mu.Unlock()
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
 	s.wg.Wait()
 	return err
 }
@@ -137,7 +228,16 @@ func (s *Server) acceptLoop() {
 			return
 		}
 		s.mu.Lock()
-		s.conns[conn] = true
+		if s.cfg.MaxConns > 0 && len(s.conns) >= s.cfg.MaxConns {
+			s.mu.Unlock()
+			s.wg.Add(1)
+			go func() {
+				defer s.wg.Done()
+				s.refuse(conn)
+			}()
+			continue
+		}
+		s.conns[conn] = &connState{}
 		s.mu.Unlock()
 		s.wg.Add(1)
 		go func() {
@@ -150,65 +250,122 @@ func (s *Server) acceptLoop() {
 	}
 }
 
+// refuse answers one over-cap connection with a typed busy error and
+// closes it, so the client fails fast instead of queueing invisibly.
+func (s *Server) refuse(conn net.Conn) {
+	defer conn.Close()
+	if s.cfg.IdleTimeout > 0 {
+		conn.SetDeadline(time.Now().Add(s.cfg.IdleTimeout))
+	}
+	// Wait for the first request frame so the refusal pairs with a call
+	// the client is actually waiting on, then answer it.
+	var req request
+	if err := gob.NewDecoder(conn).Decode(&req); err != nil {
+		return
+	}
+	gob.NewEncoder(conn).Encode(&response{Err: busyMsg})
+}
+
 func (s *Server) serveConn(conn net.Conn) {
 	defer conn.Close()
 	dec := gob.NewDecoder(conn)
 	enc := gob.NewEncoder(conn)
 	for {
+		s.mu.Lock()
+		draining := s.draining
+		st := s.conns[conn]
+		s.mu.Unlock()
+		if draining || st == nil {
+			return
+		}
+		// Idle read deadline: a silent client, or one that sends half a
+		// frame and stalls, loses the connection instead of holding it.
+		if s.cfg.IdleTimeout > 0 {
+			if err := conn.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout)); err != nil {
+				return
+			}
+		}
 		var req request
 		if err := dec.Decode(&req); err != nil {
 			return
 		}
-		var resp response
-		switch req.Op {
-		case "topo":
-			t, err := s.src.Topology()
-			if err != nil {
-				resp.Err = err.Error()
-			} else {
-				resp.Topo = topoToWire(t)
-			}
-		case "util":
-			st, err := s.src.Utilization(req.Key, req.Span)
-			if err != nil {
-				resp.Err = err.Error()
-			}
-			resp.Stat = st
-		case "samples":
-			sm, err := s.src.Samples(req.Key)
-			if err != nil {
-				resp.Err = err.Error()
-			}
-			resp.Samples = sm
-		case "load":
-			st, err := s.src.HostLoad(graph.NodeID(req.Node), req.Span)
-			if err != nil {
-				resp.Err = err.Error()
-			}
-			resp.Stat = st
-		case "age":
-			age, err := s.src.DataAge(req.Key)
-			if err != nil {
-				resp.Err = err.Error()
-			}
-			resp.Age = age
-		case "health":
-			if hs, ok := s.src.(HealthSource); ok {
-				h := hs.Health()
-				resp.Health = make(map[string]AgentHealth, len(h))
-				for id, ah := range h {
-					resp.Health[string(id)] = ah
-				}
-			} else {
-				resp.Err = "collector: source does not track health"
-			}
-		default:
-			resp.Err = fmt.Sprintf("collector: unknown op %q", req.Op)
+		s.mu.Lock()
+		st.busy = true
+		s.mu.Unlock()
+		resp := s.handle(&req)
+		if s.cfg.IdleTimeout > 0 {
+			conn.SetWriteDeadline(time.Now().Add(s.cfg.IdleTimeout))
 		}
-		if err := enc.Encode(&resp); err != nil {
+		err := enc.Encode(resp)
+		s.mu.Lock()
+		st.busy = false
+		s.mu.Unlock()
+		if err != nil {
 			return
 		}
 	}
+}
+
+// handle answers one request. A panicking Source must cost the client
+// one errored response, never the daemon process: every shared-daemon
+// deployment (the paper's Figure 2) has this property or doesn't scale
+// past its first misbehaving query.
+func (s *Server) handle(req *request) (resp *response) {
+	resp = &response{}
+	defer func() {
+		if r := recover(); r != nil {
+			log.Printf("collector: recovered panic serving %q: %v", req.Op, r)
+			resp = &response{Err: fmt.Sprintf("collector: internal error serving %q: %v", req.Op, r)}
+		}
+	}()
+	switch req.Op {
+	case "topo":
+		t, err := s.src.Topology()
+		if err != nil {
+			resp.Err = err.Error()
+		} else {
+			resp.Topo = topoToWire(t)
+		}
+	case "util":
+		st, err := s.src.Utilization(req.Key, req.Span)
+		if err != nil {
+			resp.Err = err.Error()
+		}
+		resp.Stat = st
+	case "samples":
+		sm, err := s.src.Samples(req.Key)
+		if err != nil {
+			resp.Err = err.Error()
+		}
+		resp.Samples = sm
+	case "load":
+		st, err := s.src.HostLoad(graph.NodeID(req.Node), req.Span)
+		if err != nil {
+			resp.Err = err.Error()
+		}
+		resp.Stat = st
+	case "age":
+		age, err := s.src.DataAge(req.Key)
+		if err != nil {
+			resp.Err = err.Error()
+		}
+		resp.Age = age
+	case "health":
+		if hs, ok := s.src.(HealthSource); ok {
+			h := hs.Health()
+			resp.Health = make(map[string]AgentHealth, len(h))
+			for id, ah := range h {
+				resp.Health[string(id)] = ah
+			}
+		} else {
+			resp.Err = "collector: source does not track health"
+		}
+	case "ping":
+		// Liveness probe: reaching the switch at all is the answer.
+	default:
+		resp.Err = fmt.Sprintf("collector: unknown op %q", req.Op)
+	}
+	return resp
 }
 
 // DefaultCallTimeout bounds one query round trip (dial + write + read):
@@ -229,6 +386,10 @@ type ClientConfig struct {
 	// reconnect retry (default DefaultRetryBackoff); negative disables
 	// the pause.
 	RetryBackoff time.Duration
+	// SingleAttempt disables the client's internal reconnect-and-retry.
+	// FailoverSource sets it: when other replicas are available, trying
+	// one of them beats retrying the replica that just failed.
+	SingleAttempt bool
 }
 
 func (cc *ClientConfig) fill() {
@@ -328,6 +489,9 @@ func (c *Client) call(req *request) (*response, error) {
 			c.conn.Close()
 			c.conn = nil
 		}
+		if c.cfg.SingleAttempt {
+			return nil, err
+		}
 		if c.cfg.RetryBackoff > 0 {
 			time.Sleep(c.cfg.RetryBackoff)
 		}
@@ -337,13 +501,22 @@ func (c *Client) call(req *request) (*response, error) {
 		}
 	}
 	if resp.Err != "" {
+		if resp.Err == busyMsg {
+			return resp, ErrServerBusy
+		}
 		return resp, fmt.Errorf("%s", resp.Err)
 	}
 	return resp, nil
 }
 
-// Topology implements Source.
-func (c *Client) Topology() (*Topology, error) {
+// caller abstracts "send one request, get one response" so the Source
+// method wrappers below are shared between Client (one connection) and
+// FailoverSource (a replica set).
+type caller interface {
+	call(req *request) (*response, error)
+}
+
+func callTopology(c caller) (*Topology, error) {
 	resp, err := c.call(&request{Op: "topo"})
 	if err != nil {
 		return nil, err
@@ -351,8 +524,7 @@ func (c *Client) Topology() (*Topology, error) {
 	return topoFromWire(resp.Topo), nil
 }
 
-// Utilization implements Source.
-func (c *Client) Utilization(key ChannelKey, span float64) (stats.Stat, error) {
+func callUtilization(c caller, key ChannelKey, span float64) (stats.Stat, error) {
 	resp, err := c.call(&request{Op: "util", Key: key, Span: span})
 	if err != nil {
 		if resp != nil {
@@ -363,8 +535,7 @@ func (c *Client) Utilization(key ChannelKey, span float64) (stats.Stat, error) {
 	return resp.Stat, nil
 }
 
-// Samples implements Source.
-func (c *Client) Samples(key ChannelKey) ([]stats.Sample, error) {
+func callSamples(c caller, key ChannelKey) ([]stats.Sample, error) {
 	resp, err := c.call(&request{Op: "samples", Key: key})
 	if err != nil {
 		return nil, err
@@ -372,8 +543,7 @@ func (c *Client) Samples(key ChannelKey) ([]stats.Sample, error) {
 	return resp.Samples, nil
 }
 
-// HostLoad implements Source.
-func (c *Client) HostLoad(node graph.NodeID, span float64) (stats.Stat, error) {
+func callHostLoad(c caller, node graph.NodeID, span float64) (stats.Stat, error) {
 	resp, err := c.call(&request{Op: "load", Node: string(node), Span: span})
 	if err != nil {
 		if resp != nil {
@@ -384,8 +554,7 @@ func (c *Client) HostLoad(node graph.NodeID, span float64) (stats.Stat, error) {
 	return resp.Stat, nil
 }
 
-// DataAge implements Source.
-func (c *Client) DataAge(key ChannelKey) (float64, error) {
+func callDataAge(c caller, key ChannelKey) (float64, error) {
 	resp, err := c.call(&request{Op: "age", Key: key})
 	if err != nil {
 		return 0, err
@@ -393,9 +562,7 @@ func (c *Client) DataAge(key ChannelKey) (float64, error) {
 	return resp.Age, nil
 }
 
-// Health implements HealthSource: the remote collector's per-agent
-// health snapshot (nil when the server cannot provide one).
-func (c *Client) Health() map[graph.NodeID]AgentHealth {
+func callHealth(c caller) map[graph.NodeID]AgentHealth {
 	resp, err := c.call(&request{Op: "health"})
 	if err != nil {
 		return nil
@@ -405,4 +572,37 @@ func (c *Client) Health() map[graph.NodeID]AgentHealth {
 		out[graph.NodeID(id)] = h
 	}
 	return out
+}
+
+// Topology implements Source.
+func (c *Client) Topology() (*Topology, error) { return callTopology(c) }
+
+// Utilization implements Source.
+func (c *Client) Utilization(key ChannelKey, span float64) (stats.Stat, error) {
+	return callUtilization(c, key, span)
+}
+
+// Samples implements Source.
+func (c *Client) Samples(key ChannelKey) ([]stats.Sample, error) {
+	return callSamples(c, key)
+}
+
+// HostLoad implements Source.
+func (c *Client) HostLoad(node graph.NodeID, span float64) (stats.Stat, error) {
+	return callHostLoad(c, node, span)
+}
+
+// DataAge implements Source.
+func (c *Client) DataAge(key ChannelKey) (float64, error) {
+	return callDataAge(c, key)
+}
+
+// Health implements HealthSource: the remote collector's per-agent
+// health snapshot (nil when the server cannot provide one).
+func (c *Client) Health() map[graph.NodeID]AgentHealth { return callHealth(c) }
+
+// Ping issues a liveness round trip: any answer from the server counts.
+func (c *Client) Ping() error {
+	_, err := c.call(&request{Op: "ping"})
+	return err
 }

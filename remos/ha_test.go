@@ -1,0 +1,152 @@
+package remos_test
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/collector"
+	"repro/internal/simclock"
+	"repro/internal/topology"
+	"repro/remos"
+)
+
+// TestFailoverEndToEnd is the acceptance scenario for the replicated
+// query plane: two replica endpoints serve one testbed collector, a
+// Modeler runs over DialCollectors, and the primary is killed in the
+// middle of a query stream. Every query must keep being answered (the
+// failover is invisible at the application API), and after the primary
+// restarts the background prober must restore it to preferred status.
+func TestFailoverEndToEnd(t *testing.T) {
+	tb, err := remos.NewTestbed()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb.StartBlast("m-6", "m-8", 60e6)
+	tb.Run(30)
+
+	reps, err := tb.ServeReplicas(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		for _, r := range reps {
+			r.Close()
+		}
+	}()
+
+	src, err := remos.DialCollectors(reps[0].Addr(), reps[1].Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	mod := remos.NewModeler(remos.Config{Source: src})
+
+	// Query stream with the primary killed in the middle.
+	for i := 0; i < 10; i++ {
+		if i == 5 {
+			if err := reps[0].Close(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		bw, err := mod.AvailableBandwidth("m-1", "m-7", remos.TFHistory(10))
+		if err != nil {
+			t.Fatalf("query %d: %v", i, err)
+		}
+		if bw.Median <= 0 || bw.Median > 100e6 {
+			t.Fatalf("query %d: implausible bandwidth %v", i, bw.Median)
+		}
+		if _, err := mod.GetGraph(nil, remos.TFCurrent()); err != nil {
+			t.Fatalf("query %d (graph): %v", i, err)
+		}
+	}
+	st := src.Replicas()
+	if st[1].Calls == 0 {
+		t.Fatalf("secondary never took over: %+v", st)
+	}
+
+	// Restart the primary; the prober must re-admit it and new queries
+	// must prefer it again.
+	if err := reps[0].Restart(); err != nil {
+		t.Skipf("could not rebind primary: %v", err)
+	}
+	deadline := time.Now().Add(15 * time.Second)
+	for src.Replicas()[0].State != remos.AgentHealthy {
+		if time.Now().After(deadline) {
+			t.Fatalf("primary never re-probed after restart: %+v", src.Replicas()[0])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	before := src.Replicas()[0].Calls
+	if _, err := mod.GetGraph(nil, remos.TFCurrent()); err != nil {
+		t.Fatal(err)
+	}
+	if after := src.Replicas()[0].Calls; after <= before {
+		t.Fatalf("recovered primary not preferred: calls %d -> %d", before, after)
+	}
+}
+
+// TestWarmRestartEndToEnd checkpoints a testbed collector, "crashes"
+// it, and restores into a fresh collector at a later virtual time: the
+// application's first queries succeed with no discovery or poll cycle,
+// and the reported staleness includes the downtime.
+func TestWarmRestartEndToEnd(t *testing.T) {
+	tb, err := remos.NewTestbed()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb.StartBlast("m-6", "m-8", 60e6)
+	tb.Run(40)
+	var ckpt bytes.Buffer
+	if err := tb.SaveCheckpoint(&ckpt); err != nil {
+		t.Fatal(err)
+	}
+	crashedAt := tb.Now()
+
+	// The "restarted daemon": a fresh collector with a fresh clock,
+	// advanced past the checkpoint plus 30s of downtime. No agents are
+	// attached — a query that needed a poll or discovery would fail.
+	const downtime = 30.0
+	clk := simclock.New()
+	clk.Advance(crashedAt + downtime)
+	col := collector.New(collector.Config{
+		Clock:         clk,
+		PollPeriod:    2,
+		PerHopLatency: topology.PerHopLatency,
+	})
+	info, err := col.RestoreCheckpoint(bytes.NewReader(ckpt.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.SavedAt != crashedAt {
+		t.Fatalf("checkpoint SavedAt = %v, want %v", info.SavedAt, crashedAt)
+	}
+
+	mod := remos.NewModeler(remos.Config{Source: col})
+	g, err := mod.GetGraph(nil, remos.TFHistory(20))
+	if err != nil {
+		t.Fatalf("first graph query after warm restart: %v", err)
+	}
+	if len(g.Nodes) != 11 {
+		t.Fatalf("restored graph has %d nodes", len(g.Nodes))
+	}
+	bw, err := mod.AvailableBandwidth("m-1", "m-7", remos.TFHistory(20))
+	if err != nil {
+		t.Fatalf("first bandwidth query after warm restart: %v", err)
+	}
+	if bw.Age < downtime {
+		t.Fatalf("restored stat age %v does not include the %vs downtime", bw.Age, downtime)
+	}
+	// Staleness must show up as decayed accuracy relative to the
+	// pre-crash answer.
+	pre, err := tb.Modeler.AvailableBandwidth("m-1", "m-7", remos.TFHistory(20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bw.Accuracy >= pre.Accuracy {
+		t.Fatalf("accuracy did not decay across downtime: %v >= %v", bw.Accuracy, pre.Accuracy)
+	}
+	if bw.Median != pre.Median {
+		t.Fatalf("restored measurement changed: %v != %v", bw.Median, pre.Median)
+	}
+}

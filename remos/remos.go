@@ -100,7 +100,23 @@ type (
 	// FaultInjector scripts deterministic agent failures on a testbed's
 	// SNMP plane (see Testbed.Faults).
 	FaultInjector = faults.Injector
+
+	// FailoverSource is the replicated Source returned by
+	// DialCollectors: it routes each query to the preferred healthy
+	// collector replica and fails over transparently when one dies.
+	FailoverSource = collector.FailoverSource
+
+	// ReplicaStatus is one replica's health snapshot
+	// (FailoverSource.Replicas).
+	ReplicaStatus = collector.ReplicaStatus
+
+	// CheckpointInfo describes a restored collector checkpoint.
+	CheckpointInfo = collector.CheckpointInfo
 )
+
+// ErrServerBusy is the typed refusal a collector daemon at its
+// connection cap answers with; test with errors.Is.
+var ErrServerBusy = collector.ErrServerBusy
 
 // Flow classes (§4.2 of the paper).
 const (
@@ -146,6 +162,15 @@ func NewModeler(cfg Config) *Modeler { return core.New(cfg) }
 // DialCollector connects to a collector daemon's TCP query service and
 // returns it as a Source.
 func DialCollector(addr string) (Source, error) { return collector.Dial(addr) }
+
+// DialCollectors connects to several replica collector daemons serving
+// the same domain and returns a failover Source: queries go to the
+// preferred healthy replica, fail over transparently when it dies, and
+// downed replicas are re-probed in the background. At least one replica
+// must be reachable at dial time.
+func DialCollectors(addrs ...string) (*FailoverSource, error) {
+	return collector.DialFailover(addrs, collector.FailoverConfig{})
+}
 
 // MergeSources combines several collectors into one Source (the paper's
 // "multiple cooperating Collectors").
@@ -269,3 +294,63 @@ func (t *Testbed) ServeCollector(addr string) (string, func() error, error) {
 	}
 	return srv.Addr(), srv.Close, nil
 }
+
+// CollectorReplica is one TCP endpoint serving a testbed's collector —
+// one member of a replica set for failover experiments. Kill it with
+// Close and bring it back on the same address with Restart.
+type CollectorReplica struct {
+	src  collector.Source
+	addr string
+	srv  *collector.Server
+}
+
+// Addr returns the replica's bound address.
+func (r *CollectorReplica) Addr() string { return r.addr }
+
+// Close kills this replica (simulating a daemon crash). In-flight and
+// future calls to it fail until Restart.
+func (r *CollectorReplica) Close() error {
+	if r.srv == nil {
+		return nil
+	}
+	srv := r.srv
+	r.srv = nil
+	return srv.Close()
+}
+
+// Restart re-serves the collector on the replica's original address.
+func (r *CollectorReplica) Restart() error {
+	if r.srv != nil {
+		return nil
+	}
+	srv, err := collector.Serve(r.src, r.addr)
+	if err != nil {
+		return err
+	}
+	r.srv = srv
+	return nil
+}
+
+// ServeReplicas exposes the testbed's collector on n independent TCP
+// endpoints — a deterministic stand-in for n replica daemons sharing
+// one network, for exercising client failover end to end. Close every
+// replica when done.
+func (t *Testbed) ServeReplicas(n int) ([]*CollectorReplica, error) {
+	var reps []*CollectorReplica
+	for i := 0; i < n; i++ {
+		srv, err := collector.Serve(t.Collector, "127.0.0.1:0")
+		if err != nil {
+			for _, r := range reps {
+				r.Close()
+			}
+			return nil, err
+		}
+		reps = append(reps, &CollectorReplica{src: t.Collector, addr: srv.Addr(), srv: srv})
+	}
+	return reps, nil
+}
+
+// SaveCheckpoint writes the testbed collector's full state (topology,
+// windows, counters, health, poll statistics) for warm-restart via
+// Collector.RestoreCheckpoint.
+func (t *Testbed) SaveCheckpoint(w io.Writer) error { return t.Collector.SaveCheckpoint(w) }

@@ -12,9 +12,12 @@ echo "==> go vet ./..."
 go vet ./...
 
 echo "==> go test ./..."
-go test ./...
+go test -timeout 120s ./...
+
+echo "==> go test -count=2 ./internal/collector"
+go test -timeout 120s -count=2 ./internal/collector
 
 echo "==> go test -race ./..."
-go test -race ./...
+go test -race -timeout 120s ./...
 
 echo "verify: OK"
