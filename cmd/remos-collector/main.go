@@ -55,6 +55,9 @@ func main() {
 	drainTimeout := flag.Duration("drain-timeout", 5*time.Second, "graceful-shutdown drain budget for in-flight requests")
 	maxConns := flag.Int("max-conns", 256, "max concurrent client connections (0 = unlimited); extras get a typed busy refusal")
 	idleTimeout := flag.Duration("idle-timeout", 2*time.Minute, "per-connection idle read deadline (negative disables)")
+	maxInflight := flag.Int("max-inflight", 64, "admission control: max concurrent work units across all connections (0 disables; topo=4, samples=2, other=1, ping free)")
+	queueDepth := flag.Int("queue-depth", 128, "admission control: max requests waiting for work units; beyond it requests are shed with a typed retry-after refusal")
+	defaultBudget := flag.Duration("default-budget", 2*time.Second, "per-request time budget applied when the client declares none (0 = unbudgeted)")
 	var blasts []blastSpec
 	flag.Func("blast", "src,dst,mbps — non-responsive traffic (repeatable)", func(s string) error {
 		parts := strings.Split(s, ",")
@@ -202,8 +205,11 @@ func main() {
 	mu.Unlock()
 
 	srv, err := collector.ServeConfig(col, *listen, collector.ServerConfig{
-		IdleTimeout: *idleTimeout,
-		MaxConns:    *maxConns,
+		IdleTimeout:   *idleTimeout,
+		MaxConns:      *maxConns,
+		MaxInflight:   *maxInflight,
+		QueueDepth:    *queueDepth,
+		DefaultBudget: *defaultBudget,
 	})
 	if err != nil {
 		fatal(err)

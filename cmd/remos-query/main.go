@@ -27,6 +27,7 @@
 package main
 
 import (
+	"context"
 	"strings"
 
 	"flag"
@@ -35,12 +36,14 @@ import (
 	"sort"
 	"strconv"
 
+	"repro/internal/collector"
 	"repro/remos"
 )
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7070", "collector query-service address")
 	window := flag.Float64("window", 10, "history window seconds (0=current, <0=capacity)")
+	timeout := flag.Duration("timeout", 0, "end-to-end query budget (0 = none); the remaining budget rides to the daemon with every call")
 	var collectors []string
 	flag.Func("collector", "replica collector address (repeatable; takes precedence over -addr)", func(s string) error {
 		collectors = append(collectors, s)
@@ -50,6 +53,13 @@ func main() {
 	args := flag.Args()
 	if len(args) == 0 {
 		usage()
+	}
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
 
 	var src remos.Source
@@ -77,7 +87,7 @@ func main() {
 		for _, a := range args[1:] {
 			nodes = append(nodes, remos.NodeID(a))
 		}
-		g, err := mod.GetGraph(nodes, tf)
+		g, err := mod.GetGraphCtx(ctx, nodes, tf)
 		if err != nil {
 			fatal(err)
 		}
@@ -93,7 +103,7 @@ func main() {
 		}
 	case "bw":
 		need(args, 3)
-		st, err := mod.AvailableBandwidth(remos.NodeID(args[1]), remos.NodeID(args[2]), tf)
+		st, err := mod.AvailableBandwidthCtx(ctx, remos.NodeID(args[1]), remos.NodeID(args[2]), tf)
 		if err != nil {
 			fatal(err)
 		}
@@ -102,14 +112,14 @@ func main() {
 			st.Min/1e6, st.Q1/1e6, st.Median/1e6, st.Q3/1e6, st.Max/1e6, st.Accuracy)
 	case "latency":
 		need(args, 3)
-		st, err := mod.PathLatency(remos.NodeID(args[1]), remos.NodeID(args[2]))
+		st, err := mod.PathLatencyCtx(ctx, remos.NodeID(args[1]), remos.NodeID(args[2]))
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Printf("%s -> %s: %.2f ms one-way\n", args[1], args[2], st.Median*1e3)
 	case "load":
 		need(args, 2)
-		st, err := mod.HostLoad(remos.NodeID(args[1]), tf)
+		st, err := mod.HostLoadCtx(ctx, remos.NodeID(args[1]), tf)
 		if err != nil {
 			fatal(err)
 		}
@@ -117,7 +127,7 @@ func main() {
 	case "age":
 		need(args, 3)
 		from, to := remos.NodeID(args[1]), remos.NodeID(args[2])
-		topo, err := src.Topology()
+		topo, err := collector.CtxTopology(ctx, src)
 		if err != nil {
 			fatal(err)
 		}
@@ -133,7 +143,7 @@ func main() {
 		if !found {
 			fatalf("no direct link %s--%s", from, to)
 		}
-		age, err := mod.DataAge(key)
+		age, err := mod.DataAgeCtx(ctx, key)
 		if err != nil {
 			fatal(err)
 		}
@@ -193,7 +203,7 @@ func main() {
 				fatalf("unknown flow class %q", class)
 			}
 		}
-		fi, err := mod.QueryFlowInfo(fixed, variable, independent, tf)
+		fi, err := mod.QueryFlowInfoCtx(ctx, fixed, variable, independent, tf)
 		if err != nil {
 			fatal(err)
 		}
@@ -209,7 +219,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		g, err := mod.GetGraph(nil, tf)
+		g, err := mod.GetGraphCtx(ctx, nil, tf)
 		if err != nil {
 			fatal(err)
 		}

@@ -1,0 +1,183 @@
+package collector
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Admission control for the query server: a weighted work semaphore
+// with a bounded FIFO wait queue. Cheap requests (utilization lookups)
+// cost one unit; expensive ones (full topology serialization) cost
+// several, so "max inflight" bounds actual work rather than request
+// count. When the semaphore is full a request waits — bounded both by
+// the queue depth (beyond it the server sheds with a typed retry-after
+// refusal, ErrLoadShed) and by the request's own deadline (waiting past
+// the caller's budget would only compute a dead answer; the gate
+// returns ErrDeadlineExceeded instead).
+
+// DefaultQueueWait bounds the queue wait of a request that carried no
+// budget of its own: nothing may wait in admission forever.
+const DefaultQueueWait = 5 * time.Second
+
+// retryAfterUnit scales the shed retry-after hint by queue pressure:
+// the deeper the queue at shed time, the longer the hint.
+const retryAfterUnit = 25 * time.Millisecond
+
+// opWeight prices one request op in semaphore units. Ping is free —
+// liveness probes must succeed on an overloaded server, that is their
+// whole point.
+func opWeight(op string) int {
+	switch op {
+	case "ping":
+		return 0
+	case "topo":
+		return 4
+	case "samples":
+		return 2
+	default:
+		return 1
+	}
+}
+
+type gateWaiter struct {
+	weight int
+	ready  chan struct{} // closed by grantLocked when the slot is handed over
+}
+
+// workGate is the weighted semaphore + bounded queue.
+type workGate struct {
+	mu       sync.Mutex
+	capacity int
+	inUse    int
+	maxQueue int
+	waiters  []*gateWaiter
+
+	// shed/timedOut/admitted are diagnostics surfaced via Server.Stats.
+	admitted uint64
+	shed     uint64
+	timedOut uint64
+}
+
+func newWorkGate(capacity, queueDepth int) *workGate {
+	if capacity <= 0 {
+		return nil
+	}
+	if queueDepth < 0 {
+		queueDepth = 0
+	}
+	return &workGate{capacity: capacity, maxQueue: queueDepth}
+}
+
+// clamp keeps a single heavyweight op admissible on a small gate.
+func (g *workGate) clamp(weight int) int {
+	if weight > g.capacity {
+		return g.capacity
+	}
+	return weight
+}
+
+// acquire claims weight units, waiting in FIFO order until deadline
+// (zero deadline = DefaultQueueWait). It returns a *ShedError when the
+// queue is full at arrival and ErrDeadlineExceeded when the wait runs
+// out the budget.
+func (g *workGate) acquire(weight int, deadline time.Time) error {
+	weight = g.clamp(weight)
+	g.mu.Lock()
+	if len(g.waiters) == 0 && g.inUse+weight <= g.capacity {
+		g.inUse += weight
+		g.admitted++
+		g.mu.Unlock()
+		return nil
+	}
+	if len(g.waiters) >= g.maxQueue {
+		depth := len(g.waiters)
+		g.shed++
+		g.mu.Unlock()
+		return &ShedError{RetryAfter: time.Duration(depth+1) * retryAfterUnit}
+	}
+	w := &gateWaiter{weight: weight, ready: make(chan struct{})}
+	g.waiters = append(g.waiters, w)
+	g.mu.Unlock()
+
+	wait := DefaultQueueWait
+	if !deadline.IsZero() {
+		wait = time.Until(deadline)
+	}
+	if wait < 0 {
+		wait = 0
+	}
+	timer := time.NewTimer(wait)
+	defer timer.Stop()
+	select {
+	case <-w.ready:
+		return nil
+	case <-timer.C:
+		g.mu.Lock()
+		select {
+		case <-w.ready:
+			// The grant raced the timer and won: we own the slot.
+			g.mu.Unlock()
+			return nil
+		default:
+		}
+		g.removeLocked(w)
+		g.timedOut++
+		g.mu.Unlock()
+		return fmt.Errorf("admission queue wait exhausted budget: %w", ErrDeadlineExceeded)
+	}
+}
+
+// release returns weight units and hands freed capacity to queued
+// waiters in FIFO order.
+func (g *workGate) release(weight int) {
+	weight = g.clamp(weight)
+	g.mu.Lock()
+	g.inUse -= weight
+	if g.inUse < 0 { // defensive; indicates an acquire/release mismatch
+		g.inUse = 0
+	}
+	g.grantLocked()
+	g.mu.Unlock()
+}
+
+func (g *workGate) grantLocked() {
+	for len(g.waiters) > 0 {
+		w := g.waiters[0]
+		if g.inUse+w.weight > g.capacity {
+			return // strict FIFO: no overtaking past the head waiter
+		}
+		g.inUse += w.weight
+		g.admitted++
+		g.waiters = g.waiters[1:]
+		close(w.ready)
+	}
+}
+
+func (g *workGate) removeLocked(target *gateWaiter) {
+	for i, w := range g.waiters {
+		if w == target {
+			g.waiters = append(g.waiters[:i], g.waiters[i+1:]...)
+			return
+		}
+	}
+}
+
+// GateStats is a snapshot of the admission gate's counters.
+type GateStats struct {
+	// Admitted counts requests that acquired work units (immediately or
+	// after queueing); Shed counts queue-full refusals; TimedOut counts
+	// requests whose budget expired while queued.
+	Admitted, Shed, TimedOut uint64
+	// InUse and Queued describe the instantaneous state.
+	InUse, Queued int
+}
+
+func (g *workGate) stats() GateStats {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return GateStats{
+		Admitted: g.admitted, Shed: g.shed, TimedOut: g.timedOut,
+		InUse: g.inUse, Queued: len(g.waiters),
+	}
+}

@@ -8,6 +8,7 @@
 package collector
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -392,12 +393,19 @@ func (c *Collector) PollOnce() {
 				observations = append(observations, obs{inKey, iface.inOctets})
 			}
 		}
-		// Host CPU load, when exposed.
+		// Host CPU load, when exposed. A misbehaving agent can report
+		// anything; negative or non-finite loads are rejected at ingest
+		// so they never reach a sample window.
 		if vbs, err := c.cfg.Client.Get(addr, snmp.OIDHrProcessorLoad); err == nil && len(vbs) == 1 {
-			loadObs = append(loadObs, struct {
-				node graph.NodeID
-				load float64
-			}{id, float64(vbs[0].Value.Int) / 100})
+			load := float64(vbs[0].Value.Int) / 100
+			if math.IsNaN(load) || math.IsInf(load, 0) || load < 0 {
+				c.noteIngestError()
+			} else {
+				loadObs = append(loadObs, struct {
+					node graph.NodeID
+					load float64
+				}{id, load})
+			}
 		}
 		c.recordSuccess(id, now)
 	}
@@ -413,6 +421,13 @@ func (c *Collector) PollOnce() {
 		// Counter32 wraparound-safe difference.
 		delta := uint32(o.octets - prev.octets)
 		rate := float64(delta) * 8 / (now - prev.at)
+		// Ingest validation: a rate must be a finite non-negative number
+		// before it may enter a window. maxmin's guards downstream are
+		// the second line of defense, not the first.
+		if math.IsNaN(rate) || math.IsInf(rate, 0) || rate < 0 {
+			c.pollErrors++
+			continue
+		}
 		w := c.windows[o.key]
 		if w == nil {
 			w = stats.NewWindow(c.cfg.WindowLen, c.cfg.WindowAge)
@@ -433,6 +448,58 @@ func (c *Collector) PollOnce() {
 		}
 	}
 	c.polls++
+}
+
+// noteIngestError counts a rejected measurement; callers must not hold
+// c.mu (PollOnce's collection phase runs before it takes the lock).
+func (c *Collector) noteIngestError() {
+	c.mu.Lock()
+	c.pollErrors++
+	c.mu.Unlock()
+}
+
+// The in-process Collector answers immediately, so its ContextSource
+// implementation only needs the liveness check: a caller whose budget
+// already expired gets the typed error instead of a computed answer.
+
+// TopologyCtx implements ContextSource.
+func (c *Collector) TopologyCtx(ctx context.Context) (*Topology, error) {
+	if err := ctxError(ctx); err != nil {
+		return nil, err
+	}
+	return c.Topology()
+}
+
+// UtilizationCtx implements ContextSource.
+func (c *Collector) UtilizationCtx(ctx context.Context, key ChannelKey, span float64) (stats.Stat, error) {
+	if err := ctxError(ctx); err != nil {
+		return stats.NoData(), err
+	}
+	return c.Utilization(key, span)
+}
+
+// SamplesCtx implements ContextSource.
+func (c *Collector) SamplesCtx(ctx context.Context, key ChannelKey) ([]stats.Sample, error) {
+	if err := ctxError(ctx); err != nil {
+		return nil, err
+	}
+	return c.Samples(key)
+}
+
+// HostLoadCtx implements ContextSource.
+func (c *Collector) HostLoadCtx(ctx context.Context, node graph.NodeID, span float64) (stats.Stat, error) {
+	if err := ctxError(ctx); err != nil {
+		return stats.NoData(), err
+	}
+	return c.HostLoad(node, span)
+}
+
+// DataAgeCtx implements ContextSource.
+func (c *Collector) DataAgeCtx(ctx context.Context, key ChannelKey) (float64, error) {
+	if err := ctxError(ctx); err != nil {
+		return 0, err
+	}
+	return c.DataAge(key)
 }
 
 // canonicalKey orients a directed channel relative to the canonical

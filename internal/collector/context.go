@@ -1,0 +1,83 @@
+package collector
+
+import (
+	"context"
+
+	"repro/internal/graph"
+	"repro/internal/stats"
+)
+
+// ContextSource is the context-aware variant of Source. Remote-backed
+// sources (Client, FailoverSource) implement it to derive per-call I/O
+// deadlines from ctx, forward the remaining budget to the server, and
+// abort in-flight reads on cancellation. In-process sources implement
+// it trivially (answers are immediate), but implementing it still lets
+// a caller's dead context short-circuit a query between steps.
+type ContextSource interface {
+	TopologyCtx(ctx context.Context) (*Topology, error)
+	UtilizationCtx(ctx context.Context, key ChannelKey, span float64) (stats.Stat, error)
+	SamplesCtx(ctx context.Context, key ChannelKey) ([]stats.Sample, error)
+	HostLoadCtx(ctx context.Context, node graph.NodeID, span float64) (stats.Stat, error)
+	DataAgeCtx(ctx context.Context, key ChannelKey) (float64, error)
+}
+
+// The CtxXxx helpers are the one place that bridges a context onto an
+// arbitrary Source: sources that implement ContextSource get the real
+// ctx; plain sources get a liveness check before the blocking call (the
+// best a context-unaware implementation allows). The Modeler calls
+// through these so any Source composes with deadlines.
+
+// CtxTopology is Topology with a context.
+func CtxTopology(ctx context.Context, s Source) (*Topology, error) {
+	if err := ctxError(ctx); err != nil {
+		return nil, err
+	}
+	if cs, ok := s.(ContextSource); ok {
+		return cs.TopologyCtx(ctx)
+	}
+	return s.Topology()
+}
+
+// CtxUtilization is Utilization with a context.
+func CtxUtilization(ctx context.Context, s Source, key ChannelKey, span float64) (stats.Stat, error) {
+	if err := ctxError(ctx); err != nil {
+		return stats.NoData(), err
+	}
+	if cs, ok := s.(ContextSource); ok {
+		return cs.UtilizationCtx(ctx, key, span)
+	}
+	return s.Utilization(key, span)
+}
+
+// CtxSamples is Samples with a context.
+func CtxSamples(ctx context.Context, s Source, key ChannelKey) ([]stats.Sample, error) {
+	if err := ctxError(ctx); err != nil {
+		return nil, err
+	}
+	if cs, ok := s.(ContextSource); ok {
+		return cs.SamplesCtx(ctx, key)
+	}
+	return s.Samples(key)
+}
+
+// CtxHostLoad is HostLoad with a context.
+func CtxHostLoad(ctx context.Context, s Source, node graph.NodeID, span float64) (stats.Stat, error) {
+	if err := ctxError(ctx); err != nil {
+		return stats.NoData(), err
+	}
+	if cs, ok := s.(ContextSource); ok {
+		return cs.HostLoadCtx(ctx, node, span)
+	}
+	return s.HostLoad(node, span)
+}
+
+// CtxDataAge is DataAge with a context.
+func CtxDataAge(ctx context.Context, s Source, key ChannelKey) (float64, error) {
+	if err := ctxError(ctx); err != nil {
+		return 0, err
+	}
+	if cs, ok := s.(ContextSource); ok {
+		return cs.DataAgeCtx(ctx, key)
+	}
+	return s.DataAge(key)
+}

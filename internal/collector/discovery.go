@@ -2,6 +2,7 @@ package collector
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"repro/internal/graph"
@@ -39,11 +40,19 @@ func (c *Collector) walkInterfaces(addr string) ([]ifaceInfo, error) {
 		if err != nil {
 			return nil, err
 		}
+		// Edge validation: a capacity entering the topology must be a
+		// finite positive number. SNMP's ifSpeed is unsigned today, but
+		// this is the ingest boundary — maxmin's guards downstream are
+		// the second line of defense, not the first.
+		speed := float64(vbs[1].Value.Uint)
+		if math.IsNaN(speed) || math.IsInf(speed, 0) || speed <= 0 {
+			return nil, fmt.Errorf("collector: agent %s ifindex %d reports invalid link speed %v", addr, idx, speed)
+		}
 		out = append(out, ifaceInfo{
 			index:     idx,
 			neighbor:  string(vb.Value.Bytes),
 			global:    int(vbs[0].Value.Int),
-			speed:     float64(vbs[1].Value.Uint),
+			speed:     speed,
 			inOctets:  vbs[2].Value.Uint,
 			outOctets: vbs[3].Value.Uint,
 		})

@@ -1,6 +1,7 @@
 package collector
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -125,7 +126,7 @@ func DialFailover(addrs []string, cfg FailoverConfig) (*FailoverSource, error) {
 	var firstErr error
 	for _, addr := range addrs {
 		r := &replica{addr: addr, client: &Client{addr: addr, cfg: cfg.Client}}
-		if err := r.client.connect(); err != nil {
+		if _, err := r.client.connect(); err != nil {
 			if firstErr == nil {
 				firstErr = err
 			}
@@ -225,9 +226,12 @@ func (f *FailoverSource) recordFailure(i int, err error) {
 // of those failed — over anything not yet tried, because a marked-Down
 // replica that actually recovered beats returning an error. A replica
 // that answers (even with an application-level error such as "unknown
-// channel") is authoritative; transport failures and busy refusals move
-// on to the next replica.
-func (f *FailoverSource) call(req *request) (*response, error) {
+// channel") is authoritative; transport failures and overload refusals
+// (busy connection caps, load sheds) move on to the next replica. The
+// context is re-checked between attempts so an expired budget or a
+// cancellation stops the routing loop instead of walking every replica
+// with a dead deadline.
+func (f *FailoverSource) call(ctx context.Context, req *request) (*response, error) {
 	now := time.Now()
 	tried := make([]bool, len(f.replicas))
 	var firstErr error
@@ -239,19 +243,50 @@ func (f *FailoverSource) call(req *request) (*response, error) {
 			if pass == 0 && !f.eligible(i, now) {
 				continue
 			}
+			if cerr := ctxCallError(ctx); cerr != nil {
+				if firstErr == nil {
+					firstErr = cerr
+				}
+				return nil, fmt.Errorf("collector: failover aborted after %v: %w", firstErr, cerr)
+			}
 			tried[i] = true
-			resp, err := r.client.call(req)
-			if resp != nil && !errors.Is(err, ErrServerBusy) {
+			resp, err := r.client.call(ctx, req)
+			if resp != nil && !errors.Is(err, ErrServerBusy) && !errors.Is(err, ErrLoadShed) {
 				f.recordSuccess(i)
 				return resp, err
 			}
-			f.recordFailure(i, err)
+			// An overload refusal proves the replica alive — don't
+			// penalize its health, just route around it this call.
+			if errors.Is(err, ErrServerBusy) || errors.Is(err, ErrLoadShed) {
+				f.recordRefusal(i, err)
+			} else {
+				f.recordFailure(i, err)
+			}
 			if firstErr == nil {
 				firstErr = err
 			}
 		}
 	}
+	if cerr := ctxCallError(ctx); cerr != nil {
+		return nil, fmt.Errorf("collector: failover exhausted (%v): %w", firstErr, cerr)
+	}
 	return nil, fmt.Errorf("collector: all %d replicas failed: %w", len(f.replicas), firstErr)
+}
+
+// recordRefusal notes an overload refusal without dinging the replica's
+// failure counters: the replica answered, it is alive, it just declined
+// the work right now.
+func (f *FailoverSource) recordRefusal(i int, err error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	r := f.replicas[i]
+	r.failures++
+	if err != nil {
+		r.lastErr = err.Error()
+	}
+	if r.state == Healthy {
+		r.state = Degraded
+	}
 }
 
 // probeLoop re-probes downed replicas in the background so a restarted
@@ -274,7 +309,7 @@ func (f *FailoverSource) probeLoop() {
 			if !due {
 				continue
 			}
-			resp, err := r.client.call(&request{Op: "ping"})
+			resp, err := r.client.call(context.Background(), &request{Op: "ping"})
 			if resp != nil && !errors.Is(err, ErrServerBusy) {
 				f.recordSuccess(i)
 			} else {
@@ -285,28 +320,57 @@ func (f *FailoverSource) probeLoop() {
 }
 
 // Topology implements Source.
-func (f *FailoverSource) Topology() (*Topology, error) { return callTopology(f) }
+func (f *FailoverSource) Topology() (*Topology, error) {
+	return callTopology(context.Background(), f)
+}
+
+// TopologyCtx implements ContextSource.
+func (f *FailoverSource) TopologyCtx(ctx context.Context) (*Topology, error) {
+	return callTopology(ctx, f)
+}
 
 // Utilization implements Source.
 func (f *FailoverSource) Utilization(key ChannelKey, span float64) (stats.Stat, error) {
-	return callUtilization(f, key, span)
+	return callUtilization(context.Background(), f, key, span)
+}
+
+// UtilizationCtx implements ContextSource.
+func (f *FailoverSource) UtilizationCtx(ctx context.Context, key ChannelKey, span float64) (stats.Stat, error) {
+	return callUtilization(ctx, f, key, span)
 }
 
 // Samples implements Source.
 func (f *FailoverSource) Samples(key ChannelKey) ([]stats.Sample, error) {
-	return callSamples(f, key)
+	return callSamples(context.Background(), f, key)
+}
+
+// SamplesCtx implements ContextSource.
+func (f *FailoverSource) SamplesCtx(ctx context.Context, key ChannelKey) ([]stats.Sample, error) {
+	return callSamples(ctx, f, key)
 }
 
 // HostLoad implements Source.
 func (f *FailoverSource) HostLoad(node graph.NodeID, span float64) (stats.Stat, error) {
-	return callHostLoad(f, node, span)
+	return callHostLoad(context.Background(), f, node, span)
+}
+
+// HostLoadCtx implements ContextSource.
+func (f *FailoverSource) HostLoadCtx(ctx context.Context, node graph.NodeID, span float64) (stats.Stat, error) {
+	return callHostLoad(ctx, f, node, span)
 }
 
 // DataAge implements Source.
 func (f *FailoverSource) DataAge(key ChannelKey) (float64, error) {
-	return callDataAge(f, key)
+	return callDataAge(context.Background(), f, key)
+}
+
+// DataAgeCtx implements ContextSource.
+func (f *FailoverSource) DataAgeCtx(ctx context.Context, key ChannelKey) (float64, error) {
+	return callDataAge(ctx, f, key)
 }
 
 // Health implements HealthSource: the serving replica's view of the
 // per-agent collection health.
-func (f *FailoverSource) Health() map[graph.NodeID]AgentHealth { return callHealth(f) }
+func (f *FailoverSource) Health() map[graph.NodeID]AgentHealth {
+	return callHealth(context.Background(), f)
+}

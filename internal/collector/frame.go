@@ -1,0 +1,79 @@
+package collector
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Bounded wire framing for the TCP query protocol. Each message is a
+// 4-byte big-endian length prefix followed by a self-contained gob
+// stream. The explicit prefix exists so both ends can reject an
+// oversized frame *before* allocating or decoding anything: a corrupt
+// or hostile length must cost a bounded read and a typed error, never
+// an unbounded allocation (raw gob will happily try to buffer whatever
+// its own internal length header claims, up to 1 GiB).
+//
+// Every frame is an independent gob stream (type information is resent
+// per frame). That costs a few hundred bytes per message and buys a
+// crucial property: a connection aborted mid-frame — a cancelled call,
+// a killed replica — never poisons decoder state for the next request,
+// so reconnect-and-retry works without resynchronization.
+
+// DefaultMaxFrame bounds one wire frame in bytes. Topology frames for
+// very large domains are the biggest legitimate messages; 4 MiB covers
+// tens of thousands of links with an order of magnitude to spare.
+const DefaultMaxFrame = 4 << 20
+
+// ErrFrameTooLarge is the typed rejection for a frame whose length
+// prefix exceeds the configured cap — on read (corrupt or hostile
+// prefix) or on write (a response that should never have grown so big).
+var ErrFrameTooLarge = errors.New("collector: wire frame too large")
+
+// writeFrame encodes v as one length-prefixed gob frame on w.
+func writeFrame(w io.Writer, v any, max int) error {
+	if max <= 0 {
+		max = DefaultMaxFrame
+	}
+	var buf bytes.Buffer
+	buf.Write([]byte{0, 0, 0, 0}) // length placeholder
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return fmt.Errorf("collector: encoding frame: %w", err)
+	}
+	payload := buf.Len() - 4
+	if payload > max {
+		return fmt.Errorf("%w: %d > %d bytes", ErrFrameTooLarge, payload, max)
+	}
+	b := buf.Bytes()
+	binary.BigEndian.PutUint32(b[:4], uint32(payload))
+	_, err := w.Write(b)
+	return err
+}
+
+// readFrame reads one length-prefixed gob frame from r into v,
+// rejecting frames over max bytes without reading (or allocating) their
+// payload.
+func readFrame(r io.Reader, v any, max int) error {
+	if max <= 0 {
+		max = DefaultMaxFrame
+	}
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if int64(n) > int64(max) {
+		return fmt.Errorf("%w: prefix claims %d > %d bytes", ErrFrameTooLarge, n, max)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return err
+	}
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(v); err != nil {
+		return fmt.Errorf("collector: decoding frame: %w", err)
+	}
+	return nil
+}

@@ -1,6 +1,7 @@
 package collector
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -27,6 +28,12 @@ func Merge(sources ...Source) *Merged {
 
 // Topology implements Source: the union of member topologies.
 func (m *Merged) Topology() (*Topology, error) {
+	return m.TopologyCtx(context.Background())
+}
+
+// TopologyCtx implements ContextSource: the union of member topologies,
+// each member queried under the caller's context.
+func (m *Merged) TopologyCtx(ctx context.Context) (*Topology, error) {
 	type linkRec struct {
 		a, b     graph.NodeID
 		capacity float64
@@ -38,8 +45,11 @@ func (m *Merged) Topology() (*Topology, error) {
 	any := false
 	var firstErr error
 	for _, s := range m.sources {
-		t, err := s.Topology()
+		t, err := CtxTopology(ctx, s)
 		if err != nil {
+			if IsLifecycleError(err) {
+				return nil, err
+			}
 			if firstErr == nil {
 				firstErr = err
 			}
@@ -99,11 +109,19 @@ func (m *Merged) Topology() (*Topology, error) {
 
 // Utilization implements Source.
 func (m *Merged) Utilization(key ChannelKey, span float64) (stats.Stat, error) {
+	return m.UtilizationCtx(context.Background(), key, span)
+}
+
+// UtilizationCtx implements ContextSource.
+func (m *Merged) UtilizationCtx(ctx context.Context, key ChannelKey, span float64) (stats.Stat, error) {
 	var firstErr error
 	for _, s := range m.sources {
-		st, err := s.Utilization(key, span)
+		st, err := CtxUtilization(ctx, s, key, span)
 		if err == nil {
 			return st, nil
+		}
+		if IsLifecycleError(err) {
+			return stats.NoData(), err
 		}
 		if firstErr == nil {
 			firstErr = err
@@ -114,11 +132,19 @@ func (m *Merged) Utilization(key ChannelKey, span float64) (stats.Stat, error) {
 
 // Samples implements Source.
 func (m *Merged) Samples(key ChannelKey) ([]stats.Sample, error) {
+	return m.SamplesCtx(context.Background(), key)
+}
+
+// SamplesCtx implements ContextSource.
+func (m *Merged) SamplesCtx(ctx context.Context, key ChannelKey) ([]stats.Sample, error) {
 	var firstErr error
 	for _, s := range m.sources {
-		sm, err := s.Samples(key)
+		sm, err := CtxSamples(ctx, s, key)
 		if err == nil {
 			return sm, nil
+		}
+		if IsLifecycleError(err) {
+			return nil, err
 		}
 		if firstErr == nil {
 			firstErr = err
@@ -129,11 +155,19 @@ func (m *Merged) Samples(key ChannelKey) ([]stats.Sample, error) {
 
 // HostLoad implements Source.
 func (m *Merged) HostLoad(node graph.NodeID, span float64) (stats.Stat, error) {
+	return m.HostLoadCtx(context.Background(), node, span)
+}
+
+// HostLoadCtx implements ContextSource.
+func (m *Merged) HostLoadCtx(ctx context.Context, node graph.NodeID, span float64) (stats.Stat, error) {
 	var firstErr error
 	for _, s := range m.sources {
-		st, err := s.HostLoad(node, span)
+		st, err := CtxHostLoad(ctx, s, node, span)
 		if err == nil {
 			return st, nil
+		}
+		if IsLifecycleError(err) {
+			return stats.NoData(), err
 		}
 		if firstErr == nil {
 			firstErr = err
@@ -145,12 +179,20 @@ func (m *Merged) HostLoad(node graph.NodeID, span float64) (stats.Stat, error) {
 // DataAge implements Source: the freshest age any member reports for the
 // channel (overlapping members may poll at different rates).
 func (m *Merged) DataAge(key ChannelKey) (float64, error) {
+	return m.DataAgeCtx(context.Background(), key)
+}
+
+// DataAgeCtx implements ContextSource.
+func (m *Merged) DataAgeCtx(ctx context.Context, key ChannelKey) (float64, error) {
 	best := 0.0
 	any := false
 	var firstErr error
 	for _, s := range m.sources {
-		age, err := s.DataAge(key)
+		age, err := CtxDataAge(ctx, s, key)
 		if err != nil {
+			if IsLifecycleError(err) {
+				return 0, err
+			}
 			if firstErr == nil {
 				firstErr = err
 			}

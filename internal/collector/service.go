@@ -1,7 +1,7 @@
 package collector
 
 import (
-	"encoding/gob"
+	"context"
 	"errors"
 	"fmt"
 	"log"
@@ -13,11 +13,17 @@ import (
 	"repro/internal/stats"
 )
 
-// The TCP/gob query service: how an application's Modeler reaches a
+// The TCP query service: how an application's Modeler reaches a
 // Collector running as a separate process (the deployment in the paper's
 // Figure 2). Virtual-time experiments use the Collector in-process; this
 // service exists for daemon mode and is covered by real-socket
 // integration tests.
+//
+// Wire format: length-prefixed gob frames (frame.go) carrying one
+// request/response pair per round trip. Each request may carry a
+// deadline-budget hint (BudgetMS); the server enforces it — a request
+// whose budget expires in the admission queue or before compute starts
+// is answered with a typed deadline refusal instead of a dead answer.
 
 type wireNode struct {
 	ID           string
@@ -82,7 +88,22 @@ type request struct {
 	Key  ChannelKey
 	Span float64
 	Node string
+
+	// BudgetMS is the client's remaining time budget in milliseconds at
+	// send time (0 = none declared; the server applies its
+	// DefaultBudget). The server refuses with a typed deadline answer
+	// instead of computing results the caller has already abandoned.
+	BudgetMS float64
 }
+
+// Response refusal codes. CodeOK also covers application-level errors
+// (Err set): the server answered, the answer is authoritative.
+const (
+	codeOK       = 0
+	codeBusy     = 1 // connection cap (ErrServerBusy)
+	codeDeadline = 2 // budget expired before an answer (ErrDeadlineExceeded)
+	codeShed     = 3 // admission queue full (ErrLoadShed + retry-after)
+)
 
 type response struct {
 	Err     string
@@ -91,12 +112,17 @@ type response struct {
 	Topo    *wireTopo
 	Age     float64
 	Health  map[string]AgentHealth
+
+	// Code distinguishes typed refusals from application errors;
+	// RetryAfterMS accompanies codeShed.
+	Code         int
+	RetryAfterMS float64
 }
 
 // DefaultIdleTimeout is how long a connection may sit between requests
 // (or mid-frame) before the server drops it: a client that connects and
-// sends nothing — or a truncated gob frame — must not pin a goroutine
-// and an FD forever.
+// sends nothing — or a truncated frame — must not pin a goroutine and
+// an FD forever.
 const DefaultIdleTimeout = 2 * time.Minute
 
 // ErrServerBusy is the typed refusal a server at its connection cap
@@ -119,20 +145,43 @@ type ServerConfig struct {
 	// the cap are answered with ErrServerBusy and closed. Zero means
 	// unlimited.
 	MaxConns int
+
+	// MaxInflight caps concurrent work units across all connections (a
+	// weighted semaphore: topology queries cost 4 units, sample dumps 2,
+	// everything else 1, pings are free). Zero disables admission
+	// control.
+	MaxInflight int
+	// QueueDepth bounds how many requests may wait for work units;
+	// arrivals beyond it are shed with a typed retry-after refusal.
+	// Only meaningful with MaxInflight > 0; zero means no queue (shed
+	// immediately when the semaphore is full).
+	QueueDepth int
+	// DefaultBudget is the per-request time budget applied when the
+	// client declares none. Zero means unbudgeted requests wait at most
+	// DefaultQueueWait in admission and are never refused for time.
+	DefaultBudget time.Duration
+	// MaxFrame bounds one wire frame in bytes (default
+	// DefaultMaxFrame); oversized or corrupt length prefixes drop the
+	// connection instead of driving an allocation.
+	MaxFrame int
 }
 
 func (sc *ServerConfig) fill() {
 	if sc.IdleTimeout == 0 {
 		sc.IdleTimeout = DefaultIdleTimeout
 	}
+	if sc.MaxFrame <= 0 {
+		sc.MaxFrame = DefaultMaxFrame
+	}
 }
 
 // Server exposes a Source over TCP.
 type Server struct {
-	src Source
-	cfg ServerConfig
-	ln  net.Listener
-	wg  sync.WaitGroup
+	src  Source
+	cfg  ServerConfig
+	ln   net.Listener
+	gate *workGate
+	wg   sync.WaitGroup
 
 	mu       sync.Mutex
 	conns    map[net.Conn]*connState
@@ -159,7 +208,11 @@ func ServeConfig(src Source, addr string, cfg ServerConfig) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("collector: %w", err)
 	}
-	s := &Server{src: src, cfg: cfg, ln: ln, conns: make(map[net.Conn]*connState)}
+	s := &Server{
+		src: src, cfg: cfg, ln: ln,
+		gate:  newWorkGate(cfg.MaxInflight, cfg.QueueDepth),
+		conns: make(map[net.Conn]*connState),
+	}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -167,6 +220,15 @@ func ServeConfig(src Source, addr string, cfg ServerConfig) (*Server, error) {
 
 // Addr returns the bound address.
 func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// GateStats snapshots the admission gate's counters (zero value when
+// admission control is disabled).
+func (s *Server) GateStats() GateStats {
+	if s.gate == nil {
+		return GateStats{}
+	}
+	return s.gate.stats()
+}
 
 // Close stops the server immediately: it stops accepting, force-closes
 // active connections (in-flight requests see a write error), and waits
@@ -193,7 +255,7 @@ func (s *Server) Shutdown(timeout time.Duration) error {
 	s.draining = true
 	for c, st := range s.conns {
 		if !st.busy {
-			c.Close() // wakes the blocked Decode; the loop exits
+			c.Close() // wakes the blocked read; the loop exits
 		}
 	}
 	s.mu.Unlock()
@@ -260,16 +322,14 @@ func (s *Server) refuse(conn net.Conn) {
 	// Wait for the first request frame so the refusal pairs with a call
 	// the client is actually waiting on, then answer it.
 	var req request
-	if err := gob.NewDecoder(conn).Decode(&req); err != nil {
+	if err := readFrame(conn, &req, s.cfg.MaxFrame); err != nil {
 		return
 	}
-	gob.NewEncoder(conn).Encode(&response{Err: busyMsg})
+	writeFrame(conn, &response{Err: busyMsg, Code: codeBusy}, s.cfg.MaxFrame)
 }
 
 func (s *Server) serveConn(conn net.Conn) {
 	defer conn.Close()
-	dec := gob.NewDecoder(conn)
-	enc := gob.NewEncoder(conn)
 	for {
 		s.mu.Lock()
 		draining := s.draining
@@ -286,17 +346,20 @@ func (s *Server) serveConn(conn net.Conn) {
 			}
 		}
 		var req request
-		if err := dec.Decode(&req); err != nil {
+		if err := readFrame(conn, &req, s.cfg.MaxFrame); err != nil {
+			// Oversized or malformed frames (ErrFrameTooLarge, bad gob)
+			// drop only this connection: the stream cannot be resynced,
+			// and answering garbage would reward a hostile peer.
 			return
 		}
 		s.mu.Lock()
 		st.busy = true
 		s.mu.Unlock()
-		resp := s.handle(&req)
+		resp := s.dispatch(&req)
 		if s.cfg.IdleTimeout > 0 {
 			conn.SetWriteDeadline(time.Now().Add(s.cfg.IdleTimeout))
 		}
-		err := enc.Encode(resp)
+		err := writeFrame(conn, resp, s.cfg.MaxFrame)
 		s.mu.Lock()
 		st.busy = false
 		s.mu.Unlock()
@@ -304,6 +367,42 @@ func (s *Server) serveConn(conn net.Conn) {
 			return
 		}
 	}
+}
+
+// dispatch runs one request through budget accounting and admission
+// control before handing it to the Source. The order matters: the
+// budget clock starts at arrival, the admission wait is charged against
+// it, and a request that comes out of the queue with nothing left is
+// refused, not computed.
+func (s *Server) dispatch(req *request) *response {
+	start := time.Now()
+	var deadline time.Time
+	if req.BudgetMS > 0 {
+		deadline = start.Add(time.Duration(req.BudgetMS * float64(time.Millisecond)))
+	} else if s.cfg.DefaultBudget > 0 {
+		deadline = start.Add(s.cfg.DefaultBudget)
+	}
+	if w := opWeight(req.Op); s.gate != nil && w > 0 {
+		if err := s.gate.acquire(w, deadline); err != nil {
+			return refusalResponse(err)
+		}
+		defer s.gate.release(w)
+	}
+	if !deadline.IsZero() && !time.Now().Before(deadline) {
+		return &response{Err: ErrDeadlineExceeded.Error(), Code: codeDeadline}
+	}
+	return s.handle(req)
+}
+
+// refusalResponse converts a gate error into its typed wire form.
+func refusalResponse(err error) *response {
+	if ra, ok := RetryAfterHint(err); ok {
+		return &response{Err: err.Error(), Code: codeShed, RetryAfterMS: ra.Seconds() * 1000}
+	}
+	if errors.Is(err, ErrDeadlineExceeded) {
+		return &response{Err: err.Error(), Code: codeDeadline}
+	}
+	return &response{Err: busyMsg, Code: codeBusy}
 }
 
 // handle answers one request. A panicking Source must cost the client
@@ -380,7 +479,8 @@ const DefaultRetryBackoff = 100 * time.Millisecond
 // each field selects its default.
 type ClientConfig struct {
 	// CallTimeout is the per-call I/O deadline (default
-	// DefaultCallTimeout); negative disables deadlines.
+	// DefaultCallTimeout); negative disables deadlines. A sooner
+	// context deadline tightens it per call.
 	CallTimeout time.Duration
 	// RetryBackoff is the wait between the failed attempt and the one
 	// reconnect retry (default DefaultRetryBackoff); negative disables
@@ -390,6 +490,10 @@ type ClientConfig struct {
 	// FailoverSource sets it: when other replicas are available, trying
 	// one of them beats retrying the replica that just failed.
 	SingleAttempt bool
+	// MaxFrame bounds one wire frame in bytes (default
+	// DefaultMaxFrame): a corrupt length prefix from a sick server is
+	// rejected with ErrFrameTooLarge instead of allocating.
+	MaxFrame int
 }
 
 func (cc *ClientConfig) fill() {
@@ -399,6 +503,9 @@ func (cc *ClientConfig) fill() {
 	if cc.RetryBackoff == 0 {
 		cc.RetryBackoff = DefaultRetryBackoff
 	}
+	if cc.MaxFrame <= 0 {
+		cc.MaxFrame = DefaultMaxFrame
+	}
 }
 
 // Client is a Source backed by a remote collector service.
@@ -406,10 +513,14 @@ type Client struct {
 	addr string
 	cfg  ClientConfig
 
-	mu   sync.Mutex
-	conn net.Conn
-	enc  *gob.Encoder
-	dec  *gob.Decoder
+	mu sync.Mutex // serializes calls: one request/response in flight
+
+	// connMu guards only the connection pointer and the closed flag, so
+	// Close can abort an in-flight call (whose goroutine holds mu)
+	// instead of queueing behind it.
+	connMu sync.Mutex
+	conn   net.Conn
+	closed bool
 }
 
 // Dial connects to a collector service with default timeouts.
@@ -422,21 +533,25 @@ func Dial(addr string) (*Client, error) {
 func DialConfig(addr string, cfg ClientConfig) (*Client, error) {
 	cfg.fill()
 	c := &Client{addr: addr, cfg: cfg}
-	if err := c.connect(); err != nil {
+	if _, err := c.connect(); err != nil {
 		return nil, err
 	}
 	return c, nil
 }
 
-func (c *Client) connect() error {
+func (c *Client) connect() (net.Conn, error) {
 	conn, err := net.DialTimeout("tcp", c.addr, c.dialTimeout())
 	if err != nil {
-		return fmt.Errorf("collector: %w", err)
+		return nil, fmt.Errorf("collector: %w", err)
+	}
+	c.connMu.Lock()
+	defer c.connMu.Unlock()
+	if c.closed {
+		conn.Close()
+		return nil, errors.New("collector: client is closed")
 	}
 	c.conn = conn
-	c.enc = gob.NewEncoder(conn)
-	c.dec = gob.NewDecoder(conn)
-	return nil
+	return conn, nil
 }
 
 func (c *Client) dialTimeout() time.Duration {
@@ -446,86 +561,167 @@ func (c *Client) dialTimeout() time.Duration {
 	return c.cfg.CallTimeout
 }
 
-// Close tears down the connection.
+// Close tears down the connection. An in-flight call is aborted (its
+// read fails immediately) rather than waited for.
 func (c *Client) Close() error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.connMu.Lock()
+	defer c.connMu.Unlock()
+	c.closed = true
 	if c.conn != nil {
-		return c.conn.Close()
+		err := c.conn.Close()
+		c.conn = nil
+		return err
 	}
 	return nil
 }
 
-func (c *Client) call(req *request) (*response, error) {
+// dropConn discards a connection whose stream may be mid-frame: the
+// next call reconnects on a clean one.
+func (c *Client) dropConn() {
+	c.connMu.Lock()
+	defer c.connMu.Unlock()
+	if c.conn != nil {
+		c.conn.Close()
+		c.conn = nil
+	}
+}
+
+// call sends one request and reads its response, honouring ctx: the
+// remaining context budget rides in the request frame as a hint for
+// server-side enforcement, a sooner context deadline tightens the I/O
+// deadline, and cancellation aborts an in-flight read immediately. A
+// call that fails for any reason drops the connection (the stream may
+// be mid-frame), so the next call starts clean.
+func (c *Client) call(ctx context.Context, req *request) (*response, error) {
+	if err := ctxError(ctx); err != nil {
+		return nil, err
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	attempt := func() (*response, error) {
-		if c.conn == nil {
-			if err := c.connect(); err != nil {
+		c.connMu.Lock()
+		conn, closed := c.conn, c.closed
+		c.connMu.Unlock()
+		if closed {
+			return nil, errors.New("collector: client is closed")
+		}
+		if conn == nil {
+			var err error
+			if conn, err = c.connect(); err != nil {
 				return nil, err
 			}
 		}
-		// Per-call deadline: a hung server surfaces as a timeout error
-		// the reconnect path handles, never as a blocked Modeler.
+		// Per-call I/O deadline: CallTimeout, tightened by the context.
+		var deadline time.Time
 		if c.cfg.CallTimeout > 0 {
-			if err := c.conn.SetDeadline(time.Now().Add(c.cfg.CallTimeout)); err != nil {
+			deadline = time.Now().Add(c.cfg.CallTimeout)
+		}
+		req.BudgetMS = 0
+		if dl, ok := ctx.Deadline(); ok {
+			if deadline.IsZero() || dl.Before(deadline) {
+				deadline = dl
+			}
+			if rem := time.Until(dl); rem > 0 {
+				req.BudgetMS = rem.Seconds() * 1000
+			}
+		}
+		if !deadline.IsZero() {
+			if err := conn.SetDeadline(deadline); err != nil {
 				return nil, err
 			}
 		}
-		if err := c.enc.Encode(req); err != nil {
+		// Cancellation mid-call: slam the connection deadline shut so a
+		// blocked read returns now instead of at the I/O deadline.
+		stop := context.AfterFunc(ctx, func() {
+			conn.SetDeadline(time.Unix(1, 0))
+		})
+		defer stop()
+		if err := writeFrame(conn, req, c.cfg.MaxFrame); err != nil {
 			return nil, err
 		}
 		var resp response
-		if err := c.dec.Decode(&resp); err != nil {
+		if err := readFrame(conn, &resp, c.cfg.MaxFrame); err != nil {
 			return nil, err
 		}
 		return &resp, nil
 	}
 	resp, err := attempt()
 	if err != nil {
-		// One reconnect after a short backoff: the server may be
-		// restarting; retrying instantly tends to race its rebind.
-		if c.conn != nil {
-			c.conn.Close()
-			c.conn = nil
+		c.dropConn()
+		if cerr := ctxCallError(ctx); cerr != nil {
+			return nil, fmt.Errorf("%w (%v)", cerr, err)
 		}
-		if c.cfg.SingleAttempt {
+		// One reconnect after a short backoff: the server may be
+		// restarting; retrying instantly tends to race its rebind. A
+		// frame-size rejection is not retryable — the peer is broken.
+		if c.cfg.SingleAttempt || errors.Is(err, ErrFrameTooLarge) {
 			return nil, err
 		}
 		if c.cfg.RetryBackoff > 0 {
-			time.Sleep(c.cfg.RetryBackoff)
+			t := time.NewTimer(c.cfg.RetryBackoff)
+			select {
+			case <-t.C:
+			case <-ctx.Done():
+				t.Stop()
+				return nil, ctxError(ctx)
+			}
 		}
 		resp, err = attempt()
 		if err != nil {
+			c.dropConn()
+			if cerr := ctxCallError(ctx); cerr != nil {
+				return nil, fmt.Errorf("%w (%v)", cerr, err)
+			}
 			return nil, err
 		}
 	}
-	if resp.Err != "" {
-		if resp.Err == busyMsg {
-			return resp, ErrServerBusy
+	return decodeResponse(resp)
+}
+
+// decodeResponse maps a wire response to the client-side error surface:
+// typed refusal codes become their sentinel errors; an Err string with
+// codeOK is an authoritative application-level error.
+func decodeResponse(resp *response) (*response, error) {
+	switch resp.Code {
+	case codeOK:
+		if resp.Err != "" {
+			if resp.Err == busyMsg {
+				return resp, ErrServerBusy
+			}
+			return resp, fmt.Errorf("%s", resp.Err)
 		}
-		return resp, fmt.Errorf("%s", resp.Err)
+		return resp, nil
+	case codeBusy:
+		return resp, ErrServerBusy
+	case codeDeadline:
+		return resp, fmt.Errorf("server refused: %w", ErrDeadlineExceeded)
+	case codeShed:
+		return resp, &ShedError{RetryAfter: time.Duration(resp.RetryAfterMS * float64(time.Millisecond))}
+	default:
+		return resp, fmt.Errorf("collector: unknown response code %d (%s)", resp.Code, resp.Err)
 	}
-	return resp, nil
 }
 
 // caller abstracts "send one request, get one response" so the Source
 // method wrappers below are shared between Client (one connection) and
 // FailoverSource (a replica set).
 type caller interface {
-	call(req *request) (*response, error)
+	call(ctx context.Context, req *request) (*response, error)
 }
 
-func callTopology(c caller) (*Topology, error) {
-	resp, err := c.call(&request{Op: "topo"})
+func callTopology(ctx context.Context, c caller) (*Topology, error) {
+	resp, err := c.call(ctx, &request{Op: "topo"})
 	if err != nil {
 		return nil, err
+	}
+	if resp.Topo == nil {
+		return nil, fmt.Errorf("collector: server answered topology query without a topology")
 	}
 	return topoFromWire(resp.Topo), nil
 }
 
-func callUtilization(c caller, key ChannelKey, span float64) (stats.Stat, error) {
-	resp, err := c.call(&request{Op: "util", Key: key, Span: span})
+func callUtilization(ctx context.Context, c caller, key ChannelKey, span float64) (stats.Stat, error) {
+	resp, err := c.call(ctx, &request{Op: "util", Key: key, Span: span})
 	if err != nil {
 		if resp != nil {
 			return resp.Stat, err
@@ -535,16 +731,16 @@ func callUtilization(c caller, key ChannelKey, span float64) (stats.Stat, error)
 	return resp.Stat, nil
 }
 
-func callSamples(c caller, key ChannelKey) ([]stats.Sample, error) {
-	resp, err := c.call(&request{Op: "samples", Key: key})
+func callSamples(ctx context.Context, c caller, key ChannelKey) ([]stats.Sample, error) {
+	resp, err := c.call(ctx, &request{Op: "samples", Key: key})
 	if err != nil {
 		return nil, err
 	}
 	return resp.Samples, nil
 }
 
-func callHostLoad(c caller, node graph.NodeID, span float64) (stats.Stat, error) {
-	resp, err := c.call(&request{Op: "load", Node: string(node), Span: span})
+func callHostLoad(ctx context.Context, c caller, node graph.NodeID, span float64) (stats.Stat, error) {
+	resp, err := c.call(ctx, &request{Op: "load", Node: string(node), Span: span})
 	if err != nil {
 		if resp != nil {
 			return resp.Stat, err
@@ -554,16 +750,16 @@ func callHostLoad(c caller, node graph.NodeID, span float64) (stats.Stat, error)
 	return resp.Stat, nil
 }
 
-func callDataAge(c caller, key ChannelKey) (float64, error) {
-	resp, err := c.call(&request{Op: "age", Key: key})
+func callDataAge(ctx context.Context, c caller, key ChannelKey) (float64, error) {
+	resp, err := c.call(ctx, &request{Op: "age", Key: key})
 	if err != nil {
 		return 0, err
 	}
 	return resp.Age, nil
 }
 
-func callHealth(c caller) map[graph.NodeID]AgentHealth {
-	resp, err := c.call(&request{Op: "health"})
+func callHealth(ctx context.Context, c caller) map[graph.NodeID]AgentHealth {
+	resp, err := c.call(ctx, &request{Op: "health"})
 	if err != nil {
 		return nil
 	}
@@ -575,34 +771,65 @@ func callHealth(c caller) map[graph.NodeID]AgentHealth {
 }
 
 // Topology implements Source.
-func (c *Client) Topology() (*Topology, error) { return callTopology(c) }
+func (c *Client) Topology() (*Topology, error) { return callTopology(context.Background(), c) }
+
+// TopologyCtx implements ContextSource.
+func (c *Client) TopologyCtx(ctx context.Context) (*Topology, error) { return callTopology(ctx, c) }
 
 // Utilization implements Source.
 func (c *Client) Utilization(key ChannelKey, span float64) (stats.Stat, error) {
-	return callUtilization(c, key, span)
+	return callUtilization(context.Background(), c, key, span)
+}
+
+// UtilizationCtx implements ContextSource.
+func (c *Client) UtilizationCtx(ctx context.Context, key ChannelKey, span float64) (stats.Stat, error) {
+	return callUtilization(ctx, c, key, span)
 }
 
 // Samples implements Source.
 func (c *Client) Samples(key ChannelKey) ([]stats.Sample, error) {
-	return callSamples(c, key)
+	return callSamples(context.Background(), c, key)
+}
+
+// SamplesCtx implements ContextSource.
+func (c *Client) SamplesCtx(ctx context.Context, key ChannelKey) ([]stats.Sample, error) {
+	return callSamples(ctx, c, key)
 }
 
 // HostLoad implements Source.
 func (c *Client) HostLoad(node graph.NodeID, span float64) (stats.Stat, error) {
-	return callHostLoad(c, node, span)
+	return callHostLoad(context.Background(), c, node, span)
+}
+
+// HostLoadCtx implements ContextSource.
+func (c *Client) HostLoadCtx(ctx context.Context, node graph.NodeID, span float64) (stats.Stat, error) {
+	return callHostLoad(ctx, c, node, span)
 }
 
 // DataAge implements Source.
 func (c *Client) DataAge(key ChannelKey) (float64, error) {
-	return callDataAge(c, key)
+	return callDataAge(context.Background(), c, key)
+}
+
+// DataAgeCtx implements ContextSource.
+func (c *Client) DataAgeCtx(ctx context.Context, key ChannelKey) (float64, error) {
+	return callDataAge(ctx, c, key)
 }
 
 // Health implements HealthSource: the remote collector's per-agent
 // health snapshot (nil when the server cannot provide one).
-func (c *Client) Health() map[graph.NodeID]AgentHealth { return callHealth(c) }
+func (c *Client) Health() map[graph.NodeID]AgentHealth {
+	return callHealth(context.Background(), c)
+}
 
 // Ping issues a liveness round trip: any answer from the server counts.
 func (c *Client) Ping() error {
-	_, err := c.call(&request{Op: "ping"})
+	_, err := c.call(context.Background(), &request{Op: "ping"})
+	return err
+}
+
+// PingCtx is Ping with a caller-supplied budget.
+func (c *Client) PingCtx(ctx context.Context) error {
+	_, err := c.call(ctx, &request{Op: "ping"})
 	return err
 }

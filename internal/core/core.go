@@ -17,6 +17,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -151,13 +152,13 @@ func (m *Modeler) Refresh() {
 }
 
 // topology returns the cached (or freshly fetched) topology and routes.
-func (m *Modeler) topology() (*collector.Topology, *graph.RouteTable, error) {
+func (m *Modeler) topology(ctx context.Context) (*collector.Topology, *graph.RouteTable, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.topo != nil {
 		return m.topo, m.rt, nil
 	}
-	t, err := m.cfg.Source.Topology()
+	t, err := collector.CtxTopology(ctx, m.cfg.Source)
 	if err != nil {
 		return nil, nil, fmt.Errorf("core: %w", err)
 	}
@@ -207,38 +208,53 @@ func (m *Modeler) selfRateOn(topo *collector.Topology, rt *graph.RouteTable, key
 // channelAvailability computes the availability Stat of one channel under
 // a timeframe: capacity for TFCapacity, otherwise capacity minus the
 // (possibly predicted) utilization.
-func (m *Modeler) channelAvailability(topo *collector.Topology, rt *graph.RouteTable,
-	l *graph.Link, d graph.Dir, tf Timeframe) stats.Stat {
+//
+// Error contract: lifecycle errors (deadline, cancellation, shed, busy —
+// collector.IsLifecycleError) abort the query and propagate; any other
+// measurement error falls back to capacity with low accuracy, matching
+// "initial implementations may only support historical performance". The
+// distinction matters: a missing measurement degrades an answer, but a
+// caller whose budget expired must get the typed error, not a fabricated
+// capacity number computed after they stopped listening.
+func (m *Modeler) channelAvailability(ctx context.Context, topo *collector.Topology,
+	rt *graph.RouteTable, l *graph.Link, d graph.Dir, tf Timeframe) (stats.Stat, error) {
 
 	key := topo.Key(l, d)
 	if tf.Kind == Capacity {
-		return stats.Exact(l.Capacity)
+		return stats.Exact(l.Capacity), nil
+	}
+	degrade := func(err error) (stats.Stat, error) {
+		if err != nil && collector.IsLifecycleError(err) {
+			return stats.NoData(), fmt.Errorf("core: availability of %v: %w", key, err)
+		}
+		return stats.Exact(l.Capacity).WithAccuracy(0.1), nil
 	}
 	var util stats.Stat
 	switch tf.Kind {
 	case Current:
-		u, err := m.cfg.Source.Utilization(key, 0)
+		u, err := collector.CtxUtilization(ctx, m.cfg.Source, key, 0)
 		if err != nil {
-			// No measurements yet: fall back to capacity with low
-			// accuracy, matching "initial implementations may only
-			// support historical performance".
-			return stats.Exact(l.Capacity).WithAccuracy(0.1)
+			return degrade(err)
 		}
 		util = u
 	case History:
-		u, err := m.cfg.Source.Utilization(key, tf.Span)
+		u, err := collector.CtxUtilization(ctx, m.cfg.Source, key, tf.Span)
 		if err != nil {
-			return stats.Exact(l.Capacity).WithAccuracy(0.1)
+			return degrade(err)
 		}
 		util = u
 	case Future:
-		samples, err := m.cfg.Source.Samples(key)
+		samples, err := collector.CtxSamples(ctx, m.cfg.Source, key)
 		if err != nil || len(samples) == 0 {
-			return stats.Exact(l.Capacity).WithAccuracy(0.1)
+			return degrade(err)
 		}
 		util = stats.PredictStat(samples, m.cfg.Predictor, tf.Horizon)
 		if m.cfg.StaleHalfLife > 0 {
-			if age, err := m.cfg.Source.DataAge(key); err == nil && age > 0 {
+			age, err := collector.CtxDataAge(ctx, m.cfg.Source, key)
+			if err != nil && collector.IsLifecycleError(err) {
+				return stats.NoData(), fmt.Errorf("core: data age of %v: %w", key, err)
+			}
+			if err == nil && age > 0 {
 				util.Age = age
 				util = util.AgeDecayed(m.cfg.StaleHalfLife)
 			}
@@ -247,7 +263,7 @@ func (m *Modeler) channelAvailability(topo *collector.Topology, rt *graph.RouteT
 		panic(fmt.Sprintf("core: bad timeframe kind %v", tf.Kind))
 	}
 	if !util.Valid() {
-		return stats.Exact(l.Capacity).WithAccuracy(0.1)
+		return degrade(nil)
 	}
 	if m.cfg.DiscountSelf {
 		if own := m.selfRateOn(topo, rt, key); own > 0 {
@@ -258,13 +274,20 @@ func (m *Modeler) channelAvailability(topo *collector.Topology, rt *graph.RouteT
 			}.ClampNonNegative()
 		}
 	}
-	return stats.SubFrom(l.Capacity, util)
+	return stats.SubFrom(l.Capacity, util), nil
 }
 
 // AvailableBandwidth reports the bottleneck availability between two
 // hosts under a timeframe: the element-wise minimum along the route.
 func (m *Modeler) AvailableBandwidth(src, dst graph.NodeID, tf Timeframe) (stats.Stat, error) {
-	topo, rt, err := m.topology()
+	return m.AvailableBandwidthCtx(context.Background(), src, dst, tf)
+}
+
+// AvailableBandwidthCtx is AvailableBandwidth under a context: the
+// deadline rides to the collector with every measurement fetch, and
+// cancellation aborts between (and inside) link lookups.
+func (m *Modeler) AvailableBandwidthCtx(ctx context.Context, src, dst graph.NodeID, tf Timeframe) (stats.Stat, error) {
+	topo, rt, err := m.topology(ctx)
 	if err != nil {
 		return stats.NoData(), err
 	}
@@ -277,7 +300,10 @@ func (m *Modeler) AvailableBandwidth(src, dst graph.NodeID, tf Timeframe) (stats
 	}
 	out := stats.NoData()
 	for i, l := range p.Links {
-		a := m.channelAvailability(topo, rt, l, l.DirFrom(p.Nodes[i]), tf)
+		a, err := m.channelAvailability(ctx, topo, rt, l, l.DirFrom(p.Nodes[i]), tf)
+		if err != nil {
+			return stats.NoData(), err
+		}
 		out = stats.MinStat(out, a)
 	}
 	// Router internal bandwidth also caps the path (Figure 1).
@@ -292,7 +318,12 @@ func (m *Modeler) AvailableBandwidth(src, dst graph.NodeID, tf Timeframe) (stats
 // PathLatency reports the one-way latency between two hosts (per-hop
 // constant model, exact).
 func (m *Modeler) PathLatency(src, dst graph.NodeID) (stats.Stat, error) {
-	_, rt, err := m.topology()
+	return m.PathLatencyCtx(context.Background(), src, dst)
+}
+
+// PathLatencyCtx is PathLatency under a context.
+func (m *Modeler) PathLatencyCtx(ctx context.Context, src, dst graph.NodeID) (stats.Stat, error) {
+	_, rt, err := m.topology(ctx)
 	if err != nil {
 		return stats.NoData(), err
 	}
@@ -320,17 +351,27 @@ func (m *Modeler) Health() map[graph.NodeID]collector.AgentHealth {
 // DataAge reports how many seconds old the newest measurement for a
 // channel is (+Inf before the first sample).
 func (m *Modeler) DataAge(key collector.ChannelKey) (float64, error) {
-	return m.cfg.Source.DataAge(key)
+	return m.DataAgeCtx(context.Background(), key)
+}
+
+// DataAgeCtx is DataAge under a context.
+func (m *Modeler) DataAgeCtx(ctx context.Context, key collector.ChannelKey) (float64, error) {
+	return collector.CtxDataAge(ctx, m.cfg.Source, key)
 }
 
 // HostLoad reports a host's CPU load fraction (Remos's "simple interface
 // to computation resources").
 func (m *Modeler) HostLoad(id graph.NodeID, tf Timeframe) (stats.Stat, error) {
+	return m.HostLoadCtx(context.Background(), id, tf)
+}
+
+// HostLoadCtx is HostLoad under a context.
+func (m *Modeler) HostLoadCtx(ctx context.Context, id graph.NodeID, tf Timeframe) (stats.Stat, error) {
 	span := 0.0
 	if tf.Kind == History {
 		span = tf.Span
 	}
-	st, err := m.cfg.Source.HostLoad(id, span)
+	st, err := collector.CtxHostLoad(ctx, m.cfg.Source, id, span)
 	if err != nil {
 		return stats.NoData(), err
 	}
@@ -341,7 +382,7 @@ func (m *Modeler) HostLoad(id graph.NodeID, tf Timeframe) (stats.Stat, error) {
 // does not expose it). Applications use it for the §2 sizing constraint:
 // enough nodes to fit the data set.
 func (m *Modeler) HostMemory(id graph.NodeID) (float64, error) {
-	topo, _, err := m.topology()
+	topo, _, err := m.topology(context.Background())
 	if err != nil {
 		return 0, err
 	}

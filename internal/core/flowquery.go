@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -95,14 +96,22 @@ func (fi *FlowInfo) All() []FlowResult {
 // all under weighted max-min fairness on the availability implied by the
 // timeframe.
 func (m *Modeler) QueryFlowInfo(fixed, variable, independent []Flow, tf Timeframe) (*FlowInfo, error) {
-	topo, rt, err := m.topology()
+	return m.QueryFlowInfoCtx(context.Background(), fixed, variable, independent, tf)
+}
+
+// QueryFlowInfoCtx is QueryFlowInfo under a context: the resource-space
+// construction fetches one availability per directed channel in use, and
+// each fetch carries the caller's deadline. A budget that expires
+// mid-construction aborts with a typed lifecycle error.
+func (m *Modeler) QueryFlowInfoCtx(ctx context.Context, fixed, variable, independent []Flow, tf Timeframe) (*FlowInfo, error) {
+	topo, rt, err := m.topology(ctx)
 	if err != nil {
 		return nil, err
 	}
 
 	// Build the resource space: one resource per directed channel in use,
 	// plus router backplanes with finite internal bandwidth.
-	idx := newResourceIndex(m, topo, rt, tf)
+	idx := newResourceIndex(ctx, m, topo, rt, tf)
 	toDemand := func(f Flow) (maxmin.Demand, *graph.Path, error) {
 		if f.Src == f.Dst {
 			return maxmin.Demand{}, nil, fmt.Errorf("core: flow with equal endpoints %q", f.Src)
@@ -111,7 +120,11 @@ func (m *Modeler) QueryFlowInfo(fixed, variable, independent []Flow, tf Timefram
 		if p == nil {
 			return maxmin.Demand{}, nil, fmt.Errorf("core: no route %s -> %s", f.Src, f.Dst)
 		}
-		d := maxmin.Demand{Resources: idx.resourcesFor(p), Weight: 1}
+		res, err := idx.resourcesFor(p)
+		if err != nil {
+			return maxmin.Demand{}, nil, err
+		}
+		d := maxmin.Demand{Resources: res, Weight: 1}
 		return d, p, nil
 	}
 
@@ -219,6 +232,7 @@ func solveProportionalClasses(cp *maxmin.ClassedProblem) *maxmin.ClassedResult {
 // resourceIndex maps channels (and limited backplanes) to max-min
 // resources whose capacities are the timeframe's availability medians.
 type resourceIndex struct {
+	ctx  context.Context
 	m    *Modeler
 	topo *collector.Topology
 	rt   *graph.RouteTable
@@ -235,8 +249,8 @@ type resKey struct {
 	node graph.NodeID
 }
 
-func newResourceIndex(m *Modeler, topo *collector.Topology, rt *graph.RouteTable, tf Timeframe) *resourceIndex {
-	return &resourceIndex{m: m, topo: topo, rt: rt, tf: tf, ids: make(map[resKey]int)}
+func newResourceIndex(ctx context.Context, m *Modeler, topo *collector.Topology, rt *graph.RouteTable, tf Timeframe) *resourceIndex {
+	return &resourceIndex{ctx: ctx, m: m, topo: topo, rt: rt, tf: tf, ids: make(map[resKey]int)}
 }
 
 func (ri *resourceIndex) intern(k resKey, capacity float64, st stats.Stat) int {
@@ -250,11 +264,14 @@ func (ri *resourceIndex) intern(k resKey, capacity float64, st stats.Stat) int {
 	return id
 }
 
-func (ri *resourceIndex) resourcesFor(p *graph.Path) []maxmin.ResourceID {
+func (ri *resourceIndex) resourcesFor(p *graph.Path) ([]maxmin.ResourceID, error) {
 	var out []maxmin.ResourceID
 	for i, l := range p.Links {
 		d := l.DirFrom(p.Nodes[i])
-		st := ri.m.channelAvailability(ri.topo, ri.rt, l, d, ri.tf)
+		st, err := ri.m.channelAvailability(ri.ctx, ri.topo, ri.rt, l, d, ri.tf)
+		if err != nil {
+			return nil, err
+		}
 		capacity := st.Median
 		if !st.Valid() {
 			capacity = l.Capacity
@@ -269,7 +286,7 @@ func (ri *resourceIndex) resourcesFor(p *graph.Path) []maxmin.ResourceID {
 			out = append(out, maxmin.ResourceID(id))
 		}
 	}
-	return out
+	return out, nil
 }
 
 func (ri *resourceIndex) capacities() []float64 { return ri.caps }
@@ -338,6 +355,13 @@ func allocationStat(alloc float64, bottleneck stats.Stat) stats.Stat {
 // paper's observation that flow queries for the matrix "would have been
 // needed, implying a much higher overhead".
 func (m *Modeler) BandwidthMatrix(nodes []graph.NodeID, tf Timeframe) ([][]float64, error) {
+	return m.BandwidthMatrixCtx(context.Background(), nodes, tf)
+}
+
+// BandwidthMatrixCtx is BandwidthMatrix under a context: one expired
+// budget aborts the whole matrix (a half-fresh matrix is worse for
+// clustering than a typed error).
+func (m *Modeler) BandwidthMatrixCtx(ctx context.Context, nodes []graph.NodeID, tf Timeframe) ([][]float64, error) {
 	n := len(nodes)
 	out := make([][]float64, n)
 	for i := range out {
@@ -349,7 +373,7 @@ func (m *Modeler) BandwidthMatrix(nodes []graph.NodeID, tf Timeframe) ([][]float
 				out[i][j] = math.Inf(1)
 				continue
 			}
-			st, err := m.AvailableBandwidth(nodes[i], nodes[j], tf)
+			st, err := m.AvailableBandwidthCtx(ctx, nodes[i], nodes[j], tf)
 			if err != nil {
 				return nil, err
 			}

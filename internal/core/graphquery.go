@@ -1,9 +1,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
+	"repro/internal/collector"
 	"repro/internal/graph"
 	"repro/internal/stats"
 )
@@ -103,7 +105,15 @@ type annLink struct {
 // (capacity/availability: element-wise min; latency: sum), which also
 // abstracts a "complex network in the middle" into one edge.
 func (m *Modeler) GetGraph(nodes []graph.NodeID, tf Timeframe) (*Graph, error) {
-	topo, rt, err := m.topology()
+	return m.GetGraphCtx(context.Background(), nodes, tf)
+}
+
+// GetGraphCtx is GetGraph under a context: every per-link measurement
+// fetch carries the caller's deadline, and a budget that expires mid-
+// annotation aborts the query with a typed lifecycle error instead of
+// finishing it with fabricated numbers.
+func (m *Modeler) GetGraphCtx(ctx context.Context, nodes []graph.NodeID, tf Timeframe) (*Graph, error) {
+	topo, rt, err := m.topology(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -140,8 +150,12 @@ func (m *Modeler) GetGraph(nodes []graph.NodeID, tf Timeframe) (*Graph, error) {
 			capacity: stats.Exact(l.Capacity),
 			latency:  stats.Exact(l.Latency),
 		}
-		al.avail[0] = m.channelAvailability(topo, rt, orig, orig.DirFrom(l.A), tf)
-		al.avail[1] = m.channelAvailability(topo, rt, orig, orig.DirFrom(l.B), tf)
+		if al.avail[0], err = m.channelAvailability(ctx, topo, rt, orig, orig.DirFrom(l.A), tf); err != nil {
+			return nil, err
+		}
+		if al.avail[1], err = m.channelAvailability(ctx, topo, rt, orig, orig.DirFrom(l.B), tf); err != nil {
+			return nil, err
+		}
 		anns = append(anns, al)
 		adj[l.A] = append(adj[l.A], al)
 		adj[l.B] = append(adj[l.B], al)
@@ -192,8 +206,10 @@ func (m *Modeler) GetGraph(nodes []graph.NodeID, tf Timeframe) (*Graph, error) {
 		nd := sub.Node(id)
 		ni := NodeInfo{ID: id, Kind: nd.Kind, InternalBW: nd.InternalBW, Memory: nd.MemoryBytes}
 		if nd.Kind == graph.Compute {
-			if ld, err := m.cfg.Source.HostLoad(id, tfSpan(tf)); err == nil {
+			if ld, err := collector.CtxHostLoad(ctx, m.cfg.Source, id, tfSpan(tf)); err == nil {
 				ni.Load = ld
+			} else if collector.IsLifecycleError(err) {
+				return nil, fmt.Errorf("core: load of %q: %w", id, err)
 			} else {
 				ni.Load = stats.NoData()
 			}

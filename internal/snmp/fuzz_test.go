@@ -1,0 +1,57 @@
+package snmp
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecode throws arbitrary bytes at the wire decoder. Malformed
+// input must be rejected with an error — never a panic or an unbounded
+// allocation — and anything that does decode must re-encode and decode
+// again to a stable wire form.
+func FuzzDecode(f *testing.F) {
+	seeds := []*Message{
+		{Community: "public", Type: PDUGet, RequestID: 1,
+			VarBinds: []VarBind{{OID: OID{1, 3, 6, 1, 2, 1}, Value: Null()}}},
+		{Community: "c", Type: PDUResponse, RequestID: 42, Error: NoSuchName, ErrorIndex: 1,
+			VarBinds: []VarBind{
+				{OID: OID{1, 2}, Value: Integer(-5)},
+				{OID: OID{1, 3}, Value: Value{Kind: KindCounter32, Uint: 7}},
+				{OID: OID{1, 4}, Value: Value{Kind: KindGauge32, Uint: 100e6}},
+				{OID: OID{1, 5}, Value: Value{Kind: KindTimeTicks, Uint: 12345}},
+				{OID: OID{1, 6}, Value: Value{Kind: KindOctetString, Bytes: []byte("eth0")}},
+			}},
+		{Community: "", Type: PDUGetBulk, RequestID: 0, ErrorIndex: 16},
+	}
+	for _, m := range seeds {
+		b, err := Encode(m)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(b)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0x52, 0x4D})       // magic only
+	f.Add([]byte{0x52, 0x4D, 0x02}) // wrong version
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Decode(data)
+		if err != nil {
+			return // rejected: that is the contract for garbage
+		}
+		b, err := Encode(m)
+		if err != nil {
+			t.Fatalf("decoded message does not re-encode: %v (%+v)", err, m)
+		}
+		m2, err := Decode(b)
+		if err != nil {
+			t.Fatalf("re-encoded message does not decode: %v", err)
+		}
+		b2, err := Encode(m2)
+		if err != nil {
+			t.Fatalf("second encode failed: %v", err)
+		}
+		if !bytes.Equal(b, b2) {
+			t.Fatalf("wire form not stable:\n  %x\n  %x", b, b2)
+		}
+	})
+}

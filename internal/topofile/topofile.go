@@ -17,6 +17,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"strconv"
 	"strings"
@@ -81,6 +82,11 @@ func parseLine(g *graph.Graph, fields []string) (err error) {
 				power, err = strconv.ParseFloat(v, 64)
 				if err != nil {
 					return fmt.Errorf("bad power %q", v)
+				}
+				// strconv.ParseFloat accepts "NaN" and "Inf"; a compute
+				// power must be a finite positive number.
+				if math.IsNaN(power) || math.IsInf(power, 0) || power <= 0 {
+					return fmt.Errorf("power must be a finite positive number, got %q", v)
 				}
 			default:
 				return fmt.Errorf("unknown host option %q", k)
@@ -148,6 +154,12 @@ func ParseBandwidth(s string) (float64, error) {
 	if err != nil {
 		return 0, fmt.Errorf("bad bandwidth %q", s)
 	}
+	// ParseFloat accepts "NaN" and "Inf"; a NaN capacity entering the
+	// graph poisons every max-min computation downstream, so reject it
+	// here at the edge.
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0, fmt.Errorf("bandwidth must be finite, got %q", s)
+	}
 	if v < 0 {
 		return 0, fmt.Errorf("negative bandwidth %q", s)
 	}
@@ -173,6 +185,9 @@ func ParseLatency(s string) (float64, error) {
 	v, err := strconv.ParseFloat(num, 64)
 	if err != nil {
 		return 0, fmt.Errorf("bad latency %q", s)
+	}
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0, fmt.Errorf("latency must be finite, got %q", s)
 	}
 	if v < 0 {
 		return 0, fmt.Errorf("negative latency %q", s)

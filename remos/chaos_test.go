@@ -1,0 +1,303 @@
+package remos_test
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/collector"
+	"repro/internal/graph"
+	"repro/internal/snmp"
+	"repro/internal/stats"
+	"repro/remos"
+)
+
+// The chaos suite is seeded: the fault schedule (blackhole windows,
+// replica kills/restarts, checkpoint saves, time steps) is generated
+// deterministically from -chaos.seed, so a failing run is replayable
+// with the same flag. -chaos.events scales the run length.
+var (
+	chaosSeed   = flag.Int64("chaos.seed", 1, "seed for the chaos fault schedule")
+	chaosEvents = flag.Int("chaos.events", 40, "number of chaos events to inject")
+)
+
+// lockedSource serializes access to a testbed Collector so TCP server
+// handlers (one goroutine per connection) and the virtual-clock driver
+// never touch the simulator concurrently — the same discipline the
+// remos-collector daemon uses around its clock.
+type lockedSource struct {
+	mu  *sync.Mutex
+	col *collector.Collector
+}
+
+func (s *lockedSource) Topology() (*collector.Topology, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.col.Topology()
+}
+func (s *lockedSource) Utilization(key collector.ChannelKey, span float64) (stats.Stat, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.col.Utilization(key, span)
+}
+func (s *lockedSource) Samples(key collector.ChannelKey) ([]stats.Sample, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.col.Samples(key)
+}
+func (s *lockedSource) HostLoad(node graph.NodeID, span float64) (stats.Stat, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.col.HostLoad(node, span)
+}
+func (s *lockedSource) DataAge(key collector.ChannelKey) (float64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.col.DataAge(key)
+}
+func (s *lockedSource) Health() map[graph.NodeID]collector.AgentHealth {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.col.Health()
+}
+
+// chaosEvent is one step of the deterministic schedule.
+type chaosEvent struct {
+	kind  int     // 0 blackhole, 1 kill replica A, 2 restart replica A, 3 checkpoint, >=4 quiet
+	agent string  // blackhole target
+	dur   float64 // blackhole window (virtual seconds)
+	dt    float64 // virtual-time advance after the event
+}
+
+// TestChaosLifecycle composes everything the robustness PRs built —
+// SNMP fault injection, replica kills and restarts, checkpointing,
+// admission control, budgets — under concurrent deadline-bounded
+// queries, and checks the global invariants: no panic, no query past
+// 2x its budget, quartiles ordered, every error typed, and full
+// recovery once the chaos stops.
+func TestChaosLifecycle(t *testing.T) {
+	rng := rand.New(rand.NewSource(*chaosSeed))
+	tb, err := remos.NewTestbed()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb.StartBlast("m-6", "m-8", 60e6)
+	tb.Run(20)
+
+	// Pre-generate the whole schedule so determinism depends only on the
+	// seed, not on worker interleaving.
+	agents := []string{"aspen", "timberline", "whiteface", "m-3", "m-5", "m-8"}
+	events := make([]chaosEvent, *chaosEvents)
+	for i := range events {
+		events[i] = chaosEvent{
+			kind:  rng.Intn(6),
+			agent: agents[rng.Intn(len(agents))],
+			dur:   2 + rng.Float64()*8,
+			dt:    0.5 + rng.Float64()*2.5,
+		}
+	}
+
+	var mu sync.Mutex // serializes clock driver and server handlers
+	ls := &lockedSource{mu: &mu, col: tb.Collector}
+	scfg := collector.ServerConfig{MaxInflight: 8, QueueDepth: 16, DefaultBudget: 2 * time.Second}
+	srvA, err := collector.ServeConfig(ls, "127.0.0.1:0", scfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrA := srvA.Addr()
+	srvB, err := collector.ServeConfig(ls, "127.0.0.1:0", scfg) // never killed
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srvB.Close()
+
+	src, err := remos.DialCollectors(addrA, srvB.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+
+	// The backbone channel used for data-age queries.
+	topo, err := tb.Collector.Topology()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var backbone remos.ChannelKey
+	for _, l := range topo.Graph.Links() {
+		if l.A == "aspen" && l.B == "timberline" {
+			backbone = topo.Key(l, graph.AtoB)
+		}
+	}
+
+	// Concurrent query workers under a hard per-query budget.
+	const budget = 1 * time.Second
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var violations struct {
+		sync.Mutex
+		msgs []string
+	}
+	report := func(format string, args ...any) {
+		violations.Lock()
+		if len(violations.msgs) < 8 {
+			violations.msgs = append(violations.msgs, fmt.Sprintf(format, args...))
+		}
+		violations.Unlock()
+	}
+	checkStat := func(who string, st remos.Stat) {
+		if !(st.Min <= st.Q1 && st.Q1 <= st.Median && st.Median <= st.Q3 && st.Q3 <= st.Max) {
+			report("%s: quartiles out of order: %+v", who, st)
+		}
+		if math.IsNaN(st.Median) || math.IsInf(st.Median, 0) {
+			report("%s: non-finite median: %+v", who, st)
+		}
+	}
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			mod := remos.NewModeler(remos.Config{Source: src})
+			flows := []remos.Flow{{Src: "m-1", Dst: "m-8", Kind: remos.IndependentFlow}}
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				ctx, cancel := context.WithTimeout(context.Background(), budget)
+				start := time.Now()
+				var err error
+				switch (w + i) % 4 {
+				case 0:
+					var g *remos.Graph
+					if g, err = mod.GetGraphCtx(ctx, nil, remos.TFHistory(10)); err == nil {
+						for _, l := range g.Links {
+							checkStat("graph link", l.AvailFrom(l.A))
+						}
+					}
+				case 1:
+					var st remos.Stat
+					if st, err = mod.AvailableBandwidthCtx(ctx, "m-1", "m-7", remos.TFHistory(10)); err == nil {
+						checkStat("bw", st)
+					}
+				case 2:
+					var fi *remos.FlowInfo
+					if fi, err = mod.QueryFlowInfoCtx(ctx, nil, nil, flows, remos.TFCurrent()); err == nil {
+						checkStat("flow", fi.Independent[0].Bandwidth)
+					}
+				case 3:
+					var age float64
+					if age, err = mod.DataAgeCtx(ctx, backbone); err == nil {
+						if age < 0 || math.IsNaN(age) || math.IsInf(age, 0) {
+							report("data age invalid: %v", age)
+						}
+					}
+				}
+				elapsed := time.Since(start)
+				cancel()
+				if elapsed > 2*budget {
+					report("worker %d query %d took %v (budget %v)", w, i, elapsed, budget)
+				}
+				if err != nil && !remos.IsLifecycleError(err) {
+					report("worker %d query %d: untyped error %v", w, i, err)
+				}
+			}
+		}(w)
+	}
+
+	// Drive the schedule: advance virtual time under the lock, mutate
+	// the world outside it (killing a server waits for its in-flight
+	// handlers, which may themselves be waiting on the lock).
+	aliveA := true
+	for i, ev := range events {
+		mu.Lock()
+		now := tb.Now()
+		if ev.kind == 0 {
+			tb.Faults.Blackhole(snmp.Addr(graph.NodeID(ev.agent)), now, now+ev.dur)
+		}
+		tb.Run(ev.dt)
+		mu.Unlock()
+		switch ev.kind {
+		case 1:
+			if aliveA {
+				srvA.Close()
+				aliveA = false
+			}
+		case 2:
+			if !aliveA {
+				if srvA, err = collector.ServeConfig(ls, addrA, scfg); err != nil {
+					t.Fatalf("event %d: rebinding replica A: %v", i, err)
+				}
+				aliveA = true
+			}
+		case 3:
+			var ckpt bytes.Buffer
+			mu.Lock()
+			err := tb.SaveCheckpoint(&ckpt)
+			mu.Unlock()
+			if err != nil {
+				report("event %d: checkpoint under load: %v", i, err)
+			}
+		}
+		time.Sleep(3 * time.Millisecond) // let workers interleave with this state
+	}
+	close(stop)
+	wg.Wait()
+	if !aliveA {
+		if srvA, err = collector.ServeConfig(ls, addrA, scfg); err != nil {
+			t.Fatalf("final rebind of replica A: %v", err)
+		}
+	}
+	defer srvA.Close()
+
+	violations.Lock()
+	for _, m := range violations.msgs {
+		t.Error(m)
+	}
+	n := len(violations.msgs)
+	violations.Unlock()
+	if n > 0 {
+		t.Fatalf("%d invariant violations (seed %d)", n, *chaosSeed)
+	}
+
+	// Data age is monotone between polls: with both ends of the backbone
+	// dark, nothing refreshes the channel, so its age must never move
+	// backwards while time advances.
+	now := tb.Now()
+	tb.Faults.Blackhole(snmp.Addr("aspen"), now, now+100)
+	tb.Faults.Blackhole(snmp.Addr("timberline"), now, now+100)
+	tb.Run(5) // past the in-flight poll round
+	prevAge := -1.0
+	for i := 0; i < 10; i++ {
+		tb.Run(1)
+		age, err := tb.Modeler.DataAge(backbone)
+		if err != nil {
+			t.Fatalf("data age during outage: %v", err)
+		}
+		if age < prevAge {
+			t.Fatalf("data age moved backwards during outage: %v -> %v", prevAge, age)
+		}
+		prevAge = age
+	}
+
+	// Recovery: once every fault window has passed and the breaker's
+	// backoff (capped at 32 virtual seconds) has let the dead agents be
+	// re-probed, a budgeted query answers normally again.
+	tb.Run(240)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	mod := remos.NewModeler(remos.Config{Source: src})
+	st, err := mod.AvailableBandwidthCtx(ctx, "m-1", "m-7", remos.TFHistory(10))
+	if err != nil {
+		t.Fatalf("query after chaos ended: %v", err)
+	}
+	if !st.Valid() || st.Accuracy < 0.5 {
+		t.Fatalf("system did not recover after chaos: %+v", st)
+	}
+}

@@ -1,0 +1,117 @@
+package remos_test
+
+import (
+	"context"
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"repro/remos"
+)
+
+// blackholeListener accepts connections and never answers: the worst
+// kind of replica, alive at the TCP layer and dead above it.
+func blackholeListener(t *testing.T) net.Listener {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		var conns []net.Conn
+		defer func() {
+			for _, c := range conns {
+				c.Close()
+			}
+		}()
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			conns = append(conns, c)
+		}
+	}()
+	return ln
+}
+
+// TestBlackholedReplicaDeadline is the ISSUE's acceptance criterion: a
+// query with a 50 ms budget against blackholed replicas returns the
+// typed remos.ErrDeadlineExceeded within 2x the budget — it never
+// hangs, and it never waits out the client's multi-second I/O timeout.
+func TestBlackholedReplicaDeadline(t *testing.T) {
+	lnA, lnB := blackholeListener(t), blackholeListener(t)
+	src, err := remos.DialCollectors(lnA.Addr().String(), lnB.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	mod := remos.NewModeler(remos.Config{Source: src})
+
+	const budget = 50 * time.Millisecond
+	ctx, cancel := context.WithTimeout(context.Background(), budget)
+	defer cancel()
+	start := time.Now()
+	_, err = mod.GetGraphCtx(ctx, nil, remos.TFHistory(10))
+	elapsed := time.Since(start)
+	if !errors.Is(err, remos.ErrDeadlineExceeded) {
+		t.Fatalf("got %v, want remos.ErrDeadlineExceeded", err)
+	}
+	if !remos.IsLifecycleError(err) {
+		t.Fatalf("deadline error not classified as lifecycle: %v", err)
+	}
+	if elapsed > 2*budget {
+		t.Fatalf("blackholed query took %v with a %v budget (limit %v)", elapsed, budget, 2*budget)
+	}
+}
+
+// TestBlackholedPrimaryFailsOver: with a blackholed primary but a live
+// secondary, a budgeted query either fails over inside its budget or
+// reports the typed deadline — never a hang, never an untyped error.
+func TestBlackholedPrimaryFailsOver(t *testing.T) {
+	tb, err := remos.NewTestbed()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb.Run(10)
+	reps, err := tb.ServeReplicas(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reps[0].Close()
+	dead := blackholeListener(t)
+
+	src, err := remos.DialCollectors(dead.Addr().String(), reps[0].Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	mod := remos.NewModeler(remos.Config{Source: src})
+
+	// First query eats the blackholed attempt; its error must be typed.
+	// Once the primary is marked unhealthy, queries divert to the live
+	// replica and succeed within budget.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		const budget = 250 * time.Millisecond
+		ctx, cancel := context.WithTimeout(context.Background(), budget)
+		start := time.Now()
+		_, err := mod.GetGraphCtx(ctx, nil, remos.TFHistory(10))
+		elapsed := time.Since(start)
+		cancel()
+		if elapsed > 2*budget {
+			t.Fatalf("query took %v with a %v budget", elapsed, budget)
+		}
+		if err == nil {
+			return // failed over to the live replica
+		}
+		if !remos.IsLifecycleError(err) {
+			t.Fatalf("untyped error from blackholed primary: %v", err)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("never failed over to the live replica: %v", err)
+		}
+	}
+}

@@ -25,6 +25,7 @@ package remos
 
 import (
 	"io"
+	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/collector"
@@ -114,9 +115,39 @@ type (
 	CheckpointInfo = collector.CheckpointInfo
 )
 
-// ErrServerBusy is the typed refusal a collector daemon at its
-// connection cap answers with; test with errors.Is.
-var ErrServerBusy = collector.ErrServerBusy
+// Typed query-lifecycle errors; test with errors.Is. Every way a query
+// can fail for lifecycle (rather than semantic) reasons maps to one of
+// these, so applications can branch on "try again elsewhere/later"
+// versus "the question itself was bad".
+var (
+	// ErrServerBusy is the typed refusal a collector daemon at its
+	// connection cap answers with.
+	ErrServerBusy = collector.ErrServerBusy
+
+	// ErrDeadlineExceeded is returned when a query's time budget runs
+	// out — locally (the context deadline passed) or remotely (the
+	// server refused to compute an answer the caller had already
+	// abandoned). It also matches context.DeadlineExceeded.
+	ErrDeadlineExceeded = collector.ErrDeadlineExceeded
+
+	// ErrLoadShed is the typed refusal of an overloaded daemon whose
+	// admission queue is full; RetryAfter extracts the server's hint.
+	ErrLoadShed = collector.ErrLoadShed
+
+	// ErrFrameTooLarge rejects an oversized or corrupt wire frame.
+	ErrFrameTooLarge = collector.ErrFrameTooLarge
+)
+
+// RetryAfter extracts the retry-after hint from a load-shed error
+// chain; ok is false when err carries none.
+func RetryAfter(err error) (d time.Duration, ok bool) {
+	return collector.RetryAfterHint(err)
+}
+
+// IsLifecycleError reports whether err is one of the typed lifecycle
+// errors (deadline, cancellation, shed, busy) rather than a semantic
+// error about the query itself.
+func IsLifecycleError(err error) bool { return collector.IsLifecycleError(err) }
 
 // Flow classes (§4.2 of the paper).
 const (

@@ -20,4 +20,11 @@ go test -timeout 120s -count=2 ./internal/collector
 echo "==> go test -race ./..."
 go test -race -timeout 120s ./...
 
+echo "==> chaos suite under -race (seeded; replay failures with -chaos.seed)"
+go test -race -timeout 300s -count=1 -run TestChaosLifecycle ./remos -chaos.seed=1 -chaos.events=60
+
+echo "==> fuzz smoke (10s per target)"
+go test -fuzz=FuzzDecode -fuzztime=10s -run '^$' ./internal/snmp
+go test -fuzz=FuzzReadFrame -fuzztime=10s -run '^$' ./internal/collector
+
 echo "verify: OK"
