@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet verify
+.PHONY: build test race vet verify bench
 
 build:
 	$(GO) build ./...
@@ -17,3 +17,8 @@ race:
 # The full gate CI runs: build, vet, tests, race detector.
 verify:
 	./scripts/verify.sh
+
+# Paper-evaluation benchmarks + telemetry micro-benchmarks, written as
+# machine-readable JSON (BENCH_remos.json).
+bench:
+	./scripts/bench.sh

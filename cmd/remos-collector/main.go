@@ -14,6 +14,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"os/signal"
 	"sort"
@@ -27,8 +28,11 @@ import (
 	"repro/internal/faults"
 	"repro/internal/netsim"
 	"repro/internal/snmp"
+	"repro/internal/telemetry"
 	"repro/internal/topology"
 	"repro/internal/traffic"
+
+	gonet "net"
 
 	graphpkg "repro/internal/graph"
 	simclockpkg "repro/internal/simclock"
@@ -41,6 +45,7 @@ type blastSpec struct {
 
 func main() {
 	listen := flag.String("listen", "127.0.0.1:0", "TCP address for the query service")
+	debugAddr := flag.String("debug-addr", "", "optional HTTP address serving JSON metrics (/metrics) and pprof (/debug/pprof/)")
 	speed := flag.Float64("speed", 1, "virtual seconds per wall second")
 	udp := flag.Bool("udp", false, "also serve each node's SNMP agent over UDP")
 	poll := flag.Float64("poll", 2, "collector poll period (virtual seconds)")
@@ -216,6 +221,14 @@ func main() {
 	}
 	fmt.Printf("collector query service on tcp://%s (speed %gx, poll %gs)\n", srv.Addr(), *speed, *poll)
 	fmt.Printf("query it: remos-query -addr %s graph\n", srv.Addr())
+	if *debugAddr != "" {
+		dln, err := gonet.Listen("tcp", *debugAddr)
+		if err != nil {
+			fatal(err)
+		}
+		go http.Serve(dln, telemetry.DebugMux(srv.Telemetry(), col.Telemetry()))
+		fmt.Printf("debug endpoint on http://%s/metrics (pprof at /debug/pprof/)\n", dln.Addr())
+	}
 
 	// Real-time clock driver: 20 Hz wall ticks.
 	stop := make(chan os.Signal, 1)

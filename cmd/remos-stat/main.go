@@ -1,0 +1,120 @@
+// Command remos-stat reads a running remos-collector daemon's metrics
+// over the query service's "stats" op and renders them: counters,
+// gauges, quartile latency summaries (§4.4's statistics language turned
+// on the system itself), and the most recent request spans.
+//
+// Usage:
+//
+//	remos-stat -addr HOST:PORT              one snapshot, human tables
+//	remos-stat -addr HOST:PORT -json        one snapshot, raw JSON
+//	remos-stat -addr HOST:PORT -watch 2s    live dashboard, redrawn every 2s
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"repro/internal/collector"
+	"repro/internal/telemetry"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7070", "collector query-service address")
+	watch := flag.Duration("watch", 0, "redraw every interval (0 = one snapshot and exit)")
+	asJSON := flag.Bool("json", false, "emit the raw snapshot as JSON")
+	timeout := flag.Duration("timeout", 5*time.Second, "per-fetch budget")
+	spans := flag.Int("spans", 10, "recent spans to show (0 hides the span table)")
+	flag.Parse()
+
+	cl, err := collector.Dial(*addr)
+	if err != nil {
+		fatal(err)
+	}
+	defer cl.Close()
+
+	fetch := func() (*telemetry.Snapshot, error) {
+		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+		defer cancel()
+		return cl.TelemetrySnapshot(ctx)
+	}
+
+	for {
+		snap, err := fetch()
+		if err != nil {
+			fatal(err)
+		}
+		if *watch > 0 {
+			fmt.Print("\x1b[2J\x1b[H") // clear screen, home cursor
+		}
+		if *asJSON {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(snap); err != nil {
+				fatal(err)
+			}
+		} else {
+			render(snap, *addr, *spans)
+		}
+		if *watch <= 0 {
+			return
+		}
+		time.Sleep(*watch)
+	}
+}
+
+func render(snap *telemetry.Snapshot, addr string, spans int) {
+	fmt.Printf("remos-stat %s at %s\n", addr, time.Now().Format("15:04:05"))
+
+	if len(snap.Counters) > 0 {
+		fmt.Printf("\nCOUNTERS\n")
+		for _, name := range snap.CounterNames() {
+			fmt.Printf("  %-36s %12d\n", name, snap.Counters[name])
+		}
+	}
+	if len(snap.Gauges) > 0 {
+		fmt.Printf("\nGAUGES\n")
+		for _, name := range snap.GaugeNames() {
+			fmt.Printf("  %-36s %12.3f\n", name, snap.Gauges[name])
+		}
+	}
+	if len(snap.Quantiles) > 0 {
+		fmt.Printf("\nQUARTILES%26s %8s %8s %8s %8s %8s\n",
+			"count", "min", "q1", "median", "q3", "max")
+		for _, name := range snap.QuantileNames() {
+			q := snap.Quantiles[name]
+			fmt.Printf("  %-33s %6d %8.3f %8.3f %8.3f %8.3f %8.3f\n",
+				name, q.Count, q.Stat.Min, q.Stat.Q1, q.Stat.Median, q.Stat.Q3, q.Stat.Max)
+		}
+	}
+	fmt.Printf("\nSPANS  started %d  finished %d  in-flight %d\n",
+		snap.SpansStarted, snap.SpansFinished, snap.SpansStarted-snap.SpansFinished)
+	if spans > 0 && len(snap.Spans) > 0 {
+		recent := snap.Spans
+		if len(recent) > spans {
+			recent = recent[len(recent)-spans:]
+		}
+		for _, sp := range recent {
+			fmt.Printf("  %-15s %-16s %9.3fms", sp.Trace, sp.Name,
+				float64(sp.Duration)/float64(time.Millisecond))
+			keys := make([]string, 0, len(sp.Attrs))
+			for k := range sp.Attrs {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				fmt.Printf("  %s=%s", k, sp.Attrs[k])
+			}
+			fmt.Println()
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

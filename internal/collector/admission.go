@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"repro/internal/telemetry"
 )
 
 // Admission control for the query server: a weighted work semaphore
@@ -57,6 +59,15 @@ type workGate struct {
 	admitted uint64
 	shed     uint64
 	timedOut uint64
+
+	// Telemetry mirrors of the counters above plus the wait-time
+	// distribution and live queue depth. All nil (no-op) until
+	// instrument is called; GateStats stays the compatibility surface.
+	telAdmitted   *telemetry.Counter
+	telShed       *telemetry.Counter
+	telTimedOut   *telemetry.Counter
+	telWaitMS     *telemetry.Quantile
+	telQueueDepth *telemetry.Gauge
 }
 
 func newWorkGate(capacity, queueDepth int) *workGate {
@@ -67,6 +78,19 @@ func newWorkGate(capacity, queueDepth int) *workGate {
 		queueDepth = 0
 	}
 	return &workGate{capacity: capacity, maxQueue: queueDepth}
+}
+
+// instrument wires the gate's decisions into a telemetry registry. A
+// nil gate or nil registry leaves every instrument a no-op.
+func (g *workGate) instrument(reg *telemetry.Registry) {
+	if g == nil {
+		return
+	}
+	g.telAdmitted = reg.Counter("server.admission.admitted")
+	g.telShed = reg.Counter("server.admission.shed")
+	g.telTimedOut = reg.Counter("server.admission.timed_out")
+	g.telWaitMS = reg.Quantile("server.admission.wait_ms", 0)
+	g.telQueueDepth = reg.Gauge("server.admission.queue_depth")
 }
 
 // clamp keeps a single heavyweight op admissible on a small gate.
@@ -83,21 +107,26 @@ func (g *workGate) clamp(weight int) int {
 // out the budget.
 func (g *workGate) acquire(weight int, deadline time.Time) error {
 	weight = g.clamp(weight)
+	arrived := time.Now()
 	g.mu.Lock()
 	if len(g.waiters) == 0 && g.inUse+weight <= g.capacity {
 		g.inUse += weight
 		g.admitted++
 		g.mu.Unlock()
+		g.telAdmitted.Inc()
+		g.telWaitMS.Observe(0)
 		return nil
 	}
 	if len(g.waiters) >= g.maxQueue {
 		depth := len(g.waiters)
 		g.shed++
 		g.mu.Unlock()
+		g.telShed.Inc()
 		return &ShedError{RetryAfter: time.Duration(depth+1) * retryAfterUnit}
 	}
 	w := &gateWaiter{weight: weight, ready: make(chan struct{})}
 	g.waiters = append(g.waiters, w)
+	g.telQueueDepth.Set(float64(len(g.waiters)))
 	g.mu.Unlock()
 
 	wait := DefaultQueueWait
@@ -111,6 +140,8 @@ func (g *workGate) acquire(weight int, deadline time.Time) error {
 	defer timer.Stop()
 	select {
 	case <-w.ready:
+		g.telAdmitted.Inc()
+		g.telWaitMS.Observe(float64(time.Since(arrived)) / float64(time.Millisecond))
 		return nil
 	case <-timer.C:
 		g.mu.Lock()
@@ -118,12 +149,16 @@ func (g *workGate) acquire(weight int, deadline time.Time) error {
 		case <-w.ready:
 			// The grant raced the timer and won: we own the slot.
 			g.mu.Unlock()
+			g.telAdmitted.Inc()
+			g.telWaitMS.Observe(float64(time.Since(arrived)) / float64(time.Millisecond))
 			return nil
 		default:
 		}
 		g.removeLocked(w)
 		g.timedOut++
+		g.telQueueDepth.Set(float64(len(g.waiters)))
 		g.mu.Unlock()
+		g.telTimedOut.Inc()
 		return fmt.Errorf("admission queue wait exhausted budget: %w", ErrDeadlineExceeded)
 	}
 }
@@ -150,6 +185,7 @@ func (g *workGate) grantLocked() {
 		g.inUse += w.weight
 		g.admitted++
 		g.waiters = g.waiters[1:]
+		g.telQueueDepth.Set(float64(len(g.waiters)))
 		close(w.ready)
 	}
 }

@@ -47,7 +47,7 @@ type checkpointDump struct {
 	// SavedAt is the virtual time of the save; SavedAtWallNanos is the
 	// wall clock (UnixNano) at the same moment, letting a restarting
 	// daemon translate real downtime into virtual seconds.
-	SavedAt         float64
+	SavedAt          float64
 	SavedAtWallNanos int64
 
 	Polls       uint64
@@ -78,6 +78,12 @@ type CheckpointInfo struct {
 
 // SaveCheckpoint writes the collector's full state to w.
 func (c *Collector) SaveCheckpoint(w io.Writer) error {
+	wallStart := time.Now()
+	defer func() {
+		c.tel.Counter("collector.checkpoint.saves").Inc()
+		c.tel.Quantile("collector.checkpoint.save_ms", 0).
+			Observe(float64(time.Since(wallStart)) / float64(time.Millisecond))
+	}()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.topo == nil {
@@ -197,6 +203,7 @@ func (c *Collector) RestoreCheckpoint(r io.Reader) (CheckpointInfo, error) {
 	c.pollErrors = dump.PollErrors
 	c.discoveries = dump.Discoveries
 	c.mu.Unlock()
+	c.tel.Counter("collector.checkpoint.restores").Inc()
 
 	return CheckpointInfo{
 		SavedAt:     dump.SavedAt,

@@ -19,6 +19,8 @@ import (
 	"repro/internal/simclock"
 	"repro/internal/snmp"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
+	"time"
 )
 
 // ChannelKey names one direction of one physical link in a way that is
@@ -160,6 +162,7 @@ func (c *Config) staleHalfLife() float64 {
 // Collector polls agents and accumulates utilization history.
 type Collector struct {
 	cfg Config
+	tel *telemetry.Registry
 
 	mu         sync.Mutex
 	topo       *Topology
@@ -176,6 +179,13 @@ type Collector struct {
 	polls       uint64
 	pollErrors  uint64
 	discoveries uint64
+
+	// Hot-path instruments, resolved once at construction so PollOnce
+	// pays pointer dereferences, not registry lookups, per round.
+	telPolls      *telemetry.Counter
+	telPollErrors *telemetry.Counter
+	telPollMS     *telemetry.Quantile
+	telSamples    *telemetry.Counter
 }
 
 type counterState struct {
@@ -188,8 +198,10 @@ type counterState struct {
 // first) before querying.
 func New(cfg Config) *Collector {
 	cfg.fill()
+	tel := telemetry.NewRegistry()
 	return &Collector{
 		cfg:      cfg,
+		tel:      tel,
 		counters: make(map[ChannelKey]counterState),
 		windows:  make(map[ChannelKey]*stats.Window),
 		capacity: make(map[ChannelKey]float64),
@@ -197,8 +209,17 @@ func New(cfg Config) *Collector {
 		health:   make(map[graph.NodeID]*AgentHealth),
 		lastNode: make(map[graph.NodeID]*nodeInfo),
 		rng:      rand.New(rand.NewSource(cfg.Seed)),
+
+		telPolls:      tel.Counter("collector.polls"),
+		telPollErrors: tel.Counter("collector.poll.errors"),
+		telPollMS:     tel.Quantile("collector.poll.wall_ms", 0),
+		telSamples:    tel.Counter("collector.samples.ingested"),
 	}
 }
+
+// Telemetry returns the collector's metrics registry: poll latencies,
+// health transitions, checkpoint activity. Always non-nil.
+func (c *Collector) Telemetry() *telemetry.Registry { return c.tel }
 
 // Polls returns how many poll rounds completed.
 func (c *Collector) Polls() uint64 {
@@ -356,6 +377,11 @@ func (c *Collector) sortedNodes() []graph.NodeID {
 // utilization sample per channel. Agent failures are counted and
 // skipped: a collector must survive unreachable routers.
 func (c *Collector) PollOnce() {
+	wallStart := time.Now()
+	defer func() {
+		c.telPolls.Inc()
+		c.telPollMS.Observe(float64(time.Since(wallStart)) / float64(time.Millisecond))
+	}()
 	now := float64(c.cfg.Clock.Now())
 	type obs struct {
 		key    ChannelKey
@@ -426,6 +452,7 @@ func (c *Collector) PollOnce() {
 		// the second line of defense, not the first.
 		if math.IsNaN(rate) || math.IsInf(rate, 0) || rate < 0 {
 			c.pollErrors++
+			c.telPollErrors.Inc()
 			continue
 		}
 		w := c.windows[o.key]
@@ -435,6 +462,9 @@ func (c *Collector) PollOnce() {
 		}
 		if err := w.Add(now, rate); err != nil {
 			c.pollErrors++
+			c.telPollErrors.Inc()
+		} else {
+			c.telSamples.Inc()
 		}
 	}
 	for _, lo := range loadObs {
@@ -445,6 +475,9 @@ func (c *Collector) PollOnce() {
 		}
 		if err := w.Add(now, lo.load); err != nil {
 			c.pollErrors++
+			c.telPollErrors.Inc()
+		} else {
+			c.telSamples.Inc()
 		}
 	}
 	c.polls++
@@ -456,6 +489,7 @@ func (c *Collector) noteIngestError() {
 	c.mu.Lock()
 	c.pollErrors++
 	c.mu.Unlock()
+	c.telPollErrors.Inc()
 }
 
 // The in-process Collector answers immediately, so its ContextSource

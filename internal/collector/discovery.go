@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	"repro/internal/graph"
 	"repro/internal/snmp"
@@ -99,6 +100,12 @@ func (c *Collector) queryNode(addr string) (*nodeInfo, error) {
 // be discovered; partial domains are normal (other collectors cover the
 // rest).
 func (c *Collector) Discover() (*Topology, error) {
+	wallStart := time.Now()
+	defer func() {
+		c.tel.Counter("collector.discoveries").Inc()
+		c.tel.Quantile("collector.discovery.wall_ms", 0).
+			Observe(float64(time.Since(wallStart)) / float64(time.Millisecond))
+	}()
 	type linkRec struct {
 		a, b     string // canonical: a < b
 		capacity float64
@@ -237,5 +244,10 @@ func (c *Collector) Discover() (*Topology, error) {
 	c.topo = topo
 	c.discoveries++
 	c.mu.Unlock()
+	if firstErr != nil {
+		// The topology assembled, but at least one agent went unheard:
+		// partial-topology serving is in effect.
+		c.tel.Counter("collector.discovery.partial").Inc()
+	}
 	return topo, nil
 }

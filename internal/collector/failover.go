@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/graph"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 )
 
 // Client-side replication: a FailoverSource wraps N replica collector
@@ -82,9 +83,11 @@ type ReplicaStatus struct {
 	ConsecutiveFailures int
 	// Calls counts calls this replica answered (including app-level
 	// errors, which prove the replica alive); Failures counts transport
-	// failures and busy refusals.
+	// failures and busy refusals; Sheds counts the subset of refusals
+	// that were admission-queue load sheds.
 	Calls    uint64
 	Failures uint64
+	Sheds    uint64
 	LastErr  string
 }
 
@@ -98,6 +101,7 @@ type replica struct {
 	consec      int
 	calls       uint64
 	failures    uint64
+	sheds       uint64
 	lastErr     string
 	nextAttempt time.Time
 }
@@ -106,6 +110,7 @@ type replica struct {
 type FailoverSource struct {
 	cfg      FailoverConfig
 	replicas []*replica
+	tel      *telemetry.Registry
 
 	mu       sync.Mutex
 	stop     chan struct{}
@@ -121,11 +126,17 @@ func DialFailover(addrs []string, cfg FailoverConfig) (*FailoverSource, error) {
 		return nil, fmt.Errorf("collector: DialFailover needs at least one address")
 	}
 	cfg.fill()
-	f := &FailoverSource{cfg: cfg, stop: make(chan struct{})}
+	tel := cfg.Client.Telemetry
+	if tel == nil {
+		tel = telemetry.NewRegistry()
+	}
+	f := &FailoverSource{cfg: cfg, tel: tel, stop: make(chan struct{})}
 	reachable := 0
 	var firstErr error
 	for _, addr := range addrs {
-		r := &replica{addr: addr, client: &Client{addr: addr, cfg: cfg.Client}}
+		// Replica clients share the failover registry, so client.calls /
+		// client.call_ms aggregate across the replica set.
+		r := &replica{addr: addr, client: &Client{addr: addr, cfg: cfg.Client, tel: tel}}
 		if _, err := r.client.connect(); err != nil {
 			if firstErr == nil {
 				firstErr = err
@@ -164,6 +175,19 @@ func (f *FailoverSource) closeClients() {
 	}
 }
 
+// Telemetry implements TelemetrySource: the registry shared by this
+// failover layer and its per-replica clients (never nil).
+func (f *FailoverSource) Telemetry() *telemetry.Registry { return f.tel }
+
+// noteReplicaStateLocked counts a replica health transition. Callers
+// hold f.mu.
+func (f *FailoverSource) noteReplicaStateLocked(from, to HealthState) {
+	if from == to {
+		return
+	}
+	f.tel.Counter("failover.replica.to_" + to.String()).Inc()
+}
+
 // Replicas returns a status snapshot in preference order.
 func (f *FailoverSource) Replicas() []ReplicaStatus {
 	f.mu.Lock()
@@ -173,7 +197,7 @@ func (f *FailoverSource) Replicas() []ReplicaStatus {
 		out[i] = ReplicaStatus{
 			Addr: r.addr, State: r.state,
 			ConsecutiveFailures: r.consec,
-			Calls:               r.calls, Failures: r.failures,
+			Calls:               r.calls, Failures: r.failures, Sheds: r.sheds,
 			LastErr: r.lastErr,
 		}
 	}
@@ -193,6 +217,7 @@ func (f *FailoverSource) recordSuccess(i int) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	r := f.replicas[i]
+	f.noteReplicaStateLocked(r.state, Healthy)
 	r.state = Healthy
 	r.consec = 0
 	r.calls++
@@ -206,14 +231,16 @@ func (f *FailoverSource) recordFailure(i int, err error) {
 	r := f.replicas[i]
 	r.failures++
 	r.consec++
+	f.tel.Counter("failover.failures").Inc()
 	if err != nil {
 		r.lastErr = err.Error()
 	}
+	next := Degraded
 	if r.consec >= f.cfg.DownAfter {
-		r.state = Down
-	} else {
-		r.state = Degraded
+		next = Down
 	}
+	f.noteReplicaStateLocked(r.state, next)
+	r.state = next
 	backoff := f.cfg.BackoffBase << uint(min(r.consec-1, 30))
 	if backoff > f.cfg.BackoffMax {
 		backoff = f.cfg.BackoffMax
@@ -250,6 +277,7 @@ func (f *FailoverSource) call(ctx context.Context, req *request) (*response, err
 				return nil, fmt.Errorf("collector: failover aborted after %v: %w", firstErr, cerr)
 			}
 			tried[i] = true
+			f.tel.Counter("failover.attempts").Inc()
 			resp, err := r.client.call(ctx, req)
 			if resp != nil && !errors.Is(err, ErrServerBusy) && !errors.Is(err, ErrLoadShed) {
 				f.recordSuccess(i)
@@ -267,6 +295,7 @@ func (f *FailoverSource) call(ctx context.Context, req *request) (*response, err
 			}
 		}
 	}
+	f.tel.Counter("failover.exhausted").Inc()
 	if cerr := ctxCallError(ctx); cerr != nil {
 		return nil, fmt.Errorf("collector: failover exhausted (%v): %w", firstErr, cerr)
 	}
@@ -281,10 +310,17 @@ func (f *FailoverSource) recordRefusal(i int, err error) {
 	defer f.mu.Unlock()
 	r := f.replicas[i]
 	r.failures++
+	if errors.Is(err, ErrLoadShed) {
+		r.sheds++
+		f.tel.Counter("failover.refusals.shed").Inc()
+	} else {
+		f.tel.Counter("failover.refusals.busy").Inc()
+	}
 	if err != nil {
 		r.lastErr = err.Error()
 	}
 	if r.state == Healthy {
+		f.noteReplicaStateLocked(r.state, Degraded)
 		r.state = Degraded
 	}
 }
@@ -373,4 +409,10 @@ func (f *FailoverSource) DataAgeCtx(ctx context.Context, key ChannelKey) (float6
 // per-agent collection health.
 func (f *FailoverSource) Health() map[graph.NodeID]AgentHealth {
 	return callHealth(context.Background(), f)
+}
+
+// TelemetrySnapshot fetches the serving replica's merged metrics
+// snapshot (routed like any other call, so it fails over too).
+func (f *FailoverSource) TelemetrySnapshot(ctx context.Context) (*telemetry.Snapshot, error) {
+	return callTelemetry(ctx, f)
 }

@@ -92,10 +92,20 @@ func (c *Collector) allowAttempt(id graph.NodeID, now float64) bool {
 	h := c.healthLocked(id)
 	if now < h.NextAttempt {
 		h.Skipped++
+		c.tel.Counter("collector.breaker.skips").Inc()
 		return false
 	}
 	h.LastAttempt = now
 	return true
+}
+
+// noteTransitionLocked counts a health state change in the telemetry
+// registry, so breaker flips are visible without diffing Health() maps.
+func (c *Collector) noteTransitionLocked(from, to HealthState) {
+	if from == to {
+		return
+	}
+	c.tel.Counter("collector.health.to_" + to.String()).Inc()
 }
 
 // recordSuccess closes the breaker and resets the agent to Healthy.
@@ -103,6 +113,7 @@ func (c *Collector) recordSuccess(id graph.NodeID, now float64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	h := c.healthLocked(id)
+	c.noteTransitionLocked(h.State, Healthy)
 	h.State = Healthy
 	h.ConsecutiveFailures = 0
 	h.LastSuccess = now
@@ -116,13 +127,15 @@ func (c *Collector) recordFailure(id graph.NodeID, now float64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.pollErrors++
+	c.telPollErrors.Inc()
 	h := c.healthLocked(id)
 	h.ConsecutiveFailures++
+	next := Degraded
 	if h.ConsecutiveFailures >= c.cfg.DownAfter {
-		h.State = Down
-	} else {
-		h.State = Degraded
+		next = Down
 	}
+	c.noteTransitionLocked(h.State, next)
+	h.State = next
 	backoff := c.cfg.BackoffBase * math.Exp2(float64(h.ConsecutiveFailures-1))
 	if backoff > c.cfg.BackoffMax {
 		backoff = c.cfg.BackoffMax

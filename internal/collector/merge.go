@@ -4,9 +4,11 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/graph"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 )
 
 // Merged combines several collectors covering (possibly overlapping)
@@ -16,6 +18,15 @@ import (
 // member that has data for the channel.
 type Merged struct {
 	sources []Source
+	tel     *telemetry.Registry
+
+	// mu guards memberErr: the last topology-merge error per member (""
+	// when the member's last merge contribution succeeded). A partial
+	// merge — some member unreachable while others answered — used to be
+	// silently dropped; now it is counted (merge.topology.partial),
+	// queryable (LastPartialError), and surfaced through Health.
+	mu        sync.Mutex
+	memberErr []string
 }
 
 // Merge creates a merged source. At least one member is required.
@@ -23,7 +34,29 @@ func Merge(sources ...Source) *Merged {
 	if len(sources) == 0 {
 		panic("collector: Merge requires at least one source")
 	}
-	return &Merged{sources: sources}
+	return &Merged{
+		sources:   sources,
+		tel:       telemetry.NewRegistry(),
+		memberErr: make([]string, len(sources)),
+	}
+}
+
+// Telemetry implements TelemetrySource (never nil).
+func (m *Merged) Telemetry() *telemetry.Registry { return m.tel }
+
+// LastPartialError returns the first member error from the most recent
+// topology merge, or nil when every member contributed (or no merge has
+// run yet). A non-nil result means the current merged topology is a
+// partial view.
+func (m *Merged) LastPartialError() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for i, msg := range m.memberErr {
+		if msg != "" {
+			return fmt.Errorf("collector: merge member %d: %s", i, msg)
+		}
+	}
+	return nil
 }
 
 // Topology implements Source: the union of member topologies.
@@ -44,12 +77,14 @@ func (m *Merged) TopologyCtx(ctx context.Context) (*Topology, error) {
 	latest := 0.0
 	any := false
 	var firstErr error
-	for _, s := range m.sources {
+	memberErr := make([]string, len(m.sources))
+	for i, s := range m.sources {
 		t, err := CtxTopology(ctx, s)
 		if err != nil {
 			if IsLifecycleError(err) {
 				return nil, err
 			}
+			memberErr[i] = err.Error()
 			if firstErr == nil {
 				firstErr = err
 			}
@@ -83,6 +118,15 @@ func (m *Merged) TopologyCtx(ctx context.Context) (*Topology, error) {
 	}
 	if !any {
 		return nil, firstErr
+	}
+	m.mu.Lock()
+	m.memberErr = memberErr
+	m.mu.Unlock()
+	if firstErr != nil {
+		// At least one member went unheard while others answered: the
+		// merged topology is a partial view, and callers deserve to know
+		// without the call failing.
+		m.tel.Counter("merge.topology.partial").Inc()
 	}
 	g := graph.New()
 	ids := make([]string, 0, len(nodes))
@@ -211,7 +255,10 @@ func (m *Merged) DataAgeCtx(ctx context.Context, key ChannelKey) (float64, error
 
 // Health implements HealthSource: the union of member health maps. When
 // members overlap on an agent, the healthier view wins — one collector
-// still reaching the agent means the data keeps flowing.
+// still reaching the agent means the data keeps flowing. Members whose
+// last topology merge failed appear as synthetic "merged/member-<i>"
+// entries marked Down, so a partial merged view is visible in the same
+// place agent outages are.
 func (m *Merged) Health() map[graph.NodeID]AgentHealth {
 	var out map[graph.NodeID]AgentHealth
 	for _, s := range m.sources {
@@ -229,5 +276,17 @@ func (m *Merged) Health() map[graph.NodeID]AgentHealth {
 			out[id] = h
 		}
 	}
+	m.mu.Lock()
+	for i, msg := range m.memberErr {
+		if msg == "" {
+			continue
+		}
+		if out == nil {
+			out = make(map[graph.NodeID]AgentHealth)
+		}
+		id := graph.NodeID(fmt.Sprintf("merged/member-%d", i))
+		out[id] = AgentHealth{State: Down, ConsecutiveFailures: 1, LastSuccess: -1, LastAttempt: -1}
+	}
+	m.mu.Unlock()
 	return out
 }

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/graph"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 )
 
 // The TCP query service: how an application's Modeler reaches a
@@ -84,7 +85,7 @@ func topoFromWire(w *wireTopo) *Topology {
 }
 
 type request struct {
-	Op   string // "topo", "util", "samples", "load", "age", "health", "ping"
+	Op   string // "topo", "util", "samples", "load", "age", "health", "stats", "ping"
 	Key  ChannelKey
 	Span float64
 	Node string
@@ -94,6 +95,11 @@ type request struct {
 	// DefaultBudget). The server refuses with a typed deadline answer
 	// instead of computing results the caller has already abandoned.
 	BudgetMS float64
+
+	// TraceID carries the request's trace across the wire ("" when the
+	// caller's context carried none), so a client-side span and the
+	// server-side span it caused share an ID.
+	TraceID string
 }
 
 // Response refusal codes. CodeOK also covers application-level errors
@@ -117,6 +123,10 @@ type response struct {
 	// RetryAfterMS accompanies codeShed.
 	Code         int
 	RetryAfterMS float64
+
+	// Telemetry answers the "stats" op: the server's metrics registry
+	// merged with its Source's, when the Source exposes one.
+	Telemetry *telemetry.Snapshot
 }
 
 // DefaultIdleTimeout is how long a connection may sit between requests
@@ -164,6 +174,11 @@ type ServerConfig struct {
 	// DefaultMaxFrame); oversized or corrupt length prefixes drop the
 	// connection instead of driving an allocation.
 	MaxFrame int
+
+	// Telemetry is the registry the server records into (request spans,
+	// per-op counters, admission metrics). Nil means the server creates
+	// its own; it is always reachable via Server.Telemetry.
+	Telemetry *telemetry.Registry
 }
 
 func (sc *ServerConfig) fill() {
@@ -181,6 +196,7 @@ type Server struct {
 	cfg  ServerConfig
 	ln   net.Listener
 	gate *workGate
+	tel  *telemetry.Registry
 	wg   sync.WaitGroup
 
 	mu       sync.Mutex
@@ -208,11 +224,17 @@ func ServeConfig(src Source, addr string, cfg ServerConfig) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("collector: %w", err)
 	}
+	tel := cfg.Telemetry
+	if tel == nil {
+		tel = telemetry.NewRegistry()
+	}
 	s := &Server{
 		src: src, cfg: cfg, ln: ln,
 		gate:  newWorkGate(cfg.MaxInflight, cfg.QueueDepth),
+		tel:   tel,
 		conns: make(map[net.Conn]*connState),
 	}
+	s.gate.instrument(tel)
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -228,6 +250,16 @@ func (s *Server) GateStats() GateStats {
 		return GateStats{}
 	}
 	return s.gate.stats()
+}
+
+// Telemetry returns the server's metrics registry (never nil).
+func (s *Server) Telemetry() *telemetry.Registry { return s.tel }
+
+// TelemetrySource is implemented by Sources that keep their own metrics
+// registry (the in-process Collector, FailoverSource, Merged). The
+// server's "stats" op merges it into the answer.
+type TelemetrySource interface {
+	Telemetry() *telemetry.Registry
 }
 
 // Close stops the server immediately: it stops accepting, force-closes
@@ -376,6 +408,9 @@ func (s *Server) serveConn(conn net.Conn) {
 // refused, not computed.
 func (s *Server) dispatch(req *request) *response {
 	start := time.Now()
+	s.tel.Counter("server.op." + req.Op).Inc()
+	sp := s.tel.StartSpan(req.TraceID, "rpc."+req.Op)
+	defer sp.Finish()
 	var deadline time.Time
 	if req.BudgetMS > 0 {
 		deadline = start.Add(time.Duration(req.BudgetMS * float64(time.Millisecond)))
@@ -384,14 +419,33 @@ func (s *Server) dispatch(req *request) *response {
 	}
 	if w := opWeight(req.Op); s.gate != nil && w > 0 {
 		if err := s.gate.acquire(w, deadline); err != nil {
+			sp.SetAttr("verdict", verdictFor(err))
 			return refusalResponse(err)
 		}
 		defer s.gate.release(w)
 	}
+	sp.SetAttr("queue_wait_ms", fmt.Sprintf("%.3f", float64(time.Since(start))/float64(time.Millisecond)))
 	if !deadline.IsZero() && !time.Now().Before(deadline) {
+		sp.SetAttr("verdict", "deadline")
 		return &response{Err: ErrDeadlineExceeded.Error(), Code: codeDeadline}
 	}
-	return s.handle(req)
+	sp.SetAttr("verdict", "admitted")
+	handleStart := time.Now()
+	resp := s.handle(req)
+	sp.SetAttr("handler_ms", fmt.Sprintf("%.3f", float64(time.Since(handleStart))/float64(time.Millisecond)))
+	return resp
+}
+
+// verdictFor names a gate refusal for span records.
+func verdictFor(err error) string {
+	switch {
+	case errors.Is(err, ErrLoadShed):
+		return "shed"
+	case errors.Is(err, ErrDeadlineExceeded):
+		return "deadline"
+	default:
+		return "busy"
+	}
 }
 
 // refusalResponse converts a gate error into its typed wire form.
@@ -459,6 +513,22 @@ func (s *Server) handle(req *request) (resp *response) {
 		} else {
 			resp.Err = "collector: source does not track health"
 		}
+	case "stats":
+		// Mirror the gate's instantaneous state into gauges so a snapshot
+		// shows live pressure, not just cumulative counters.
+		if s.gate != nil {
+			gs := s.gate.stats()
+			s.tel.Gauge("server.admission.in_use").Set(float64(gs.InUse))
+			s.tel.Gauge("server.admission.queue_depth").Set(float64(gs.Queued))
+		}
+		snaps := []telemetry.Snapshot{s.tel.Snapshot()}
+		if ts, ok := s.src.(TelemetrySource); ok {
+			if reg := ts.Telemetry(); reg != nil {
+				snaps = append(snaps, reg.Snapshot())
+			}
+		}
+		snap := telemetry.MergeSnapshots(snaps...)
+		resp.Telemetry = &snap
 	case "ping":
 		// Liveness probe: reaching the switch at all is the answer.
 	default:
@@ -494,6 +564,11 @@ type ClientConfig struct {
 	// DefaultMaxFrame): a corrupt length prefix from a sick server is
 	// rejected with ErrFrameTooLarge instead of allocating.
 	MaxFrame int
+
+	// Telemetry, when non-nil, records per-call metrics (client.calls,
+	// client.call.errors, client.call_ms). Nil disables client-side
+	// metrics at zero cost.
+	Telemetry *telemetry.Registry
 }
 
 func (cc *ClientConfig) fill() {
@@ -512,6 +587,7 @@ func (cc *ClientConfig) fill() {
 type Client struct {
 	addr string
 	cfg  ClientConfig
+	tel  *telemetry.Registry // nil = client-side metrics disabled
 
 	mu sync.Mutex // serializes calls: one request/response in flight
 
@@ -532,7 +608,7 @@ func Dial(addr string) (*Client, error) {
 // behaviour.
 func DialConfig(addr string, cfg ClientConfig) (*Client, error) {
 	cfg.fill()
-	c := &Client{addr: addr, cfg: cfg}
+	c := &Client{addr: addr, cfg: cfg, tel: cfg.Telemetry}
 	if _, err := c.connect(); err != nil {
 		return nil, err
 	}
@@ -592,10 +668,20 @@ func (c *Client) dropConn() {
 // deadline, and cancellation aborts an in-flight read immediately. A
 // call that fails for any reason drops the connection (the stream may
 // be mid-frame), so the next call starts clean.
-func (c *Client) call(ctx context.Context, req *request) (*response, error) {
+func (c *Client) call(ctx context.Context, req *request) (_ *response, retErr error) {
 	if err := ctxError(ctx); err != nil {
 		return nil, err
 	}
+	req.TraceID = telemetry.TraceFrom(ctx)
+	callStart := time.Now()
+	defer func() {
+		c.tel.Counter("client.calls").Inc()
+		if retErr != nil {
+			c.tel.Counter("client.call.errors").Inc()
+		}
+		c.tel.Quantile("client.call_ms", 0).
+			Observe(float64(time.Since(callStart)) / float64(time.Millisecond))
+	}()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	attempt := func() (*response, error) {
@@ -758,6 +844,17 @@ func callDataAge(ctx context.Context, c caller, key ChannelKey) (float64, error)
 	return resp.Age, nil
 }
 
+func callTelemetry(ctx context.Context, c caller) (*telemetry.Snapshot, error) {
+	resp, err := c.call(ctx, &request{Op: "stats"})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Telemetry == nil {
+		return nil, fmt.Errorf("collector: server answered stats query without a snapshot")
+	}
+	return resp.Telemetry, nil
+}
+
 func callHealth(ctx context.Context, c caller) map[graph.NodeID]AgentHealth {
 	resp, err := c.call(ctx, &request{Op: "health"})
 	if err != nil {
@@ -820,6 +917,13 @@ func (c *Client) DataAgeCtx(ctx context.Context, key ChannelKey) (float64, error
 // health snapshot (nil when the server cannot provide one).
 func (c *Client) Health() map[graph.NodeID]AgentHealth {
 	return callHealth(context.Background(), c)
+}
+
+// TelemetrySnapshot fetches the server's merged metrics snapshot (the
+// "stats" op): the server's own registry plus its Source's, when the
+// Source exposes one.
+func (c *Client) TelemetrySnapshot(ctx context.Context) (*telemetry.Snapshot, error) {
+	return callTelemetry(ctx, c)
 }
 
 // Ping issues a liveness round trip: any answer from the server counts.

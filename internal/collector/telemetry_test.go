@@ -1,0 +1,143 @@
+package collector
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// TestShedCountMatchesTelemetry pins the accounting exactly: with one
+// work unit, no queue, and the only slot held by a blocked request,
+// every further arrival is shed — and the client-observed ErrLoadShed
+// count, the gate's Shed counter, and the server.admission.shed
+// telemetry counter must all agree to the unit.
+func TestShedCountMatchesTelemetry(t *testing.T) {
+	src, release, entered := blockingSource()
+	srv, err := ServeConfig(src, "127.0.0.1:0", ServerConfig{
+		MaxInflight:   1,
+		QueueDepth:    0,
+		DefaultBudget: 5 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	blocker, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer blocker.Close()
+	blocked := make(chan error, 1)
+	go func() {
+		_, err := blocker.Utilization(ChannelKey{Global: 1}, 5)
+		blocked <- err
+	}()
+	<-entered // the handler holds the gate's only work unit
+
+	cli, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	const attempts = 7
+	clientShed := 0
+	for i := 0; i < attempts; i++ {
+		_, err := cli.Utilization(ChannelKey{Global: 1}, 5)
+		if !errors.Is(err, ErrLoadShed) {
+			t.Fatalf("attempt %d: got %v, want ErrLoadShed", i, err)
+		}
+		clientShed++
+	}
+	release()
+	if err := <-blocked; err != nil {
+		t.Fatalf("blocked request should have succeeded: %v", err)
+	}
+
+	if st := srv.GateStats(); st.Shed != attempts {
+		t.Errorf("gate shed = %d, want %d", st.Shed, attempts)
+	}
+	if got := srv.Telemetry().Counter("server.admission.shed").Value(); got != attempts {
+		t.Errorf("server.admission.shed = %d, want %d", got, attempts)
+	}
+	if got := srv.Telemetry().Counter("server.admission.admitted").Value(); got != 1 {
+		t.Errorf("server.admission.admitted = %d, want 1 (the blocked request)", got)
+	}
+
+	// Every shed request still gets a span, with the shed verdict.
+	verdicts := 0
+	for _, sp := range srv.Telemetry().Spans() {
+		if sp.Name == "rpc.util" && sp.Attrs["verdict"] == "shed" {
+			verdicts++
+		}
+	}
+	if verdicts != attempts {
+		t.Errorf("spans with verdict=shed = %d, want %d", verdicts, attempts)
+	}
+
+	// After the server drains, no span may be left open.
+	srv.Close()
+	started, finished := srv.Telemetry().SpanCounts()
+	if started != finished {
+		t.Errorf("span leak after Close: started %d finished %d", started, finished)
+	}
+}
+
+// TestClientTelemetryAndStatsOp: a client-side registry records call
+// latencies, the stats op merges server and source registries, and the
+// wire carries the caller's trace ID into the server's span log.
+func TestClientTelemetryAndStatsOp(t *testing.T) {
+	srv, err := ServeConfig(&fakeSource{}, "127.0.0.1:0", ServerConfig{
+		MaxInflight: 4,
+		QueueDepth:  8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	reg := telemetry.NewRegistry()
+	cli, err := DialConfig(srv.Addr(), ClientConfig{Telemetry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	trace := telemetry.NewTraceID()
+	ctx := telemetry.WithTrace(context.Background(), trace)
+	if _, err := cli.UtilizationCtx(ctx, ChannelKey{Global: 1}, 5); err != nil {
+		t.Fatal(err)
+	}
+
+	if got := reg.Counter("client.calls").Value(); got != 1 {
+		t.Errorf("client.calls = %d, want 1", got)
+	}
+	if q := reg.Quantile("client.call_ms", 0); q.Count() != 1 {
+		t.Errorf("client.call_ms count = %d, want 1", q.Count())
+	}
+
+	// The trace ID crossed the wire: the server's span log has it.
+	recs := srv.Telemetry().SpansFor(trace)
+	if len(recs) != 1 || recs[0].Name != "rpc.util" {
+		t.Fatalf("server spans for trace %q = %+v", trace, recs)
+	}
+	if recs[0].Attrs["verdict"] != "admitted" {
+		t.Errorf("span verdict = %q, want admitted", recs[0].Attrs["verdict"])
+	}
+
+	// The stats op returns a merged snapshot covering the server's own
+	// counters and admission gauges.
+	snap, err := cli.TelemetrySnapshot(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Counters["server.op.util"] != 1 {
+		t.Errorf("snapshot server.op.util = %d, want 1", snap.Counters["server.op.util"])
+	}
+	if _, ok := snap.Gauges["server.admission.in_use"]; !ok {
+		t.Errorf("snapshot missing server.admission.in_use gauge: %v", snap.Gauges)
+	}
+}

@@ -22,10 +22,12 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/collector"
 	"repro/internal/graph"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 )
 
 // TimeframeKind selects the variable-timescale semantics of a query.
@@ -101,6 +103,12 @@ type Config struct {
 	// decay (collector.Config.StaleHalfLife); this setting covers the
 	// prediction path, which is rebuilt from raw samples. Zero disables.
 	StaleHalfLife float64
+
+	// Telemetry, when non-nil, records query-path metrics (latency
+	// quartiles per query kind, topology cache age) and per-query spans.
+	// Nil disables modeler-side telemetry at zero cost; trace IDs still
+	// propagate to the collector either way.
+	Telemetry *telemetry.Registry
 }
 
 // SharingPolicy selects how QueryFlowInfo splits contended bandwidth.
@@ -120,12 +128,14 @@ const (
 // application's adaptation module).
 type Modeler struct {
 	cfg Config
+	tel *telemetry.Registry // nil when Config.Telemetry was nil
 
-	mu    sync.Mutex
-	topo  *collector.Topology
-	rt    *graph.RouteTable
-	self  []selfFlow
-	stale bool
+	mu          sync.Mutex
+	topo        *collector.Topology
+	rt          *graph.RouteTable
+	topoFetched time.Time // wall time of the cached topology's fetch
+	self        []selfFlow
+	stale       bool
 }
 
 type selfFlow struct {
@@ -141,8 +151,12 @@ func New(cfg Config) *Modeler {
 	if cfg.Predictor == nil {
 		cfg.Predictor = stats.EWMA{Alpha: 0.3}
 	}
-	return &Modeler{cfg: cfg}
+	return &Modeler{cfg: cfg, tel: cfg.Telemetry}
 }
+
+// Telemetry returns the Modeler's metrics registry (nil when telemetry
+// was not configured).
+func (m *Modeler) Telemetry() *telemetry.Registry { return m.tel }
 
 // Refresh drops the cached topology so the next query re-discovers.
 func (m *Modeler) Refresh() {
@@ -156,6 +170,7 @@ func (m *Modeler) topology(ctx context.Context) (*collector.Topology, *graph.Rou
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.topo != nil {
+		m.tel.Gauge("modeler.topo_cache_age_s").Set(time.Since(m.topoFetched).Seconds())
 		return m.topo, m.rt, nil
 	}
 	t, err := collector.CtxTopology(ctx, m.cfg.Source)
@@ -167,7 +182,30 @@ func (m *Modeler) topology(ctx context.Context) (*collector.Topology, *graph.Rou
 		return nil, nil, fmt.Errorf("core: routing discovered topology: %w", err)
 	}
 	m.topo, m.rt = t, rt
+	m.topoFetched = time.Now()
+	m.tel.Counter("modeler.topo_fetches").Inc()
+	m.tel.Gauge("modeler.topo_cache_age_s").Set(0)
 	return t, rt, nil
+}
+
+// startQuery is the shared telemetry prologue of the public query entry
+// points (§4's remos_get_graph and remos_flow_info): it guarantees ctx
+// carries a trace ID — minting one if the caller supplied none — and
+// opens a span named for the query. The returned finish records the
+// latency quantile and commits the span; call it exactly once, with the
+// query's final error.
+func (m *Modeler) startQuery(ctx context.Context, span, metric string) (context.Context, func(error)) {
+	ctx, trace := telemetry.EnsureTrace(ctx)
+	sp := m.tel.StartSpan(trace, span)
+	start := time.Now()
+	return ctx, func(err error) {
+		m.tel.Quantile(metric, 0).
+			Observe(float64(time.Since(start)) / float64(time.Millisecond))
+		if err != nil {
+			sp.SetAttr("error", err.Error())
+		}
+		sp.Finish()
+	}
 }
 
 // RegisterSelfFlow tells the Modeler about a flow the application itself
@@ -286,7 +324,9 @@ func (m *Modeler) AvailableBandwidth(src, dst graph.NodeID, tf Timeframe) (stats
 // AvailableBandwidthCtx is AvailableBandwidth under a context: the
 // deadline rides to the collector with every measurement fetch, and
 // cancellation aborts between (and inside) link lookups.
-func (m *Modeler) AvailableBandwidthCtx(ctx context.Context, src, dst graph.NodeID, tf Timeframe) (stats.Stat, error) {
+func (m *Modeler) AvailableBandwidthCtx(ctx context.Context, src, dst graph.NodeID, tf Timeframe) (_ stats.Stat, retErr error) {
+	ctx, finish := m.startQuery(ctx, "query.bw", "modeler.bw_ms")
+	defer func() { finish(retErr) }()
 	topo, rt, err := m.topology(ctx)
 	if err != nil {
 		return stats.NoData(), err

@@ -103,7 +103,9 @@ func (m *Modeler) QueryFlowInfo(fixed, variable, independent []Flow, tf Timefram
 // construction fetches one availability per directed channel in use, and
 // each fetch carries the caller's deadline. A budget that expires
 // mid-construction aborts with a typed lifecycle error.
-func (m *Modeler) QueryFlowInfoCtx(ctx context.Context, fixed, variable, independent []Flow, tf Timeframe) (*FlowInfo, error) {
+func (m *Modeler) QueryFlowInfoCtx(ctx context.Context, fixed, variable, independent []Flow, tf Timeframe) (_ *FlowInfo, retErr error) {
+	ctx, finish := m.startQuery(ctx, "query.flowinfo", "modeler.flowquery_ms")
+	defer func() { finish(retErr) }()
 	topo, rt, err := m.topology(ctx)
 	if err != nil {
 		return nil, err

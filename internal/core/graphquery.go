@@ -112,7 +112,9 @@ func (m *Modeler) GetGraph(nodes []graph.NodeID, tf Timeframe) (*Graph, error) {
 // fetch carries the caller's deadline, and a budget that expires mid-
 // annotation aborts the query with a typed lifecycle error instead of
 // finishing it with fabricated numbers.
-func (m *Modeler) GetGraphCtx(ctx context.Context, nodes []graph.NodeID, tf Timeframe) (*Graph, error) {
+func (m *Modeler) GetGraphCtx(ctx context.Context, nodes []graph.NodeID, tf Timeframe) (_ *Graph, retErr error) {
+	ctx, finish := m.startQuery(ctx, "query.getgraph", "modeler.getgraph_ms")
+	defer func() { finish(retErr) }()
 	topo, rt, err := m.topology(ctx)
 	if err != nil {
 		return nil, err

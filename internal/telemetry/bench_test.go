@@ -1,0 +1,74 @@
+package telemetry
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// Telemetry sits on the collector's poll loop and the server's dispatch
+// path, so its per-event cost is a first-class concern. These
+// micro-benchmarks feed scripts/bench.sh (BENCH_remos.json) and back
+// the repo's "instrumented within 5% of uninstrumented" gate.
+
+func BenchmarkTelemetryCounterInc(b *testing.B) {
+	r := NewRegistry()
+	c := r.Counter("bench.counter")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkTelemetryCounterIncNil(b *testing.B) {
+	var c *Counter // the disabled-telemetry path
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkTelemetryQuantileObserve(b *testing.B) {
+	r := NewRegistry()
+	q := r.Quantile("bench.quantile", 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.Observe(float64(i))
+	}
+}
+
+func BenchmarkTelemetrySpan(b *testing.B) {
+	r := NewRegistry()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sp := r.StartSpan("bench-trace", "bench.op")
+		sp.SetAttr("verdict", "admitted")
+		sp.Finish()
+	}
+}
+
+func BenchmarkTelemetrySnapshot(b *testing.B) {
+	r := NewRegistry()
+	for i := 0; i < 20; i++ {
+		r.Counter(names20[i%len(names20)]).Inc()
+		r.Quantile(names20[i%len(names20)], 128).Observe(float64(i))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		snap := r.Snapshot()
+		sink.Add(uint64(len(snap.Counters)))
+	}
+}
+
+var sink atomic.Uint64
+
+var names20 = []string{
+	"a.one", "a.two", "a.three", "a.four", "a.five",
+	"b.one", "b.two", "b.three", "b.four", "b.five",
+	"c.one", "c.two", "c.three", "c.four", "c.five",
+	"d.one", "d.two", "d.three", "d.four", "d.five",
+}

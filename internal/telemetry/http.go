@@ -1,0 +1,47 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/pprof"
+)
+
+// The daemon's live introspection surface: a JSON metrics endpoint plus
+// the standard pprof handlers, mounted on a private mux so enabling it
+// (-debug-addr) never leaks handlers onto http.DefaultServeMux.
+
+// Handler serves the merged snapshot of regs as JSON (indented; one
+// GET = one consistent-enough snapshot).
+func Handler(regs ...*Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		snaps := make([]Snapshot, 0, len(regs))
+		for _, reg := range regs {
+			snaps = append(snaps, reg.Snapshot())
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		// Encoding a fresh snapshot cannot fail; an error here is the
+		// client hanging up mid-write, which needs no handling.
+		_ = enc.Encode(MergeSnapshots(snaps...))
+	})
+}
+
+// DebugMux returns the daemon's debug surface:
+//
+//	/metrics        JSON metrics (merged across regs)
+//	/healthz        200 ok (liveness)
+//	/debug/pprof/*  the standard Go profiling handlers
+func DebugMux(regs ...*Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", Handler(regs...))
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

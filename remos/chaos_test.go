@@ -3,11 +3,13 @@ package remos_test
 import (
 	"bytes"
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"math"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -138,6 +140,7 @@ func TestChaosLifecycle(t *testing.T) {
 	// Concurrent query workers under a hard per-query budget.
 	const budget = 1 * time.Second
 	stop := make(chan struct{})
+	var clientShed atomic.Uint64 // ErrLoadShed refusals observed by workers
 	var wg sync.WaitGroup
 	var violations struct {
 		sync.Mutex
@@ -207,8 +210,26 @@ func TestChaosLifecycle(t *testing.T) {
 				if err != nil && !remos.IsLifecycleError(err) {
 					report("worker %d query %d: untyped error %v", w, i, err)
 				}
+				if errors.Is(err, remos.ErrLoadShed) {
+					clientShed.Add(1)
+				}
 			}
 		}(w)
+	}
+
+	// harvest collects a replica's telemetry invariants. Call it only
+	// after Close has returned: Close waits for every serving goroutine,
+	// so the span ledger must balance — a started-but-never-finished
+	// span means an instrumentation leak on some dispatch path. Shed
+	// counts accumulate across replica A's incarnations (each rebind
+	// starts a fresh registry).
+	var serverShed uint64
+	harvest := func(name string, s *collector.Server) {
+		started, finished := s.Telemetry().SpanCounts()
+		if started != finished {
+			t.Errorf("%s: span leak after close: started %d finished %d", name, started, finished)
+		}
+		serverShed += s.Telemetry().Counter("server.admission.shed").Value()
 	}
 
 	// Drive the schedule: advance virtual time under the lock, mutate
@@ -227,6 +248,7 @@ func TestChaosLifecycle(t *testing.T) {
 		case 1:
 			if aliveA {
 				srvA.Close()
+				harvest("replica A", srvA)
 				aliveA = false
 			}
 		case 2:
@@ -299,5 +321,21 @@ func TestChaosLifecycle(t *testing.T) {
 	}
 	if !st.Valid() || st.Accuracy < 0.5 {
 		t.Fatalf("system did not recover after chaos: %+v", st)
+	}
+
+	// Telemetry invariants over the whole run. Close both replicas so
+	// their span ledgers settle, then check the books: every ErrLoadShed
+	// a worker saw must correspond to a server-side shed. The failover
+	// client retries sheds on the other replica, so the servers may have
+	// shed more often than workers observed — never less.
+	srvA.Close()
+	harvest("replica A (final)", srvA)
+	srvB.Close()
+	harvest("replica B", srvB)
+	if observed := clientShed.Load(); observed > serverShed {
+		t.Errorf("workers observed %d ErrLoadShed but servers recorded only %d sheds (seed %d)",
+			observed, serverShed, *chaosSeed)
+	} else {
+		t.Logf("chaos telemetry: %d client-observed sheds, %d server-side sheds", observed, serverShed)
 	}
 }

@@ -24,6 +24,7 @@
 package remos
 
 import (
+	"context"
 	"io"
 	"time"
 
@@ -36,6 +37,7 @@ import (
 	"repro/internal/simclock"
 	"repro/internal/snmp"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 	"repro/internal/topofile"
 	"repro/internal/topology"
 )
@@ -113,6 +115,20 @@ type (
 
 	// CheckpointInfo describes a restored collector checkpoint.
 	CheckpointInfo = collector.CheckpointInfo
+
+	// TelemetryRegistry is the dependency-free metrics registry
+	// (counters, gauges, quartile summaries, request spans) every layer
+	// of the stack records into. Pass one in Config.Telemetry to observe
+	// the Modeler's query path.
+	TelemetryRegistry = telemetry.Registry
+
+	// TelemetrySnapshot is a point-in-time copy of a registry's metrics
+	// — what the daemon's "stats" op and -debug-addr endpoint serve.
+	TelemetrySnapshot = telemetry.Snapshot
+
+	// SpanRecord is one finished request span (trace ID, layer name,
+	// timing, per-layer attributes).
+	SpanRecord = telemetry.SpanRecord
 )
 
 // Typed query-lifecycle errors; test with errors.Is. Every way a query
@@ -148,6 +164,26 @@ func RetryAfter(err error) (d time.Duration, ok bool) {
 // errors (deadline, cancellation, shed, busy) rather than a semantic
 // error about the query itself.
 func IsLifecycleError(err error) bool { return collector.IsLifecycleError(err) }
+
+// NewTelemetryRegistry creates a metrics registry, typically passed as
+// Config.Telemetry so the Modeler's query spans and latency quartiles
+// are recorded.
+func NewTelemetryRegistry() *TelemetryRegistry { return telemetry.NewRegistry() }
+
+// NewTraceID mints a process-unique request trace ID.
+func NewTraceID() string { return telemetry.NewTraceID() }
+
+// WithTrace returns ctx carrying a trace ID. Queries issued under the
+// returned context stamp the ID into span records on every layer they
+// cross — including the collector daemon on the far side of the wire —
+// so one slow query can be followed end to end. Queries whose context
+// carries no trace get one minted automatically at the API edge.
+func WithTrace(ctx context.Context, id string) context.Context {
+	return telemetry.WithTrace(ctx, id)
+}
+
+// TraceFrom extracts the trace ID from ctx ("" when none is set).
+func TraceFrom(ctx context.Context) string { return telemetry.TraceFrom(ctx) }
 
 // Flow classes (§4.2 of the paper).
 const (

@@ -1,0 +1,102 @@
+package remos_test
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/collector"
+	"repro/remos"
+)
+
+// TestTraceEndToEnd drives a query from the remos API edge over the TCP
+// service and asserts the trace ID stitches the two sides together: the
+// Modeler's query span and the server's rpc spans share one ID, whether
+// the caller supplied it via WithTrace or let the Modeler mint one.
+func TestTraceEndToEnd(t *testing.T) {
+	tb, err := remos.NewTestbed()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb.Run(20)
+
+	var mu sync.Mutex
+	ls := &lockedSource{mu: &mu, col: tb.Collector}
+	srv, err := collector.ServeConfig(ls, "127.0.0.1:0", collector.ServerConfig{
+		MaxInflight: 8, QueueDepth: 16, DefaultBudget: 5 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	src, err := remos.DialCollector(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	modReg := remos.NewTelemetryRegistry()
+	mod := remos.NewModeler(remos.Config{Source: src, Telemetry: modReg})
+
+	// Caller-supplied trace: the ID set at the API edge must reach the
+	// server's span log on every RPC the query fans out to.
+	trace := remos.NewTraceID()
+	ctx, cancel := context.WithTimeout(remos.WithTrace(context.Background(), trace), 10*time.Second)
+	defer cancel()
+	if _, err := mod.GetGraphCtx(ctx, nil, remos.TFHistory(10)); err != nil {
+		t.Fatal(err)
+	}
+	flows := []remos.Flow{{Src: "m-1", Dst: "m-8", Kind: remos.IndependentFlow}}
+	if _, err := mod.QueryFlowInfoCtx(ctx, nil, nil, flows, remos.TFCurrent()); err != nil {
+		t.Fatal(err)
+	}
+
+	names := func(recs []remos.SpanRecord) map[string]int {
+		m := map[string]int{}
+		for _, r := range recs {
+			m[r.Name]++
+		}
+		return m
+	}
+	modSpans := names(modReg.SpansFor(trace))
+	if modSpans["query.getgraph"] != 1 || modSpans["query.flowinfo"] != 1 {
+		t.Errorf("modeler spans for trace = %v, want query.getgraph and query.flowinfo", modSpans)
+	}
+	srvSpans := srv.Telemetry().SpansFor(trace)
+	if len(srvSpans) == 0 {
+		t.Fatalf("server span log has no records for trace %q", trace)
+	}
+	for _, r := range srvSpans {
+		if !strings.HasPrefix(r.Name, "rpc.") {
+			t.Errorf("server span %q is not an rpc span", r.Name)
+		}
+		if r.Attrs["verdict"] != "admitted" {
+			t.Errorf("server span %s verdict = %q, want admitted", r.Name, r.Attrs["verdict"])
+		}
+	}
+	if got := names(srvSpans); got["rpc.topo"] == 0 {
+		t.Errorf("server spans for trace lack rpc.topo: %v", got)
+	}
+
+	// Minted trace: with no WithTrace, the Modeler mints an ID at the
+	// query edge, and that same ID shows up server-side.
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel2()
+	if _, err := mod.GetGraphCtx(ctx2, nil, remos.TFHistory(10)); err != nil {
+		t.Fatal(err)
+	}
+	var minted string
+	for _, r := range modReg.Spans() {
+		if r.Name == "query.getgraph" && r.Trace != trace {
+			minted = r.Trace
+		}
+	}
+	if minted == "" {
+		t.Fatal("modeler did not mint a trace for the un-traced query")
+	}
+	if got := srv.Telemetry().SpansFor(minted); len(got) == 0 {
+		t.Errorf("minted trace %q absent from server span log", minted)
+	}
+}

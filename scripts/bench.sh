@@ -1,0 +1,64 @@
+#!/bin/sh
+# Benchmark runner: executes the paper-evaluation benchmarks (root
+# package) and the telemetry micro-benchmarks, then writes the results
+# as machine-readable JSON (default BENCH_remos.json) for CI artifacts
+# and cross-commit diffing. No dependencies beyond the go toolchain and
+# POSIX awk.
+#
+#   scripts/bench.sh [output.json]
+#
+# ROOT_BENCHTIME (default 1x: each table/figure is a full experiment per
+# iteration) and MICRO_BENCHTIME (default 100ms) tune -benchtime.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+OUT=${1:-BENCH_remos.json}
+ROOT_BENCHTIME=${ROOT_BENCHTIME:-1x}
+MICRO_BENCHTIME=${MICRO_BENCHTIME:-100ms}
+
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+
+echo "==> go test -bench . -benchtime=$ROOT_BENCHTIME . (paper evaluation)"
+go test -run '^$' -bench . -benchmem -benchtime "$ROOT_BENCHTIME" . | tee "$TMP/root.txt"
+
+echo "==> go test -bench . -benchtime=$MICRO_BENCHTIME ./internal/telemetry"
+go test -run '^$' -bench . -benchmem -benchtime "$MICRO_BENCHTIME" ./internal/telemetry | tee "$TMP/telemetry.txt"
+
+# One JSON object per "BenchmarkName  iters  v unit  v unit ..." line.
+bench_json() {
+    awk '
+        BEGIN { n = 0 }
+        /^Benchmark/ {
+            sep = n++ ? "," : ""
+            printf "%s\n      {\"name\": \"%s\", \"iterations\": %s, \"metrics\": {", sep, $1, $2
+            m = 0
+            for (i = 3; i + 1 <= NF; i += 2) {
+                printf "%s\"%s\": %s", (m++ ? ", " : ""), $(i + 1), $i
+            }
+            printf "}}"
+        }
+        END { if (n) printf "\n    " }
+    ' "$1"
+}
+
+{
+    printf '{\n'
+    printf '  "schema": 1,\n'
+    printf '  "generated": "%s",\n' "$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+    printf '  "go": "%s",\n' "$(go version | sed 's/^go version //')"
+    printf '  "root_benchtime": "%s",\n' "$ROOT_BENCHTIME"
+    printf '  "micro_benchtime": "%s",\n' "$MICRO_BENCHTIME"
+    printf '  "packages": {\n'
+    printf '    "repro": ['
+    bench_json "$TMP/root.txt"
+    printf '],\n'
+    printf '    "repro/internal/telemetry": ['
+    bench_json "$TMP/telemetry.txt"
+    printf ']\n'
+    printf '  }\n'
+    printf '}\n'
+} > "$OUT"
+
+echo "bench: wrote $OUT"

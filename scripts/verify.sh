@@ -5,6 +5,14 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
+echo "==> gofmt check"
+fmt=$(gofmt -l .)
+if [ -n "$fmt" ]; then
+    echo "gofmt needed on:"
+    echo "$fmt"
+    exit 1
+fi
+
 echo "==> go build ./..."
 go build ./...
 
@@ -19,6 +27,9 @@ go test -timeout 120s -count=2 ./internal/collector
 
 echo "==> go test -race ./..."
 go test -race -timeout 120s ./...
+
+echo "==> go test -race -count=2 ./internal/telemetry (concurrent writers vs snapshot readers)"
+go test -race -timeout 120s -count=2 ./internal/telemetry
 
 echo "==> chaos suite under -race (seeded; replay failures with -chaos.seed)"
 go test -race -timeout 300s -count=1 -run TestChaosLifecycle ./remos -chaos.seed=1 -chaos.events=60
