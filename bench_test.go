@@ -11,6 +11,10 @@
 package repro_test
 
 import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/core"
@@ -315,6 +319,71 @@ func BenchmarkModelerFlowQuery(b *testing.B) {
 		if _, err := e.Mod.QueryFlowInfo(fixed, variable, ind, core.TFHistory(10)); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// runConcurrent spreads b.N iterations of fn across exactly `workers`
+// goroutines (b.RunParallel pins the goroutine count to GOMAXPROCS,
+// which would make the 1/4/16 scaling points machine-dependent).
+func runConcurrent(b *testing.B, workers int, fn func() error) {
+	b.Helper()
+	b.ResetTimer()
+	b.ReportAllocs()
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for next.Add(1) <= int64(b.N) {
+				if err := fn(); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// BenchmarkModelerGetGraphParallel measures remos_get_graph throughput
+// under concurrent callers at 1/4/16 goroutines. Readers share one
+// immutable snapshot, plan, and availability memo, so per-op cost should
+// stay near-flat as workers are added.
+func BenchmarkModelerGetGraphParallel(b *testing.B) {
+	for _, workers := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("goroutines=%d", workers), func(b *testing.B) {
+			e := experiments.NewEnv()
+			traffic.Blast(e.Net, "m-6", "m-8", 60e6)
+			e.Warmup()
+			ctx := context.Background()
+			runConcurrent(b, workers, func() error {
+				_, err := e.Mod.GetGraphCtx(ctx, nil, core.TFHistory(10))
+				return err
+			})
+		})
+	}
+}
+
+// BenchmarkModelerFlowQueryParallel measures remos_flow_info throughput
+// under concurrent callers at 1/4/16 goroutines.
+func BenchmarkModelerFlowQueryParallel(b *testing.B) {
+	fixed := []core.Flow{{Src: "m-1", Dst: "m-7", Kind: core.FixedFlow, Bandwidth: 2e6}}
+	variable := []core.Flow{
+		{Src: "m-2", Dst: "m-7", Kind: core.VariableFlow, Bandwidth: 1},
+		{Src: "m-3", Dst: "m-8", Kind: core.VariableFlow, Bandwidth: 3},
+	}
+	ind := []core.Flow{{Src: "m-4", Dst: "m-8", Kind: core.IndependentFlow}}
+	for _, workers := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("goroutines=%d", workers), func(b *testing.B) {
+			e := experiments.NewEnv()
+			e.Warmup()
+			ctx := context.Background()
+			runConcurrent(b, workers, func() error {
+				_, err := e.Mod.QueryFlowInfoCtx(ctx, fixed, variable, ind, core.TFHistory(10))
+				return err
+			})
+		})
 	}
 }
 

@@ -203,6 +203,7 @@ func (c *Collector) RestoreCheckpoint(r io.Reader) (CheckpointInfo, error) {
 	c.pollErrors = dump.PollErrors
 	c.discoveries = dump.Discoveries
 	c.mu.Unlock()
+	c.dataVersion.Add(1)
 	c.tel.Counter("collector.checkpoint.restores").Inc()
 
 	return CheckpointInfo{

@@ -14,6 +14,7 @@ import (
 	"math/rand"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/graph"
 	"repro/internal/simclock"
@@ -49,6 +50,19 @@ type Topology struct {
 // Key returns the ChannelKey for a directed traversal of a local link.
 func (t *Topology) Key(l *graph.Link, d graph.Dir) ChannelKey {
 	return ChannelKey{Global: t.GlobalID[l.ID], Dir: d}
+}
+
+// VersionedSource is an optional Source refinement exposing a cheap,
+// monotonically increasing data version: the version changes whenever
+// the measurements or topology behind the source may have changed (a
+// poll round ran, a rediscovery completed, a checkpoint was restored).
+// The Modeler uses it to invalidate its per-snapshot availability memo
+// without re-fetching every channel per query; sources that cannot
+// report a version cheaply (the TCP Client — a version probe would cost
+// the round trip the memo exists to avoid) return ok=false and the
+// Modeler simply skips memoization for them.
+type VersionedSource interface {
+	DataVersion() (version uint64, ok bool)
 }
 
 // Source is the query surface the Modeler consumes. Implemented by
@@ -179,6 +193,11 @@ type Collector struct {
 	polls       uint64
 	pollErrors  uint64
 	discoveries uint64
+
+	// dataVersion increments whenever stored measurements or topology
+	// may have changed (poll round, discovery, checkpoint restore); see
+	// VersionedSource. Atomic so readers never touch c.mu.
+	dataVersion atomic.Uint64
 
 	// Hot-path instruments, resolved once at construction so PollOnce
 	// pays pointer dereferences, not registry lookups, per round.
@@ -481,7 +500,14 @@ func (c *Collector) PollOnce() {
 		}
 	}
 	c.polls++
+	// Bump even on an all-failures round: data *ages* (and accuracy
+	// decays) are clock-relative, and the poll tick is the granularity at
+	// which memoized answers may drift from a recomputation.
+	c.dataVersion.Add(1)
 }
+
+// DataVersion implements VersionedSource.
+func (c *Collector) DataVersion() (uint64, bool) { return c.dataVersion.Load(), true }
 
 // noteIngestError counts a rejected measurement; callers must not hold
 // c.mu (PollOnce's collection phase runs before it takes the lock).

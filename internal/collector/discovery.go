@@ -244,6 +244,7 @@ func (c *Collector) Discover() (*Topology, error) {
 	c.topo = topo
 	c.discoveries++
 	c.mu.Unlock()
+	c.dataVersion.Add(1)
 	if firstErr != nil {
 		// The topology assembled, but at least one agent went unheard:
 		// partial-topology serving is in effect.

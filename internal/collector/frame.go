@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 )
 
 // Bounded wire framing for the TCP query protocol. Each message is a
@@ -33,14 +34,36 @@ const DefaultMaxFrame = 4 << 20
 // prefix) or on write (a response that should never have grown so big).
 var ErrFrameTooLarge = errors.New("collector: wire frame too large")
 
+// maxPooledFrame caps what the buffer pools retain: a rare multi-
+// megabyte topology frame must not pin its buffer for the life of the
+// process. Typical measurement frames are well under a kilobyte.
+const maxPooledFrame = 1 << 18
+
+// frameBufPool recycles encode buffers. A busy query server writes one
+// frame per request; the buffer is dead the moment it hits the socket.
+var frameBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// framePayloadPool recycles read-side payload buffers the same way.
+var framePayloadPool = sync.Pool{New: func() any {
+	b := make([]byte, 0, 1024)
+	return &b
+}}
+
 // writeFrame encodes v as one length-prefixed gob frame on w.
 func writeFrame(w io.Writer, v any, max int) error {
 	if max <= 0 {
 		max = DefaultMaxFrame
 	}
-	var buf bytes.Buffer
+	buf := frameBufPool.Get().(*bytes.Buffer)
+	defer func() {
+		if buf.Cap() <= maxPooledFrame {
+			buf.Reset()
+			frameBufPool.Put(buf)
+		}
+	}()
+	buf.Reset()
 	buf.Write([]byte{0, 0, 0, 0}) // length placeholder
-	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+	if err := gob.NewEncoder(buf).Encode(v); err != nil {
 		return fmt.Errorf("collector: encoding frame: %w", err)
 	}
 	payload := buf.Len() - 4
@@ -55,7 +78,8 @@ func writeFrame(w io.Writer, v any, max int) error {
 
 // readFrame reads one length-prefixed gob frame from r into v,
 // rejecting frames over max bytes without reading (or allocating) their
-// payload.
+// payload. The payload buffer is pooled; gob copies everything it
+// decodes into v, so nothing aliases the buffer after return.
 func readFrame(r io.Reader, v any, max int) error {
 	if max <= 0 {
 		max = DefaultMaxFrame
@@ -68,7 +92,16 @@ func readFrame(r io.Reader, v any, max int) error {
 	if int64(n) > int64(max) {
 		return fmt.Errorf("%w: prefix claims %d > %d bytes", ErrFrameTooLarge, n, max)
 	}
-	payload := make([]byte, n)
+	pp := framePayloadPool.Get().(*[]byte)
+	defer func() {
+		if cap(*pp) <= maxPooledFrame {
+			framePayloadPool.Put(pp)
+		}
+	}()
+	if cap(*pp) < int(n) {
+		*pp = make([]byte, n)
+	}
+	payload := (*pp)[:n]
 	if _, err := io.ReadFull(r, payload); err != nil {
 		return err
 	}
@@ -76,4 +109,26 @@ func readFrame(r io.Reader, v any, max int) error {
 		return fmt.Errorf("collector: decoding frame: %w", err)
 	}
 	return nil
+}
+
+// warmGob runs representative wire values through a throwaway
+// encode/decode round so gob compiles its type engines at package init
+// instead of on the first request of the first connection. Frames stay
+// independent gob streams on the wire — that is what makes
+// reconnect-after-abort safe — but engine compilation is process-global
+// and only needs to happen once.
+func warmGob(vals ...any) {
+	var buf bytes.Buffer
+	enc := gob.NewEncoder(&buf)
+	for _, v := range vals {
+		if err := enc.Encode(v); err != nil {
+			panic(fmt.Sprintf("collector: gob warm-up encode: %v", err))
+		}
+	}
+	dec := gob.NewDecoder(&buf)
+	for _, v := range vals {
+		if err := dec.Decode(v); err != nil {
+			panic(fmt.Sprintf("collector: gob warm-up decode: %v", err))
+		}
+	}
 }

@@ -151,6 +151,25 @@ func (m *Merged) TopologyCtx(ctx context.Context) (*Topology, error) {
 	return out, nil
 }
 
+// DataVersion implements VersionedSource: the sum of member versions
+// (each monotone, so the sum is monotone). Memoization stays sound only
+// when every member is versioned; one opaque member disables it.
+func (m *Merged) DataVersion() (uint64, bool) {
+	var sum uint64
+	for _, s := range m.sources {
+		vs, ok := s.(VersionedSource)
+		if !ok {
+			return 0, false
+		}
+		v, ok := vs.DataVersion()
+		if !ok {
+			return 0, false
+		}
+		sum += v
+	}
+	return sum, true
+}
+
 // Utilization implements Source.
 func (m *Merged) Utilization(key ChannelKey, span float64) (stats.Stat, error) {
 	return m.UtilizationCtx(context.Background(), key, span)

@@ -129,6 +129,31 @@ type response struct {
 	Telemetry *telemetry.Snapshot
 }
 
+// init warms gob's type engines with representative wire values so the
+// first real request on a fresh process does not pay engine compilation
+// on top of its round trip. Nested fields are populated: gob builds
+// engines lazily, per concrete type it actually sees.
+func init() {
+	warmGob(
+		&request{Op: "ping", Key: ChannelKey{Global: 1}, Span: 1, Node: "n", BudgetMS: 1, TraceID: "t"},
+		&response{
+			Err:     "e",
+			Stat:    stats.Stat{Min: 1, Q1: 1, Median: 1, Q3: 1, Max: 1, Accuracy: 1, Samples: 1, Age: 1},
+			Samples: []stats.Sample{{Time: 1, Value: 1}},
+			Topo: &wireTopo{
+				Nodes:        []wireNode{{ID: "n", Kind: 1, InternalBW: 1, ComputePower: 1, MemoryBytes: 1}},
+				Links:        []wireLink{{A: "a", B: "b", Capacity: 1, Latency: 1, Global: 1}},
+				DiscoveredAt: 1,
+			},
+			Age:          1,
+			Health:       map[string]AgentHealth{"n": {}},
+			Code:         1,
+			RetryAfterMS: 1,
+			Telemetry:    &telemetry.Snapshot{Counters: map[string]uint64{"c": 1}},
+		},
+	)
+}
+
 // DefaultIdleTimeout is how long a connection may sit between requests
 // (or mid-frame) before the server drops it: a client that connects and
 // sends nothing — or a truncated frame — must not pin a goroutine and

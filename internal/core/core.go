@@ -22,6 +22,7 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/collector"
@@ -105,9 +106,9 @@ type Config struct {
 	StaleHalfLife float64
 
 	// Telemetry, when non-nil, records query-path metrics (latency
-	// quartiles per query kind, topology cache age) and per-query spans.
-	// Nil disables modeler-side telemetry at zero cost; trace IDs still
-	// propagate to the collector either way.
+	// quartiles per query kind, snapshot epoch, availability-memo hit
+	// rates) and per-query spans. Nil disables modeler-side telemetry at
+	// zero cost; trace IDs still propagate to the collector either way.
 	Telemetry *telemetry.Registry
 }
 
@@ -123,19 +124,44 @@ const (
 	ShareProportional
 )
 
-// Modeler answers Remos queries. Safe for use from a single goroutine
-// per instance (the usual pattern: one Modeler linked into the
-// application's adaptation module).
+// Modeler answers Remos queries. Safe for concurrent use: queries run
+// lock-free against an immutable, epoch-numbered topology snapshot
+// (see snapshot.go), so readers never block each other; only a Refresh
+// — or the first query after one — takes a lock, to single-flight the
+// rebuild.
 type Modeler struct {
 	cfg Config
 	tel *telemetry.Registry // nil when Config.Telemetry was nil
 
-	mu          sync.Mutex
-	topo        *collector.Topology
-	rt          *graph.RouteTable
-	topoFetched time.Time // wall time of the cached topology's fetch
-	self        []selfFlow
-	stale       bool
+	// vsrc is non-nil when the source reports data versions
+	// (collector.VersionedSource), which gates availability memoization.
+	vsrc collector.VersionedSource
+
+	// snap is the read side: queries Load it and proceed without locks.
+	// buildMu single-flights rebuilds after Refresh (or at first use);
+	// epoch numbers each installed snapshot.
+	snap    atomic.Pointer[snapshot]
+	buildMu sync.Mutex
+	epoch   atomic.Uint64
+
+	// selfMu guards the registered self flows; selfGen folds into the
+	// memo version so registering or clearing flows invalidates
+	// memoized availabilities (DiscountSelf bakes them in).
+	selfMu  sync.Mutex
+	self    []selfFlow
+	selfGen atomic.Uint64
+
+	// Pre-resolved instruments: registry lookups (an RWMutex plus a map
+	// hit each) stay off the per-query path. All methods are nil-safe
+	// no-ops when telemetry is off.
+	gEpoch     *telemetry.Gauge
+	gCacheAge  *telemetry.Gauge
+	cFetches   *telemetry.Counter
+	cMemoHits  *telemetry.Counter
+	cMemoMiss  *telemetry.Counter
+	qGetGraph  *telemetry.Quantile
+	qFlowQuery *telemetry.Quantile
+	qBW        *telemetry.Quantile
 }
 
 type selfFlow struct {
@@ -151,41 +177,86 @@ func New(cfg Config) *Modeler {
 	if cfg.Predictor == nil {
 		cfg.Predictor = stats.EWMA{Alpha: 0.3}
 	}
-	return &Modeler{cfg: cfg, tel: cfg.Telemetry}
+	m := &Modeler{cfg: cfg, tel: cfg.Telemetry}
+	if vs, ok := cfg.Source.(collector.VersionedSource); ok {
+		if _, vok := vs.DataVersion(); vok {
+			m.vsrc = vs
+		}
+	}
+	m.gEpoch = m.tel.Gauge("modeler.snapshot_epoch")
+	m.gCacheAge = m.tel.Gauge("modeler.topo_cache_age_s")
+	m.cFetches = m.tel.Counter("modeler.topo_fetches")
+	m.cMemoHits = m.tel.Counter("modeler.avail_memo_hits")
+	m.cMemoMiss = m.tel.Counter("modeler.avail_memo_misses")
+	m.qGetGraph = m.tel.Quantile("modeler.getgraph_ms", 0)
+	m.qFlowQuery = m.tel.Quantile("modeler.flowquery_ms", 0)
+	m.qBW = m.tel.Quantile("modeler.bw_ms", 0)
+	return m
 }
 
 // Telemetry returns the Modeler's metrics registry (nil when telemetry
 // was not configured).
 func (m *Modeler) Telemetry() *telemetry.Registry { return m.tel }
 
-// Refresh drops the cached topology so the next query re-discovers.
-func (m *Modeler) Refresh() {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.topo, m.rt = nil, nil
-}
+// Refresh drops the current snapshot so the next query re-discovers the
+// topology under a fresh epoch. In-flight queries finish against the
+// snapshot they already loaded — that is the point of immutability.
+func (m *Modeler) Refresh() { m.snap.Store(nil) }
 
-// topology returns the cached (or freshly fetched) topology and routes.
-func (m *Modeler) topology(ctx context.Context) (*collector.Topology, *graph.RouteTable, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if m.topo != nil {
-		m.tel.Gauge("modeler.topo_cache_age_s").Set(time.Since(m.topoFetched).Seconds())
-		return m.topo, m.rt, nil
+// snapshot returns the current topology snapshot, building (and
+// installing) one if Refresh dropped it. The fast path is a single
+// atomic load; the build path is single-flighted under buildMu so a
+// thundering herd after Refresh does one discovery, not N.
+func (m *Modeler) snapshot(ctx context.Context) (*snapshot, error) {
+	if s := m.snap.Load(); s != nil {
+		if m.tel != nil {
+			m.gCacheAge.Set(time.Since(s.fetched).Seconds())
+		}
+		return s, nil
+	}
+	m.buildMu.Lock()
+	defer m.buildMu.Unlock()
+	if s := m.snap.Load(); s != nil {
+		return s, nil
 	}
 	t, err := collector.CtxTopology(ctx, m.cfg.Source)
 	if err != nil {
-		return nil, nil, fmt.Errorf("core: %w", err)
+		return nil, fmt.Errorf("core: %w", err)
 	}
 	rt, err := t.Graph.Routes()
 	if err != nil {
-		return nil, nil, fmt.Errorf("core: routing discovered topology: %w", err)
+		return nil, fmt.Errorf("core: routing discovered topology: %w", err)
 	}
-	m.topo, m.rt = t, rt
-	m.topoFetched = time.Now()
-	m.tel.Counter("modeler.topo_fetches").Inc()
-	m.tel.Gauge("modeler.topo_cache_age_s").Set(0)
-	return t, rt, nil
+	s := newSnapshot(m.epoch.Add(1), t, rt, m.vsrc != nil)
+	m.snap.Store(s)
+	m.cFetches.Inc()
+	m.gEpoch.Set(float64(s.epoch))
+	m.gCacheAge.Set(0)
+	return s, nil
+}
+
+// topology returns the current snapshot's topology and routes — the
+// compatibility form for callers that don't need epochs or memos.
+func (m *Modeler) topology(ctx context.Context) (*collector.Topology, *graph.RouteTable, error) {
+	s, err := m.snapshot(ctx)
+	if err != nil {
+		return nil, nil, err
+	}
+	return s.topo, s.rt, nil
+}
+
+// memoVersion is the combined data version availability memos key on:
+// the source's version (bumped per poll/discovery/restore) plus the
+// self-flow generation. Both are monotone, so the sum is monotone.
+func (m *Modeler) memoVersion() (uint64, bool) {
+	if m.vsrc == nil {
+		return 0, false
+	}
+	v, ok := m.vsrc.DataVersion()
+	if !ok {
+		return 0, false
+	}
+	return v + m.selfGen.Load(), true
 }
 
 // startQuery is the shared telemetry prologue of the public query entry
@@ -194,13 +265,12 @@ func (m *Modeler) topology(ctx context.Context) (*collector.Topology, *graph.Rou
 // opens a span named for the query. The returned finish records the
 // latency quantile and commits the span; call it exactly once, with the
 // query's final error.
-func (m *Modeler) startQuery(ctx context.Context, span, metric string) (context.Context, func(error)) {
+func (m *Modeler) startQuery(ctx context.Context, span string, q *telemetry.Quantile) (context.Context, func(error)) {
 	ctx, trace := telemetry.EnsureTrace(ctx)
 	sp := m.tel.StartSpan(trace, span)
 	start := time.Now()
 	return ctx, func(err error) {
-		m.tel.Quantile(metric, 0).
-			Observe(float64(time.Since(start)) / float64(time.Millisecond))
+		q.Observe(float64(time.Since(start)) / float64(time.Millisecond))
 		if err != nil {
 			sp.SetAttr("error", err.Error())
 		}
@@ -211,25 +281,26 @@ func (m *Modeler) startQuery(ctx context.Context, span, metric string) (context.
 // RegisterSelfFlow tells the Modeler about a flow the application itself
 // is currently sending, so DiscountSelf can exclude it. Rate is bits/s.
 func (m *Modeler) RegisterSelfFlow(src, dst graph.NodeID, rate float64) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.selfMu.Lock()
+	defer m.selfMu.Unlock()
 	m.self = append(m.self, selfFlow{src, dst, rate})
+	m.selfGen.Add(1)
 }
 
 // ClearSelfFlows forgets all registered self flows.
 func (m *Modeler) ClearSelfFlows() {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.selfMu.Lock()
+	defer m.selfMu.Unlock()
 	m.self = nil
+	m.selfGen.Add(1)
 }
 
 // selfRateOn returns the registered self-traffic rate crossing a channel.
 func (m *Modeler) selfRateOn(topo *collector.Topology, rt *graph.RouteTable, key collector.ChannelKey) float64 {
-	m.mu.Lock()
-	flows := append([]selfFlow(nil), m.self...)
-	m.mu.Unlock()
+	m.selfMu.Lock()
+	defer m.selfMu.Unlock()
 	var sum float64
-	for _, sf := range flows {
+	for _, sf := range m.self {
 		p := rt.Route(sf.src, sf.dst)
 		if p == nil {
 			continue
@@ -243,9 +314,11 @@ func (m *Modeler) selfRateOn(topo *collector.Topology, rt *graph.RouteTable, key
 	return sum
 }
 
-// channelAvailability computes the availability Stat of one channel under
-// a timeframe: capacity for TFCapacity, otherwise capacity minus the
-// (possibly predicted) utilization.
+// computeChannelAvailability computes the availability Stat of one
+// channel under a timeframe: capacity for TFCapacity, otherwise capacity
+// minus the (possibly predicted) utilization. This is the slow path;
+// queries go through view.channelAvailability, which memoizes the answer
+// per (snapshot, timeframe, data version).
 //
 // Error contract: lifecycle errors (deadline, cancellation, shed, busy —
 // collector.IsLifecycleError) abort the query and propagate; any other
@@ -254,10 +327,10 @@ func (m *Modeler) selfRateOn(topo *collector.Topology, rt *graph.RouteTable, key
 // distinction matters: a missing measurement degrades an answer, but a
 // caller whose budget expired must get the typed error, not a fabricated
 // capacity number computed after they stopped listening.
-func (m *Modeler) channelAvailability(ctx context.Context, topo *collector.Topology,
-	rt *graph.RouteTable, l *graph.Link, d graph.Dir, tf Timeframe) (stats.Stat, error) {
+func (m *Modeler) computeChannelAvailability(ctx context.Context, s *snapshot,
+	l *graph.Link, d graph.Dir, tf Timeframe) (stats.Stat, error) {
 
-	key := topo.Key(l, d)
+	key := s.topo.Key(l, d)
 	if tf.Kind == Capacity {
 		return stats.Exact(l.Capacity), nil
 	}
@@ -304,7 +377,7 @@ func (m *Modeler) channelAvailability(ctx context.Context, topo *collector.Topol
 		return degrade(nil)
 	}
 	if m.cfg.DiscountSelf {
-		if own := m.selfRateOn(topo, rt, key); own > 0 {
+		if own := m.selfRateOn(s.topo, s.rt, key); own > 0 {
 			util = stats.Stat{
 				Min: util.Min - own, Q1: util.Q1 - own, Median: util.Median - own,
 				Q3: util.Q3 - own, Max: util.Max - own,
@@ -325,22 +398,23 @@ func (m *Modeler) AvailableBandwidth(src, dst graph.NodeID, tf Timeframe) (stats
 // deadline rides to the collector with every measurement fetch, and
 // cancellation aborts between (and inside) link lookups.
 func (m *Modeler) AvailableBandwidthCtx(ctx context.Context, src, dst graph.NodeID, tf Timeframe) (_ stats.Stat, retErr error) {
-	ctx, finish := m.startQuery(ctx, "query.bw", "modeler.bw_ms")
+	ctx, finish := m.startQuery(ctx, "query.bw", m.qBW)
 	defer func() { finish(retErr) }()
-	topo, rt, err := m.topology(ctx)
+	s, err := m.snapshot(ctx)
 	if err != nil {
 		return stats.NoData(), err
 	}
 	if src == dst {
 		return stats.Exact(math.Inf(1)), nil
 	}
-	p := rt.Route(src, dst)
+	p := s.rt.Route(src, dst)
 	if p == nil {
 		return stats.NoData(), fmt.Errorf("core: no route %s -> %s", src, dst)
 	}
+	v := m.view(s, tf)
 	out := stats.NoData()
 	for i, l := range p.Links {
-		a, err := m.channelAvailability(ctx, topo, rt, l, l.DirFrom(p.Nodes[i]), tf)
+		a, err := v.channelAvailability(ctx, l, l.DirFrom(p.Nodes[i]))
 		if err != nil {
 			return stats.NoData(), err
 		}
@@ -348,7 +422,7 @@ func (m *Modeler) AvailableBandwidthCtx(ctx context.Context, src, dst graph.Node
 	}
 	// Router internal bandwidth also caps the path (Figure 1).
 	for _, nid := range p.Nodes[1 : len(p.Nodes)-1] {
-		if n := topo.Graph.Node(nid); n != nil && n.InternalBW > 0 {
+		if n := s.topo.Graph.Node(nid); n != nil && n.InternalBW > 0 {
 			out = stats.MinStat(out, stats.Exact(n.InternalBW))
 		}
 	}
@@ -407,11 +481,7 @@ func (m *Modeler) HostLoad(id graph.NodeID, tf Timeframe) (stats.Stat, error) {
 
 // HostLoadCtx is HostLoad under a context.
 func (m *Modeler) HostLoadCtx(ctx context.Context, id graph.NodeID, tf Timeframe) (stats.Stat, error) {
-	span := 0.0
-	if tf.Kind == History {
-		span = tf.Span
-	}
-	st, err := collector.CtxHostLoad(ctx, m.cfg.Source, id, span)
+	st, err := collector.CtxHostLoad(ctx, m.cfg.Source, id, tfSpan(tf))
 	if err != nil {
 		return stats.NoData(), err
 	}

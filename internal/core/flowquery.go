@@ -4,8 +4,8 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"sync"
 
-	"repro/internal/collector"
 	"repro/internal/graph"
 	"repro/internal/maxmin"
 	"repro/internal/stats"
@@ -77,6 +77,10 @@ type FlowInfo struct {
 	Variable    []FlowResult
 	Independent []FlowResult
 	Timeframe   Timeframe
+
+	// Epoch identifies the topology snapshot the answer was computed
+	// against (see Graph.Epoch).
+	Epoch uint64
 }
 
 // All returns every result in query order (fixed, variable, independent).
@@ -104,21 +108,25 @@ func (m *Modeler) QueryFlowInfo(fixed, variable, independent []Flow, tf Timefram
 // each fetch carries the caller's deadline. A budget that expires
 // mid-construction aborts with a typed lifecycle error.
 func (m *Modeler) QueryFlowInfoCtx(ctx context.Context, fixed, variable, independent []Flow, tf Timeframe) (_ *FlowInfo, retErr error) {
-	ctx, finish := m.startQuery(ctx, "query.flowinfo", "modeler.flowquery_ms")
+	ctx, finish := m.startQuery(ctx, "query.flowinfo", m.qFlowQuery)
 	defer func() { finish(retErr) }()
-	topo, rt, err := m.topology(ctx)
+	s, err := m.snapshot(ctx)
 	if err != nil {
 		return nil, err
 	}
 
 	// Build the resource space: one resource per directed channel in use,
-	// plus router backplanes with finite internal bandwidth.
-	idx := newResourceIndex(ctx, m, topo, rt, tf)
+	// plus router backplanes with finite internal bandwidth. The index is
+	// pooled; nothing it owns escapes into the returned FlowInfo (the
+	// solver and allocationStat copy what they keep), so it is released
+	// when the query returns.
+	idx := newResourceIndex(ctx, m.view(s, tf))
+	defer idx.release()
 	toDemand := func(f Flow) (maxmin.Demand, *graph.Path, error) {
 		if f.Src == f.Dst {
 			return maxmin.Demand{}, nil, fmt.Errorf("core: flow with equal endpoints %q", f.Src)
 		}
-		p := rt.Route(f.Src, f.Dst)
+		p := s.rt.Route(f.Src, f.Dst)
 		if p == nil {
 			return maxmin.Demand{}, nil, fmt.Errorf("core: no route %s -> %s", f.Src, f.Dst)
 		}
@@ -179,7 +187,7 @@ func (m *Modeler) QueryFlowInfoCtx(ctx context.Context, fixed, variable, indepen
 		res = maxmin.SolveClasses(cp)
 	}
 
-	out := &FlowInfo{Timeframe: tf}
+	out := &FlowInfo{Timeframe: tf, Epoch: s.epoch}
 	mk := func(f *Flow, alloc float64, satisfied bool) FlowResult {
 		p := paths[f]
 		bottleneck := idx.bottleneckStat(p)
@@ -191,12 +199,15 @@ func (m *Modeler) QueryFlowInfoCtx(ctx context.Context, fixed, variable, indepen
 			Hops:      p.Hops(),
 		}
 	}
+	out.Fixed = make([]FlowResult, 0, len(fixedFlows))
 	for i := range fixedFlows {
 		out.Fixed = append(out.Fixed, mk(&fixedFlows[i], res.Fixed[i], res.FixedSatisfied[i]))
 	}
+	out.Variable = make([]FlowResult, 0, len(varFlows))
 	for i := range varFlows {
 		out.Variable = append(out.Variable, mk(&varFlows[i], res.Variable[i], true))
 	}
+	out.Independent = make([]FlowResult, 0, len(indFlows))
 	for i := range indFlows {
 		out.Independent = append(out.Independent, mk(&indFlows[i], res.Independent[i], true))
 	}
@@ -233,16 +244,22 @@ func solveProportionalClasses(cp *maxmin.ClassedProblem) *maxmin.ClassedResult {
 
 // resourceIndex maps channels (and limited backplanes) to max-min
 // resources whose capacities are the timeframe's availability medians.
+// Instances are pooled: a flow query borrows one, builds the resource
+// space, and releases it on return. Nothing handed out by the index may
+// be retained past the owning query (the solver copies capacities it
+// mutates; results copy stats by value).
 type resourceIndex struct {
-	ctx  context.Context
-	m    *Modeler
-	topo *collector.Topology
-	rt   *graph.RouteTable
-	tf   Timeframe
+	ctx context.Context
+	v   view
 
 	ids   map[resKey]int
 	caps  []float64
 	stats []stats.Stat
+
+	// resbuf is an arena for the per-demand resource-ID lists:
+	// resourcesFor returns capacity-clamped subslices of it, so one
+	// query's lists share a single growing allocation.
+	resbuf []maxmin.ResourceID
 }
 
 type resKey struct {
@@ -251,8 +268,27 @@ type resKey struct {
 	node graph.NodeID
 }
 
-func newResourceIndex(ctx context.Context, m *Modeler, topo *collector.Topology, rt *graph.RouteTable, tf Timeframe) *resourceIndex {
-	return &resourceIndex{ctx: ctx, m: m, topo: topo, rt: rt, tf: tf, ids: make(map[resKey]int)}
+var riPool = sync.Pool{
+	New: func() any { return &resourceIndex{ids: make(map[resKey]int, 32)} },
+}
+
+func newResourceIndex(ctx context.Context, v view) *resourceIndex {
+	ri := riPool.Get().(*resourceIndex)
+	ri.ctx = ctx
+	ri.v = v
+	return ri
+}
+
+// release returns the index to the pool, dropping query-scoped state but
+// keeping the map and slice capacity warm.
+func (ri *resourceIndex) release() {
+	clear(ri.ids)
+	ri.ctx = nil
+	ri.v = view{}
+	ri.caps = ri.caps[:0]
+	ri.stats = ri.stats[:0]
+	ri.resbuf = ri.resbuf[:0]
+	riPool.Put(ri)
 }
 
 func (ri *resourceIndex) intern(k resKey, capacity float64, st stats.Stat) int {
@@ -267,10 +303,10 @@ func (ri *resourceIndex) intern(k resKey, capacity float64, st stats.Stat) int {
 }
 
 func (ri *resourceIndex) resourcesFor(p *graph.Path) ([]maxmin.ResourceID, error) {
-	var out []maxmin.ResourceID
+	start := len(ri.resbuf)
 	for i, l := range p.Links {
 		d := l.DirFrom(p.Nodes[i])
-		st, err := ri.m.channelAvailability(ri.ctx, ri.topo, ri.rt, l, d, ri.tf)
+		st, err := ri.v.channelAvailability(ri.ctx, l, d)
 		if err != nil {
 			return nil, err
 		}
@@ -279,16 +315,18 @@ func (ri *resourceIndex) resourcesFor(p *graph.Path) ([]maxmin.ResourceID, error
 			capacity = l.Capacity
 		}
 		id := ri.intern(resKey{link: l.ID, dir: d}, capacity, st)
-		out = append(out, maxmin.ResourceID(id))
+		ri.resbuf = append(ri.resbuf, maxmin.ResourceID(id))
 	}
 	for _, nid := range p.Nodes {
-		n := ri.topo.Graph.Node(nid)
+		n := ri.v.s.topo.Graph.Node(nid)
 		if n != nil && n.Kind == graph.Network && n.InternalBW > 0 {
 			id := ri.intern(resKey{link: -1, node: nid}, n.InternalBW, stats.Exact(n.InternalBW))
-			out = append(out, maxmin.ResourceID(id))
+			ri.resbuf = append(ri.resbuf, maxmin.ResourceID(id))
 		}
 	}
-	return out, nil
+	// Three-index slice: a later resourcesFor growing resbuf must
+	// reallocate rather than overwrite this demand's tail.
+	return ri.resbuf[start:len(ri.resbuf):len(ri.resbuf)], nil
 }
 
 func (ri *resourceIndex) capacities() []float64 { return ri.caps }

@@ -3,9 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
-	"sort"
 
-	"repro/internal/collector"
 	"repro/internal/graph"
 	"repro/internal/stats"
 )
@@ -52,10 +50,27 @@ type Graph struct {
 	// Timeframe records the time context the annotations were computed
 	// under.
 	Timeframe Timeframe
+
+	// Epoch identifies the topology snapshot the answer was computed
+	// against. Two answers carrying the same Epoch saw the same physical
+	// topology; a Refresh (or rediscovery) starts a new epoch.
+	Epoch uint64
+
+	// nodeIdx/linkIdx index Nodes and Links by node ID. Answers built by
+	// GetGraph share these (immutable) maps with the plan they replay;
+	// hand-constructed Graphs leave them nil and fall back to scans.
+	nodeIdx map[graph.NodeID]int
+	linkIdx map[graph.NodeID][]int
 }
 
 // Node returns the annotation for a node, or nil.
 func (g *Graph) Node(id graph.NodeID) *NodeInfo {
+	if g.nodeIdx != nil {
+		if i, ok := g.nodeIdx[id]; ok {
+			return &g.Nodes[i]
+		}
+		return nil
+	}
 	for i := range g.Nodes {
 		if g.Nodes[i].ID == id {
 			return &g.Nodes[i]
@@ -66,6 +81,17 @@ func (g *Graph) Node(id graph.NodeID) *NodeInfo {
 
 // LinksAt returns the logical links incident to a node.
 func (g *Graph) LinksAt(id graph.NodeID) []*LinkInfo {
+	if g.linkIdx != nil {
+		idxs := g.linkIdx[id]
+		if len(idxs) == 0 {
+			return nil
+		}
+		out := make([]*LinkInfo, len(idxs))
+		for i, j := range idxs {
+			out[i] = &g.Links[j]
+		}
+		return out
+	}
 	var out []*LinkInfo
 	for i := range g.Links {
 		if g.Links[i].A == id || g.Links[i].B == id {
@@ -87,23 +113,17 @@ func (li *LinkInfo) AvailFrom(from graph.NodeID) stats.Stat {
 	panic(fmt.Sprintf("core: %s is not an endpoint of %s--%s", from, li.A, li.B))
 }
 
-// annLink is the internal mutable form used during collapsing.
-type annLink struct {
-	a, b     graph.NodeID
-	capacity stats.Stat
-	avail    [2]stats.Stat // [0] = a->b
-	latency  stats.Stat
-}
-
 // GetGraph answers remos_get_graph: the logical topology relevant to
 // connecting the given compute nodes, annotated for the timeframe.
 //
 // Construction: (1) take the subgraph induced by the routes among the
-// requested nodes — links routing will never use are hidden; (2) annotate
-// every physical link with capacity, availability and latency; (3)
-// collapse chains of pass-through network nodes into single logical links
+// requested nodes — links routing will never use are hidden; (2) collapse
+// chains of pass-through network nodes into single logical links
 // (capacity/availability: element-wise min; latency: sum), which also
-// abstracts a "complex network in the middle" into one edge.
+// abstracts a "complex network in the middle" into one edge; (3) annotate
+// for the timeframe. Steps 1–2 are purely topological, so they are
+// computed once per (snapshot epoch, node set) and cached as a plan
+// (snapshot.go); each query replays the plan against availability memos.
 func (m *Modeler) GetGraph(nodes []graph.NodeID, tf Timeframe) (*Graph, error) {
 	return m.GetGraphCtx(context.Background(), nodes, tf)
 }
@@ -113,128 +133,61 @@ func (m *Modeler) GetGraph(nodes []graph.NodeID, tf Timeframe) (*Graph, error) {
 // annotation aborts the query with a typed lifecycle error instead of
 // finishing it with fabricated numbers.
 func (m *Modeler) GetGraphCtx(ctx context.Context, nodes []graph.NodeID, tf Timeframe) (_ *Graph, retErr error) {
-	ctx, finish := m.startQuery(ctx, "query.getgraph", "modeler.getgraph_ms")
+	ctx, finish := m.startQuery(ctx, "query.getgraph", m.qGetGraph)
 	defer func() { finish(retErr) }()
-	topo, rt, err := m.topology(ctx)
+	s, err := m.snapshot(ctx)
 	if err != nil {
 		return nil, err
 	}
+	key := planKey(nodes)
 	if len(nodes) == 0 {
-		nodes = topo.Graph.ComputeNodes()
-	}
-	for _, n := range nodes {
-		nd := topo.Graph.Node(n)
-		if nd == nil {
-			return nil, fmt.Errorf("core: unknown node %q", n)
+		nodes = s.topo.Graph.ComputeNodes()
+	} else {
+		for _, n := range nodes {
+			nd := s.topo.Graph.Node(n)
+			if nd == nil {
+				return nil, fmt.Errorf("core: unknown node %q", n)
+			}
+			if nd.Kind != graph.Compute {
+				return nil, fmt.Errorf("core: %q is not a compute node", n)
+			}
 		}
-		if nd.Kind != graph.Compute {
-			return nil, fmt.Errorf("core: %q is not a compute node", n)
-		}
 	}
-	requested := make(map[graph.NodeID]bool, len(nodes))
-	for _, n := range nodes {
-		requested[n] = true
+	plan, err := s.plan(key, nodes)
+	if err != nil {
+		return nil, err
 	}
 
-	sub := topo.Graph.InducedByRoutes(rt, nodes)
-
-	// Annotate the physical sub-topology. The induced subgraph has fresh
-	// link IDs, so map back to original links by endpoints + capacity.
-	anns := make([]*annLink, 0, sub.NumLinks())
-	adj := make(map[graph.NodeID][]*annLink)
-	for _, l := range sub.Links() {
-		orig := findLink(topo.Graph, l.A, l.B, l.Capacity)
-		if orig == nil {
-			return nil, fmt.Errorf("core: internal: lost link %s--%s", l.A, l.B)
+	v := m.view(s, tf)
+	out := &Graph{
+		Timeframe: tf,
+		Epoch:     s.epoch,
+		nodeIdx:   plan.nodeIdx,
+		linkIdx:   plan.linkIdx,
+	}
+	out.Nodes = make([]NodeInfo, len(plan.nodes))
+	for i, ni := range plan.nodes {
+		if ni.Kind == graph.Compute {
+			ld, err := v.hostLoad(ctx, ni.ID)
+			if err != nil {
+				return nil, fmt.Errorf("core: load of %q: %w", ni.ID, err)
+			}
+			ni.Load = ld
 		}
-		al := &annLink{
-			a: l.A, b: l.B,
-			capacity: stats.Exact(l.Capacity),
-			latency:  stats.Exact(l.Latency),
-		}
-		if al.avail[0], err = m.channelAvailability(ctx, topo, rt, orig, orig.DirFrom(l.A), tf); err != nil {
+		out.Nodes[i] = ni
+	}
+	out.Links = make([]LinkInfo, len(plan.links))
+	for i := range plan.links {
+		pl := &plan.links[i]
+		li := LinkInfo{A: pl.a, B: pl.b, Capacity: pl.capacity, Latency: pl.latency}
+		if li.Avail[0], err = v.foldAvail(ctx, pl.fwd, pl.limit); err != nil {
 			return nil, err
 		}
-		if al.avail[1], err = m.channelAvailability(ctx, topo, rt, orig, orig.DirFrom(l.B), tf); err != nil {
+		if li.Avail[1], err = v.foldAvail(ctx, pl.rev, pl.limit); err != nil {
 			return nil, err
 		}
-		anns = append(anns, al)
-		adj[l.A] = append(adj[l.A], al)
-		adj[l.B] = append(adj[l.B], al)
+		out.Links[i] = li
 	}
-
-	// Collapse pass-through network-node chains over the annotations.
-	removed := make(map[graph.NodeID]bool)
-	for {
-		collapsed := false
-		ids := sub.Nodes()
-		for _, id := range ids {
-			if removed[id] || requested[id] {
-				continue
-			}
-			nd := sub.Node(id)
-			if nd == nil || nd.Kind != graph.Network {
-				continue
-			}
-			ls := live(adj[id])
-			if len(ls) != 2 {
-				continue
-			}
-			l1, l2 := ls[0], ls[1]
-			nbr1, nbr2 := other(l1, id), other(l2, id)
-			if nbr1 == nbr2 {
-				continue
-			}
-			merged := mergeAnn(l1, l2, id, nd.InternalBW)
-			// Mark originals dead and install the merged link.
-			l1.a, l1.b = "", ""
-			l2.a, l2.b = "", ""
-			adj[nbr1] = append(adj[nbr1], merged)
-			adj[nbr2] = append(adj[nbr2], merged)
-			anns = append(anns, merged)
-			removed[id] = true
-			collapsed = true
-		}
-		if !collapsed {
-			break
-		}
-	}
-
-	out := &Graph{Timeframe: tf}
-	for _, id := range sub.Nodes() {
-		if removed[id] {
-			continue
-		}
-		nd := sub.Node(id)
-		ni := NodeInfo{ID: id, Kind: nd.Kind, InternalBW: nd.InternalBW, Memory: nd.MemoryBytes}
-		if nd.Kind == graph.Compute {
-			if ld, err := collector.CtxHostLoad(ctx, m.cfg.Source, id, tfSpan(tf)); err == nil {
-				ni.Load = ld
-			} else if collector.IsLifecycleError(err) {
-				return nil, fmt.Errorf("core: load of %q: %w", id, err)
-			} else {
-				ni.Load = stats.NoData()
-			}
-		}
-		out.Nodes = append(out.Nodes, ni)
-	}
-	for _, al := range anns {
-		if al.a == "" {
-			continue // merged away
-		}
-		out.Links = append(out.Links, LinkInfo{
-			A: al.a, B: al.b,
-			Capacity: al.capacity,
-			Avail:    al.avail,
-			Latency:  al.latency,
-		})
-	}
-	sort.Slice(out.Links, func(i, j int) bool {
-		if out.Links[i].A != out.Links[j].A {
-			return out.Links[i].A < out.Links[j].A
-		}
-		return out.Links[i].B < out.Links[j].B
-	})
 	return out, nil
 }
 
@@ -243,53 +196,6 @@ func tfSpan(tf Timeframe) float64 {
 		return tf.Span
 	}
 	return 0
-}
-
-func live(ls []*annLink) []*annLink {
-	var out []*annLink
-	for _, l := range ls {
-		if l.a != "" {
-			out = append(out, l)
-		}
-	}
-	return out
-}
-
-func other(l *annLink, id graph.NodeID) graph.NodeID {
-	if l.a == id {
-		return l.b
-	}
-	return l.a
-}
-
-// availFrom returns the availability for traffic leaving `from`.
-func (l *annLink) availFrom(from graph.NodeID) stats.Stat {
-	if l.a == from {
-		return l.avail[0]
-	}
-	return l.avail[1]
-}
-
-// mergeAnn merges two annotated links sharing the pass-through node mid
-// into one logical link between their far endpoints. An internal
-// bandwidth limit on mid folds into the capacity and availability.
-func mergeAnn(l1, l2 *annLink, mid graph.NodeID, internalBW float64) *annLink {
-	a := other(l1, mid)
-	b := other(l2, mid)
-	out := &annLink{a: a, b: b}
-	out.capacity = stats.MinStat(l1.capacity, l2.capacity)
-	out.latency = stats.AddStat(l1.latency, l2.latency)
-	// a -> b traverses l1 from a, then l2 from mid.
-	out.avail[0] = stats.MinStat(l1.availFrom(a), l2.availFrom(mid))
-	// b -> a traverses l2 from b, then l1 from mid.
-	out.avail[1] = stats.MinStat(l2.availFrom(b), l1.availFrom(mid))
-	if internalBW > 0 {
-		cap := stats.Exact(internalBW)
-		out.capacity = stats.MinStat(out.capacity, cap)
-		out.avail[0] = stats.MinStat(out.avail[0], cap)
-		out.avail[1] = stats.MinStat(out.avail[1], cap)
-	}
-	return out
 }
 
 // findLink locates the original physical link by endpoints and capacity.

@@ -15,7 +15,6 @@ package graph
 
 import (
 	"fmt"
-	"sort"
 )
 
 // NodeID names a node. IDs follow the paper's testbed convention
@@ -296,10 +295,14 @@ func (g *Graph) NumLinks() int {
 }
 
 // LinksAt returns the live links incident to a node, in ID order.
+//
+// The adjacency lists are maintained in ascending link-ID order by
+// construction (AddLink assigns increasing IDs and appends; removals
+// and Clone preserve relative order), so no sort is needed. The copy
+// stays: callers iterate the result while mutating the graph (chain
+// collapsing removes links mid-walk), which edits adj in place.
 func (g *Graph) LinksAt(id NodeID) []*Link {
-	ls := append([]*Link(nil), g.adj[id]...)
-	sort.Slice(ls, func(i, j int) bool { return ls[i].ID < ls[j].ID })
-	return ls
+	return append([]*Link(nil), g.adj[id]...)
 }
 
 // Degree returns the number of live links at a node.

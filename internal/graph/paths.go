@@ -161,7 +161,10 @@ func (g *Graph) ShortestPathTree(src NodeID, w Weight) (*PathTree, error) {
 		if u != src && g.nodes[u].Kind == Compute {
 			continue
 		}
-		for _, l := range g.LinksAt(u) {
+		// Iterate adjacency directly (already ID-ordered): these loops
+		// don't mutate the graph, so LinksAt's defensive copy would only
+		// add an allocation per visited node.
+		for _, l := range g.adj[u] {
 			wl := w(l)
 			if math.IsInf(wl, 1) {
 				continue
@@ -252,7 +255,7 @@ func (g *Graph) WidestPath(src, dst NodeID, capOf func(*Link) float64) (*Path, b
 		if u != src && g.nodes[u].Kind == Compute {
 			continue
 		}
-		for _, l := range g.LinksAt(u) {
+		for _, l := range g.adj[u] { // no mutation: safe to skip LinksAt's copy
 			c := capOf(l)
 			if c <= 0 {
 				continue
@@ -293,7 +296,7 @@ func (g *Graph) Reachable(src NodeID) map[NodeID]bool {
 		if u != src && g.nodes[u].Kind == Compute {
 			continue
 		}
-		for _, l := range g.LinksAt(u) {
+		for _, l := range g.adj[u] { // no mutation: safe to skip LinksAt's copy
 			v, _ := l.Other(u)
 			if !out[v] {
 				out[v] = true

@@ -76,8 +76,10 @@ func SolveClasses(cp *ClassedProblem) *ClassedResult {
 		res.FixedSatisfied[i] = res.Fixed[i] >= fixed[i].Cap-eps
 	}
 	// Residual relative to the FULL capacity: the headroom remains for
-	// the later classes.
-	capacity = (&Problem{Capacity: capacity, Demands: fixed}).Residual(res.Fixed)
+	// the later classes. In-place: capacity already holds its own copy of
+	// the full capacities and is not aliased by fixedCap when headroom
+	// shrunk it.
+	capacity = (&Problem{Capacity: capacity, Demands: fixed}).residualInto(capacity, res.Fixed)
 
 	// Phase 2: variable flows. Weight = relative requirement.
 	variable := make([]Demand, len(cp.Variable))
@@ -90,7 +92,7 @@ func SolveClasses(cp *ClassedProblem) *ClassedResult {
 	}
 	p2 := &Problem{Capacity: capacity, Demands: variable}
 	res.Variable = p2.Solve()
-	capacity = p2.Residual(res.Variable)
+	capacity = p2.residualInto(capacity, res.Variable)
 
 	// Phase 3: independent flows split the leftovers equally.
 	independent := make([]Demand, len(cp.Independent))

@@ -19,6 +19,7 @@ package maxmin
 import (
 	"fmt"
 	"math"
+	"sync"
 )
 
 // ResourceID indexes a capacity in a Problem.
@@ -52,6 +53,44 @@ type Problem struct {
 // is far below any meaningful quantity.
 const eps = 1e-6
 
+// solveScratch pools Solve's working state. The solver runs on two hot
+// paths — every simulator bandwidth recomputation and every
+// remos_flow_info phase — and all of this state is dead when Solve
+// returns; only the allocation slice escapes.
+type solveScratch struct {
+	active   []bool
+	usage    [][]int
+	residual []float64
+	wsum     []float64
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(solveScratch) }}
+
+func (sc *solveScratch) boolsN(n int) []bool {
+	if cap(sc.active) < n {
+		sc.active = make([]bool, n)
+	}
+	return sc.active[:n]
+}
+
+func (sc *solveScratch) usageN(n int) [][]int {
+	if cap(sc.usage) < n {
+		sc.usage = make([][]int, n)
+	}
+	u := sc.usage[:n]
+	for i := range u {
+		u[i] = u[i][:0] // keep grown inner slices, drop stale contents
+	}
+	return u
+}
+
+func (sc *solveScratch) floatsN(buf *[]float64, n int) []float64 {
+	if cap(*buf) < n {
+		*buf = make([]float64, n)
+	}
+	return (*buf)[:n]
+}
+
 // Solve computes the weighted max-min fair allocation by progressive
 // filling: all active flows' normalized rates rise together; a flow
 // freezes when it hits its cap or when one of its resources saturates.
@@ -68,10 +107,14 @@ func (p *Problem) Solve() []float64 {
 		}
 	}
 	n := len(p.Demands)
-	alloc := make([]float64, n)
-	active := make([]bool, n)
+	alloc := make([]float64, n) // escapes: always freshly allocated
+	sc := scratchPool.Get().(*solveScratch)
+	defer scratchPool.Put(sc)
+	// No zeroing needed for active: the demand loop below writes every
+	// index before anything reads it.
+	active := sc.boolsN(n)
 	// usage[r] lists demand indices using resource r (with multiplicity).
-	usage := make([][]int, len(p.Capacity))
+	usage := sc.usageN(len(p.Capacity))
 	for i, d := range p.Demands {
 		if d.Weight <= 0 || math.IsNaN(d.Weight) {
 			panic(fmt.Sprintf("maxmin: non-positive weight %v on demand %d", d.Weight, i))
@@ -87,7 +130,8 @@ func (p *Problem) Solve() []float64 {
 			usage[r] = append(usage[r], i)
 		}
 	}
-	residual := append([]float64(nil), p.Capacity...)
+	residual := sc.floatsN(&sc.residual, len(p.Capacity))
+	copy(residual, p.Capacity)
 
 	// Handle resource-free demands immediately.
 	for i, d := range p.Demands {
@@ -110,9 +154,12 @@ func (p *Problem) Solve() []float64 {
 			remaining++
 		}
 	}
+	wsums := sc.floatsN(&sc.wsum, len(p.Capacity))
 	for remaining > 0 {
 		// Find the largest uniform normalized increase t such that no
-		// resource oversaturates and no cap is exceeded.
+		// resource oversaturates and no cap is exceeded. The per-resource
+		// active weight sums are kept for the apply step below — the
+		// active set does not change in between.
 		t := math.Inf(1)
 		for r, users := range usage {
 			var wsum float64
@@ -121,6 +168,7 @@ func (p *Problem) Solve() []float64 {
 					wsum += p.Demands[i].Weight
 				}
 			}
+			wsums[r] = wsum
 			if wsum <= 0 {
 				continue
 			}
@@ -160,14 +208,8 @@ func (p *Problem) Solve() []float64 {
 				alloc[i] += t * d.Weight
 			}
 		}
-		for r, users := range usage {
-			var wsum float64
-			for _, i := range users {
-				if active[i] {
-					wsum += p.Demands[i].Weight
-				}
-			}
-			residual[r] -= t * wsum
+		for r := range usage {
+			residual[r] -= t * wsums[r]
 			if residual[r] < 0 {
 				residual[r] = 0
 			}
@@ -212,20 +254,27 @@ func (p *Problem) Solve() []float64 {
 // Residual returns the capacity left on each resource after the given
 // allocation (never negative).
 func (p *Problem) Residual(alloc []float64) []float64 {
-	res := append([]float64(nil), p.Capacity...)
+	return p.residualInto(append([]float64(nil), p.Capacity...), alloc)
+}
+
+// residualInto subtracts the allocation from dst in place and returns
+// it. dst must hold the resource capacities on entry — Residual passes a
+// fresh copy; SolveClasses reuses its working capacity slice across
+// phases to avoid the copies.
+func (p *Problem) residualInto(dst []float64, alloc []float64) []float64 {
 	for i, d := range p.Demands {
 		a := alloc[i]
 		if math.IsInf(a, 1) {
 			continue
 		}
 		for _, r := range d.Resources {
-			res[r] -= a
-			if res[r] < 0 {
-				res[r] = 0
+			dst[r] -= a
+			if dst[r] < 0 {
+				dst[r] = 0
 			}
 		}
 	}
-	return res
+	return dst
 }
 
 // Feasible checks that an allocation respects all capacities and caps
