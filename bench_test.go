@@ -16,7 +16,9 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
+	"repro/internal/collector"
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/fx"
@@ -383,6 +385,77 @@ func BenchmarkModelerFlowQueryParallel(b *testing.B) {
 				_, err := e.Mod.QueryFlowInfoCtx(ctx, fixed, variable, ind, core.TFHistory(10))
 				return err
 			})
+		})
+	}
+}
+
+// BenchmarkWatchFanout measures the push path end to end: one source
+// epoch (a full poll round) fanned out to 1/16/128 TCP watch
+// subscribers, each on its own multiplexed connection. ns/op is the
+// wall cost of one epoch — poll, change evaluation, and every
+// subscriber observing the new version; the spread across sub-counts
+// is the fan-out overhead proper.
+func BenchmarkWatchFanout(b *testing.B) {
+	for _, subs := range []int{1, 16, 128} {
+		b.Run(fmt.Sprintf("subs=%d", subs), func(b *testing.B) {
+			e := experiments.NewEnv()
+			e.Warmup()
+			srv, err := collector.ServeConfig(e.Col, "127.0.0.1:0", collector.ServerConfig{
+				MaxConns: 2 * subs,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer srv.Close()
+
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			seen := make([]atomic.Uint64, subs)
+			clients := make([]*collector.Client, subs)
+			for i := 0; i < subs; i++ {
+				cl, err := collector.Dial(srv.Addr())
+				if err != nil {
+					b.Fatal(err)
+				}
+				clients[i] = cl
+				h, err := cl.Watch(ctx, collector.WatchRequest{Kind: collector.WatchVersion})
+				if err != nil {
+					b.Fatal(err)
+				}
+				go func(i int, h *collector.WatchHandle) {
+					for u := range h.C {
+						if u.Epoch > seen[i].Load() {
+							seen[i].Store(u.Epoch)
+						}
+					}
+				}(i, h)
+			}
+			defer func() {
+				for _, cl := range clients {
+					cl.Close()
+				}
+			}()
+
+			waitAll := func(target uint64) {
+				for i := range seen {
+					for seen[i].Load() < target {
+						time.Sleep(20 * time.Microsecond)
+					}
+				}
+			}
+			// Prime: one epoch through the whole fan-out before timing,
+			// so subscription setup is not measured.
+			e.Clk.Advance(2)
+			if v, ok := e.Col.DataVersion(); ok {
+				waitAll(v)
+			}
+			b.ResetTimer()
+			b.ReportAllocs()
+			for n := 0; n < b.N; n++ {
+				e.Clk.Advance(2) // one poll period: exactly one version bump
+				target, _ := e.Col.DataVersion()
+				waitAll(target)
+			}
 		})
 	}
 }

@@ -63,6 +63,9 @@ func main() {
 	maxInflight := flag.Int("max-inflight", 64, "admission control: max concurrent work units across all connections (0 disables; topo=4, samples=2, other=1, ping free)")
 	queueDepth := flag.Int("queue-depth", 128, "admission control: max requests waiting for work units; beyond it requests are shed with a typed retry-after refusal")
 	defaultBudget := flag.Duration("default-budget", 2*time.Second, "per-request time budget applied when the client declares none (0 = unbudgeted)")
+	watchQueueDepth := flag.Int("watch-queue-depth", 0, "per-subscription bounded delta queue depth; overflow drops oldest and marks the next delivery Overflowed (0 = default 16)")
+	watchWriteDeadline := flag.Duration("watch-write-deadline", 0, "per-delta write budget before a stalled subscriber is evicted (0 = default 2s)")
+	watchMaxSubs := flag.Int("watch-max-subs", 0, "max concurrent watch subscriptions; extras get a typed refusal (0 = default 1024, negative = unlimited)")
 	var blasts []blastSpec
 	flag.Func("blast", "src,dst,mbps — non-responsive traffic (repeatable)", func(s string) error {
 		parts := strings.Split(s, ",")
@@ -210,11 +213,14 @@ func main() {
 	mu.Unlock()
 
 	srv, err := collector.ServeConfig(col, *listen, collector.ServerConfig{
-		IdleTimeout:   *idleTimeout,
-		MaxConns:      *maxConns,
-		MaxInflight:   *maxInflight,
-		QueueDepth:    *queueDepth,
-		DefaultBudget: *defaultBudget,
+		IdleTimeout:        *idleTimeout,
+		MaxConns:           *maxConns,
+		MaxInflight:        *maxInflight,
+		QueueDepth:         *queueDepth,
+		DefaultBudget:      *defaultBudget,
+		WatchQueueDepth:    *watchQueueDepth,
+		WatchWriteDeadline: *watchWriteDeadline,
+		WatchMaxSubs:       *watchMaxSubs,
 	})
 	if err != nil {
 		fatal(err)

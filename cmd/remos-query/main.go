@@ -24,17 +24,26 @@
 //
 // The -window flag selects the measurement timeframe in seconds
 // (0 = current, negative = physical capacity).
+//
+// With -watch, the graph, flows and load commands subscribe instead of
+// querying once: each materially changed answer is printed as one JSON
+// line until the stream ends. Exit status 0 on interrupt or a clean
+// server drain, 1 on a transport failure, 3 if the stream had a
+// sequence gap not admitted by an Overflowed or Resync mark.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"strings"
 
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
 	"strconv"
+	"syscall"
 
 	"repro/internal/collector"
 	"repro/remos"
@@ -44,6 +53,8 @@ func main() {
 	addr := flag.String("addr", "127.0.0.1:7070", "collector query-service address")
 	window := flag.Float64("window", 10, "history window seconds (0=current, <0=capacity)")
 	timeout := flag.Duration("timeout", 0, "end-to-end query budget (0 = none); the remaining budget rides to the daemon with every call")
+	watch := flag.Bool("watch", false, "subscribe to the query (graph, flows, load) and stream JSON updates until interrupted")
+	threshold := flag.Float64("threshold", 0, "watch: minimum material change — relative (0..1) for graph/flows, absolute for load — below which updates are suppressed")
 	var collectors []string
 	flag.Func("collector", "replica collector address (repeatable; takes precedence over -addr)", func(s string) error {
 		collectors = append(collectors, s)
@@ -79,6 +90,11 @@ func main() {
 		tf = remos.TFCurrent()
 	} else if *window < 0 {
 		tf = remos.TFCapacity()
+	}
+
+	if *watch {
+		runWatch(ctx, src, mod, args, tf, *threshold)
+		return
 	}
 
 	switch args[0] {
@@ -168,41 +184,7 @@ func main() {
 		if len(args) < 2 {
 			usage()
 		}
-		var fixed, variable, independent []remos.Flow
-		for _, spec := range args[1:] {
-			class, rest, ok := strings.Cut(spec, ":")
-			if !ok {
-				fatalf("bad flow spec %q (want CLASS:SRC,DST[,X])", spec)
-			}
-			parts := strings.Split(rest, ",")
-			if len(parts) < 2 {
-				fatalf("bad flow spec %q", spec)
-			}
-			f := remos.Flow{Src: remos.NodeID(parts[0]), Dst: remos.NodeID(parts[1])}
-			x := 0.0
-			if len(parts) > 2 {
-				v, err := strconv.ParseFloat(parts[2], 64)
-				if err != nil {
-					fatalf("bad number in %q: %v", spec, err)
-				}
-				x = v
-			}
-			switch class {
-			case "fixed":
-				f.Kind = remos.FixedFlow
-				f.Bandwidth = x * 1e6
-				fixed = append(fixed, f)
-			case "var", "variable":
-				f.Kind = remos.VariableFlow
-				f.Bandwidth = x
-				variable = append(variable, f)
-			case "indep", "independent":
-				f.Kind = remos.IndependentFlow
-				independent = append(independent, f)
-			default:
-				fatalf("unknown flow class %q", class)
-			}
-		}
+		fixed, variable, independent := parseFlowSpecs(args[1:])
 		fi, err := mod.QueryFlowInfoCtx(ctx, fixed, variable, independent, tf)
 		if err != nil {
 			fatal(err)
@@ -236,6 +218,230 @@ func main() {
 		fmt.Printf("selected %v (start %s)\n", sel, args[1])
 	default:
 		usage()
+	}
+}
+
+// parseFlowSpecs turns CLASS:SRC,DST[,X] arguments into the three flow
+// classes of a remos_flow_info query.
+func parseFlowSpecs(specs []string) (fixed, variable, independent []remos.Flow) {
+	for _, spec := range specs {
+		class, rest, ok := strings.Cut(spec, ":")
+		if !ok {
+			fatalf("bad flow spec %q (want CLASS:SRC,DST[,X])", spec)
+		}
+		parts := strings.Split(rest, ",")
+		if len(parts) < 2 {
+			fatalf("bad flow spec %q", spec)
+		}
+		f := remos.Flow{Src: remos.NodeID(parts[0]), Dst: remos.NodeID(parts[1])}
+		x := 0.0
+		if len(parts) > 2 {
+			v, err := strconv.ParseFloat(parts[2], 64)
+			if err != nil {
+				fatalf("bad number in %q: %v", spec, err)
+			}
+			x = v
+		}
+		switch class {
+		case "fixed":
+			f.Kind = remos.FixedFlow
+			f.Bandwidth = x * 1e6
+			fixed = append(fixed, f)
+		case "var", "variable":
+			f.Kind = remos.VariableFlow
+			f.Bandwidth = x
+			variable = append(variable, f)
+		case "indep", "independent":
+			f.Kind = remos.IndependentFlow
+			independent = append(independent, f)
+		default:
+			fatalf("unknown flow class %q", class)
+		}
+	}
+	return fixed, variable, independent
+}
+
+// watchRecord is one LDJSON line of -watch output. Omitted fields were
+// false/empty; numeric bandwidths are Mbps.
+type watchRecord struct {
+	Kind        string      `json:"kind"`
+	Seq         uint64      `json:"seq"`
+	Epoch       uint64      `json:"epoch"`
+	Overflowed  bool        `json:"overflowed,omitempty"`
+	Resync      bool        `json:"resync,omitempty"`
+	TopoChanged bool        `json:"topoChanged,omitempty"`
+	Final       bool        `json:"final,omitempty"`
+	Err         string      `json:"err,omitempty"`
+	Nodes       int         `json:"nodes,omitempty"`
+	Links       []watchLink `json:"links,omitempty"`
+	Flows       []watchFlow `json:"flows,omitempty"`
+	Value       *float64    `json:"value,omitempty"`
+}
+
+type watchLink struct {
+	A         string     `json:"a"`
+	B         string     `json:"b"`
+	CapMbps   float64    `json:"capMbps"`
+	AvailMbps [2]float64 `json:"availMbps"`
+	LatencyMs float64    `json:"latencyMs"`
+}
+
+type watchFlow struct {
+	Class     string  `json:"class"`
+	Src       string  `json:"src"`
+	Dst       string  `json:"dst"`
+	Mbps      float64 `json:"mbps"`
+	Satisfied bool    `json:"satisfied"`
+}
+
+// gapTracker flags a delivered-Seq gap the stream did not admit to.
+// With threshold 0 every generated update is material, so a gap in the
+// delivered sequence without an Overflowed or Resync mark means updates
+// were silently lost; with a positive threshold gaps are expected
+// (immaterial answers are gated out) and never flagged.
+type gapTracker struct {
+	threshold float64
+	last      uint64
+	seen      bool
+	gapped    bool
+}
+
+func (g *gapTracker) observe(seq uint64, overflowed, resync, final bool) {
+	if final || seq == 0 {
+		return // Final updates carry Seq 0
+	}
+	if resync {
+		// New replica, new sequence space: restart the tracker.
+		g.last, g.seen = seq, true
+		return
+	}
+	if g.seen && g.threshold == 0 && seq != g.last+1 && !overflowed {
+		g.gapped = true
+	}
+	g.last, g.seen = seq, true
+}
+
+// exit code after the stream closed: 0 clean, 1 transport error,
+// 3 unadmitted sequence gap.
+func (g *gapTracker) exit(streamErr error) {
+	if streamErr != nil {
+		fmt.Fprintln(os.Stderr, streamErr)
+		os.Exit(1)
+	}
+	if g.gapped {
+		fmt.Fprintln(os.Stderr, "remos-query: watch stream had a sequence gap without an overflow or resync mark")
+		os.Exit(3)
+	}
+	os.Exit(0)
+}
+
+// runWatch implements -watch: subscribe to the command's query and
+// stream one JSON line per delivered update until the server drains the
+// subscription, the stream fails, or the user interrupts.
+func runWatch(ctx context.Context, src remos.Source, mod *remos.Modeler, args []string, tf remos.Timeframe, threshold float64) {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		cancel() // clean cancel: channels close with Err() == nil
+	}()
+
+	enc := json.NewEncoder(os.Stdout)
+	gaps := &gapTracker{threshold: threshold}
+
+	switch args[0] {
+	case "graph":
+		var nodes []remos.NodeID
+		for _, a := range args[1:] {
+			nodes = append(nodes, remos.NodeID(a))
+		}
+		w, err := mod.WatchGraph(ctx, nodes, tf, remos.WatchOptions{Threshold: threshold})
+		if err != nil {
+			fatal(err)
+		}
+		for u := range w.C {
+			rec := watchRecord{Kind: "graph", Seq: u.Seq, Epoch: u.Epoch,
+				Overflowed: u.Overflowed, Resync: u.Resync,
+				TopoChanged: u.TopoChanged, Final: u.Final}
+			if u.Err != nil {
+				rec.Err = u.Err.Error()
+			}
+			if u.Graph != nil {
+				rec.Nodes = len(u.Graph.Nodes)
+				for _, l := range u.Graph.Links {
+					rec.Links = append(rec.Links, watchLink{
+						A: string(l.A), B: string(l.B),
+						CapMbps:   l.Capacity.Median / 1e6,
+						AvailMbps: [2]float64{l.Avail[0].Median / 1e6, l.Avail[1].Median / 1e6},
+						LatencyMs: l.Latency.Median * 1e3,
+					})
+				}
+			}
+			if err := enc.Encode(rec); err != nil {
+				fatal(err)
+			}
+			gaps.observe(u.Seq, u.Overflowed, u.Resync, u.Final)
+		}
+		gaps.exit(w.Err())
+	case "flows":
+		if len(args) < 2 {
+			usage()
+		}
+		fixed, variable, independent := parseFlowSpecs(args[1:])
+		w, err := mod.WatchFlowInfo(ctx, fixed, variable, independent, tf, remos.WatchOptions{Threshold: threshold})
+		if err != nil {
+			fatal(err)
+		}
+		for u := range w.C {
+			rec := watchRecord{Kind: "flows", Seq: u.Seq, Epoch: u.Epoch,
+				Overflowed: u.Overflowed, Resync: u.Resync, Final: u.Final}
+			if u.Err != nil {
+				rec.Err = u.Err.Error()
+			}
+			if u.Info != nil {
+				for _, r := range u.Info.All() {
+					rec.Flows = append(rec.Flows, watchFlow{
+						Class: r.Flow.Kind.String(), Src: string(r.Flow.Src), Dst: string(r.Flow.Dst),
+						Mbps: r.Bandwidth.Median / 1e6, Satisfied: r.Satisfied,
+					})
+				}
+			}
+			if err := enc.Encode(rec); err != nil {
+				fatal(err)
+			}
+			gaps.observe(u.Seq, u.Overflowed, u.Resync, u.Final)
+		}
+		gaps.exit(w.Err())
+	case "load":
+		need(args, 2)
+		ws, ok := src.(remos.WatchSource)
+		if !ok {
+			fatalf("source %T does not support watch subscriptions", src)
+		}
+		h, err := ws.Watch(ctx, remos.WatchRequest{
+			Kind: remos.WatchLoad, Node: args[1], Span: tf.Span, Threshold: threshold,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		for u := range h.C {
+			rec := watchRecord{Kind: "load", Seq: u.Seq, Epoch: u.Epoch,
+				Overflowed: u.Overflowed, Resync: u.Resync, Final: u.Final, Err: u.Err}
+			if u.Err == "" && !u.Final {
+				v := u.Stat.Median
+				rec.Value = &v
+			}
+			if err := enc.Encode(rec); err != nil {
+				fatal(err)
+			}
+			gaps.observe(u.Seq, u.Overflowed, u.Resync, u.Final)
+		}
+		gaps.exit(h.Err())
+	default:
+		fmt.Fprintln(os.Stderr, "remos-query: -watch supports the graph, flows and load commands")
+		os.Exit(2)
 	}
 }
 

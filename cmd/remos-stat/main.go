@@ -31,6 +31,9 @@ func main() {
 	spans := flag.Int("spans", 10, "recent spans to show (0 hides the span table)")
 	flag.Parse()
 
+	// One client for the whole run: every refresh tick is a stream on
+	// the same multiplexed connection, not a fresh dial. The client
+	// reconnects by itself if the daemon restarts between ticks.
 	cl, err := collector.Dial(*addr)
 	if err != nil {
 		fatal(err)
@@ -46,7 +49,15 @@ func main() {
 	for {
 		snap, err := fetch()
 		if err != nil {
-			fatal(err)
+			if *watch <= 0 {
+				fatal(err)
+			}
+			// Watch mode rides out transient failures (daemon
+			// restarting, briefly saturated): report and keep ticking.
+			fmt.Print("\x1b[2J\x1b[H")
+			fmt.Printf("remos-stat %s at %s: %v\n", *addr, time.Now().Format("15:04:05"), err)
+			time.Sleep(*watch)
+			continue
 		}
 		if *watch > 0 {
 			fmt.Print("\x1b[2J\x1b[H") // clear screen, home cursor

@@ -204,6 +204,7 @@ func (c *Collector) RestoreCheckpoint(r io.Reader) (CheckpointInfo, error) {
 	c.discoveries = dump.Discoveries
 	c.mu.Unlock()
 	c.dataVersion.Add(1)
+	c.notifyVersion()
 	c.tel.Counter("collector.checkpoint.restores").Inc()
 
 	return CheckpointInfo{

@@ -199,6 +199,12 @@ type Collector struct {
 	// VersionedSource. Atomic so readers never touch c.mu.
 	dataVersion atomic.Uint64
 
+	// versionSubs holds edge-triggered version-change listeners
+	// (VersionNotifier, watch.go); its own lock so notifyVersion never
+	// contends with query-path readers on c.mu.
+	versionMu   sync.Mutex
+	versionSubs map[chan struct{}]struct{}
+
 	// Hot-path instruments, resolved once at construction so PollOnce
 	// pays pointer dereferences, not registry lookups, per round.
 	telPolls      *telemetry.Counter
@@ -504,6 +510,7 @@ func (c *Collector) PollOnce() {
 	// decays) are clock-relative, and the poll tick is the granularity at
 	// which memoized answers may drift from a recomputation.
 	c.dataVersion.Add(1)
+	c.notifyVersion()
 }
 
 // DataVersion implements VersionedSource.

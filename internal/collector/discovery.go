@@ -245,6 +245,7 @@ func (c *Collector) Discover() (*Topology, error) {
 	c.discoveries++
 	c.mu.Unlock()
 	c.dataVersion.Add(1)
+	c.notifyVersion()
 	if firstErr != nil {
 		// The topology assembled, but at least one agent went unheard:
 		// partial-topology serving is in effect.

@@ -416,3 +416,146 @@ func (f *FailoverSource) Health() map[graph.NodeID]AgentHealth {
 func (f *FailoverSource) TelemetrySnapshot(ctx context.Context) (*telemetry.Snapshot, error) {
 	return callTelemetry(ctx, f)
 }
+
+// Watch implements WatchSource with transparent re-subscribe: the
+// subscription is placed on the preferred eligible replica, and when
+// that replica's stream dies with a transport error the proxy
+// re-subscribes on the next one and marks the first update from the
+// new stream Resync — epochs are per-replica and not comparable, so
+// the consumer must treat that update as a fresh baseline rather than
+// a delta. A clean Final (the serving replica drained its
+// subscriptions on shutdown) is forwarded and ends the watch.
+func (f *FailoverSource) Watch(ctx context.Context, wr WatchRequest) (*WatchHandle, error) {
+	if err := ctxError(ctx); err != nil {
+		return nil, err
+	}
+	if !validWatchKind(wr.Kind) {
+		return nil, fmt.Errorf("collector: unknown watch kind %q", wr.Kind)
+	}
+	inner, err := f.subscribeAny(ctx, wr)
+	if err != nil {
+		return nil, err
+	}
+	h := newWatchHandle(0)
+	stop := context.AfterFunc(ctx, h.Cancel)
+	go f.proxyWatch(ctx, wr, h, inner, stop)
+	return h, nil
+}
+
+// subscribeAny routes one subscribe across the replica set with the
+// same two-pass preference order as call(): eligible replicas first,
+// then anything not yet tried. Overload refusals (busy, shed, at the
+// subscription cap) prove a replica alive and just route past it.
+func (f *FailoverSource) subscribeAny(ctx context.Context, wr WatchRequest) (*WatchHandle, error) {
+	now := time.Now()
+	tried := make([]bool, len(f.replicas))
+	var firstErr error
+	for pass := 0; pass < 2; pass++ {
+		for i, r := range f.replicas {
+			if tried[i] {
+				continue
+			}
+			if pass == 0 && !f.eligible(i, now) {
+				continue
+			}
+			if cerr := ctxCallError(ctx); cerr != nil {
+				if firstErr == nil {
+					firstErr = cerr
+				}
+				return nil, fmt.Errorf("collector: failover aborted after %v: %w", firstErr, cerr)
+			}
+			tried[i] = true
+			f.tel.Counter("failover.attempts").Inc()
+			h, err := r.client.Watch(ctx, wr)
+			if err == nil {
+				f.recordSuccess(i)
+				return h, nil
+			}
+			if errors.Is(err, ErrServerBusy) || errors.Is(err, ErrLoadShed) ||
+				errors.Is(err, ErrTooManySubscriptions) {
+				f.recordRefusal(i, err)
+			} else {
+				f.recordFailure(i, err)
+			}
+			if firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	f.tel.Counter("failover.exhausted").Inc()
+	if cerr := ctxCallError(ctx); cerr != nil {
+		return nil, fmt.Errorf("collector: failover exhausted (%v): %w", firstErr, cerr)
+	}
+	return nil, fmt.Errorf("collector: all %d replicas failed: %w", len(f.replicas), firstErr)
+}
+
+// proxyWatch forwards updates from replica streams onto h until a
+// clean Final, a Cancel, or an unrecoverable subscribe failure. Each
+// transport loss triggers a re-subscribe sweep; while every replica is
+// down it keeps retrying on the backoff base, because a watch is a
+// standing interest — "the collectors are all restarting" is exactly
+// when the subscriber most wants the stream back.
+func (f *FailoverSource) proxyWatch(ctx context.Context, wr WatchRequest, h *WatchHandle, inner *WatchHandle, stop func() bool) {
+	defer stop()
+	defer close(h.out)
+	resync := false
+	for {
+		for inner != nil {
+			select {
+			case u, ok := <-inner.C:
+				if !ok {
+					if err := inner.Err(); err == nil {
+						// Clean end without Final: the inner handle was
+						// cancelled (our ctx ended) — nothing to resync.
+						return
+					}
+					inner = nil // transport loss: fall through to re-subscribe
+					continue
+				}
+				if resync {
+					u.Resync = true
+					resync = false
+					f.tel.Counter("failover.watch.resyncs").Inc()
+				}
+				select {
+				case h.out <- u:
+				case <-h.cancelCh:
+					inner.Cancel()
+					return
+				}
+				if u.Final {
+					inner.Cancel()
+					return
+				}
+			case <-h.cancelCh:
+				inner.Cancel()
+				return
+			}
+		}
+		for inner == nil {
+			select {
+			case <-h.cancelCh:
+				return
+			default:
+			}
+			nh, err := f.subscribeAny(ctx, wr)
+			if err == nil {
+				inner = nh
+				resync = true
+				f.tel.Counter("failover.watch.resubscribes").Inc()
+				break
+			}
+			if cerr := ctxCallError(ctx); cerr != nil {
+				h.setErr(cerr)
+				return
+			}
+			t := time.NewTimer(f.cfg.BackoffBase)
+			select {
+			case <-t.C:
+			case <-h.cancelCh:
+				t.Stop()
+				return
+			}
+		}
+	}
+}

@@ -52,3 +52,45 @@ func FuzzReadFrame(f *testing.F) {
 		}
 	})
 }
+
+// FuzzReadMuxFrame is FuzzReadFrame for the multiplexed envelope: the
+// shape both sides actually read since framing moved to stream IDs. A
+// hostile envelope — wild stream IDs, unknown kinds, nested garbage in
+// the request/response/update arms — must error or decode to something
+// re-encodable, never panic.
+func FuzzReadMuxFrame(f *testing.F) {
+	add := func(v any) {
+		var buf bytes.Buffer
+		if err := writeFrame(&buf, v, 0); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
+	add(&muxFrame{Stream: 1, Kind: mfRequest,
+		Req: &request{Op: "util", Key: ChannelKey{Global: 3}, Span: 5, BudgetMS: 12.5}})
+	add(&muxFrame{Stream: 2, Kind: mfRequest,
+		Req: &request{Op: "watch", Watch: &WatchRequest{Kind: WatchUtil, Key: ChannelKey{Global: 1}, Span: 5, Threshold: 1e6}}})
+	add(&muxFrame{Stream: 2, Kind: mfResponse,
+		Resp: &response{Err: "collector: too many subscriptions", Code: codeWatchLimit}})
+	add(&muxFrame{Stream: 2, Kind: mfUpdate,
+		Update: &WatchUpdate{Seq: 7, Epoch: 41, Overflowed: true, Stat: stats.Exact(42e6)}})
+	add(&muxFrame{Stream: 9, Kind: mfUpdate, Update: &WatchUpdate{Final: true}})
+	add(&muxFrame{Stream: 2, Kind: mfCancel})
+
+	hostile := make([]byte, 4)
+	binary.BigEndian.PutUint32(hostile, 0xFFFF_FFFF)
+	f.Add(hostile)
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add([]byte{0, 0, 0, 5, 1, 2}) // truncated payload
+
+	const maxFrame = 1 << 16
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var mf muxFrame
+		if err := readFrame(bytes.NewReader(data), &mf, maxFrame); err == nil {
+			var out bytes.Buffer
+			if err := writeFrame(&out, &mf, 0); err != nil {
+				t.Fatalf("accepted mux frame does not re-encode: %v (%+v)", err, mf)
+			}
+		}
+	})
+}

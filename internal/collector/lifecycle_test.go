@@ -139,14 +139,19 @@ func TestServerEnforcesBudgetHint(t *testing.T) {
 	}
 	defer conn.Close()
 	conn.SetDeadline(time.Now().Add(10 * time.Second))
-	if err := writeFrame(conn, &request{Op: "util", Key: ChannelKey{Global: 1}, BudgetMS: 40}, 0); err != nil {
+	if err := writeFrame(conn, &muxFrame{Stream: 1, Kind: mfRequest,
+		Req: &request{Op: "util", Key: ChannelKey{Global: 1}, BudgetMS: 40}}, 0); err != nil {
 		t.Fatal(err)
 	}
-	var resp response
+	var f muxFrame
 	start := time.Now()
-	if err := readFrame(conn, &resp, 0); err != nil {
+	if err := readFrame(conn, &f, 0); err != nil {
 		t.Fatal(err)
 	}
+	if f.Stream != 1 || f.Kind != mfResponse || f.Resp == nil {
+		t.Fatalf("unexpected frame: stream %d kind %d", f.Stream, f.Kind)
+	}
+	resp := *f.Resp
 	if resp.Code != codeDeadline {
 		t.Fatalf("saturated server answered code %d (%q), want codeDeadline", resp.Code, resp.Err)
 	}

@@ -1,0 +1,52 @@
+package collector
+
+// Stream-multiplexed framing for the TCP query protocol. The original
+// protocol was strict lockstep: one request frame, one response frame,
+// one connection per outstanding call. Every frame is now a muxFrame
+// envelope carrying a client-chosen stream ID, which buys two things on
+// the same single connection:
+//
+//   - pipelining: a client may have any number of ordinary calls in
+//     flight at once; the server answers each on its own stream in
+//     whatever order the handlers finish, and
+//   - long-lived subscription streams (the "watch" op, watch.go): a
+//     stream that stays open after its subscribe ack and carries
+//     server-pushed WatchUpdate frames until cancelled, evicted, or
+//     drained with a terminal Final update.
+//
+// The envelope rides on the existing length-prefixed independent-gob
+// frames (frame.go), so the bounded-allocation and abort-mid-frame
+// properties carry over unchanged. Stream IDs are allocated by the
+// client, monotonically per connection; the server only ever echoes
+// them back.
+
+// muxFrame kinds. Exactly one of Req/Resp/Update is set, matching Kind.
+const (
+	mfRequest  = 1 // client -> server: open a stream with one request
+	mfResponse = 2 // server -> client: the stream's (single) response
+	mfUpdate   = 3 // server -> client: one watch delta on a live stream
+	mfCancel   = 4 // client -> server: tear down a watch stream
+)
+
+// muxFrame is the wire envelope: every frame on a connection is one of
+// these. Unset pointer fields cost nothing on the wire (gob omits
+// them), so an ordinary request frame is only a few bytes larger than
+// the pre-mux protocol's.
+type muxFrame struct {
+	Stream uint64
+	Kind   int
+	Req    *request
+	Resp   *response
+	Update *WatchUpdate
+}
+
+// init warms gob's engines for the envelope shapes the first real
+// connection will see (request/response warming lives in service.go).
+func init() {
+	warmGob(
+		&muxFrame{Stream: 1, Kind: mfRequest, Req: &request{Op: "ping"}},
+		&muxFrame{Stream: 1, Kind: mfResponse, Resp: &response{Code: 1}},
+		&muxFrame{Stream: 1, Kind: mfUpdate, Update: &WatchUpdate{Seq: 1, Epoch: 1}},
+		&muxFrame{Stream: 1, Kind: mfCancel},
+	)
+}

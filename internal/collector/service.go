@@ -20,11 +20,15 @@ import (
 // service exists for daemon mode and is covered by real-socket
 // integration tests.
 //
-// Wire format: length-prefixed gob frames (frame.go) carrying one
-// request/response pair per round trip. Each request may carry a
-// deadline-budget hint (BudgetMS); the server enforces it — a request
-// whose budget expires in the admission queue or before compute starts
-// is answered with a typed deadline refusal instead of a dead answer.
+// Wire format: length-prefixed gob frames (frame.go), each carrying a
+// stream-multiplexed envelope (mux.go). A connection multiplexes any
+// number of concurrent request/response streams — the client pipelines
+// ordinary queries and the server answers each as its handler finishes
+// — plus long-lived watch subscription streams (watch.go). Each
+// request may carry a deadline-budget hint (BudgetMS); the server
+// enforces it — a request whose budget expires in the admission queue
+// or before compute starts is answered with a typed deadline refusal
+// instead of a dead answer.
 
 type wireNode struct {
 	ID           string
@@ -85,10 +89,13 @@ func topoFromWire(w *wireTopo) *Topology {
 }
 
 type request struct {
-	Op   string // "topo", "util", "samples", "load", "age", "health", "stats", "ping"
+	Op   string // "topo", "util", "samples", "load", "age", "health", "stats", "ping", "watch"
 	Key  ChannelKey
 	Span float64
 	Node string
+
+	// Watch carries the subscription parameters for the "watch" op.
+	Watch *WatchRequest
 
 	// BudgetMS is the client's remaining time budget in milliseconds at
 	// send time (0 = none declared; the server applies its
@@ -105,10 +112,11 @@ type request struct {
 // Response refusal codes. CodeOK also covers application-level errors
 // (Err set): the server answered, the answer is authoritative.
 const (
-	codeOK       = 0
-	codeBusy     = 1 // connection cap (ErrServerBusy)
-	codeDeadline = 2 // budget expired before an answer (ErrDeadlineExceeded)
-	codeShed     = 3 // admission queue full (ErrLoadShed + retry-after)
+	codeOK         = 0
+	codeBusy       = 1 // connection cap (ErrServerBusy)
+	codeDeadline   = 2 // budget expired before an answer (ErrDeadlineExceeded)
+	codeShed       = 3 // admission queue full (ErrLoadShed + retry-after)
+	codeWatchLimit = 4 // subscription cap (ErrTooManySubscriptions)
 )
 
 type response struct {
@@ -135,7 +143,8 @@ type response struct {
 // engines lazily, per concrete type it actually sees.
 func init() {
 	warmGob(
-		&request{Op: "ping", Key: ChannelKey{Global: 1}, Span: 1, Node: "n", BudgetMS: 1, TraceID: "t"},
+		&request{Op: "ping", Key: ChannelKey{Global: 1}, Span: 1, Node: "n", BudgetMS: 1, TraceID: "t",
+			Watch: &WatchRequest{Kind: WatchUtil, Key: ChannelKey{Global: 1}, Span: 1, Threshold: 1}},
 		&response{
 			Err:     "e",
 			Stat:    stats.Stat{Min: 1, Q1: 1, Median: 1, Q3: 1, Max: 1, Accuracy: 1, Samples: 1, Age: 1},
@@ -200,11 +209,38 @@ type ServerConfig struct {
 	// connection instead of driving an allocation.
 	MaxFrame int
 
+	// WatchQueueDepth bounds each watch subscriber's pending-delta
+	// queue (default DefaultWatchQueueDepth). On overflow the oldest
+	// delta is dropped and the next delivered one carries an
+	// Overflowed mark.
+	WatchQueueDepth int
+	// WatchWriteDeadline is the per-update write budget for watch
+	// pushes (default DefaultWatchWriteDeadline): a subscriber whose
+	// connection stays blocked past it is evicted instead of wedging
+	// its pusher.
+	WatchWriteDeadline time.Duration
+	// WatchMaxSubs caps live subscriptions across all connections
+	// (default DefaultWatchMaxSubs); registrations beyond it get a
+	// typed ErrTooManySubscriptions refusal. Negative means unlimited.
+	WatchMaxSubs int
+	// WatchPollInterval is the evaluation period used when the Source
+	// offers no version notifications (default
+	// DefaultWatchPollInterval).
+	WatchPollInterval time.Duration
+
 	// Telemetry is the registry the server records into (request spans,
 	// per-op counters, admission metrics). Nil means the server creates
 	// its own; it is always reachable via Server.Telemetry.
 	Telemetry *telemetry.Registry
 }
+
+// Watch subscription defaults; see the matching ServerConfig fields.
+const (
+	DefaultWatchQueueDepth    = 16
+	DefaultWatchWriteDeadline = 2 * time.Second
+	DefaultWatchMaxSubs       = 1024
+	DefaultWatchPollInterval  = 100 * time.Millisecond
+)
 
 func (sc *ServerConfig) fill() {
 	if sc.IdleTimeout == 0 {
@@ -212,6 +248,18 @@ func (sc *ServerConfig) fill() {
 	}
 	if sc.MaxFrame <= 0 {
 		sc.MaxFrame = DefaultMaxFrame
+	}
+	if sc.WatchQueueDepth <= 0 {
+		sc.WatchQueueDepth = DefaultWatchQueueDepth
+	}
+	if sc.WatchWriteDeadline <= 0 {
+		sc.WatchWriteDeadline = DefaultWatchWriteDeadline
+	}
+	if sc.WatchMaxSubs == 0 {
+		sc.WatchMaxSubs = DefaultWatchMaxSubs
+	}
+	if sc.WatchPollInterval <= 0 {
+		sc.WatchPollInterval = DefaultWatchPollInterval
 	}
 }
 
@@ -227,13 +275,81 @@ type Server struct {
 	mu       sync.Mutex
 	conns    map[net.Conn]*connState
 	draining bool
+
+	// Watch subscription registry (watch.go). watchKick wakes the
+	// evaluator when a subscription registers; watchStop ends the
+	// evaluator and every pusher. synthEpoch is the fallback epoch
+	// counter for unversioned sources, owned by watchLoop.
+	watchMu       sync.Mutex
+	watchSubs     map[*subscription]struct{}
+	watchKick     chan struct{}
+	watchStop     chan struct{}
+	watchStopOnce sync.Once
+	synthEpoch    uint64
 }
 
-// connState tracks whether a connection is mid-request (the server has
-// decoded a request and not yet written its response). Draining closes
-// idle connections immediately and lets busy ones finish.
+// connState tracks a connection's outstanding work: in-flight request
+// handlers and live watch subscriptions. Draining closes idle
+// connections (neither) immediately and lets the rest finish.
 type connState struct {
-	busy bool
+	inflight int
+	subs     int
+}
+
+// servedConn is the server's per-connection state: the write lock that
+// serializes response and watch-update frames from concurrent handler
+// and pusher goroutines, and the connection's live subscriptions.
+type servedConn struct {
+	srv  *Server
+	conn net.Conn
+	st   *connState
+
+	wmu sync.Mutex
+
+	mu     sync.Mutex
+	subMap map[uint64]*subscription // stream -> subscription
+}
+
+// writeFrame writes one frame under the connection's write lock with a
+// per-write deadline.
+func (sc *servedConn) writeFrame(f *muxFrame, deadline time.Duration) error {
+	sc.wmu.Lock()
+	defer sc.wmu.Unlock()
+	if deadline > 0 {
+		sc.conn.SetWriteDeadline(time.Now().Add(deadline))
+	}
+	return writeFrame(sc.conn, f, sc.srv.cfg.MaxFrame)
+}
+
+func (sc *servedConn) addSub(sub *subscription) {
+	sc.mu.Lock()
+	if sc.subMap == nil {
+		sc.subMap = make(map[uint64]*subscription)
+	}
+	sc.subMap[sub.stream] = sub
+	sc.mu.Unlock()
+	sc.srv.mu.Lock()
+	sc.st.subs++
+	sc.srv.mu.Unlock()
+}
+
+func (sc *servedConn) removeSub(sub *subscription) {
+	sc.mu.Lock()
+	if sc.subMap[sub.stream] == sub {
+		delete(sc.subMap, sub.stream)
+	}
+	sc.mu.Unlock()
+	sc.srv.mu.Lock()
+	sc.st.subs--
+	sc.srv.mu.Unlock()
+}
+
+// subCount reports the connection's live subscriptions (read-deadline
+// suppression: watch connections are legitimately silent for long).
+func (sc *servedConn) subCount() int {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	return len(sc.subMap)
 }
 
 // Serve starts a query server on addr (e.g. "127.0.0.1:0") with default
@@ -255,14 +371,32 @@ func ServeConfig(src Source, addr string, cfg ServerConfig) (*Server, error) {
 	}
 	s := &Server{
 		src: src, cfg: cfg, ln: ln,
-		gate:  newWorkGate(cfg.MaxInflight, cfg.QueueDepth),
-		tel:   tel,
-		conns: make(map[net.Conn]*connState),
+		gate:      newWorkGate(cfg.MaxInflight, cfg.QueueDepth),
+		tel:       tel,
+		conns:     make(map[net.Conn]*connState),
+		watchSubs: make(map[*subscription]struct{}),
+		watchKick: make(chan struct{}, 1),
+		watchStop: make(chan struct{}),
 	}
 	s.gate.instrument(tel)
-	s.wg.Add(1)
+	s.wg.Add(2)
 	go s.acceptLoop()
+	go s.watchLoop()
 	return s, nil
+}
+
+// stopWatch ends the watch evaluator and unblocks idle pushers.
+func (s *Server) stopWatch() {
+	s.watchStopOnce.Do(func() { close(s.watchStop) })
+}
+
+// kickWatch wakes the evaluator out-of-cycle (a new subscription wants
+// its first update without waiting out a poll interval).
+func (s *Server) kickWatch() {
+	select {
+	case s.watchKick <- struct{}{}:
+	default:
+	}
 }
 
 // Addr returns the bound address.
@@ -298,6 +432,7 @@ func (s *Server) Close() error {
 		c.Close()
 	}
 	s.mu.Unlock()
+	s.stopWatch()
 	s.wg.Wait()
 	return err
 }
@@ -308,16 +443,21 @@ func (s *Server) Close() error {
 // goroutines. A non-positive timeout degenerates to Close.
 func (s *Server) Shutdown(timeout time.Duration) error {
 	err := s.ln.Close()
+	deadline := time.Now().Add(timeout)
 	s.mu.Lock()
 	s.draining = true
 	for c, st := range s.conns {
-		if !st.busy {
+		if st.inflight == 0 && st.subs == 0 {
 			c.Close() // wakes the blocked read; the loop exits
 		}
 	}
 	s.mu.Unlock()
+	// Watch subscriptions drain with a terminal Final frame before
+	// their connections close: subscribers learn the stream ended
+	// cleanly instead of inferring it from a reset.
+	s.drainWatches(deadline)
+	s.stopWatch()
 
-	deadline := time.Now().Add(timeout)
 	for {
 		s.mu.Lock()
 		n := len(s.conns)
@@ -377,50 +517,118 @@ func (s *Server) refuse(conn net.Conn) {
 		conn.SetDeadline(time.Now().Add(s.cfg.IdleTimeout))
 	}
 	// Wait for the first request frame so the refusal pairs with a call
-	// the client is actually waiting on, then answer it.
-	var req request
-	if err := readFrame(conn, &req, s.cfg.MaxFrame); err != nil {
+	// the client is actually waiting on, then answer it on its stream.
+	var f muxFrame
+	if err := readFrame(conn, &f, s.cfg.MaxFrame); err != nil {
 		return
 	}
-	writeFrame(conn, &response{Err: busyMsg, Code: codeBusy}, s.cfg.MaxFrame)
+	writeFrame(conn, &muxFrame{
+		Stream: f.Stream, Kind: mfResponse,
+		Resp: &response{Err: busyMsg, Code: codeBusy},
+	}, s.cfg.MaxFrame)
 }
 
 func (s *Server) serveConn(conn net.Conn) {
-	defer conn.Close()
+	s.mu.Lock()
+	st := s.conns[conn]
+	s.mu.Unlock()
+	if st == nil {
+		conn.Close()
+		return
+	}
+	sc := &servedConn{srv: s, conn: conn, st: st}
+	var inflight sync.WaitGroup
+	defer func() {
+		conn.Close()
+		// Tear down this connection's subscriptions (their pushers exit
+		// on the closed cancel channel or the dead conn), then wait for
+		// in-flight handlers — they still write, harmlessly, to the
+		// closed conn.
+		sc.mu.Lock()
+		subs := make([]*subscription, 0, len(sc.subMap))
+		for _, sub := range sc.subMap {
+			subs = append(subs, sub)
+		}
+		sc.mu.Unlock()
+		for _, sub := range subs {
+			s.cancelSub(sub)
+		}
+		inflight.Wait()
+	}()
 	for {
 		s.mu.Lock()
 		draining := s.draining
-		st := s.conns[conn]
 		s.mu.Unlock()
-		if draining || st == nil {
+		if draining {
 			return
 		}
 		// Idle read deadline: a silent client, or one that sends half a
 		// frame and stalls, loses the connection instead of holding it.
+		// A connection with live subscriptions is exempt — a watcher is
+		// legitimately silent for as long as it keeps reading pushes.
 		if s.cfg.IdleTimeout > 0 {
-			if err := conn.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout)); err != nil {
+			dl := time.Now().Add(s.cfg.IdleTimeout)
+			if sc.subCount() > 0 {
+				dl = time.Time{}
+			}
+			if err := conn.SetReadDeadline(dl); err != nil {
 				return
 			}
 		}
-		var req request
-		if err := readFrame(conn, &req, s.cfg.MaxFrame); err != nil {
+		var f muxFrame
+		if err := readFrame(conn, &f, s.cfg.MaxFrame); err != nil {
 			// Oversized or malformed frames (ErrFrameTooLarge, bad gob)
 			// drop only this connection: the stream cannot be resynced,
 			// and answering garbage would reward a hostile peer.
 			return
 		}
-		s.mu.Lock()
-		st.busy = true
-		s.mu.Unlock()
-		resp := s.dispatch(&req)
-		if s.cfg.IdleTimeout > 0 {
-			conn.SetWriteDeadline(time.Now().Add(s.cfg.IdleTimeout))
-		}
-		err := writeFrame(conn, resp, s.cfg.MaxFrame)
-		s.mu.Lock()
-		st.busy = false
-		s.mu.Unlock()
-		if err != nil {
+		switch {
+		case f.Kind == mfRequest && f.Req != nil && f.Req.Op == "watch":
+			// Subscriptions register synchronously in the read loop so
+			// the ack precedes any teardown race with a fast Cancel.
+			resp, sub := s.registerWatch(sc, f.Stream, f.Req)
+			if err := sc.writeFrame(&muxFrame{Stream: f.Stream, Kind: mfResponse, Resp: resp},
+				s.cfg.IdleTimeout); err != nil {
+				return
+			}
+			if sub != nil {
+				s.kickWatch()
+			}
+		case f.Kind == mfRequest && f.Req != nil:
+			// Ordinary requests dispatch concurrently: the mux framing
+			// exists so one slow query does not head-of-line block the
+			// pipeline behind it.
+			s.mu.Lock()
+			st.inflight++
+			s.mu.Unlock()
+			inflight.Add(1)
+			s.wg.Add(1)
+			stream, req := f.Stream, f.Req
+			go func() {
+				defer s.wg.Done()
+				defer inflight.Done()
+				resp := s.dispatch(req)
+				sc.writeFrame(&muxFrame{Stream: stream, Kind: mfResponse, Resp: resp},
+					s.cfg.IdleTimeout)
+				s.mu.Lock()
+				st.inflight--
+				idle := s.draining && st.inflight == 0 && st.subs == 0
+				s.mu.Unlock()
+				if idle {
+					// Drain completed this connection's last work; close
+					// it so Shutdown does not wait out the full timeout.
+					conn.Close()
+				}
+			}()
+		case f.Kind == mfCancel:
+			sc.mu.Lock()
+			sub := sc.subMap[f.Stream]
+			sc.mu.Unlock()
+			if sub != nil {
+				s.cancelSub(sub)
+			}
+		default:
+			// Unknown frame kind: protocol violation, drop the conn.
 			return
 		}
 	}
@@ -590,6 +798,14 @@ type ClientConfig struct {
 	// rejected with ErrFrameTooLarge instead of allocating.
 	MaxFrame int
 
+	// WatchQueueDepth bounds the client-side pending-update queue of
+	// each watch subscription (default DefaultWatchQueueDepth): a
+	// consumer that reads slower than the server pushes sees
+	// drop-oldest plus Overflowed marks instead of unbounded buffering
+	// or TCP backpressure that would stall the whole multiplexed
+	// connection.
+	WatchQueueDepth int
+
 	// Telemetry, when non-nil, records per-call metrics (client.calls,
 	// client.call.errors, client.call_ms). Nil disables client-side
 	// metrics at zero cost.
@@ -606,22 +822,67 @@ func (cc *ClientConfig) fill() {
 	if cc.MaxFrame <= 0 {
 		cc.MaxFrame = DefaultMaxFrame
 	}
+	if cc.WatchQueueDepth <= 0 {
+		cc.WatchQueueDepth = DefaultWatchQueueDepth
+	}
 }
 
-// Client is a Source backed by a remote collector service.
+// writeBudget bounds one frame write on the wire.
+func (cc *ClientConfig) writeBudget() time.Duration {
+	if cc.CallTimeout < 0 {
+		return 0
+	}
+	return cc.CallTimeout
+}
+
+// errClientClosed reports calls on a Close()d client.
+var errClientClosed = errors.New("collector: client is closed")
+
+// errCallTimeout is the transport-level timeout for a call whose
+// response never arrived within CallTimeout: the hung-server case,
+// which (unlike a context deadline) drops the connection and retries.
+var errCallTimeout = errors.New("collector: call timed out waiting for response")
+
+// Client is a Source backed by a remote collector service. All calls
+// share one multiplexed connection: any number may be in flight
+// concurrently (pipelining), and watch subscriptions ride alongside
+// them on their own streams.
 type Client struct {
 	addr string
 	cfg  ClientConfig
 	tel  *telemetry.Registry // nil = client-side metrics disabled
 
-	mu sync.Mutex // serializes calls: one request/response in flight
-
-	// connMu guards only the connection pointer and the closed flag, so
-	// Close can abort an in-flight call (whose goroutine holds mu)
-	// instead of queueing behind it.
+	// connMu guards the connection pointer and the closed flag, so
+	// Close can abort in-flight calls instead of queueing behind them.
 	connMu sync.Mutex
-	conn   net.Conn
+	mc     *muxConn
 	closed bool
+}
+
+// muxConn is one multiplexed connection: a background read loop
+// demultiplexes incoming frames to per-stream waiters (ordinary calls)
+// and bounded per-subscription queues (watches). A transport error
+// fails every outstanding stream at once — the conn is then dead and
+// the client dials a fresh one.
+type muxConn struct {
+	conn net.Conn
+	max  int
+	tel  *telemetry.Registry
+
+	wmu sync.Mutex // serializes frame writes
+
+	mu      sync.Mutex
+	nextID  uint64
+	calls   map[uint64]chan *response
+	watches map[uint64]*clientWatch
+	err     error
+	done    chan struct{} // closed by fail()
+}
+
+// clientWatch is the client half of one subscription stream.
+type clientWatch struct {
+	q      *watchQueue
+	handle *WatchHandle // set (under muxConn.mu) once the ack arrives
 }
 
 // Dial connects to a collector service with default timeouts.
@@ -640,7 +901,10 @@ func DialConfig(addr string, cfg ClientConfig) (*Client, error) {
 	return c, nil
 }
 
-func (c *Client) connect() (net.Conn, error) {
+// connect dials a fresh multiplexed connection and installs it, unless
+// a concurrent caller already installed a live one (then that one is
+// kept and the extra dial discarded).
+func (c *Client) connect() (*muxConn, error) {
 	conn, err := net.DialTimeout("tcp", c.addr, c.dialTimeout())
 	if err != nil {
 		return nil, fmt.Errorf("collector: %w", err)
@@ -649,10 +913,21 @@ func (c *Client) connect() (net.Conn, error) {
 	defer c.connMu.Unlock()
 	if c.closed {
 		conn.Close()
-		return nil, errors.New("collector: client is closed")
+		return nil, errClientClosed
 	}
-	c.conn = conn
-	return conn, nil
+	if c.mc != nil && c.mc.alive() {
+		conn.Close()
+		return c.mc, nil
+	}
+	mc := &muxConn{
+		conn: conn, max: c.cfg.MaxFrame, tel: c.tel,
+		calls:   make(map[uint64]chan *response),
+		watches: make(map[uint64]*clientWatch),
+		done:    make(chan struct{}),
+	}
+	c.mc = mc
+	go mc.readLoop()
+	return mc, nil
 }
 
 func (c *Client) dialTimeout() time.Duration {
@@ -662,37 +937,197 @@ func (c *Client) dialTimeout() time.Duration {
 	return c.cfg.CallTimeout
 }
 
-// Close tears down the connection. An in-flight call is aborted (its
-// read fails immediately) rather than waited for.
+// getConn returns the live connection, dialing one if needed.
+func (c *Client) getConn() (*muxConn, error) {
+	c.connMu.Lock()
+	mc, closed := c.mc, c.closed
+	c.connMu.Unlock()
+	if closed {
+		return nil, errClientClosed
+	}
+	if mc != nil && mc.alive() {
+		return mc, nil
+	}
+	return c.connect()
+}
+
+// Close tears down the connection. In-flight calls are aborted (they
+// fail immediately) and watch subscriptions end with Err() set.
 func (c *Client) Close() error {
 	c.connMu.Lock()
-	defer c.connMu.Unlock()
 	c.closed = true
-	if c.conn != nil {
-		err := c.conn.Close()
-		c.conn = nil
-		return err
+	mc := c.mc
+	c.mc = nil
+	c.connMu.Unlock()
+	if mc != nil {
+		mc.close(errClientClosed)
 	}
 	return nil
 }
 
-// dropConn discards a connection whose stream may be mid-frame: the
-// next call reconnects on a clean one.
-func (c *Client) dropConn() {
+// dropConn discards a specific connection (its stream may be mid-frame
+// or its server hung): outstanding streams on it fail, and the next
+// call reconnects on a clean one. A different, newer connection
+// installed meanwhile is left alone.
+func (c *Client) dropConn(mc *muxConn) {
+	if mc == nil {
+		return
+	}
 	c.connMu.Lock()
-	defer c.connMu.Unlock()
-	if c.conn != nil {
-		c.conn.Close()
-		c.conn = nil
+	if c.mc == mc {
+		c.mc = nil
+	}
+	c.connMu.Unlock()
+	mc.close(fmt.Errorf("collector: connection dropped"))
+}
+
+func (mc *muxConn) alive() bool {
+	mc.mu.Lock()
+	defer mc.mu.Unlock()
+	return mc.err == nil
+}
+
+// close fails the connection with err and closes the socket.
+func (mc *muxConn) close(err error) {
+	mc.fail(err)
+	mc.conn.Close()
+}
+
+// fail marks the connection dead exactly once: every waiting call sees
+// err via the done channel, and every live watch ends with Err() set
+// after its already-received updates drain.
+func (mc *muxConn) fail(err error) {
+	mc.mu.Lock()
+	if mc.err != nil {
+		mc.mu.Unlock()
+		return
+	}
+	mc.err = err
+	watches := mc.watches
+	mc.watches = make(map[uint64]*clientWatch)
+	close(mc.done)
+	mc.mu.Unlock()
+	for _, w := range watches {
+		if w.handle != nil {
+			w.handle.setErr(err)
+		}
+	}
+}
+
+// readLoop demultiplexes incoming frames until the connection dies.
+// It never sets a read deadline: liveness is the per-call waiter's
+// job, and a watch-only connection is legitimately quiet.
+func (mc *muxConn) readLoop() {
+	for {
+		var f muxFrame
+		if err := readFrame(mc.conn, &f, mc.max); err != nil {
+			mc.fail(err)
+			mc.conn.Close()
+			return
+		}
+		switch f.Kind {
+		case mfResponse:
+			mc.mu.Lock()
+			ch := mc.calls[f.Stream]
+			delete(mc.calls, f.Stream)
+			mc.mu.Unlock()
+			if ch != nil && f.Resp != nil {
+				ch <- f.Resp // cap 1, waiter may already be gone
+			}
+		case mfUpdate:
+			if f.Update == nil {
+				continue
+			}
+			mc.mu.Lock()
+			w := mc.watches[f.Stream]
+			if w != nil && f.Update.Final {
+				// A clean terminal frame: deregister now so a transport
+				// error right behind it cannot mark this stream failed.
+				delete(mc.watches, f.Stream)
+			}
+			mc.mu.Unlock()
+			if w != nil {
+				if w.q.push(*f.Update) {
+					mc.tel.Counter("client.watch.drops.overflow").Inc()
+				}
+			}
+		}
+		// Unknown kinds and responses for departed streams (a call that
+		// timed out or was cancelled) are discarded silently.
+	}
+}
+
+// writeMux writes one frame under the write lock with a bounded write
+// deadline.
+func (mc *muxConn) writeMux(f *muxFrame, budget time.Duration) error {
+	mc.wmu.Lock()
+	defer mc.wmu.Unlock()
+	if budget > 0 {
+		mc.conn.SetWriteDeadline(time.Now().Add(budget))
+	}
+	return writeFrame(mc.conn, f, mc.max)
+}
+
+// roundTrip sends one request on a fresh stream and waits for its
+// response: until the context ends (typed ctx error, connection kept —
+// the late response is discarded by the read loop), CallTimeout
+// expires (hung-server suspicion — the caller drops the connection),
+// or the connection dies.
+func (mc *muxConn) roundTrip(ctx context.Context, req *request, cfg *ClientConfig) (*response, error) {
+	mc.mu.Lock()
+	if mc.err != nil {
+		err := mc.err
+		mc.mu.Unlock()
+		return nil, err
+	}
+	mc.nextID++
+	id := mc.nextID
+	ch := make(chan *response, 1)
+	mc.calls[id] = ch
+	mc.mu.Unlock()
+	defer func() {
+		mc.mu.Lock()
+		delete(mc.calls, id)
+		mc.mu.Unlock()
+	}()
+
+	req.BudgetMS = 0
+	if dl, ok := ctx.Deadline(); ok {
+		if rem := time.Until(dl); rem > 0 {
+			req.BudgetMS = rem.Seconds() * 1000
+		}
+	}
+	if err := mc.writeMux(&muxFrame{Stream: id, Kind: mfRequest, Req: req}, cfg.writeBudget()); err != nil {
+		return nil, err
+	}
+	var timeout <-chan time.Time
+	if cfg.CallTimeout > 0 {
+		t := time.NewTimer(cfg.CallTimeout)
+		defer t.Stop()
+		timeout = t.C
+	}
+	select {
+	case resp := <-ch:
+		return resp, nil
+	case <-ctx.Done():
+		return nil, ctxError(ctx)
+	case <-timeout:
+		return nil, errCallTimeout
+	case <-mc.done:
+		mc.mu.Lock()
+		err := mc.err
+		mc.mu.Unlock()
+		return nil, err
 	}
 }
 
 // call sends one request and reads its response, honouring ctx: the
 // remaining context budget rides in the request frame as a hint for
-// server-side enforcement, a sooner context deadline tightens the I/O
-// deadline, and cancellation aborts an in-flight read immediately. A
-// call that fails for any reason drops the connection (the stream may
-// be mid-frame), so the next call starts clean.
+// server-side enforcement, and cancellation or an expired deadline
+// abandons the wait immediately (typed error) without killing the
+// shared connection. Transport failures — dead conn, hung server —
+// drop the connection so concurrent streams fail fast and the next
+// call starts clean.
 func (c *Client) call(ctx context.Context, req *request) (_ *response, retErr error) {
 	if err := ctxError(ctx); err != nil {
 		return nil, err
@@ -707,65 +1142,28 @@ func (c *Client) call(ctx context.Context, req *request) (_ *response, retErr er
 		c.tel.Quantile("client.call_ms", 0).
 			Observe(float64(time.Since(callStart)) / float64(time.Millisecond))
 	}()
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	attempt := func() (*response, error) {
-		c.connMu.Lock()
-		conn, closed := c.conn, c.closed
-		c.connMu.Unlock()
-		if closed {
-			return nil, errors.New("collector: client is closed")
-		}
-		if conn == nil {
-			var err error
-			if conn, err = c.connect(); err != nil {
-				return nil, err
-			}
-		}
-		// Per-call I/O deadline: CallTimeout, tightened by the context.
-		var deadline time.Time
-		if c.cfg.CallTimeout > 0 {
-			deadline = time.Now().Add(c.cfg.CallTimeout)
-		}
-		req.BudgetMS = 0
-		if dl, ok := ctx.Deadline(); ok {
-			if deadline.IsZero() || dl.Before(deadline) {
-				deadline = dl
-			}
-			if rem := time.Until(dl); rem > 0 {
-				req.BudgetMS = rem.Seconds() * 1000
-			}
-		}
-		if !deadline.IsZero() {
-			if err := conn.SetDeadline(deadline); err != nil {
-				return nil, err
-			}
-		}
-		// Cancellation mid-call: slam the connection deadline shut so a
-		// blocked read returns now instead of at the I/O deadline.
-		stop := context.AfterFunc(ctx, func() {
-			conn.SetDeadline(time.Unix(1, 0))
-		})
-		defer stop()
-		if err := writeFrame(conn, req, c.cfg.MaxFrame); err != nil {
+		mc, err := c.getConn()
+		if err != nil {
 			return nil, err
 		}
-		var resp response
-		if err := readFrame(conn, &resp, c.cfg.MaxFrame); err != nil {
-			return nil, err
+		resp, err := mc.roundTrip(ctx, req, &c.cfg)
+		if err != nil && ctxCallError(ctx) == nil {
+			// Transport failure, not a caller-side deadline: this conn
+			// is suspect (dead, or its server hung); fail it over.
+			c.dropConn(mc)
 		}
-		return &resp, nil
+		return resp, err
 	}
 	resp, err := attempt()
 	if err != nil {
-		c.dropConn()
 		if cerr := ctxCallError(ctx); cerr != nil {
 			return nil, fmt.Errorf("%w (%v)", cerr, err)
 		}
 		// One reconnect after a short backoff: the server may be
 		// restarting; retrying instantly tends to race its rebind. A
 		// frame-size rejection is not retryable — the peer is broken.
-		if c.cfg.SingleAttempt || errors.Is(err, ErrFrameTooLarge) {
+		if c.cfg.SingleAttempt || errors.Is(err, ErrFrameTooLarge) || errors.Is(err, errClientClosed) {
 			return nil, err
 		}
 		if c.cfg.RetryBackoff > 0 {
@@ -779,7 +1177,6 @@ func (c *Client) call(ctx context.Context, req *request) (_ *response, retErr er
 		}
 		resp, err = attempt()
 		if err != nil {
-			c.dropConn()
 			if cerr := ctxCallError(ctx); cerr != nil {
 				return nil, fmt.Errorf("%w (%v)", cerr, err)
 			}
@@ -787,6 +1184,179 @@ func (c *Client) call(ctx context.Context, req *request) (_ *response, retErr er
 		}
 	}
 	return decodeResponse(resp)
+}
+
+// Watch implements WatchSource over the wire: the subscription rides
+// its own stream on the shared multiplexed connection, so ordinary
+// pipelined calls continue unaffected beside it. ctx bounds the
+// subscribe handshake and, if it ends later, cancels the subscription.
+func (c *Client) Watch(ctx context.Context, wr WatchRequest) (*WatchHandle, error) {
+	if err := ctxError(ctx); err != nil {
+		return nil, err
+	}
+	if !validWatchKind(wr.Kind) {
+		return nil, fmt.Errorf("collector: unknown watch kind %q", wr.Kind)
+	}
+	h, err := c.subscribeOnce(ctx, wr)
+	if err == nil {
+		return h, nil
+	}
+	if cerr := ctxCallError(ctx); cerr != nil {
+		return nil, fmt.Errorf("%w (%v)", cerr, err)
+	}
+	if c.cfg.SingleAttempt || IsLifecycleError(err) || errors.Is(err, ErrTooManySubscriptions) ||
+		errors.Is(err, errClientClosed) {
+		return nil, err
+	}
+	// One reconnect-and-retry for transport failures, like call().
+	if c.cfg.RetryBackoff > 0 {
+		t := time.NewTimer(c.cfg.RetryBackoff)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return nil, ctxError(ctx)
+		}
+	}
+	return c.subscribeOnce(ctx, wr)
+}
+
+func (c *Client) subscribeOnce(ctx context.Context, wr WatchRequest) (*WatchHandle, error) {
+	mc, err := c.getConn()
+	if err != nil {
+		return nil, err
+	}
+	h, err := mc.subscribe(ctx, wr, &c.cfg)
+	if err != nil && ctxCallError(ctx) == nil && !errors.Is(err, ErrServerBusy) &&
+		!errors.Is(err, ErrTooManySubscriptions) {
+		c.dropConn(mc)
+	}
+	if err == nil {
+		c.tel.Counter("client.watch.subscribed").Inc()
+	}
+	return h, err
+}
+
+// subscribe opens one watch stream: it registers the stream BEFORE
+// writing the request so an update racing ahead of the ack is queued,
+// not lost, then waits for the subscribe ack.
+func (mc *muxConn) subscribe(ctx context.Context, wr WatchRequest, cfg *ClientConfig) (*WatchHandle, error) {
+	mc.mu.Lock()
+	if mc.err != nil {
+		err := mc.err
+		mc.mu.Unlock()
+		return nil, err
+	}
+	mc.nextID++
+	id := mc.nextID
+	ackCh := make(chan *response, 1)
+	mc.calls[id] = ackCh
+	w := &clientWatch{q: newWatchQueue(cfg.WatchQueueDepth)}
+	mc.watches[id] = w
+	mc.mu.Unlock()
+	abort := func() {
+		mc.mu.Lock()
+		delete(mc.calls, id)
+		delete(mc.watches, id)
+		mc.mu.Unlock()
+	}
+
+	req := &request{Op: "watch", Watch: &wr, TraceID: telemetry.TraceFrom(ctx)}
+	if dl, ok := ctx.Deadline(); ok {
+		if rem := time.Until(dl); rem > 0 {
+			req.BudgetMS = rem.Seconds() * 1000
+		}
+	}
+	if err := mc.writeMux(&muxFrame{Stream: id, Kind: mfRequest, Req: req}, cfg.writeBudget()); err != nil {
+		abort()
+		return nil, err
+	}
+	var timeout <-chan time.Time
+	if cfg.CallTimeout > 0 {
+		t := time.NewTimer(cfg.CallTimeout)
+		defer t.Stop()
+		timeout = t.C
+	}
+	select {
+	case resp := <-ackCh:
+		if _, err := decodeResponse(resp); err != nil {
+			abort()
+			return nil, err
+		}
+	case <-ctx.Done():
+		abort()
+		mc.writeMux(&muxFrame{Stream: id, Kind: mfCancel}, cfg.writeBudget())
+		return nil, ctxError(ctx)
+	case <-timeout:
+		abort()
+		return nil, errCallTimeout
+	case <-mc.done:
+		abort()
+		mc.mu.Lock()
+		err := mc.err
+		mc.mu.Unlock()
+		return nil, err
+	}
+
+	h := newWatchHandle(0)
+	mc.mu.Lock()
+	if mc.err != nil {
+		// The conn died between the ack and now; fail() already swept
+		// the watch map, so surface the error directly.
+		err := mc.err
+		mc.mu.Unlock()
+		return nil, err
+	}
+	w.handle = h
+	mc.mu.Unlock()
+	h.cancelFn = func() {
+		mc.mu.Lock()
+		delete(mc.watches, id)
+		mc.mu.Unlock()
+		// Best-effort: tell the server to stop pushing. Run it off the
+		// canceller's goroutine — the write can block on a sick conn.
+		go mc.writeMux(&muxFrame{Stream: id, Kind: mfCancel}, cfg.writeBudget())
+	}
+	stop := context.AfterFunc(ctx, h.Cancel)
+	go w.forward(mc, h, stop)
+	return h, nil
+}
+
+// forward drains one subscription's client-side queue onto its
+// handle's channel, preserving order, until cancel, a Final update, or
+// connection death (then pending updates still deliver first).
+func (w *clientWatch) forward(mc *muxConn, h *WatchHandle, stop func() bool) {
+	defer stop()
+	defer close(h.out)
+	deliver := func() bool { // false = stream over
+		for {
+			u, ok := w.q.pop()
+			if !ok {
+				return true
+			}
+			select {
+			case h.out <- u:
+			case <-h.cancelCh:
+				return false
+			}
+			if u.Final {
+				return false
+			}
+		}
+	}
+	for {
+		select {
+		case <-w.q.wake:
+			if !deliver() {
+				return
+			}
+		case <-h.cancelCh:
+			return
+		case <-mc.done:
+			deliver()
+			return
+		}
+	}
 }
 
 // decodeResponse maps a wire response to the client-side error surface:
@@ -808,6 +1378,8 @@ func decodeResponse(resp *response) (*response, error) {
 		return resp, fmt.Errorf("server refused: %w", ErrDeadlineExceeded)
 	case codeShed:
 		return resp, &ShedError{RetryAfter: time.Duration(resp.RetryAfterMS * float64(time.Millisecond))}
+	case codeWatchLimit:
+		return resp, ErrTooManySubscriptions
 	default:
 		return resp, fmt.Errorf("collector: unknown response code %d (%s)", resp.Code, resp.Err)
 	}

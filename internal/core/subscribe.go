@@ -1,0 +1,320 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/collector"
+	"repro/internal/graph"
+)
+
+// Push subscriptions: WatchGraph and WatchFlowInfo turn the two §4
+// queries into standing interests. The Modeler subscribes to the
+// source's data-version stream (collector.WatchSource — in-process
+// collector, TCP client, or failover set), re-evaluates the query when
+// an epoch arrives, and delivers the recomputed answer only when it
+// changed materially. The delivery channel is bounded with the same
+// drop-oldest discipline as the wire queues: a consumer that falls
+// behind loses intermediate answers, never the freshest one, and the
+// next update it reads is marked Overflowed.
+
+// DefaultWatchBuffer is the update-channel depth when
+// WatchOptions.Buffer is zero.
+const DefaultWatchBuffer = 4
+
+// WatchOptions tunes a Modeler subscription.
+type WatchOptions struct {
+	// Threshold is the minimum relative change (0..1) in any annotated
+	// bandwidth median — per link for WatchGraph, per flow for
+	// WatchFlowInfo — since the last delivered answer that counts as
+	// material. 0 delivers an answer for every source epoch.
+	Threshold float64
+	// Buffer is the update channel depth (default DefaultWatchBuffer).
+	Buffer int
+}
+
+func (o WatchOptions) buffer() int {
+	if o.Buffer <= 0 {
+		return DefaultWatchBuffer
+	}
+	return o.Buffer
+}
+
+// GraphUpdate is one recomputed GetGraph answer.
+type GraphUpdate struct {
+	// Graph is the recomputed answer; nil when Err is set or Final.
+	Graph *Graph
+	// Seq is the underlying subscription's dense update sequence
+	// number. With Threshold 0 a delivered-Seq gap always rides with an
+	// Overflowed or Resync mark; with a positive threshold, gaps also
+	// come from answers gated out as immaterial.
+	Seq uint64
+	// Epoch is the source data version the answer was computed at.
+	// After a Resync it restarts: epochs are per-replica.
+	Epoch uint64
+	// Overflowed marks the first update delivered after older ones were
+	// dropped — on the wire or in this channel — because the consumer
+	// (or the network) fell behind.
+	Overflowed bool
+	// Resync marks the first update after the failover layer
+	// re-subscribed on a different replica: treat it as a fresh
+	// baseline, not a delta.
+	Resync bool
+	// TopoChanged reports the physical topology was rediscovered since
+	// the previous update.
+	TopoChanged bool
+	// Final is the terminal update: the source drained the subscription
+	// (graceful shutdown). The channel closes after it.
+	Final bool
+	// Err carries a non-terminal evaluation error; the subscription
+	// stays live and recovers when evaluation succeeds again.
+	Err error
+}
+
+// FlowInfoUpdate is one recomputed QueryFlowInfo answer.
+type FlowInfoUpdate struct {
+	// Info is the recomputed answer; nil when Err is set or Final.
+	Info *FlowInfo
+	// Seq, Epoch, Overflowed, Resync, Final, Err: as in GraphUpdate.
+	Seq        uint64
+	Epoch      uint64
+	Overflowed bool
+	Resync     bool
+	Final      bool
+	Err        error
+}
+
+// GraphWatch is a live WatchGraph subscription.
+type GraphWatch struct {
+	// C delivers updates in order; it closes after a Final update, a
+	// Cancel, or a transport failure (then Err() is non-nil).
+	C <-chan GraphUpdate
+	h *collector.WatchHandle
+}
+
+// Cancel stops the subscription; C closes shortly after. Idempotent.
+func (w *GraphWatch) Cancel() { w.h.Cancel() }
+
+// Err reports why C closed: nil after a clean Final or Cancel, the
+// transport error otherwise.
+func (w *GraphWatch) Err() error { return w.h.Err() }
+
+// FlowInfoWatch is a live WatchFlowInfo subscription.
+type FlowInfoWatch struct {
+	C <-chan FlowInfoUpdate
+	h *collector.WatchHandle
+}
+
+func (w *FlowInfoWatch) Cancel()    { w.h.Cancel() }
+func (w *FlowInfoWatch) Err() error { return w.h.Err() }
+
+// watchSource returns the Modeler's source as a WatchSource, or a
+// typed error when it cannot push.
+func (m *Modeler) watchSource() (collector.WatchSource, error) {
+	if ws, ok := m.cfg.Source.(collector.WatchSource); ok {
+		return ws, nil
+	}
+	return nil, fmt.Errorf("core: source %T does not support watch subscriptions", m.cfg.Source)
+}
+
+// WatchGraph subscribes to GetGraph(nodes, tf): the answer is
+// recomputed at every source epoch and delivered when it changed
+// materially (see WatchOptions.Threshold), when the topology was
+// rediscovered, or after a resync. ctx cancels the subscription.
+func (m *Modeler) WatchGraph(ctx context.Context, nodes []graph.NodeID, tf Timeframe, opts WatchOptions) (*GraphWatch, error) {
+	ws, err := m.watchSource()
+	if err != nil {
+		return nil, err
+	}
+	h, err := ws.Watch(ctx, collector.WatchRequest{Kind: collector.WatchVersion})
+	if err != nil {
+		return nil, err
+	}
+	out := make(chan GraphUpdate, opts.buffer())
+	w := &GraphWatch{C: out, h: h}
+	go func() {
+		defer close(out)
+		var last []float64 // per-link avail medians of the last delivered answer
+		pending := false   // overflow mark carried from a dropped delivery
+		for u := range h.C {
+			gu := GraphUpdate{Seq: u.Seq, Epoch: u.Epoch, Overflowed: u.Overflowed,
+				Resync: u.Resync, TopoChanged: u.TopoChanged, Final: u.Final}
+			if u.Final {
+				deliverGraph(out, gu, &pending)
+				return
+			}
+			if u.Err != "" {
+				gu.Err = errors.New(u.Err)
+				deliverGraph(out, gu, &pending)
+				continue
+			}
+			if u.TopoChanged || u.Resync {
+				// The cached snapshot predates the rediscovery (or
+				// belongs to the previous replica): rebuild it.
+				m.Refresh()
+			}
+			g, err := m.GetGraphCtx(ctx, nodes, tf)
+			if err != nil {
+				gu.Err = err
+				deliverGraph(out, gu, &pending)
+				continue
+			}
+			sig := graphSignature(g)
+			if last != nil && !u.TopoChanged && !u.Resync && !u.Overflowed && !pending &&
+				opts.Threshold > 0 && maxRelDelta(last, sig) < opts.Threshold {
+				continue // below threshold: not material
+			}
+			last = sig
+			gu.Graph = g
+			deliverGraph(out, gu, &pending)
+		}
+	}()
+	return w, nil
+}
+
+// WatchFlowInfo subscribes to QueryFlowInfo(fixed, variable,
+// independent, tf) with the same semantics as WatchGraph: re-evaluated
+// per source epoch, delivered on material change.
+func (m *Modeler) WatchFlowInfo(ctx context.Context, fixed, variable, independent []Flow, tf Timeframe, opts WatchOptions) (*FlowInfoWatch, error) {
+	ws, err := m.watchSource()
+	if err != nil {
+		return nil, err
+	}
+	h, err := ws.Watch(ctx, collector.WatchRequest{Kind: collector.WatchVersion})
+	if err != nil {
+		return nil, err
+	}
+	out := make(chan FlowInfoUpdate, opts.buffer())
+	w := &FlowInfoWatch{C: out, h: h}
+	go func() {
+		defer close(out)
+		var last []float64 // per-flow bandwidth medians of the last delivered answer
+		pending := false
+		for u := range h.C {
+			fu := FlowInfoUpdate{Seq: u.Seq, Epoch: u.Epoch, Overflowed: u.Overflowed,
+				Resync: u.Resync, Final: u.Final}
+			if u.Final {
+				deliverFlowInfo(out, fu, &pending)
+				return
+			}
+			if u.Err != "" {
+				fu.Err = errors.New(u.Err)
+				deliverFlowInfo(out, fu, &pending)
+				continue
+			}
+			if u.TopoChanged || u.Resync {
+				m.Refresh()
+			}
+			fi, err := m.QueryFlowInfoCtx(ctx, fixed, variable, independent, tf)
+			if err != nil {
+				fu.Err = err
+				deliverFlowInfo(out, fu, &pending)
+				continue
+			}
+			sig := flowSignature(fi)
+			if last != nil && !u.TopoChanged && !u.Resync && !u.Overflowed && !pending &&
+				opts.Threshold > 0 && maxRelDelta(last, sig) < opts.Threshold {
+				continue
+			}
+			last = sig
+			fu.Info = fi
+			deliverFlowInfo(out, fu, &pending)
+		}
+	}()
+	return w, nil
+}
+
+// deliverGraph sends u without ever blocking the evaluation loop: when
+// the buffer is full the oldest buffered update is dropped and its
+// loss — plus any marks it carried — folded into u.
+func deliverGraph(out chan GraphUpdate, u GraphUpdate, pending *bool) {
+	if *pending {
+		u.Overflowed = true
+		*pending = false
+	}
+	for {
+		select {
+		case out <- u:
+			return
+		default:
+		}
+		select {
+		case old := <-out:
+			u.Overflowed = true
+			u.Resync = u.Resync || old.Resync
+			u.TopoChanged = u.TopoChanged || old.TopoChanged
+		default:
+			// Consumer drained the channel between our two selects;
+			// loop and try the send again.
+		}
+	}
+}
+
+// deliverFlowInfo is deliverGraph for flow updates.
+func deliverFlowInfo(out chan FlowInfoUpdate, u FlowInfoUpdate, pending *bool) {
+	if *pending {
+		u.Overflowed = true
+		*pending = false
+	}
+	for {
+		select {
+		case out <- u:
+			return
+		default:
+		}
+		select {
+		case old := <-out:
+			u.Overflowed = true
+			u.Resync = u.Resync || old.Resync
+		default:
+		}
+	}
+}
+
+// graphSignature flattens a Graph's dynamic annotations into the
+// vector the material-change threshold compares: both directions'
+// availability medians per link, in answer order.
+func graphSignature(g *Graph) []float64 {
+	sig := make([]float64, 0, 2*len(g.Links))
+	for i := range g.Links {
+		sig = append(sig, g.Links[i].Avail[0].Median, g.Links[i].Avail[1].Median)
+	}
+	return sig
+}
+
+// flowSignature flattens a FlowInfo into its per-flow allocation
+// medians, in query order.
+func flowSignature(fi *FlowInfo) []float64 {
+	all := fi.All()
+	sig := make([]float64, len(all))
+	for i := range all {
+		sig[i] = all[i].Bandwidth.Median
+	}
+	return sig
+}
+
+// maxRelDelta is the largest relative element-wise change between two
+// signature vectors; structurally different vectors (a link or flow
+// appeared or vanished) are maximally different.
+func maxRelDelta(a, b []float64) float64 {
+	if len(a) != len(b) {
+		return math.Inf(1)
+	}
+	worst := 0.0
+	for i := range a {
+		d := math.Abs(b[i] - a[i])
+		if d == 0 {
+			continue
+		}
+		base := math.Max(math.Abs(a[i]), math.Abs(b[i]))
+		if base == 0 {
+			continue
+		}
+		if r := d / base; r > worst {
+			worst = r
+		}
+	}
+	return worst
+}

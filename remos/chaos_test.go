@@ -8,6 +8,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"net"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -337,5 +339,220 @@ func TestChaosLifecycle(t *testing.T) {
 			observed, serverShed, *chaosSeed)
 	} else {
 		t.Logf("chaos telemetry: %d client-observed sheds, %d server-side sheds", observed, serverShed)
+	}
+}
+
+// TestChaosWatchBackpressure puts the subscription plane under the
+// same kind of hostility: SNMP loss and flap faults corrupting the
+// measurement plane, epochs churning at poll rate, one subscriber
+// wedged solid, and the serving replica killed mid-stream. Invariants:
+// the stalled subscriber is evicted (typed stall counter) while the
+// healthy one keeps receiving; server-side queue memory stays bounded
+// by the configured depth; the failover watch re-subscribes onto the
+// surviving replica with a Resync mark; a fresh subscription after the
+// chaos recovers; and tearing everything down leaks no goroutines.
+func TestChaosWatchBackpressure(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	tb, err := remos.NewTestbed()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb.StartBlast("m-6", "m-8", 60e6)
+	tb.Run(20)
+
+	var mu sync.Mutex
+	ls := &lockedSource{mu: &mu, col: tb.Collector}
+	// lockedSource hides the collector's data version, so the servers
+	// fall back to synthetic poll-rate epochs: every WatchPollInterval
+	// is a new epoch — a free churn generator for this test.
+	const queueDepth = 4
+	scfg := collector.ServerConfig{
+		MaxInflight: 8, QueueDepth: 16, DefaultBudget: 2 * time.Second,
+		WatchQueueDepth: queueDepth, WatchWriteDeadline: 150 * time.Millisecond,
+		WatchPollInterval: 2 * time.Millisecond,
+	}
+	srvA, err := collector.ServeConfig(ls, "127.0.0.1:0", scfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrA := srvA.Addr()
+	srvB, err := collector.ServeConfig(ls, "127.0.0.1:0", scfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	src, err := remos.DialCollectors(addrA, srvB.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Healthy subscriber through the failover layer: replica A serves
+	// it first (preference order).
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	h, err := src.Watch(ctx, remos.WatchRequest{Kind: remos.WatchVersion})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Consume the healthy stream concurrently, verifying mark/sequence
+	// coherence: Seq must only jump when the update admits a loss
+	// (Overflowed) or a new stream (Resync).
+	var updates, resyncs, overflows atomic.Uint64
+	var seqViolation atomic.Value
+	consumerDone := make(chan struct{})
+	go func() {
+		defer close(consumerDone)
+		var lastSeq uint64
+		sawStream := false
+		for u := range h.C {
+			if u.Final {
+				return
+			}
+			updates.Add(1)
+			if u.Resync {
+				resyncs.Add(1)
+				sawStream = false
+			}
+			if u.Overflowed {
+				overflows.Add(1)
+			}
+			if sawStream && u.Seq != lastSeq+1 && !u.Overflowed {
+				seqViolation.Store(fmt.Sprintf("seq %d after %d without Overflowed/Resync", u.Seq, lastSeq))
+			}
+			lastSeq = u.Seq
+			sawStream = true
+			// A deliberately slow consumer: epochs churn every 2ms,
+			// we read an order of magnitude slower.
+			time.Sleep(20 * time.Millisecond)
+		}
+	}()
+
+	// Stalled subscriber: subscribes on replica B and then never reads.
+	rawConn, err := net.Dial("tcp", srvB.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rawConn.Close()
+	if tc, ok := rawConn.(*net.TCPConn); ok {
+		tc.SetReadBuffer(4096)
+	}
+	if err := collector.SubscribeRaw(rawConn, remos.WatchRequest{Kind: remos.WatchVersion}); err != nil {
+		t.Fatalf("raw subscribe: %v", err)
+	}
+
+	// Chaos: loss + flaps on the measurement plane while virtual time
+	// (and with it the poll-rate epoch churn) advances.
+	rng := rand.New(rand.NewSource(*chaosSeed + 1))
+	agents := []string{"aspen", "timberline", "whiteface", "m-3", "m-8"}
+	killed := false
+	for i := 0; i < 60; i++ {
+		mu.Lock()
+		now := tb.Now()
+		switch i % 3 {
+		case 0:
+			tb.Faults.Loss(snmp.Addr(graph.NodeID(agents[rng.Intn(len(agents))])), 0.3+rng.Float64()*0.4)
+		case 1:
+			tb.Faults.FlapAt(snmp.Addr(graph.NodeID(agents[rng.Intn(len(agents))])), now, 1+rng.Float64()*3)
+		}
+		tb.Run(0.5 + rng.Float64())
+		mu.Unlock()
+		if i == 30 && !killed {
+			// Kill the replica serving the healthy watch mid-stream.
+			srvA.Close()
+			killed = true
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// The stalled subscriber must have been evicted by now — its socket
+	// jammed thousands of epochs ago — and the server-side queue gauge
+	// must never have exceeded the configured depth.
+	evicted := srvB.Telemetry().Counter("server.watch.evictions.stalled").Value() +
+		srvB.Telemetry().Counter("server.watch.evictions.error").Value()
+	deadline := time.Now().Add(10 * time.Second)
+	for evicted == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("stalled subscriber never evicted under churn")
+		}
+		time.Sleep(10 * time.Millisecond)
+		evicted = srvB.Telemetry().Counter("server.watch.evictions.stalled").Value() +
+			srvB.Telemetry().Counter("server.watch.evictions.error").Value()
+	}
+	if peak := srvB.Telemetry().Gauge("server.watch.queue.peak").Value(); peak > queueDepth {
+		t.Errorf("server queue peaked at %v entries (configured depth %d)", peak, queueDepth)
+	}
+
+	// The healthy watch survived the replica kill: it re-subscribed on
+	// B and marked the switchover.
+	deadline = time.Now().Add(10 * time.Second)
+	for resyncs.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("watch never resynced after replica kill (%d updates)", updates.Load())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if v := seqViolation.Load(); v != nil {
+		t.Fatalf("sequence coherence violated: %v (seed %d)", v, *chaosSeed)
+	}
+	if updates.Load() == 0 {
+		t.Fatal("healthy subscriber starved during chaos")
+	}
+	// A consumer 10x slower than the churn must have been told about
+	// its losses rather than silently skipped ahead.
+	if overflows.Load() == 0 {
+		t.Error("slow consumer never saw an Overflowed mark despite 10x churn")
+	}
+
+	// Recovery: faults cleared, replica A back — a fresh subscription
+	// answers promptly.
+	for _, a := range agents {
+		tb.Faults.Restore(snmp.Addr(graph.NodeID(a)))
+	}
+	srvA2, err := collector.ServeConfig(ls, addrA, scfg)
+	if err != nil {
+		t.Fatalf("rebinding replica A after chaos: %v", err)
+	}
+	h2, err := src.Watch(ctx, remos.WatchRequest{Kind: remos.WatchVersion})
+	if err != nil {
+		t.Fatalf("post-chaos subscribe: %v", err)
+	}
+	select {
+	case u, ok := <-h2.C:
+		if !ok {
+			t.Fatalf("post-chaos watch closed immediately: %v", h2.Err())
+		}
+		if u.Final {
+			t.Fatal("post-chaos watch began with Final")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("post-chaos watch delivered nothing")
+	}
+	h2.Cancel()
+
+	// Teardown: graceful drain delivers Final to the live watch, and
+	// afterwards nothing may linger — no pusher, evaluator, forwarder,
+	// or read-loop goroutines.
+	cancel()
+	h.Cancel()
+	select {
+	case <-consumerDone:
+	case <-time.After(10 * time.Second):
+		t.Fatal("healthy consumer did not finish after cancel")
+	}
+	src.Close()
+	srvA2.Close()
+	srvB.Close()
+	deadline = time.Now().Add(10 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= baseline+2 {
+			break
+		} else if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("goroutine leak after drain: %d -> %d\n%s",
+				baseline, n, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(20 * time.Millisecond)
 	}
 }

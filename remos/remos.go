@@ -129,6 +129,48 @@ type (
 	// SpanRecord is one finished request span (trace ID, layer name,
 	// timing, per-layer attributes).
 	SpanRecord = telemetry.SpanRecord
+
+	// WatchRequest names a collector-level subscription: a query kind
+	// (version, util, load) plus a change threshold.
+	WatchRequest = collector.WatchRequest
+
+	// WatchUpdate is one pushed delta from a collector-level watch,
+	// carrying the overflow/resync/final robustness marks.
+	WatchUpdate = collector.WatchUpdate
+
+	// WatchHandle is a live collector-level subscription (receive on C,
+	// stop with Cancel, inspect transport failures with Err).
+	WatchHandle = collector.WatchHandle
+
+	// WatchSource is a Source that supports push subscriptions: the
+	// in-process Collector, the TCP client, and FailoverSource.
+	WatchSource = collector.WatchSource
+
+	// WatchOptions tunes Modeler.WatchGraph / Modeler.WatchFlowInfo
+	// (material-change threshold, delivery buffer).
+	WatchOptions = core.WatchOptions
+
+	// GraphUpdate is one recomputed topology answer from WatchGraph.
+	GraphUpdate = core.GraphUpdate
+
+	// FlowInfoUpdate is one recomputed flow answer from WatchFlowInfo.
+	FlowInfoUpdate = core.FlowInfoUpdate
+
+	// GraphWatch is a live WatchGraph subscription.
+	GraphWatch = core.GraphWatch
+
+	// FlowInfoWatch is a live WatchFlowInfo subscription.
+	FlowInfoWatch = core.FlowInfoWatch
+)
+
+// Collector-level watch kinds (WatchRequest.Kind).
+const (
+	// WatchVersion pushes one update per collector data-version change.
+	WatchVersion = collector.WatchVersion
+	// WatchUtil pushes a channel's utilization when it moves materially.
+	WatchUtil = collector.WatchUtil
+	// WatchLoad pushes a host's CPU load when it moves materially.
+	WatchLoad = collector.WatchLoad
 )
 
 // Typed query-lifecycle errors; test with errors.Is. Every way a query
@@ -152,6 +194,10 @@ var (
 
 	// ErrFrameTooLarge rejects an oversized or corrupt wire frame.
 	ErrFrameTooLarge = collector.ErrFrameTooLarge
+
+	// ErrTooManySubscriptions is the typed refusal of a daemon at its
+	// watch-subscription cap; the failover layer routes around it.
+	ErrTooManySubscriptions = collector.ErrTooManySubscriptions
 )
 
 // RetryAfter extracts the retry-after hint from a load-shed error

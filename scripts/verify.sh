@@ -36,6 +36,7 @@ go test -race -timeout 300s -count=1 -run TestChaosLifecycle ./remos -chaos.seed
 
 echo "==> fuzz smoke (10s per target)"
 go test -fuzz=FuzzDecode -fuzztime=10s -run '^$' ./internal/snmp
-go test -fuzz=FuzzReadFrame -fuzztime=10s -run '^$' ./internal/collector
+go test -fuzz='^FuzzReadFrame$' -fuzztime=10s -run '^$' ./internal/collector
+go test -fuzz=FuzzReadMuxFrame -fuzztime=10s -run '^$' ./internal/collector
 
 echo "verify: OK"
