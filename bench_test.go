@@ -513,3 +513,101 @@ func BenchmarkRealAirshedStep(b *testing.B) {
 		g.Step(0.5, -0.5, 0.01)
 	}
 }
+
+// BenchmarkReplicaCatchup measures a cold replica resync end to end —
+// dial, feed subscription, full gob snapshot over TCP, copy-on-write
+// store rebuild — against synthetic star topologies of 8/100/1000
+// hosts with seven poll rounds of history. ns/op is the wall time for
+// a fresh replica to reach Live; this is the cost a deployment pays
+// per partition heal (and its scaling in topology size).
+func BenchmarkReplicaCatchup(b *testing.B) {
+	for _, hosts := range []int{8, 100, 1000} {
+		b.Run(fmt.Sprintf("nodes=%d", hosts), func(b *testing.B) {
+			e := experiments.NewEnvOn(topology.Star(hosts, 100, 1000))
+			e.Warmup() // seven poll rounds of window history to ship
+			srv, err := collector.Serve(e.Col, "127.0.0.1:0")
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer srv.Close()
+			ctx := context.Background()
+			b.ResetTimer()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				rep := remos.NewReadReplica(remos.ReplicaConfig{
+					FeedAddr: srv.Addr(),
+					Seed:     int64(i) + 1,
+				})
+				rep.Start()
+				if err := rep.WaitSynced(ctx); err != nil {
+					b.Fatal(err)
+				}
+				rep.Close()
+			}
+		})
+	}
+}
+
+// benchReplicaModeler wires a Modeler over a live read replica fed by a
+// served collector, for comparing the replica query path against the
+// direct BenchmarkModelerGetGraph/FlowQuery baselines: the PR 5
+// lock-free envelope says sourcing from a replica must stay within 10%
+// of sourcing from the collector (enforced by bench.sh -compare against
+// the committed baselines).
+func benchReplicaModeler(b *testing.B) (*experiments.Env, *core.Modeler, func()) {
+	b.Helper()
+	e := experiments.NewEnv()
+	traffic.Blast(e.Net, "m-6", "m-8", 60e6)
+	e.Warmup()
+	srv, err := collector.Serve(e.Col, "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	rep := remos.NewReadReplica(remos.ReplicaConfig{
+		FeedAddr:     srv.Addr(),
+		MaxStaleness: -1, // quiescent clock: never fence mid-benchmark
+		Seed:         1,
+	})
+	rep.Start()
+	if err := rep.WaitSynced(context.Background()); err != nil {
+		b.Fatal(err)
+	}
+	return e, core.New(core.Config{Source: rep}), func() {
+		rep.Close()
+		srv.Close()
+	}
+}
+
+// BenchmarkReplicaModelerGetGraph is BenchmarkModelerGetGraph with the
+// Modeler sourced from a read replica instead of the collector.
+func BenchmarkReplicaModelerGetGraph(b *testing.B) {
+	_, mod, stop := benchReplicaModeler(b)
+	defer stop()
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := mod.GetGraph(nil, core.TFHistory(10)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReplicaModelerFlowQuery is BenchmarkModelerFlowQuery with
+// the Modeler sourced from a read replica.
+func BenchmarkReplicaModelerFlowQuery(b *testing.B) {
+	_, mod, stop := benchReplicaModeler(b)
+	defer stop()
+	fixed := []core.Flow{{Src: "m-1", Dst: "m-7", Kind: core.FixedFlow, Bandwidth: 2e6}}
+	variable := []core.Flow{
+		{Src: "m-2", Dst: "m-7", Kind: core.VariableFlow, Bandwidth: 1},
+		{Src: "m-3", Dst: "m-8", Kind: core.VariableFlow, Bandwidth: 3},
+	}
+	ind := []core.Flow{{Src: "m-4", Dst: "m-8", Kind: core.IndependentFlow}}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := mod.QueryFlowInfo(fixed, variable, ind, core.TFHistory(10)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

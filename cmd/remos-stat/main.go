@@ -93,6 +93,7 @@ func render(snap *telemetry.Snapshot, addr string, spans int) {
 			fmt.Printf("  %-36s %12.3f\n", name, snap.Gauges[name])
 		}
 	}
+	renderReplica(snap)
 	if len(snap.Quantiles) > 0 {
 		fmt.Printf("\nQUARTILES%26s %8s %8s %8s %8s %8s\n",
 			"count", "min", "q1", "median", "q3", "max")
@@ -123,6 +124,30 @@ func render(snap *telemetry.Snapshot, addr string, spans int) {
 			fmt.Println()
 		}
 	}
+}
+
+// renderReplica summarizes the replica.* metrics a remos-replica daemon
+// exports: the raw counters and gauges are already in the tables above;
+// this line decodes them into the operator's first question — what state
+// is the replica in, how far behind is it, and has it been fencing.
+func renderReplica(snap *telemetry.Snapshot) {
+	state, ok := snap.Gauges["replica.state"]
+	if !ok {
+		return
+	}
+	names := []string{"syncing", "live", "lagging", "fenced"}
+	name := "unknown"
+	if i := int(state); i >= 0 && i < len(names) {
+		name = names[i]
+	}
+	fmt.Printf("\nREPLICA  state %-8s epoch %-10.0f lag %.0f epochs / %.2fs   resyncs %d  fence-trips %d  fenced-queries %d\n",
+		name,
+		snap.Gauges["replica.epoch"],
+		snap.Gauges["replica.lag.epochs"],
+		snap.Gauges["replica.lag.seconds"],
+		snap.Counters["replica.resyncs"],
+		snap.Counters["replica.fence.trips"],
+		snap.Counters["replica.queries.fenced"])
 }
 
 func fatal(err error) {

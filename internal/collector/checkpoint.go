@@ -202,6 +202,9 @@ func (c *Collector) RestoreCheckpoint(r io.Reader) (CheckpointInfo, error) {
 	c.polls = dump.Polls
 	c.pollErrors = dump.PollErrors
 	c.discoveries = dump.Discoveries
+	// The restore replaced every window wholesale: feed subscriptions
+	// must re-snapshot rather than delta against the old state.
+	c.stateGen++
 	c.mu.Unlock()
 	c.dataVersion.Add(1)
 	c.notifyVersion()

@@ -194,6 +194,13 @@ type Collector struct {
 	pollErrors  uint64
 	discoveries uint64
 
+	// stateGen counts wholesale state replacements (checkpoint
+	// restores). Feed cursors (feed.go) remember the generation they
+	// were built against; a mismatch means per-channel sample cursors
+	// reference windows that no longer exist, so the subscription gets
+	// a fresh Full payload instead of a bogus delta. Guarded by mu.
+	stateGen uint64
+
 	// dataVersion increments whenever stored measurements or topology
 	// may have changed (poll round, discovery, checkpoint restore); see
 	// VersionedSource. Atomic so readers never touch c.mu.

@@ -36,6 +36,16 @@ func (deadlineErr) Is(target error) bool { return target == context.DeadlineExce
 // matches context.DeadlineExceeded.
 var ErrDeadlineExceeded error = deadlineErr{}
 
+// ErrStaleReplica is the typed refusal of a read replica whose feed
+// has been partitioned longer than its staleness fence — or that has
+// not yet applied its first snapshot. The replica will serve answers
+// with honestly growing ages up to the fence, and refuses past it
+// rather than presenting old state as fresh. Like the overload
+// refusals, it proves the replica process alive: FailoverSource routes
+// the call to the next replica (or the collector itself) without
+// marking the stale one Down.
+var ErrStaleReplica = errors.New("collector: replica stale beyond fence")
+
 // ErrLoadShed is the typed refusal an overloaded server answers with
 // when its admission queue is full: the request was never started, so
 // retrying elsewhere (or later — see RetryAfter) is safe.
@@ -105,6 +115,7 @@ func IsLifecycleError(err error) bool {
 	return errors.Is(err, ErrDeadlineExceeded) ||
 		errors.Is(err, ErrLoadShed) ||
 		errors.Is(err, ErrServerBusy) ||
+		errors.Is(err, ErrStaleReplica) ||
 		errors.Is(err, context.Canceled) ||
 		errors.Is(err, context.DeadlineExceeded)
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"sync"
 	"time"
 
@@ -53,7 +54,22 @@ type FailoverConfig struct {
 	// BackoffMax). Defaults: ProbeInterval and 16×BackoffBase.
 	BackoffBase time.Duration
 	BackoffMax  time.Duration
+	// BackoffJitter randomizes each backoff by ±(jitter fraction) —
+	// the same discipline as the collection breaker's
+	// Config.BackoffJitter. Without it a fleet of clients that all
+	// watched the same replica die re-probes it at synchronized
+	// instants, a thundering herd at the worst possible moment (its
+	// restart). Default DefaultFailoverJitter; negative disables.
+	BackoffJitter float64
+	// Seed seeds the jitter RNG. Zero derives a per-process seed so a
+	// fleet's probe schedules decorrelate; tests set it explicitly for
+	// reproducible schedules.
+	Seed int64
 }
+
+// DefaultFailoverJitter is the default ±fraction applied to replica
+// probe backoffs.
+const DefaultFailoverJitter = 0.2
 
 func (fc *FailoverConfig) fill() {
 	fc.Client.fill()
@@ -73,6 +89,12 @@ func (fc *FailoverConfig) fill() {
 	}
 	if fc.BackoffMax <= 0 {
 		fc.BackoffMax = 16 * fc.BackoffBase
+	}
+	if fc.BackoffJitter == 0 {
+		fc.BackoffJitter = DefaultFailoverJitter
+	}
+	if fc.Seed == 0 {
+		fc.Seed = time.Now().UnixNano()
 	}
 }
 
@@ -113,6 +135,7 @@ type FailoverSource struct {
 	tel      *telemetry.Registry
 
 	mu       sync.Mutex
+	rng      *rand.Rand // probe-backoff jitter; guarded by mu
 	stop     chan struct{}
 	stopOnce sync.Once
 	probeWG  sync.WaitGroup
@@ -130,7 +153,8 @@ func DialFailover(addrs []string, cfg FailoverConfig) (*FailoverSource, error) {
 	if tel == nil {
 		tel = telemetry.NewRegistry()
 	}
-	f := &FailoverSource{cfg: cfg, tel: tel, stop: make(chan struct{})}
+	f := &FailoverSource{cfg: cfg, tel: tel, stop: make(chan struct{}),
+		rng: rand.New(rand.NewSource(cfg.Seed))}
 	reachable := 0
 	var firstErr error
 	for _, addr := range addrs {
@@ -245,6 +269,13 @@ func (f *FailoverSource) recordFailure(i int, err error) {
 	if backoff > f.cfg.BackoffMax {
 		backoff = f.cfg.BackoffMax
 	}
+	// Jitter desynchronizes probe schedules across a client fleet: N
+	// clients that all saw the replica die must not all re-probe it at
+	// the same instants (health.go's breaker applies the same ±fraction
+	// to agent retries).
+	if j := f.cfg.BackoffJitter; j > 0 {
+		backoff = time.Duration(float64(backoff) * (1 + j*(2*f.rng.Float64()-1)))
+	}
 	r.nextAttempt = time.Now().Add(backoff)
 }
 
@@ -279,13 +310,17 @@ func (f *FailoverSource) call(ctx context.Context, req *request) (*response, err
 			tried[i] = true
 			f.tel.Counter("failover.attempts").Inc()
 			resp, err := r.client.call(ctx, req)
-			if resp != nil && !errors.Is(err, ErrServerBusy) && !errors.Is(err, ErrLoadShed) {
+			if resp != nil && !errors.Is(err, ErrServerBusy) && !errors.Is(err, ErrLoadShed) &&
+				!errors.Is(err, ErrStaleReplica) {
 				f.recordSuccess(i)
 				return resp, err
 			}
-			// An overload refusal proves the replica alive — don't
-			// penalize its health, just route around it this call.
-			if errors.Is(err, ErrServerBusy) || errors.Is(err, ErrLoadShed) {
+			// An overload or staleness refusal proves the replica alive
+			// — don't penalize its health, just route around it this
+			// call. (A fenced read replica recovers by itself the moment
+			// its feed resyncs; marking it Down would only delay that.)
+			if errors.Is(err, ErrServerBusy) || errors.Is(err, ErrLoadShed) ||
+				errors.Is(err, ErrStaleReplica) {
 				f.recordRefusal(i, err)
 			} else {
 				f.recordFailure(i, err)
@@ -310,10 +345,13 @@ func (f *FailoverSource) recordRefusal(i int, err error) {
 	defer f.mu.Unlock()
 	r := f.replicas[i]
 	r.failures++
-	if errors.Is(err, ErrLoadShed) {
+	switch {
+	case errors.Is(err, ErrLoadShed):
 		r.sheds++
 		f.tel.Counter("failover.refusals.shed").Inc()
-	} else {
+	case errors.Is(err, ErrStaleReplica):
+		f.tel.Counter("failover.refusals.stale").Inc()
+	default:
 		f.tel.Counter("failover.refusals.busy").Inc()
 	}
 	if err != nil {
@@ -472,7 +510,7 @@ func (f *FailoverSource) subscribeAny(ctx context.Context, wr WatchRequest) (*Wa
 				return h, nil
 			}
 			if errors.Is(err, ErrServerBusy) || errors.Is(err, ErrLoadShed) ||
-				errors.Is(err, ErrTooManySubscriptions) {
+				errors.Is(err, ErrTooManySubscriptions) || errors.Is(err, ErrStaleReplica) {
 				f.recordRefusal(i, err)
 			} else {
 				f.recordFailure(i, err)

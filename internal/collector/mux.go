@@ -12,7 +12,9 @@ package collector
 //   - long-lived subscription streams (the "watch" op, watch.go): a
 //     stream that stays open after its subscribe ack and carries
 //     server-pushed WatchUpdate frames until cancelled, evicted, or
-//     drained with a terminal Final update.
+//     drained with a terminal Final update. The replication feed
+//     (feed.go) is such a stream whose updates carry FeedPayload
+//     snapshots/deltas for stateless read replicas.
 //
 // The envelope rides on the existing length-prefixed independent-gob
 // frames (frame.go), so the bounded-allocation and abort-mid-frame

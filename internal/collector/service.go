@@ -71,6 +71,21 @@ func topoToWire(t *Topology) *wireTopo {
 	return w
 }
 
+// topoFromWireChecked is topoFromWire for untrusted bytes (a feed
+// payload, a server's topo response): the graph package panics on
+// incoherent input — dangling link endpoints, duplicate nodes,
+// non-positive capacities — because locally that is programmer error,
+// but data that crossed the wire must fail decode with an error
+// instead.
+func topoFromWireChecked(w *wireTopo) (t *Topology, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			t, err = nil, fmt.Errorf("collector: invalid wire topology: %v", p)
+		}
+	}()
+	return topoFromWire(w), nil
+}
+
 func topoFromWire(w *wireTopo) *Topology {
 	g := graph.New()
 	for _, n := range w.Nodes {
@@ -117,6 +132,7 @@ const (
 	codeDeadline   = 2 // budget expired before an answer (ErrDeadlineExceeded)
 	codeShed       = 3 // admission queue full (ErrLoadShed + retry-after)
 	codeWatchLimit = 4 // subscription cap (ErrTooManySubscriptions)
+	codeStale      = 5 // read replica fenced on staleness (ErrStaleReplica)
 )
 
 type response struct {
@@ -692,6 +708,17 @@ func refusalResponse(err error) *response {
 	return &response{Err: busyMsg, Code: codeBusy}
 }
 
+// appError records an application-level error on a response. Most stay
+// plain codeOK errors (the answer is authoritative), but a stale-fenced
+// read replica's refusal gets its typed wire code so clients reproduce
+// ErrStaleReplica and the failover layer can route around it.
+func appError(resp *response, err error) {
+	resp.Err = err.Error()
+	if errors.Is(err, ErrStaleReplica) {
+		resp.Code = codeStale
+	}
+}
+
 // handle answers one request. A panicking Source must cost the client
 // one errored response, never the daemon process: every shared-daemon
 // deployment (the paper's Figure 2) has this property or doesn't scale
@@ -708,32 +735,32 @@ func (s *Server) handle(req *request) (resp *response) {
 	case "topo":
 		t, err := s.src.Topology()
 		if err != nil {
-			resp.Err = err.Error()
+			appError(resp, err)
 		} else {
 			resp.Topo = topoToWire(t)
 		}
 	case "util":
 		st, err := s.src.Utilization(req.Key, req.Span)
 		if err != nil {
-			resp.Err = err.Error()
+			appError(resp, err)
 		}
 		resp.Stat = st
 	case "samples":
 		sm, err := s.src.Samples(req.Key)
 		if err != nil {
-			resp.Err = err.Error()
+			appError(resp, err)
 		}
 		resp.Samples = sm
 	case "load":
 		st, err := s.src.HostLoad(graph.NodeID(req.Node), req.Span)
 		if err != nil {
-			resp.Err = err.Error()
+			appError(resp, err)
 		}
 		resp.Stat = st
 	case "age":
 		age, err := s.src.DataAge(req.Key)
 		if err != nil {
-			resp.Err = err.Error()
+			appError(resp, err)
 		}
 		resp.Age = age
 	case "health":
@@ -1380,6 +1407,8 @@ func decodeResponse(resp *response) (*response, error) {
 		return resp, &ShedError{RetryAfter: time.Duration(resp.RetryAfterMS * float64(time.Millisecond))}
 	case codeWatchLimit:
 		return resp, ErrTooManySubscriptions
+	case codeStale:
+		return resp, ErrStaleReplica
 	default:
 		return resp, fmt.Errorf("collector: unknown response code %d (%s)", resp.Code, resp.Err)
 	}
@@ -1400,7 +1429,7 @@ func callTopology(ctx context.Context, c caller) (*Topology, error) {
 	if resp.Topo == nil {
 		return nil, fmt.Errorf("collector: server answered topology query without a topology")
 	}
-	return topoFromWire(resp.Topo), nil
+	return topoFromWireChecked(resp.Topo)
 }
 
 func callUtilization(ctx context.Context, c caller, key ChannelKey, span float64) (stats.Stat, error) {

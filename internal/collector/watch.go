@@ -43,6 +43,8 @@ const (
 	// WatchLoad pushes the CPU-load Stat of one host when its median
 	// moved by at least Threshold since the last push.
 	WatchLoad = "load"
+	// WatchFeed (feed.go) streams the source's full state to read
+	// replicas: a Full snapshot payload first, epoch deltas after.
 )
 
 // WatchRequest names the query a subscription evaluates.
@@ -86,6 +88,9 @@ type WatchUpdate struct {
 	TopoChanged bool
 	// Stat is the evaluated answer for util/load kinds.
 	Stat stats.Stat
+	// Feed is the replication payload for WatchFeed subscriptions
+	// (nil for every other kind; costs nothing on the wire unset).
+	Feed *FeedPayload
 	// Err carries a non-terminal evaluation error (e.g. "unknown
 	// channel"); the subscription stays live and recovers when the
 	// query evaluates cleanly again.
@@ -268,6 +273,7 @@ type watchEval struct {
 	lastStat  stats.Stat
 	lastErr   string
 	seq       uint64
+	cursor    *FeedCursor // WatchFeed replication progress
 }
 
 // eval evaluates the subscription at epoch against src. ok=false means
@@ -304,6 +310,28 @@ func (e *watchEval) eval(src Source, epoch uint64) (WatchUpdate, bool) {
 		}
 		u.Stat = st
 		median = st.Median
+	case WatchFeed:
+		fs, ok := src.(FeedSource)
+		if !ok {
+			return e.errUpdate(u, fmt.Errorf("collector: source does not support feed subscriptions"))
+		}
+		if e.cursor == nil {
+			e.cursor = &FeedCursor{}
+		}
+		p, err := fs.FeedSince(e.cursor)
+		if err != nil {
+			return e.errUpdate(u, err)
+		}
+		if p == nil {
+			return WatchUpdate{}, false // cursor already at the source's epoch
+		}
+		// The payload's epoch is authoritative: FeedSince reads it under
+		// the source lock, after the (possibly newer) epoch this round
+		// observed.
+		u.Epoch = p.Epoch
+		e.lastEpoch = p.Epoch
+		u.Feed = p
+		median = math.NaN() // every shipped payload is material
 	default:
 		return e.errUpdate(u, fmt.Errorf("collector: unknown watch kind %q", e.req.Kind))
 	}
@@ -338,7 +366,7 @@ func (e *watchEval) errUpdate(u WatchUpdate, err error) (WatchUpdate, bool) {
 // validKind reports whether a wire watch request names a known kind.
 func validWatchKind(kind string) bool {
 	switch kind {
-	case WatchVersion, "", WatchUtil, WatchLoad:
+	case WatchVersion, "", WatchUtil, WatchLoad, WatchFeed:
 		return true
 	}
 	return false
@@ -370,6 +398,14 @@ func (s *Server) registerWatch(sc *servedConn, stream uint64, req *request) (*re
 				}
 				return req.Watch.Kind
 			}())}, nil
+	}
+	if req.Watch.Kind == WatchFeed {
+		// Capability check at the handshake: a replica pointed at a
+		// source that cannot feed it should fail its subscribe loudly,
+		// not receive error updates forever.
+		if _, ok := s.src.(FeedSource); !ok {
+			return &response{Err: "collector: source does not support feed subscriptions"}, nil
+		}
 	}
 	s.mu.Lock()
 	if s.draining {

@@ -1,0 +1,698 @@
+// Package replica implements a stateless read replica of a collector:
+// a process that subscribes to the collector's replication feed (the
+// WatchFeed subscription kind, internal/collector/feed.go), mirrors the
+// fed state into an immutable copy-on-write store behind an
+// atomic.Pointer, and serves the full query/watch op set with no
+// collector round-trip on the query path.
+//
+// "Stateless" means the replica persists nothing: its entire state is
+// reconstructible from one full feed snapshot, so a replica can be
+// killed and restarted anywhere and is live again one snapshot later.
+//
+// # Staleness, honestly
+//
+// A replica is always somewhat behind its collector, and during a
+// partition it falls arbitrarily far behind. Rather than pretend
+// otherwise, the replica:
+//
+//   - extrapolates data ages across the gap (a sample that was 3s old
+//     at the last feed update is reported as 13s old ten wall-seconds
+//     later, with accuracy decayed by the collector's half-life), and
+//   - fences hard past MaxStaleness: queries return the typed
+//     ErrStaleReplica instead of arbitrarily old state. The failover
+//     client treats that like a load-shed refusal — route around,
+//     don't mark Down — because a fenced replica is alive and will
+//     recover the moment its feed does.
+//
+// The replica's lifecycle is an explicit state machine (StateFor):
+//
+//	Syncing --first full snapshot--> Live
+//	Live    --feed quiet > LagThreshold--> Lagging
+//	Lagging --feed quiet > MaxStaleness--> Fenced
+//	Fenced  --update applied--> Live (via resync if the stream broke)
+//
+// Any stream-coherence violation — a Seq gap, an Overflowed or Resync
+// mark, a failed delta apply — tears the subscription down and
+// re-subscribes from scratch; a fresh subscription has a fresh
+// server-side cursor, so the first update is a full snapshot again.
+package replica
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/collector"
+	"repro/internal/graph"
+	"repro/internal/stats"
+	"repro/internal/telemetry"
+)
+
+// State is the replica lifecycle state.
+type State int
+
+const (
+	// Syncing: no full snapshot applied yet; every query refuses with
+	// ErrStaleReplica.
+	Syncing State = iota
+	// Live: state applied within LagThreshold.
+	Live
+	// Lagging: feed quiet past LagThreshold but inside the fence;
+	// answers are served with honestly extrapolated ages.
+	Lagging
+	// Fenced: feed quiet past MaxStaleness; queries refuse with
+	// ErrStaleReplica until an update applies.
+	Fenced
+)
+
+func (s State) String() string {
+	switch s {
+	case Syncing:
+		return "syncing"
+	case Live:
+		return "live"
+	case Lagging:
+		return "lagging"
+	case Fenced:
+		return "fenced"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// StateFor is the state machine as a pure function: synced reports
+// whether a full snapshot has ever been applied, sinceApply is the
+// wall time since the newest applied update, lagAfter and fenceAfter
+// are the Lagging and Fenced thresholds. A negative fenceAfter
+// disables fencing (the replica serves arbitrarily stale state, ages
+// still growing); a negative lagAfter disables the Lagging state.
+func StateFor(synced bool, sinceApply, lagAfter, fenceAfter time.Duration) State {
+	if !synced {
+		return Syncing
+	}
+	if fenceAfter >= 0 && sinceApply > fenceAfter {
+		return Fenced
+	}
+	if lagAfter >= 0 && sinceApply > lagAfter {
+		return Lagging
+	}
+	return Live
+}
+
+// Config parameterizes a Replica.
+type Config struct {
+	// FeedAddr is the collector's query address to subscribe to.
+	FeedAddr string
+	// Client configures the feed connection (dial/IO timeouts).
+	Client collector.ClientConfig
+
+	// MaxStaleness is the fence: once the newest applied update is
+	// older than this, queries refuse with ErrStaleReplica. 0 means
+	// DefaultMaxStaleness; negative disables the fence.
+	MaxStaleness time.Duration
+	// LagThreshold is when the replica reports Lagging. 0 means
+	// MaxStaleness/4 (or DefaultMaxStaleness/4 if the fence is
+	// disabled); negative disables the Lagging state.
+	LagThreshold time.Duration
+	// ResyncBackoff is the initial delay between feed reconnect
+	// attempts; it doubles per consecutive failure up to 16x, with
+	// ±20% jitter. 0 means DefaultResyncBackoff.
+	ResyncBackoff time.Duration
+	// Seed seeds the backoff jitter; 0 derives one from the wall
+	// clock so a fleet of replicas decorrelates naturally.
+	Seed int64
+
+	// Telemetry receives replica metrics; nil disables.
+	Telemetry *telemetry.Registry
+}
+
+// Defaults for Config zero values.
+const (
+	DefaultMaxStaleness  = 30 * time.Second
+	DefaultResyncBackoff = 500 * time.Millisecond
+	maxBackoffMultiple   = 16
+	backoffJitter        = 0.2
+)
+
+func (cfg Config) fill() Config {
+	if cfg.MaxStaleness == 0 {
+		cfg.MaxStaleness = DefaultMaxStaleness
+	}
+	if cfg.LagThreshold == 0 {
+		base := cfg.MaxStaleness
+		if base < 0 {
+			base = DefaultMaxStaleness
+		}
+		cfg.LagThreshold = base / 4
+	}
+	if cfg.ResyncBackoff == 0 {
+		cfg.ResyncBackoff = DefaultResyncBackoff
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = time.Now().UnixNano()
+	}
+	return cfg
+}
+
+// Replica mirrors one collector's state from its replication feed and
+// serves the collector query surface from the mirror. The query path
+// is a single atomic pointer load — no locks, no network.
+//
+// Replica implements collector.Source, ContextSource, VersionedSource,
+// VersionNotifier, HealthSource, and TelemetrySource, so
+// collector.ServeConfig can put a full query/watch server in front of
+// it unchanged.
+type Replica struct {
+	cfg Config
+
+	cur atomic.Pointer[store]
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	syncedCh  chan struct{}
+	syncOnce  sync.Once
+	prevEpoch atomic.Uint64 // last applied epoch, for lag-in-epochs
+
+	// now is the wall clock; swapped in tests.
+	now func() time.Time
+
+	rng *rand.Rand // reconnect-backoff jitter; feed goroutine only
+
+	versionMu   sync.Mutex
+	versionSubs map[chan struct{}]struct{}
+
+	stateMu   sync.Mutex
+	lastState State
+
+	tel          *telemetry.Registry
+	telFulls     *telemetry.Counter
+	telDeltas    *telemetry.Counter
+	telErrs      *telemetry.Counter
+	telResyncs   *telemetry.Counter
+	telFenceTrip *telemetry.Counter
+	telFenced    *telemetry.Counter
+	telEpoch     *telemetry.Gauge
+	telLagEpochs *telemetry.Gauge
+	telLagSecs   *telemetry.Gauge
+	telState     *telemetry.Gauge
+}
+
+// New builds a Replica; call Start to begin syncing.
+func New(cfg Config) *Replica {
+	cfg = cfg.fill()
+	ctx, cancel := context.WithCancel(context.Background())
+	r := &Replica{
+		cfg:      cfg,
+		ctx:      ctx,
+		cancel:   cancel,
+		syncedCh: make(chan struct{}),
+		now:      time.Now,
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		tel:      cfg.Telemetry,
+	}
+	r.telFulls = r.tel.Counter("replica.updates.full")
+	r.telDeltas = r.tel.Counter("replica.updates.delta")
+	r.telErrs = r.tel.Counter("replica.updates.err")
+	r.telResyncs = r.tel.Counter("replica.resyncs")
+	r.telFenceTrip = r.tel.Counter("replica.fence.trips")
+	r.telFenced = r.tel.Counter("replica.queries.fenced")
+	r.telEpoch = r.tel.Gauge("replica.epoch")
+	r.telLagEpochs = r.tel.Gauge("replica.lag.epochs")
+	r.telLagSecs = r.tel.Gauge("replica.lag.seconds")
+	r.telState = r.tel.Gauge("replica.state")
+	return r
+}
+
+// Start launches the feed loop and the state ticker. It returns
+// immediately; use WaitSynced to block until the first snapshot.
+func (r *Replica) Start() {
+	r.wg.Add(2)
+	go func() { defer r.wg.Done(); r.feedLoop() }()
+	go func() { defer r.wg.Done(); r.stateLoop() }()
+}
+
+// WaitSynced blocks until the replica has applied its first full
+// snapshot or the context ends.
+func (r *Replica) WaitSynced(ctx context.Context) error {
+	select {
+	case <-r.syncedCh:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-r.ctx.Done():
+		return errors.New("replica: closed before first sync")
+	}
+}
+
+// Close stops the feed loop and waits for its goroutines.
+func (r *Replica) Close() {
+	r.cancel()
+	r.wg.Wait()
+}
+
+// State reports the current lifecycle state.
+func (r *Replica) State() State {
+	st := r.cur.Load()
+	if st == nil {
+		return Syncing
+	}
+	return StateFor(true, st.staleness(r.now()), r.cfg.LagThreshold, r.cfg.MaxStaleness)
+}
+
+// Status is a point-in-time summary for operators (remos-stat, debug
+// endpoints).
+type Status struct {
+	State     State
+	Epoch     uint64
+	Staleness time.Duration // time since last applied update
+	Synced    bool
+}
+
+// Status reports the replica's current status.
+func (r *Replica) Status() Status {
+	st := r.cur.Load()
+	if st == nil {
+		return Status{State: Syncing}
+	}
+	stale := st.staleness(r.now())
+	return Status{
+		State:     StateFor(true, stale, r.cfg.LagThreshold, r.cfg.MaxStaleness),
+		Epoch:     st.epoch,
+		Staleness: stale,
+		Synced:    true,
+	}
+}
+
+// Telemetry implements collector.TelemetrySource.
+func (r *Replica) Telemetry() *telemetry.Registry { return r.tel }
+
+// ---------------------------------------------------------------------
+// Feed loop: subscribe, apply, resync.
+
+// errResync is the internal signal that the stream lost coherence and
+// the subscription must be rebuilt from a fresh cursor.
+var errResync = errors.New("replica: stream coherence lost, resyncing")
+
+func (r *Replica) feedLoop() {
+	backoff := r.cfg.ResyncBackoff
+	for r.ctx.Err() == nil {
+		ok, err := r.runFeedOnce(r.ctx)
+		if r.ctx.Err() != nil {
+			return
+		}
+		if err != nil && !errors.Is(err, errResync) {
+			r.telErrs.Inc()
+		}
+		if ok {
+			// The stream made progress before breaking; restart the
+			// backoff ladder.
+			backoff = r.cfg.ResyncBackoff
+		}
+		if !r.sleep(jittered(backoff, r.rng)) {
+			return
+		}
+		backoff *= 2
+		if max := r.cfg.ResyncBackoff * maxBackoffMultiple; backoff > max {
+			backoff = max
+		}
+	}
+}
+
+// jittered spreads d by ±backoffJitter so a fleet of replicas cut off
+// by the same partition does not reconnect in lockstep.
+func jittered(d time.Duration, rng *rand.Rand) time.Duration {
+	return time.Duration(float64(d) * (1 + backoffJitter*(2*rng.Float64()-1)))
+}
+
+func (r *Replica) sleep(d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-r.ctx.Done():
+		return false
+	}
+}
+
+// runFeedOnce runs one subscription lifetime: dial, subscribe, consume
+// until the stream breaks. It reports whether any update was applied
+// (progress resets the reconnect backoff).
+func (r *Replica) runFeedOnce(ctx context.Context) (progress bool, err error) {
+	cl, err := collector.DialConfig(r.cfg.FeedAddr, r.cfg.Client)
+	if err != nil {
+		return false, err
+	}
+	defer cl.Close()
+	h, err := cl.Watch(ctx, collector.WatchRequest{Kind: collector.WatchFeed})
+	if err != nil {
+		return false, err
+	}
+	defer h.Cancel()
+	return r.consumeFeed(ctx, h)
+}
+
+// consumeFeed applies updates until the stream ends or loses
+// coherence. Coherence rules: Seq must be dense; Overflowed or Resync
+// marks mean updates were missed or the stream re-based, and since a
+// feed delta is only meaningful relative to the exact previous one,
+// either forces a full resync (fresh subscription => fresh cursor =>
+// full snapshot).
+func (r *Replica) consumeFeed(ctx context.Context, h *collector.WatchHandle) (progress bool, err error) {
+	var lastSeq uint64
+	for {
+		var u collector.WatchUpdate
+		var open bool
+		select {
+		case u, open = <-h.C:
+		case <-ctx.Done():
+			return progress, ctx.Err()
+		}
+		if !open {
+			if werr := h.Err(); werr != nil {
+				return progress, werr
+			}
+			return progress, errors.New("replica: feed stream closed")
+		}
+		if u.Final {
+			// Server drained us (graceful shutdown): reconnect.
+			return progress, errors.New("replica: feed drained by server")
+		}
+		if needsResync(lastSeq, u, progress) {
+			return progress, errResync
+		}
+		if u.Seq != 0 {
+			lastSeq = u.Seq
+		}
+		if u.Err != "" {
+			// Non-terminal evaluation error (e.g. collector has no
+			// topology yet). The subscription recovers by itself.
+			r.telErrs.Inc()
+			continue
+		}
+		if u.Feed == nil {
+			continue
+		}
+		if err := r.apply(u.Feed); err != nil {
+			return progress, fmt.Errorf("%w (%v)", errResync, err)
+		}
+		progress = true
+	}
+}
+
+// needsResync is the stream-coherence rule, as a pure function: a Seq
+// gap means updates were dropped, Overflowed means the server's queue
+// folded states together, and a Resync mark after progress means the
+// stream re-based on another server — in every case the deltas no
+// longer chain from our store, so only a fresh full snapshot is safe.
+// (A Resync mark before any progress is fine: there is nothing to be
+// incoherent with yet.)
+func needsResync(lastSeq uint64, u collector.WatchUpdate, progress bool) bool {
+	if u.Seq != 0 && lastSeq != 0 && u.Seq != lastSeq+1 {
+		return true
+	}
+	return u.Overflowed || (u.Resync && progress)
+}
+
+// apply builds the successor store from one payload and publishes it.
+func (r *Replica) apply(p *collector.FeedPayload) error {
+	wall := r.now()
+	prev := r.cur.Load()
+	var next *store
+	var err error
+	switch {
+	case p.Full:
+		next, err = applyFull(p, wall)
+		r.telFulls.Inc()
+		if prev != nil && err == nil {
+			// A full snapshot over an existing store is a re-base:
+			// the replica recovered from a coherence loss or a healed
+			// partition. (The trigger side — errResync in feedLoop —
+			// can fire without completing; this counts completions.)
+			r.telResyncs.Inc()
+		}
+	case prev == nil:
+		// A delta with nothing to apply it to: only possible if the
+		// server-side cursor outlived our store, i.e. incoherent.
+		return errors.New("replica: delta before first full snapshot")
+	default:
+		next, err = prev.applyDelta(p, wall)
+		r.telDeltas.Inc()
+	}
+	if err != nil {
+		return err
+	}
+	// lag.epochs counts collector epochs that were coalesced into this
+	// update (0 = saw every epoch; the collector coalesces when the
+	// replica is slow or the queue folds).
+	if last := r.prevEpoch.Load(); last != 0 && next.epoch > last {
+		r.telLagEpochs.Set(float64(next.epoch - last - 1))
+	}
+	r.prevEpoch.Store(next.epoch)
+	r.cur.Store(next)
+	r.telEpoch.Set(float64(next.epoch))
+	r.syncOnce.Do(func() { close(r.syncedCh) })
+	r.notifyVersion()
+	return nil
+}
+
+// stateLoop keeps the observable gauges fresh and counts state
+// transitions; queries do not depend on it (state is computed on
+// demand from the store's apply time).
+func (r *Replica) stateLoop() {
+	tick := time.NewTicker(100 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		select {
+		case <-tick.C:
+		case <-r.ctx.Done():
+			return
+		}
+		st := r.cur.Load()
+		state := Syncing
+		if st != nil {
+			stale := st.staleness(r.now())
+			r.telLagSecs.Set(stale.Seconds())
+			state = StateFor(true, stale, r.cfg.LagThreshold, r.cfg.MaxStaleness)
+		}
+		r.telState.Set(float64(state))
+		r.stateMu.Lock()
+		if state == Fenced && r.lastState != Fenced {
+			r.telFenceTrip.Inc()
+		}
+		r.lastState = state
+		r.stateMu.Unlock()
+	}
+}
+
+// ---------------------------------------------------------------------
+// Query surface.
+
+// gate loads the current store and enforces the staleness fence. Every
+// query goes through it; the refusal is the typed ErrStaleReplica that
+// the failover client routes around without marking this replica Down.
+func (r *Replica) gate() (*store, error) {
+	st := r.cur.Load()
+	if st == nil {
+		r.telFenced.Inc()
+		return nil, fmt.Errorf("replica: not yet synced: %w", collector.ErrStaleReplica)
+	}
+	if fence := r.cfg.MaxStaleness; fence >= 0 && st.staleness(r.now()) > fence {
+		r.telFenced.Inc()
+		return nil, fmt.Errorf("replica: last update %.1fs ago: %w",
+			st.staleness(r.now()).Seconds(), collector.ErrStaleReplica)
+	}
+	return st, nil
+}
+
+// Topology implements collector.Source.
+func (r *Replica) Topology() (*collector.Topology, error) {
+	st, err := r.gate()
+	if err != nil {
+		return nil, err
+	}
+	return st.topo, nil
+}
+
+// ageAdjust mirrors the collector's ageAdjustLocked, but against the
+// extrapolated clock: ages keep growing in wall time between feed
+// updates, so a lagging replica's answers degrade honestly instead of
+// freezing at their last-fed age.
+func (st *store) ageAdjust(s stats.Stat, w *stats.Window, wall time.Time) stats.Stat {
+	latest, ok := w.Latest()
+	if !ok {
+		return s
+	}
+	s.Age = math.Max(0, st.virtualNow(wall)-latest.Time)
+	return s.AgeDecayed(st.halfLife)
+}
+
+// Utilization implements collector.Source.
+func (r *Replica) Utilization(key collector.ChannelKey, span float64) (stats.Stat, error) {
+	st, err := r.gate()
+	if err != nil {
+		return stats.NoData(), err
+	}
+	w := st.channels[key]
+	if w == nil {
+		return stats.NoData(), fmt.Errorf("collector: unknown channel %v", key)
+	}
+	return st.ageAdjust(w.Summary(span), w, r.now()), nil
+}
+
+// DataAge implements collector.Source.
+func (r *Replica) DataAge(key collector.ChannelKey) (float64, error) {
+	st, err := r.gate()
+	if err != nil {
+		return 0, err
+	}
+	w := st.channels[key]
+	if w == nil {
+		return 0, fmt.Errorf("collector: unknown channel %v", key)
+	}
+	latest, ok := w.Latest()
+	if !ok {
+		return math.Inf(1), nil
+	}
+	return math.Max(0, st.virtualNow(r.now())-latest.Time), nil
+}
+
+// Samples implements collector.Source.
+func (r *Replica) Samples(key collector.ChannelKey) ([]stats.Sample, error) {
+	st, err := r.gate()
+	if err != nil {
+		return nil, err
+	}
+	w := st.channels[key]
+	if w == nil {
+		return nil, fmt.Errorf("collector: unknown channel %v", key)
+	}
+	return w.Samples(), nil
+}
+
+// HostLoad implements collector.Source.
+func (r *Replica) HostLoad(node graph.NodeID, span float64) (stats.Stat, error) {
+	st, err := r.gate()
+	if err != nil {
+		return stats.NoData(), err
+	}
+	w := st.loads[node]
+	if w == nil {
+		return stats.NoData(), fmt.Errorf("collector: no load data for %q", node)
+	}
+	return st.ageAdjust(w.Summary(span), w, r.now()), nil
+}
+
+// Capacity mirrors Collector.Capacity.
+func (r *Replica) Capacity(key collector.ChannelKey) (float64, bool) {
+	st := r.cur.Load()
+	if st == nil {
+		return 0, false
+	}
+	v, ok := st.capacity[key]
+	return v, ok
+}
+
+// Health implements collector.HealthSource: the agent health as of the
+// last applied update.
+func (r *Replica) Health() map[graph.NodeID]collector.AgentHealth {
+	st := r.cur.Load()
+	if st == nil {
+		return map[graph.NodeID]collector.AgentHealth{}
+	}
+	out := make(map[graph.NodeID]collector.AgentHealth, len(st.health))
+	for id, h := range st.health {
+		out[id] = h
+	}
+	return out
+}
+
+// DataVersion implements collector.VersionedSource: the replica's
+// version IS the collector epoch it has applied, so watch subscribers
+// on a replica see the same epoch numbering as on the collector.
+func (r *Replica) DataVersion() (uint64, bool) {
+	st := r.cur.Load()
+	if st == nil {
+		return 0, false
+	}
+	return st.epoch, true
+}
+
+// SubscribeVersion implements collector.VersionNotifier; the server's
+// watch loop uses it to wake on feed applies instead of polling.
+func (r *Replica) SubscribeVersion() (<-chan struct{}, func()) {
+	ch := make(chan struct{}, 1)
+	r.versionMu.Lock()
+	if r.versionSubs == nil {
+		r.versionSubs = make(map[chan struct{}]struct{})
+	}
+	r.versionSubs[ch] = struct{}{}
+	r.versionMu.Unlock()
+	release := func() {
+		r.versionMu.Lock()
+		delete(r.versionSubs, ch)
+		r.versionMu.Unlock()
+	}
+	return ch, release
+}
+
+func (r *Replica) notifyVersion() {
+	r.versionMu.Lock()
+	for ch := range r.versionSubs {
+		select {
+		case ch <- struct{}{}:
+		default:
+		}
+	}
+	r.versionMu.Unlock()
+}
+
+// The context-aware variants only need the liveness check — the data
+// is already local.
+
+// TopologyCtx implements collector.ContextSource.
+func (r *Replica) TopologyCtx(ctx context.Context) (*collector.Topology, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return r.Topology()
+}
+
+// UtilizationCtx implements collector.ContextSource.
+func (r *Replica) UtilizationCtx(ctx context.Context, key collector.ChannelKey, span float64) (stats.Stat, error) {
+	if err := ctx.Err(); err != nil {
+		return stats.NoData(), err
+	}
+	return r.Utilization(key, span)
+}
+
+// SamplesCtx implements collector.ContextSource.
+func (r *Replica) SamplesCtx(ctx context.Context, key collector.ChannelKey) ([]stats.Sample, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return r.Samples(key)
+}
+
+// HostLoadCtx implements collector.ContextSource.
+func (r *Replica) HostLoadCtx(ctx context.Context, node graph.NodeID, span float64) (stats.Stat, error) {
+	if err := ctx.Err(); err != nil {
+		return stats.NoData(), err
+	}
+	return r.HostLoad(node, span)
+}
+
+// DataAgeCtx implements collector.ContextSource.
+func (r *Replica) DataAgeCtx(ctx context.Context, key collector.ChannelKey) (float64, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	return r.DataAge(key)
+}

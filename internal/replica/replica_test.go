@@ -1,0 +1,555 @@
+package replica
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/collector"
+	"repro/internal/graph"
+	"repro/internal/netsim"
+	"repro/internal/simclock"
+	"repro/internal/snmp"
+	"repro/internal/stats"
+	"repro/internal/telemetry"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+// ---------------------------------------------------------------------
+// State machine.
+
+func TestStateFor(t *testing.T) {
+	const (
+		lag   = 5 * time.Second
+		fence = 30 * time.Second
+	)
+	cases := []struct {
+		name       string
+		synced     bool
+		sinceApply time.Duration
+		lag, fence time.Duration
+		want       State
+	}{
+		{"unsynced is syncing", false, 0, lag, fence, Syncing},
+		{"unsynced stays syncing however old", false, time.Hour, lag, fence, Syncing},
+		{"fresh is live", true, 0, lag, fence, Live},
+		{"at lag threshold still live", true, lag, lag, fence, Live},
+		{"past lag threshold lagging", true, lag + time.Millisecond, lag, fence, Lagging},
+		{"at fence still lagging", true, fence, lag, fence, Lagging},
+		{"past fence fenced", true, fence + time.Millisecond, lag, fence, Fenced},
+		{"way past fence fenced", true, time.Hour, lag, fence, Fenced},
+		{"fence disabled never fences", true, time.Hour, lag, -1, Lagging},
+		{"lag disabled skips lagging", true, fence, -1, fence, Live},
+		{"both disabled always live", true, time.Hour, -1, -1, Live},
+		{"recovery: fresh apply after fence", true, time.Millisecond, lag, fence, Live},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := StateFor(c.synced, c.sinceApply, c.lag, c.fence); got != c.want {
+				t.Fatalf("StateFor(%v, %v, %v, %v) = %v, want %v",
+					c.synced, c.sinceApply, c.lag, c.fence, got, c.want)
+			}
+		})
+	}
+}
+
+func TestNeedsResync(t *testing.T) {
+	u := func(seq uint64, overflowed, resync bool) collector.WatchUpdate {
+		return collector.WatchUpdate{Seq: seq, Overflowed: overflowed, Resync: resync}
+	}
+	cases := []struct {
+		name     string
+		lastSeq  uint64
+		u        collector.WatchUpdate
+		progress bool
+		want     bool
+	}{
+		{"first update accepted at any seq", 0, u(7, false, false), false, false},
+		{"dense successor ok", 3, u(4, false, false), true, false},
+		{"seq gap forces resync", 3, u(5, false, false), true, true},
+		{"seq going backward forces resync", 3, u(3, false, false), true, true},
+		{"overflow forces resync", 3, u(4, true, false), true, true},
+		{"overflow on first update forces resync", 0, u(1, true, false), false, true},
+		{"resync mark after progress forces resync", 3, u(4, false, true), true, true},
+		{"resync mark before progress is benign", 0, u(1, false, true), false, false},
+		{"seq 0 (terminal) ignored by gap check", 3, u(0, false, false), true, false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := needsResync(c.lastSeq, c.u, c.progress); got != c.want {
+				t.Fatalf("needsResync(%d, %+v, %v) = %v, want %v",
+					c.lastSeq, c.u, c.progress, got, c.want)
+			}
+		})
+	}
+}
+
+func TestStateString(t *testing.T) {
+	for s, want := range map[State]string{
+		Syncing: "syncing", Live: "live", Lagging: "lagging", Fenced: "fenced",
+	} {
+		if s.String() != want {
+			t.Fatalf("%d.String() = %q, want %q", int(s), s.String(), want)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// Store apply, against payloads from a real collector.
+
+// rig is an in-process testbed collector producing real feed payloads.
+type rig struct {
+	clk *simclock.Clock
+	net *netsim.Network
+	col *collector.Collector
+}
+
+func newRig(t testing.TB) *rig {
+	t.Helper()
+	clk := simclock.New()
+	n, err := netsim.New(clk, topology.Testbed())
+	if err != nil {
+		t.Fatal(err)
+	}
+	att := snmp.Attach(n, snmp.DefaultCommunity)
+	addrs := make(map[graph.NodeID]string)
+	for id := range att.Agents {
+		addrs[id] = snmp.Addr(id)
+	}
+	col := collector.New(collector.Config{
+		Client:        snmp.NewClient(att.Registry, snmp.DefaultCommunity),
+		Clock:         clk,
+		Addrs:         addrs,
+		PollPeriod:    2,
+		PerHopLatency: topology.PerHopLatency,
+	})
+	if err := col.Start(); err != nil {
+		t.Fatal(err)
+	}
+	traffic.Blast(n, "m-6", "m-8", 40e6)
+	clk.Advance(10)
+	return &rig{clk: clk, net: n, col: col}
+}
+
+func chanKey(t testing.TB, col *collector.Collector, from, to graph.NodeID) collector.ChannelKey {
+	t.Helper()
+	topo, err := col.Topology()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range topo.Graph.Links() {
+		if (l.A == from && l.B == to) || (l.A == to && l.B == from) {
+			return topo.Key(l, l.DirFrom(from))
+		}
+	}
+	t.Fatalf("no link %s--%s", from, to)
+	return collector.ChannelKey{}
+}
+
+func TestStoreApplyFullThenDeltas(t *testing.T) {
+	r := newRig(t)
+	cur := &collector.FeedCursor{}
+	wall := time.Unix(1000, 0)
+
+	p, err := r.col.FeedSince(cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := applyFull(p, wall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.epoch != p.Epoch || st.topo == nil {
+		t.Fatalf("store after full: epoch %d topo %v", st.epoch, st.topo)
+	}
+
+	// Three delta rounds; the final store must agree with the collector
+	// sample for sample.
+	for i := 0; i < 3; i++ {
+		r.clk.Advance(2)
+		p, err := r.col.FeedSince(cur)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prev := st
+		st, err = st.applyDelta(p, wall.Add(time.Duration(i)*time.Second))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.epoch != p.Epoch {
+			t.Fatalf("delta %d: epoch %d, want %d", i, st.epoch, p.Epoch)
+		}
+		// COW: the previous store must be untouched by the apply.
+		if prev.epoch == st.epoch {
+			t.Fatal("applyDelta mutated the previous store's epoch")
+		}
+	}
+
+	key := chanKey(t, r.col, "m-6", "timberline")
+	want, err := r.col.Samples(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := st.channels[key].Samples()
+	if len(got) != len(want) {
+		t.Fatalf("store has %d samples, collector %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sample %d: store %+v, collector %+v", i, got[i], want[i])
+		}
+	}
+
+	// Utilization through the store must match the collector's answer
+	// up to the age term (the store extrapolates in wall time).
+	cs, err := r.col.Utilization(key, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss := st.ageAdjust(st.channels[key].Summary(6), st.channels[key], wall.Add(3*time.Second))
+	if math.Abs(cs.Median-ss.Median) > 1e-6 {
+		t.Fatalf("median: store %v, collector %v", ss.Median, cs.Median)
+	}
+}
+
+func TestStoreApplyRejectsIncoherentPayloads(t *testing.T) {
+	r := newRig(t)
+	cur := &collector.FeedCursor{}
+	wall := time.Unix(1000, 0)
+	p, err := r.col.FeedSince(cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A full payload stripped of its topology must fail.
+	noTopo := *p
+	noTopo.Topo = nil
+	if _, err := applyFull(&noTopo, wall); err == nil {
+		t.Fatal("applyFull accepted a full payload without topology")
+	}
+
+	st, err := applyFull(p, wall)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Replaying the same samples again violates per-channel sample
+	// monotonicity — the apply must fail (the replica then resyncs)
+	// rather than silently corrupt the windows.
+	replay := *p
+	replay.Full = false
+	replay.Topo = nil
+	replay.Epoch = p.Epoch + 1
+	if _, err := st.applyDelta(&replay, wall); err == nil {
+		t.Fatal("applyDelta accepted out-of-order samples")
+	}
+
+	// Non-finite samples are rejected.
+	bad := collector.FeedPayload{
+		Epoch: p.Epoch + 1,
+		Channels: map[collector.ChannelKey][]stats.Sample{
+			{Global: 0}: {{Time: math.NaN(), Value: 1}},
+		},
+	}
+	if _, err := st.applyDelta(&bad, wall); err == nil {
+		t.Fatal("applyDelta accepted a NaN sample time")
+	}
+}
+
+// ---------------------------------------------------------------------
+// End-to-end: replica over a served collector feed.
+
+// lockedFeedSource serializes collector access between the TCP server's
+// handler goroutines and the test goroutine driving the virtual clock
+// (simclock has no internal locking). DataVersion and SubscribeVersion
+// are internally synchronized and skip the lock — the server's watch
+// loop blocks on them while holding nothing.
+type lockedFeedSource struct {
+	mu  *sync.Mutex
+	col *collector.Collector
+}
+
+func (s *lockedFeedSource) Topology() (*collector.Topology, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.col.Topology()
+}
+
+func (s *lockedFeedSource) Utilization(key collector.ChannelKey, span float64) (stats.Stat, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.col.Utilization(key, span)
+}
+
+func (s *lockedFeedSource) Samples(key collector.ChannelKey) ([]stats.Sample, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.col.Samples(key)
+}
+
+func (s *lockedFeedSource) HostLoad(node graph.NodeID, span float64) (stats.Stat, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.col.HostLoad(node, span)
+}
+
+func (s *lockedFeedSource) DataAge(key collector.ChannelKey) (float64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.col.DataAge(key)
+}
+
+func (s *lockedFeedSource) Health() map[graph.NodeID]collector.AgentHealth {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.col.Health()
+}
+
+func (s *lockedFeedSource) FeedSince(cur *collector.FeedCursor) (*collector.FeedPayload, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.col.FeedSince(cur)
+}
+
+func (s *lockedFeedSource) DataVersion() (uint64, bool) { return s.col.DataVersion() }
+
+func (s *lockedFeedSource) SubscribeVersion() (<-chan struct{}, func()) {
+	return s.col.SubscribeVersion()
+}
+
+// clockDriver advances the virtual clock from a goroutine, like the
+// daemon's real-time driver: 20 virtual seconds per wall second, so
+// the 2s poll period produces a feed heartbeat every ~100ms wall.
+func clockDriver(mu *sync.Mutex, clk *simclock.Clock) (stop func()) {
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		tick := time.NewTicker(10 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-tick.C:
+				mu.Lock()
+				clk.Advance(0.2)
+				mu.Unlock()
+			case <-done:
+				return
+			}
+		}
+	}()
+	return func() { close(done); wg.Wait() }
+}
+
+func waitFor(t *testing.T, within time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(within)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("timed out after %v waiting for %s", within, what)
+}
+
+func TestReplicaSyncServeFenceRecover(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	r := newRig(t)
+	var mu sync.Mutex
+	src := &lockedFeedSource{mu: &mu, col: r.col}
+	srv, err := collector.Serve(src, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr()
+	stopClock := clockDriver(&mu, r.clk)
+
+	rep := New(Config{
+		FeedAddr:      addr,
+		MaxStaleness:  1200 * time.Millisecond,
+		LagThreshold:  300 * time.Millisecond,
+		ResyncBackoff: 25 * time.Millisecond,
+		Seed:          1,
+		Telemetry:     telemetry.NewRegistry(),
+	})
+	rep.Start()
+	defer rep.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := rep.WaitSynced(ctx); err != nil {
+		t.Fatalf("replica never synced: %v", err)
+	}
+
+	// Live answers must agree with the collector.
+	key := func() collector.ChannelKey {
+		mu.Lock()
+		defer mu.Unlock()
+		return chanKey(t, r.col, "m-6", "timberline")
+	}()
+	repTopo, err := rep.Topology()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	colTopo, _ := r.col.Topology()
+	mu.Unlock()
+	if repTopo.Graph.NumLinks() != colTopo.Graph.NumLinks() {
+		t.Fatalf("replica topo has %d links, collector %d",
+			repTopo.Graph.NumLinks(), colTopo.Graph.NumLinks())
+	}
+	waitFor(t, 3*time.Second, "replica live", func() bool { return rep.State() == Live })
+	if _, err := rep.Utilization(key, 6); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := rep.Capacity(key); !ok || v != 100e6 {
+		t.Fatalf("replica capacity = %v, %v; want 100e6", v, ok)
+	}
+	if len(rep.Health()) == 0 {
+		t.Fatal("replica serves no health data")
+	}
+	if ver, ok := rep.DataVersion(); !ok || ver == 0 {
+		t.Fatalf("replica DataVersion = %d, %v", ver, ok)
+	}
+
+	// Partition: kill the feed server. The replica serves increasingly
+	// old answers (ages growing in wall time), then fences.
+	epochAtKill, _ := rep.DataVersion()
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	time.Sleep(400 * time.Millisecond) // inside the fence
+	st, err := rep.Utilization(key, 6)
+	if err != nil {
+		t.Fatalf("pre-fence query refused: %v", err)
+	}
+	if st.Age < 0.3 {
+		t.Fatalf("pre-fence age %.3fs does not reflect the partition", st.Age)
+	}
+
+	waitFor(t, 3*time.Second, "replica fenced", func() bool { return rep.State() == Fenced })
+	// Dwell in the fenced state: every query across the window must be
+	// the typed refusal — zero unmarked-fresh answers — and the state
+	// ticker must get to observe the transition.
+	fencedUntil := time.Now().Add(300 * time.Millisecond)
+	for time.Now().Before(fencedUntil) {
+		if _, err := rep.Utilization(key, 6); !errors.Is(err, collector.ErrStaleReplica) {
+			t.Fatalf("fenced query err = %v, want ErrStaleReplica", err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if _, err := rep.Topology(); !errors.Is(err, collector.ErrStaleReplica) {
+		t.Fatalf("fenced topology err = %v, want ErrStaleReplica", err)
+	}
+	// Lifecycle classification: stale is routable-around, not semantic.
+	if _, err := rep.Utilization(key, 6); !collector.IsLifecycleError(err) {
+		t.Fatal("ErrStaleReplica must classify as a lifecycle error")
+	}
+
+	// Heal: re-serve on the same address; the replica resyncs with a
+	// fresh full snapshot and catches up past its pre-partition epoch.
+	srv2, err := collector.Serve(src, addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 5*time.Second, "replica recovered", func() bool {
+		if rep.State() != Live {
+			return false
+		}
+		ver, _ := rep.DataVersion()
+		return ver > epochAtKill
+	})
+	if _, err := rep.Utilization(key, 6); err != nil {
+		t.Fatalf("post-recovery query refused: %v", err)
+	}
+	tel := rep.Telemetry().Snapshot()
+	if tel.Counters["replica.updates.full"] < 2 {
+		t.Fatalf("expected a full re-snapshot after the partition; fulls = %d",
+			tel.Counters["replica.updates.full"])
+	}
+	if tel.Counters["replica.fence.trips"] == 0 {
+		t.Fatal("fence trip not counted")
+	}
+	if tel.Counters["replica.queries.fenced"] == 0 {
+		t.Fatal("fenced queries not counted")
+	}
+
+	// Teardown everything and verify no goroutines leak.
+	srv2.Close()
+	stopClock()
+	rep.Close()
+	waitFor(t, 10*time.Second, fmt.Sprintf("goroutines back to ~%d", baseline), func() bool {
+		runtime.GC()
+		return runtime.NumGoroutine() <= baseline+2
+	})
+}
+
+func TestReplicaServesWatches(t *testing.T) {
+	r := newRig(t)
+	var mu sync.Mutex
+	src := &lockedFeedSource{mu: &mu, col: r.col}
+	srv, err := collector.Serve(src, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	stopClock := clockDriver(&mu, r.clk)
+	defer stopClock()
+
+	rep := New(Config{FeedAddr: srv.Addr(), Seed: 1})
+	rep.Start()
+	defer rep.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := rep.WaitSynced(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// Serve the replica itself over TCP and subscribe a version watch
+	// to it: epoch numbers must advance as the feed applies.
+	rsrv, err := collector.Serve(rep, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rsrv.Close()
+	cl, err := collector.Dial(rsrv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	h, err := cl.Watch(ctx, collector.WatchRequest{Kind: collector.WatchVersion})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Cancel()
+	var first, second collector.WatchUpdate
+	select {
+	case first = <-h.C:
+	case <-ctx.Done():
+		t.Fatal("no first watch update through the replica")
+	}
+	select {
+	case second = <-h.C:
+	case <-ctx.Done():
+		t.Fatal("no second watch update through the replica")
+	}
+	if second.Epoch <= first.Epoch {
+		t.Fatalf("watch epochs through replica did not advance: %d then %d",
+			first.Epoch, second.Epoch)
+	}
+
+	// The feed kind must be refused by a replica's server (replicas
+	// do not re-feed; chaining goes through the collector).
+	if _, err := cl.Watch(ctx, collector.WatchRequest{Kind: collector.WatchFeed}); err == nil {
+		t.Fatal("feed subscription on a replica succeeded; replicas do not chain")
+	}
+}

@@ -100,6 +100,32 @@ func (w *Window) Samples() []Sample {
 	return out
 }
 
+// SamplesSince returns a copy of the samples with Time strictly after
+// t, oldest first. This is the replication-feed cursor primitive: a
+// subscriber that has already shipped everything up to time t asks only
+// for what arrived since.
+func (w *Window) SamplesSince(t float64) []Sample {
+	var out []Sample
+	for i := 0; i < w.count; i++ {
+		s := w.at(i)
+		if s.Time > t {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Clone returns an independent copy of the window. Copy-on-write
+// consumers (the read replica's snapshot store) clone a window before
+// appending to it, so readers of the previous snapshot never observe
+// mutation.
+func (w *Window) Clone() *Window {
+	cp := *w
+	cp.samples = make([]Sample, len(w.samples))
+	copy(cp.samples, w.samples)
+	return &cp
+}
+
 // Summary computes the quartile Stat over the samples in the last `span`
 // seconds (ending at the newest sample), matching the paper's variable-
 // timescale queries: "data collected and averaged for a specific time

@@ -34,6 +34,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/graph"
 	"repro/internal/netsim"
+	"repro/internal/replica"
 	"repro/internal/simclock"
 	"repro/internal/snmp"
 	"repro/internal/stats"
@@ -171,6 +172,11 @@ const (
 	WatchUtil = collector.WatchUtil
 	// WatchLoad pushes a host's CPU load when it moves materially.
 	WatchLoad = collector.WatchLoad
+	// WatchFeed is the replication feed consumed by read replicas: a
+	// full state snapshot on subscribe, epoch-keyed deltas after.
+	// Applications normally never subscribe to it directly — run a
+	// ReadReplica (or remos-replica) instead.
+	WatchFeed = collector.WatchFeed
 )
 
 // Typed query-lifecycle errors; test with errors.Is. Every way a query
@@ -198,6 +204,13 @@ var (
 	// ErrTooManySubscriptions is the typed refusal of a daemon at its
 	// watch-subscription cap; the failover layer routes around it.
 	ErrTooManySubscriptions = collector.ErrTooManySubscriptions
+
+	// ErrStaleReplica is the typed refusal of a read replica whose
+	// replication feed has been quiet past its staleness fence (or
+	// that has not yet applied its first snapshot): the replica is
+	// alive but refuses to present old state as fresh. The failover
+	// layer routes around it without marking the replica down.
+	ErrStaleReplica = collector.ErrStaleReplica
 )
 
 // RetryAfter extracts the retry-after hint from a load-shed error
@@ -276,13 +289,65 @@ func NewModeler(cfg Config) *Modeler { return core.New(cfg) }
 // returns it as a Source.
 func DialCollector(addr string) (Source, error) { return collector.Dial(addr) }
 
-// DialCollectors connects to several replica collector daemons serving
-// the same domain and returns a failover Source: queries go to the
-// preferred healthy replica, fail over transparently when it dies, and
-// downed replicas are re-probed in the background. At least one replica
-// must be reachable at dial time.
+// DialCollectors connects to several daemons serving the same domain —
+// collectors, read replicas (remos-replica), or a mix — and returns a
+// failover Source: queries go to the preferred healthy endpoint, fail
+// over transparently when it dies, and downed endpoints are re-probed
+// in the background. Typed refusals (busy, shed, stale replica) route
+// to the next endpoint without marking the refusing one down, so a
+// replica fenced by a feed partition rejoins the rotation the moment
+// it resyncs. List replicas first and the collector last to keep query
+// load off the collector until every replica is unavailable. At least
+// one endpoint must be reachable at dial time.
 func DialCollectors(addrs ...string) (*FailoverSource, error) {
 	return collector.DialFailover(addrs, collector.FailoverConfig{})
+}
+
+// Read-replica re-exports: a ReadReplica subscribes to a collector's
+// replication feed, mirrors the state locally, and serves the full
+// query surface from the mirror (see cmd/remos-replica for the
+// daemon).
+type (
+	// ReadReplica is an in-process read replica; it implements Source
+	// and can be served over TCP with the same machinery as a
+	// collector.
+	ReadReplica = replica.Replica
+
+	// ReplicaConfig parameterizes a ReadReplica (feed address,
+	// staleness fence, resync backoff).
+	ReplicaConfig = replica.Config
+
+	// ReplicaState is the replica lifecycle state.
+	ReplicaState = replica.State
+)
+
+// Replica lifecycle states (see ReadReplica.State).
+const (
+	// ReplicaSyncing: no snapshot applied yet; queries refuse.
+	ReplicaSyncing = replica.Syncing
+	// ReplicaLive: fresh within the lag threshold.
+	ReplicaLive = replica.Live
+	// ReplicaLagging: feed quiet, still inside the staleness fence;
+	// answers carry honestly extrapolated ages.
+	ReplicaLagging = replica.Lagging
+	// ReplicaFenced: feed quiet past the fence; queries refuse with
+	// ErrStaleReplica until the feed resumes.
+	ReplicaFenced = replica.Fenced
+)
+
+// NewReadReplica builds a read replica syncing from the collector at
+// cfg.FeedAddr; call Start on it, then optionally WaitSynced.
+func NewReadReplica(cfg ReplicaConfig) *ReadReplica { return replica.New(cfg) }
+
+// ServeSource exposes any Source (e.g. a ReadReplica) on a TCP address
+// with the standard query/watch service; returns the bound address and
+// a shutdown function.
+func ServeSource(src Source, addr string) (string, func() error, error) {
+	srv, err := collector.Serve(src, addr)
+	if err != nil {
+		return "", nil, err
+	}
+	return srv.Addr(), srv.Close, nil
 }
 
 // MergeSources combines several collectors into one Source (the paper's

@@ -34,9 +34,13 @@ go test -race -timeout 120s -count=2 ./internal/telemetry
 echo "==> chaos suite under -race (seeded; replay failures with -chaos.seed)"
 go test -race -timeout 300s -count=1 -run TestChaosLifecycle ./remos -chaos.seed=1 -chaos.events=60
 
+echo "==> replication chaos under -race (feed blackhole, fence, resync)"
+go test -race -timeout 300s -count=1 -run 'TestChaosReplicaPartition|TestReplicaFailoverEndToEnd' ./remos -chaos.seed=1
+
 echo "==> fuzz smoke (10s per target)"
 go test -fuzz=FuzzDecode -fuzztime=10s -run '^$' ./internal/snmp
 go test -fuzz='^FuzzReadFrame$' -fuzztime=10s -run '^$' ./internal/collector
 go test -fuzz=FuzzReadMuxFrame -fuzztime=10s -run '^$' ./internal/collector
+go test -fuzz=FuzzDecodeDelta -fuzztime=10s -run '^$' ./internal/replica
 
 echo "verify: OK"
