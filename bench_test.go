@@ -23,8 +23,10 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/fx"
 	"repro/internal/graph"
+	"repro/internal/ha"
 	"repro/internal/netsim"
 	"repro/internal/simclock"
+	"repro/internal/snmp"
 	"repro/internal/topology"
 	"repro/internal/traffic"
 	"repro/remos"
@@ -607,6 +609,143 @@ func BenchmarkReplicaModelerFlowQuery(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := mod.QueryFlowInfo(fixed, variable, ind, core.TFHistory(10)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Collector HA (DESIGN.md §14) ---------------------------------------
+
+// benchPair builds two collectors over one simulated estate for the HA
+// benchmarks: one polls as leader, the other stays warm over the feed.
+func benchPair(b *testing.B) (*simclock.Clock, [2]*collector.Collector) {
+	b.Helper()
+	clk := simclock.New()
+	net, err := netsim.New(clk, topology.Testbed())
+	if err != nil {
+		b.Fatal(err)
+	}
+	att := snmp.Attach(net, snmp.DefaultCommunity)
+	addrs := make(map[graph.NodeID]string)
+	for id := range att.Agents {
+		addrs[id] = snmp.Addr(id)
+	}
+	mk := func() *collector.Collector {
+		return collector.New(collector.Config{
+			Client:        snmp.NewClient(att.Registry, snmp.DefaultCommunity),
+			Clock:         clk,
+			Addrs:         addrs,
+			PollPeriod:    2,
+			PerHopLatency: topology.PerHopLatency,
+		})
+	}
+	traffic.Blast(net, "m-6", "m-8", 60e6)
+	return clk, [2]*collector.Collector{mk(), mk()}
+}
+
+// BenchmarkPromotionTime measures one leader-failover cycle of a
+// hot-standby pair on the virtual clock: kill the leader, drive
+// heartbeats until the standby acquires the expired lease and starts
+// polling warm, then let the killed daemon rejoin as standby for the
+// next iteration. ns/op is the wall cost of the promotion machinery
+// (lease churn, role flip, warm collector start); vsec/promotion is
+// the virtual promotion delay, bounded by lease TTL + heartbeat
+// (TestChaosLeaderFailover asserts the bound).
+func BenchmarkPromotionTime(b *testing.B) {
+	const ttl, hb = 3.0, 1.0
+	clk, cols := benchPair(b)
+	lease := ha.NewMemoryLease(clk)
+	ids := [2]string{"bench-a", "bench-b"}
+	mkNode := func(i int) *ha.Node {
+		n, err := ha.New(ha.Config{
+			Collector: cols[i],
+			Clock:     clk,
+			Lease:     lease,
+			ID:        ids[i],
+			LeaseTTL:  ttl,
+			Heartbeat: hb,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return n
+	}
+	var nodes [2]*ha.Node
+	nodes[0], nodes[1] = mkNode(0), mkNode(1)
+	if err := nodes[0].Start(true); err != nil {
+		b.Fatal(err)
+	}
+	if err := nodes[1].Start(false); err != nil {
+		b.Fatal(err)
+	}
+	clk.Advance(6) // steady state: leader polling, standby observing
+
+	leader := 0
+	var vtotal float64
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		standby := 1 - leader
+		nodes[leader].Kill()
+		killedAt := clk.Now()
+		for nodes[standby].Role() != ha.RoleLeader {
+			clk.Advance(hb)
+		}
+		vtotal += float64(clk.Now() - killedAt)
+		// Heal: a fresh node over the deposed collector observes the
+		// higher term and rejoins as standby.
+		nodes[leader].Wait()
+		nodes[leader] = mkNode(leader)
+		if err := nodes[leader].Start(true); err != nil {
+			b.Fatal(err)
+		}
+		leader = standby
+	}
+	b.StopTimer()
+	b.ReportMetric(vtotal/float64(b.N), "vsec/promotion")
+	for _, n := range nodes {
+		n.Kill()
+		n.Wait()
+	}
+}
+
+// BenchmarkStandbyFeedLag measures the standby's steady-state sync
+// cost: applying one poll round's feed delta onto an already-warm
+// collector. This is the per-round lag a standby carries behind its
+// leader — the window of samples a promotion could lose.
+func BenchmarkStandbyFeedLag(b *testing.B) {
+	clk, cols := benchPair(b)
+	leader, standby := cols[0], cols[1]
+	if err := leader.Start(); err != nil {
+		b.Fatal(err)
+	}
+	defer leader.Stop()
+	clk.Advance(14) // window history to ship
+
+	cur := &collector.FeedCursor{}
+	full, err := leader.FeedSince(cur)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := standby.ApplyFeed(full); err != nil {
+		b.Fatal(err)
+	}
+	// Pre-collect the deltas so the timed loop is apply-only.
+	payloads := make([]*collector.FeedPayload, 0, b.N)
+	for len(payloads) < b.N {
+		clk.Advance(2)
+		p, err := leader.FeedSince(cur)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if p != nil {
+			payloads = append(payloads, p)
+		}
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for _, p := range payloads {
+		if err := standby.ApplyFeed(p); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -21,11 +21,13 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	"repro/internal/collector"
 	"repro/internal/faults"
+	"repro/internal/ha"
 	"repro/internal/netsim"
 	"repro/internal/snmp"
 	"repro/internal/telemetry"
@@ -66,6 +68,11 @@ func main() {
 	watchQueueDepth := flag.Int("watch-queue-depth", 0, "per-subscription bounded delta queue depth; overflow drops oldest and marks the next delivery Overflowed (0 = default 16)")
 	watchWriteDeadline := flag.Duration("watch-write-deadline", 0, "per-delta write budget before a stalled subscriber is evicted (0 = default 2s)")
 	watchMaxSubs := flag.Int("watch-max-subs", 0, "max concurrent watch subscriptions; extras get a typed refusal (0 = default 1024, negative = unlimited)")
+	leasePath := flag.String("lease", "", "hot-standby pair: shared lease file; the holder polls, the other daemon syncs from it and promotes on expiry")
+	standbyOf := flag.String("standby-of", "", "hot-standby pair: start as the standby of the leader at this query address (requires -lease)")
+	leaseTTL := flag.Float64("lease-ttl", 3, "lease grant length in wall seconds; promotion after a leader crash is bounded by it plus one heartbeat")
+	haHeartbeat := flag.Float64("ha-heartbeat", 1, "lease renewal/observation period (virtual seconds)")
+	advertise := flag.String("advertise", "", "address clients reach this daemon at, used as the lease identity and leader hint (default: the bound listen address)")
 	var blasts []blastSpec
 	flag.Func("blast", "src,dst,mbps — non-responsive traffic (repeatable)", func(s string) error {
 		parts := strings.Split(s, ",")
@@ -101,6 +108,9 @@ func main() {
 		return nil
 	})
 	flag.Parse()
+	if *standbyOf != "" && *leasePath == "" {
+		fatal(fmt.Errorf("-standby-of requires -lease"))
+	}
 
 	clk := simclockpkg.New()
 	net, err := netsim.New(clk, topology.Testbed())
@@ -181,9 +191,14 @@ func main() {
 			fmt.Fprintf(os.Stderr, "opening checkpoint: %v\n", err)
 		}
 	}
-	if err := col.Start(); err != nil {
-		mu.Unlock()
-		fatal(err)
+	// In a hot-standby pair the ha.Node owns the collector lifecycle:
+	// it starts polling on promotion and stops it on demotion. Outside
+	// HA the collector starts (and keeps polling) unconditionally.
+	if *leasePath == "" {
+		if err := col.Start(); err != nil {
+			mu.Unlock()
+			fatal(err)
+		}
 	}
 	for _, b := range blasts {
 		traffic.Blast(net, graphpkg.NodeID(b.src), graphpkg.NodeID(b.dst), b.mbps*1e6)
@@ -212,6 +227,22 @@ func main() {
 	}
 	mu.Unlock()
 
+	// The gate refuses queries while this daemon is not the pair's
+	// leader. The node is built only after the listener binds (its
+	// identity defaults to the bound address), so the gate reads it
+	// through an atomic — until the node exists, an HA daemon refuses
+	// with the configured peer as the hint rather than serving answers
+	// it is not entitled to give.
+	var haNode atomic.Pointer[ha.Node]
+	var gate func(op string) error
+	if *leasePath != "" {
+		gate = func(op string) error {
+			if n := haNode.Load(); n != nil {
+				return n.Gate(op)
+			}
+			return &collector.NotLeaderError{Leader: *standbyOf}
+		}
+	}
 	srv, err := collector.ServeConfig(col, *listen, collector.ServerConfig{
 		IdleTimeout:        *idleTimeout,
 		MaxConns:           *maxConns,
@@ -221,9 +252,54 @@ func main() {
 		WatchQueueDepth:    *watchQueueDepth,
 		WatchWriteDeadline: *watchWriteDeadline,
 		WatchMaxSubs:       *watchMaxSubs,
+		Gate:               gate,
 	})
 	if err != nil {
 		fatal(err)
+	}
+	var node *ha.Node
+	if *leasePath != "" {
+		id := *advertise
+		if id == "" {
+			id = srv.Addr()
+		}
+		node, err = ha.New(ha.Config{
+			Collector: col,
+			Clock:     clk,
+			Lease:     ha.NewFileLease(*leasePath),
+			ID:        id,
+			PeerAddr:  *standbyOf,
+			LeaseTTL:  *leaseTTL,
+			Heartbeat: *haHeartbeat,
+			Serialize: func(fn func()) {
+				mu.Lock()
+				defer mu.Unlock()
+				fn()
+			},
+			// A deposed leader's watch subscribers are chained to a
+			// stale term: drain them so they resubscribe (and get
+			// re-routed) instead of consuming a fenced stream. Async —
+			// the hook runs under the clock driver's lock.
+			OnDemote: func(term uint64) {
+				fmt.Printf("ha: stepped down at term %d\n", term)
+				go srv.DrainWatches(2 * time.Second)
+			},
+			OnPromote: func(term uint64) {
+				fmt.Printf("ha: promoted to leader at term %d\n", term)
+			},
+		})
+		if err != nil {
+			fatal(err)
+		}
+		mu.Lock()
+		err = node.Start(*standbyOf == "")
+		mu.Unlock()
+		if err != nil {
+			fatal(err)
+		}
+		haNode.Store(node)
+		fmt.Printf("hot-standby pair: lease %s (ttl %gs wall, heartbeat %gs virtual), starting as %s, id %s\n",
+			*leasePath, *leaseTTL, *haHeartbeat, node.Role(), id)
 	}
 	fmt.Printf("collector query service on tcp://%s (speed %gx, poll %gs)\n", srv.Addr(), *speed, *poll)
 	fmt.Printf("query it: remos-query -addr %s graph\n", srv.Addr())
@@ -252,6 +328,16 @@ func main() {
 			// Graceful drain: stop accepting, let in-flight requests
 			// finish within the budget, then force-close stragglers.
 			srv.Shutdown(*drainTimeout)
+			if node != nil {
+				// Stop heartbeats/polling under the driver lock, then
+				// release the lease and wait for the sync goroutine
+				// outside it (a leader's release lets the standby
+				// promote immediately instead of waiting out the TTL).
+				mu.Lock()
+				node.Kill()
+				mu.Unlock()
+				node.Close()
+			}
 			mu.Lock()
 			if *checkpoint != "" {
 				saveCheckpoint()

@@ -19,6 +19,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -31,7 +32,7 @@ import (
 
 func main() {
 	listen := flag.String("listen", "127.0.0.1:0", "TCP address for the replica's query service")
-	feed := flag.String("feed", "", "collector query address to subscribe the replication feed from (required)")
+	feed := flag.String("feed", "", "comma-separated collector query addresses to subscribe the replication feed from (required); list both halves of a hot-standby pair and the replica rotates to whichever leads")
 	debugAddr := flag.String("debug-addr", "", "optional HTTP address serving JSON metrics (/metrics) and pprof (/debug/pprof/)")
 	maxStaleness := flag.Duration("max-staleness", replica.DefaultMaxStaleness, "staleness fence: past this, queries refuse with a typed stale-replica error (negative disables)")
 	lagThreshold := flag.Duration("lag-threshold", 0, "feed quiet time before the replica reports Lagging (0 = max-staleness/4)")
@@ -52,9 +53,13 @@ func main() {
 	if *feed == "" {
 		fatal(fmt.Errorf("remos-replica: -feed is required (the collector address to replicate from)"))
 	}
+	feedAddrs := strings.Split(*feed, ",")
+	for i := range feedAddrs {
+		feedAddrs[i] = strings.TrimSpace(feedAddrs[i])
+	}
 
 	rep := replica.New(replica.Config{
-		FeedAddr:      *feed,
+		FeedAddrs:     feedAddrs,
 		MaxStaleness:  *maxStaleness,
 		LagThreshold:  *lagThreshold,
 		ResyncBackoff: *resyncBackoff,

@@ -93,6 +93,7 @@ func render(snap *telemetry.Snapshot, addr string, spans int) {
 			fmt.Printf("  %-36s %12.3f\n", name, snap.Gauges[name])
 		}
 	}
+	renderHA(snap)
 	renderReplica(snap)
 	if len(snap.Quantiles) > 0 {
 		fmt.Printf("\nQUARTILES%26s %8s %8s %8s %8s %8s\n",
@@ -124,6 +125,28 @@ func render(snap *telemetry.Snapshot, addr string, spans int) {
 			fmt.Println()
 		}
 	}
+}
+
+// renderHA summarizes the ha.* metrics a hot-standby collector daemon
+// (remos-collector -lease) exports: which role this daemon holds, at
+// what lease term, and how often leadership has moved or stale-term
+// traffic been fenced.
+func renderHA(snap *telemetry.Snapshot) {
+	role, ok := snap.Gauges["ha.role"]
+	if !ok {
+		return
+	}
+	name := "standby"
+	if role == 1 {
+		name = "leader"
+	}
+	fmt.Printf("\nHA  role %-8s term %-6.0f promotions %d  demotions %d  fencing-rejections %d  sync-resyncs %d\n",
+		name,
+		snap.Gauges["ha.term"],
+		snap.Counters["ha.promotions"],
+		snap.Counters["ha.demotions"],
+		snap.Counters["ha.fencing.rejections"],
+		snap.Counters["ha.sync.resyncs"])
 }
 
 // renderReplica summarizes the replica.* metrics a remos-replica daemon

@@ -54,7 +54,7 @@ type checkpointDump struct {
 	PollErrors  uint64
 	Discoveries uint64
 
-	Topo     *wireTopo
+	Topo     *WireTopo
 	Counters map[ChannelKey]wireCounter
 	Channels map[ChannelKey][]stats.Sample
 	Capacity map[ChannelKey]float64

@@ -2,14 +2,18 @@ package collector
 
 import (
 	"bytes"
+	"context"
 	"encoding/gob"
 	"math"
 	"reflect"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/graph"
 	"repro/internal/simclock"
+	"repro/internal/stats"
 	"repro/internal/topology"
 	"repro/internal/traffic"
 )
@@ -251,5 +255,214 @@ func TestCheckpointRejection(t *testing.T) {
 		// sample payload); only structural corruption must error. But it
 		// must never panic — reaching here at all is the assertion.
 		t.Log("bit flip decoded cleanly (landed in payload)")
+	}
+}
+
+// lockedFeedCol serializes a collector and its virtual clock behind one
+// mutex so watch evaluators, a restore storm, and the test's clock
+// driver can interleave under -race. (Production deployments get this
+// ordering from the TCP server; in-process tests must provide it.)
+type lockedFeedCol struct {
+	mu  *sync.Mutex
+	col *Collector
+}
+
+func (l *lockedFeedCol) Topology() (*Topology, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.col.Topology()
+}
+
+func (l *lockedFeedCol) Utilization(key ChannelKey, span float64) (stats.Stat, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.col.Utilization(key, span)
+}
+
+func (l *lockedFeedCol) Samples(key ChannelKey) ([]stats.Sample, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.col.Samples(key)
+}
+
+func (l *lockedFeedCol) HostLoad(node graph.NodeID, span float64) (stats.Stat, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.col.HostLoad(node, span)
+}
+
+func (l *lockedFeedCol) DataAge(key ChannelKey) (float64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.col.DataAge(key)
+}
+
+func (l *lockedFeedCol) FeedSince(cur *FeedCursor) (*FeedPayload, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.col.FeedSince(cur)
+}
+
+func (l *lockedFeedCol) DataVersion() (uint64, bool) { return l.col.DataVersion() }
+
+// TestRestoreCheckpointRacingSubscriptions: a restore replaces the
+// collector's windows wholesale while watch/feed subscriptions are
+// live. Every feed subscriber must observe the replacement as a
+// Resync-marked Full payload — never a torn delta that chains new
+// samples onto windows that no longer exist, and never a Resync mark
+// without the self-contained snapshot that makes it safe to apply in
+// place. Run under -race: restores, polls, and subscription evaluators
+// all interleave here.
+func TestRestoreCheckpointRacingSubscriptions(t *testing.T) {
+	cases := []struct {
+		name  string
+		kinds []string
+	}{
+		{"one feed", []string{WatchFeed}},
+		{"feed plus version watch", []string{WatchFeed, WatchVersion}},
+		{"two independent feeds", []string{WatchFeed, WatchFeed}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r, ckpt := checkpointedRig(t)
+			defer r.col.Stop()
+			var mu sync.Mutex
+			locked := &lockedFeedCol{mu: &mu, col: r.col}
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+
+			type result struct {
+				updates     int
+				resyncFulls int
+				torn        string // first violation, "" if clean
+			}
+			results := make([]result, len(tc.kinds))
+			started := make([]chan struct{}, len(tc.kinds))
+			var wg sync.WaitGroup
+			for i, kind := range tc.kinds {
+				h := watchLocal(ctx, locked, r.col, WatchRequest{Kind: kind}, DefaultWatchQueueDepth)
+				defer h.Cancel()
+				started[i] = make(chan struct{})
+				wg.Add(1)
+				go func(i, idx int, kind string, h *WatchHandle) {
+					defer wg.Done()
+					res := &results[i]
+					lastEpoch := uint64(0)
+					// Per-channel newest sample time the subscriber has
+					// applied; nil means "must receive a Full first".
+					var last map[ChannelKey]float64
+					firstDone := false
+					for u := range h.C {
+						res.updates++
+						if !firstDone {
+							firstDone = true
+							close(started[i])
+						}
+						if u.Err != "" {
+							continue
+						}
+						if u.Epoch < lastEpoch && res.torn == "" {
+							res.torn = "epoch went backwards"
+						}
+						lastEpoch = u.Epoch
+						if kind != WatchFeed {
+							continue
+						}
+						p := u.Feed
+						if p == nil {
+							continue
+						}
+						if u.Overflowed {
+							// Queue fold: continuity is unknowable until
+							// the next Full; a real replica resubscribes.
+							last = nil
+							continue
+						}
+						if u.Resync && !p.Full && res.torn == "" {
+							res.torn = "Resync mark without a Full payload"
+						}
+						if p.Full {
+							if u.Resync {
+								res.resyncFulls++
+							}
+							last = make(map[ChannelKey]float64)
+							for k, ss := range p.Channels {
+								last[k] = ss[len(ss)-1].Time
+							}
+							continue
+						}
+						if last == nil {
+							if res.torn == "" {
+								res.torn = "delta before any Full payload"
+							}
+							continue
+						}
+						// A delta must extend the applied windows: its
+						// samples strictly newer, per channel. A delta
+						// computed against pre-restore windows ships
+						// samples at or before what we already hold.
+						for k, ss := range p.Channels {
+							if prev, ok := last[k]; ok && ss[0].Time <= prev && res.torn == "" {
+								res.torn = "torn delta: sample not newer than applied window"
+							}
+							last[k] = ss[len(ss)-1].Time
+						}
+					}
+				}(i, i, kind, h)
+			}
+
+			// Let every subscription receive its baseline before the storm.
+			advance := func(d float64) {
+				mu.Lock()
+				r.clk.Advance(d)
+				mu.Unlock()
+				time.Sleep(time.Millisecond) // let evaluators drain
+			}
+			advance(2)
+			for _, ch := range started {
+				select {
+				case <-ch:
+				case <-time.After(5 * time.Second):
+					t.Fatal("subscription never delivered its baseline update")
+				}
+			}
+
+			// The storm: restores from another goroutine racing poll
+			// rounds and subscription evaluation.
+			const restores = 6
+			restoreDone := make(chan error, 1)
+			go func() {
+				for i := 0; i < restores; i++ {
+					mu.Lock()
+					_, err := r.col.RestoreCheckpoint(bytes.NewReader(ckpt))
+					mu.Unlock()
+					if err != nil {
+						restoreDone <- err
+						return
+					}
+					time.Sleep(2 * time.Millisecond)
+				}
+				restoreDone <- nil
+			}()
+			for i := 0; i < 30; i++ {
+				advance(2)
+			}
+			if err := <-restoreDone; err != nil {
+				t.Fatalf("restore: %v", err)
+			}
+			advance(2) // one more round so the final restore's Full ships
+
+			cancel()
+			wg.Wait()
+			for i, res := range results {
+				if res.torn != "" {
+					t.Errorf("subscriber %d (%s): %s", i, tc.kinds[i], res.torn)
+				}
+				if tc.kinds[i] == WatchFeed && res.resyncFulls == 0 {
+					t.Errorf("subscriber %d: no Resync-marked Full observed across %d restores (%d updates)",
+						i, restores, res.updates)
+				}
+			}
+		})
 	}
 }

@@ -206,6 +206,13 @@ type Collector struct {
 	// VersionedSource. Atomic so readers never touch c.mu.
 	dataVersion atomic.Uint64
 
+	// haTerm/haMode publish the HA lease term and role (ha.go): set by
+	// the ha.Node on role transitions, read by the feed, watch, and
+	// query paths to stamp fencing state on everything that leaves the
+	// process. Atomics so stamping never touches c.mu.
+	haTerm atomic.Uint64
+	haMode atomic.Uint32
+
 	// versionSubs holds edge-triggered version-change listeners
 	// (VersionNotifier, watch.go); its own lock so notifyVersion never
 	// contends with query-path readers on c.mu.

@@ -46,6 +46,42 @@ var ErrDeadlineExceeded error = deadlineErr{}
 // marking the stale one Down.
 var ErrStaleReplica = errors.New("collector: replica stale beyond fence")
 
+// ErrNotLeader is the typed refusal of a standby collector in a
+// hot-standby pair (internal/ha): the process is alive and state-synced
+// but not the leader, so it must not answer queries that would shadow
+// the leader's authoritative state. Like the overload refusals it
+// proves the process alive; FailoverSource routes the call to the
+// leader (following the hint when the refusal carries one) without
+// marking the standby Down.
+var ErrNotLeader = errors.New("collector: not the leader")
+
+// NotLeaderError wraps ErrNotLeader with the refusing node's best guess
+// at the current leader's query address ("" when unknown).
+type NotLeaderError struct {
+	// Leader is the advertised query address of the node believed to
+	// hold the lease, for client-side rerouting.
+	Leader string
+}
+
+func (e *NotLeaderError) Error() string {
+	if e.Leader == "" {
+		return ErrNotLeader.Error()
+	}
+	return fmt.Sprintf("collector: not the leader (leader at %s)", e.Leader)
+}
+
+func (e *NotLeaderError) Unwrap() error { return ErrNotLeader }
+
+// LeaderHint extracts the leader address from a not-leader error chain;
+// ok is false when err carries no hint.
+func LeaderHint(err error) (string, bool) {
+	var nl *NotLeaderError
+	if errors.As(err, &nl) && nl.Leader != "" {
+		return nl.Leader, true
+	}
+	return "", false
+}
+
 // ErrLoadShed is the typed refusal an overloaded server answers with
 // when its admission queue is full: the request was never started, so
 // retrying elsewhere (or later — see RetryAfter) is safe.
@@ -116,6 +152,7 @@ func IsLifecycleError(err error) bool {
 		errors.Is(err, ErrLoadShed) ||
 		errors.Is(err, ErrServerBusy) ||
 		errors.Is(err, ErrStaleReplica) ||
+		errors.Is(err, ErrNotLeader) ||
 		errors.Is(err, context.Canceled) ||
 		errors.Is(err, context.DeadlineExceeded)
 }

@@ -65,6 +65,11 @@ type FailoverConfig struct {
 	// fleet's probe schedules decorrelate; tests set it explicitly for
 	// reproducible schedules.
 	Seed int64
+	// Shuffle randomizes the initial routing order (seeded by Seed).
+	// Without it every client in a fleet prefers the first listed
+	// address, hammering one replica and failing over in lockstep when
+	// it dies. Replicas() still reports in caller order.
+	Shuffle bool
 }
 
 // DefaultFailoverJitter is the default ±fraction applied to replica
@@ -132,10 +137,12 @@ type replica struct {
 type FailoverSource struct {
 	cfg      FailoverConfig
 	replicas []*replica
+	order    []int // routing preference: indexes into replicas (shuffled when cfg.Shuffle)
 	tel      *telemetry.Registry
 
 	mu       sync.Mutex
 	rng      *rand.Rand // probe-backoff jitter; guarded by mu
+	maxTerm  uint64     // highest HA lease term observed; guarded by mu
 	stop     chan struct{}
 	stopOnce sync.Once
 	probeWG  sync.WaitGroup
@@ -177,6 +184,13 @@ func DialFailover(addrs []string, cfg FailoverConfig) (*FailoverSource, error) {
 	if reachable == 0 {
 		f.closeClients()
 		return nil, fmt.Errorf("collector: no replica reachable (tried %d): %w", len(addrs), firstErr)
+	}
+	f.order = make([]int, len(f.replicas))
+	for i := range f.order {
+		f.order[i] = i
+	}
+	if cfg.Shuffle {
+		f.rng.Shuffle(len(f.order), func(i, j int) { f.order[i], f.order[j] = f.order[j], f.order[i] })
 	}
 	if cfg.ProbeInterval > 0 {
 		f.probeWG.Add(1)
@@ -279,27 +293,86 @@ func (f *FailoverSource) recordFailure(i int, err error) {
 	r.nextAttempt = time.Now().Add(backoff)
 }
 
+// errFencedTerm is the internal routing error for an answer rejected by
+// term fencing: a node still claiming leadership at a term below one
+// this source has already observed — a deposed leader that has not yet
+// noticed its demotion. Routing treats it like a refusal (the process
+// is alive; it just must not be believed).
+var errFencedTerm = errors.New("collector: answer fenced (stale leader term)")
+
+// observeTerm folds one HA term observation into the source-wide
+// maximum and reports whether a leadership claim at that term is
+// fenced. Term 0 (no HA) always passes.
+func (f *FailoverSource) observeTerm(term uint64, leader bool) (fenced bool) {
+	if term == 0 {
+		return false
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if leader && term < f.maxTerm {
+		return true
+	}
+	if term > f.maxTerm {
+		f.maxTerm = term
+	}
+	return false
+}
+
+// indexOf maps a replica address to its index (-1 when unknown).
+func (f *FailoverSource) indexOf(addr string) int {
+	for i, r := range f.replicas {
+		if r.addr == addr {
+			return i
+		}
+	}
+	return -1
+}
+
+// nextIndex picks the next replica for a routing pass: a pending
+// leader hint first (fresh information beats stale health records —
+// it bypasses eligibility), then the first untried replica in routing
+// order that the pass admits. -1 ends the pass.
+func (f *FailoverSource) nextIndex(tried []bool, pass int, now time.Time, hint *int) int {
+	if *hint >= 0 && !tried[*hint] {
+		i := *hint
+		*hint = -1
+		return i
+	}
+	*hint = -1
+	for _, i := range f.order {
+		if tried[i] {
+			continue
+		}
+		if pass == 0 && !f.eligible(i, now) {
+			continue
+		}
+		return i
+	}
+	return -1
+}
+
 // call implements caller by routing one request across the replica set:
-// first over eligible replicas in preference order, then — if every one
+// first over eligible replicas in routing order, then — if every one
 // of those failed — over anything not yet tried, because a marked-Down
 // replica that actually recovered beats returning an error. A replica
 // that answers (even with an application-level error such as "unknown
-// channel") is authoritative; transport failures and overload refusals
-// (busy connection caps, load sheds) move on to the next replica. The
-// context is re-checked between attempts so an expired budget or a
-// cancellation stops the routing loop instead of walking every replica
-// with a dead deadline.
+// channel") is authoritative — unless term fencing rejects it as a
+// deposed leader's answer; transport failures and typed refusals
+// (busy connection caps, load sheds, standby not-leader) move on to
+// the next replica, a not-leader refusal promoting its leader hint to
+// the next attempt. The context is re-checked between attempts so an
+// expired budget or a cancellation stops the routing loop instead of
+// walking every replica with a dead deadline.
 func (f *FailoverSource) call(ctx context.Context, req *request) (*response, error) {
 	now := time.Now()
 	tried := make([]bool, len(f.replicas))
 	var firstErr error
+	hint := -1
 	for pass := 0; pass < 2; pass++ {
-		for i, r := range f.replicas {
-			if tried[i] {
-				continue
-			}
-			if pass == 0 && !f.eligible(i, now) {
-				continue
+		for {
+			i := f.nextIndex(tried, pass, now, &hint)
+			if i < 0 {
+				break
 			}
 			if cerr := ctxCallError(ctx); cerr != nil {
 				if firstErr == nil {
@@ -308,21 +381,42 @@ func (f *FailoverSource) call(ctx context.Context, req *request) (*response, err
 				return nil, fmt.Errorf("collector: failover aborted after %v: %w", firstErr, cerr)
 			}
 			tried[i] = true
+			r := f.replicas[i]
 			f.tel.Counter("failover.attempts").Inc()
 			resp, err := r.client.call(ctx, req)
 			if resp != nil && !errors.Is(err, ErrServerBusy) && !errors.Is(err, ErrLoadShed) &&
-				!errors.Is(err, ErrStaleReplica) {
+				!errors.Is(err, ErrStaleReplica) && !errors.Is(err, ErrNotLeader) {
+				if f.observeTerm(resp.Term, resp.Leader) {
+					// The answer is from a node claiming leadership at a
+					// term we know is over: a deposed leader double-
+					// serving. Reject it and route on.
+					f.tel.Counter("failover.fencing.rejections").Inc()
+					f.recordRefusal(i, errFencedTerm)
+					if firstErr == nil {
+						firstErr = errFencedTerm
+					}
+					continue
+				}
 				f.recordSuccess(i)
 				return resp, err
 			}
-			// An overload or staleness refusal proves the replica alive
-			// — don't penalize its health, just route around it this
-			// call. (A fenced read replica recovers by itself the moment
-			// its feed resyncs; marking it Down would only delay that.)
-			if errors.Is(err, ErrServerBusy) || errors.Is(err, ErrLoadShed) ||
-				errors.Is(err, ErrStaleReplica) {
+			// An overload, staleness, or not-leader refusal proves the
+			// replica alive — don't penalize its health, just route
+			// around it this call. (A fenced read replica recovers by
+			// itself the moment its feed resyncs; a standby answers the
+			// moment it is promoted.)
+			switch {
+			case errors.Is(err, ErrNotLeader):
 				f.recordRefusal(i, err)
-			} else {
+				if addr, ok := LeaderHint(err); ok {
+					if j := f.indexOf(addr); j >= 0 && !tried[j] {
+						hint = j
+					}
+				}
+			case errors.Is(err, ErrServerBusy) || errors.Is(err, ErrLoadShed) ||
+				errors.Is(err, ErrStaleReplica):
+				f.recordRefusal(i, err)
+			default:
 				f.recordFailure(i, err)
 			}
 			if firstErr == nil {
@@ -351,6 +445,10 @@ func (f *FailoverSource) recordRefusal(i int, err error) {
 		f.tel.Counter("failover.refusals.shed").Inc()
 	case errors.Is(err, ErrStaleReplica):
 		f.tel.Counter("failover.refusals.stale").Inc()
+	case errors.Is(err, ErrNotLeader):
+		f.tel.Counter("failover.refusals.not_leader").Inc()
+	case errors.Is(err, errFencedTerm):
+		f.tel.Counter("failover.refusals.fenced").Inc()
 	default:
 		f.tel.Counter("failover.refusals.busy").Inc()
 	}
@@ -488,13 +586,12 @@ func (f *FailoverSource) subscribeAny(ctx context.Context, wr WatchRequest) (*Wa
 	now := time.Now()
 	tried := make([]bool, len(f.replicas))
 	var firstErr error
+	hint := -1
 	for pass := 0; pass < 2; pass++ {
-		for i, r := range f.replicas {
-			if tried[i] {
-				continue
-			}
-			if pass == 0 && !f.eligible(i, now) {
-				continue
+		for {
+			i := f.nextIndex(tried, pass, now, &hint)
+			if i < 0 {
+				break
 			}
 			if cerr := ctxCallError(ctx); cerr != nil {
 				if firstErr == nil {
@@ -503,16 +600,25 @@ func (f *FailoverSource) subscribeAny(ctx context.Context, wr WatchRequest) (*Wa
 				return nil, fmt.Errorf("collector: failover aborted after %v: %w", firstErr, cerr)
 			}
 			tried[i] = true
+			r := f.replicas[i]
 			f.tel.Counter("failover.attempts").Inc()
 			h, err := r.client.Watch(ctx, wr)
 			if err == nil {
 				f.recordSuccess(i)
 				return h, nil
 			}
-			if errors.Is(err, ErrServerBusy) || errors.Is(err, ErrLoadShed) ||
-				errors.Is(err, ErrTooManySubscriptions) || errors.Is(err, ErrStaleReplica) {
+			switch {
+			case errors.Is(err, ErrNotLeader):
 				f.recordRefusal(i, err)
-			} else {
+				if addr, ok := LeaderHint(err); ok {
+					if j := f.indexOf(addr); j >= 0 && !tried[j] {
+						hint = j
+					}
+				}
+			case errors.Is(err, ErrServerBusy) || errors.Is(err, ErrLoadShed) ||
+				errors.Is(err, ErrTooManySubscriptions) || errors.Is(err, ErrStaleReplica):
+				f.recordRefusal(i, err)
+			default:
 				f.recordFailure(i, err)
 			}
 			if firstErr == nil {
@@ -548,6 +654,15 @@ func (f *FailoverSource) proxyWatch(ctx context.Context, wr WatchRequest, h *Wat
 						return
 					}
 					inner = nil // transport loss: fall through to re-subscribe
+					continue
+				}
+				if f.observeTerm(u.Term, u.Term > 0) {
+					// The stream is fed by a deposed leader still pushing
+					// at its old term: abandon it and re-subscribe (the
+					// hint routing lands on the new leader).
+					f.tel.Counter("failover.fencing.rejections").Inc()
+					inner.Cancel()
+					inner = nil
 					continue
 				}
 				if resync {

@@ -241,3 +241,95 @@ func TestDialFailoverNeedsOneReplica(t *testing.T) {
 		t.Fatalf("unreachable replica not marked down at dial: %+v", reps[0])
 	}
 }
+
+// TestFailoverShuffleDeterministic: with Shuffle set, the initial
+// routing order is a seeded permutation of the address list — the same
+// seed always routes the first call to the same endpoint, Replicas()
+// stays in caller order, and some seed routes away from index 0 (the
+// anti-stampede point of the shuffle).
+func TestFailoverShuffleDeterministic(t *testing.T) {
+	_, srvs := servedRig(t, 4)
+	addrs := make([]string, len(srvs))
+	for i, s := range srvs {
+		addrs[i] = s.Addr()
+	}
+	firstServed := func(seed int64) int {
+		cfg := failoverCfg()
+		cfg.Shuffle = true
+		cfg.Seed = seed
+		f, err := DialFailover(addrs, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		if _, err := f.Topology(); err != nil {
+			t.Fatal(err)
+		}
+		reps := f.Replicas()
+		for i, r := range reps {
+			if r.Addr != addrs[i] {
+				t.Fatalf("Replicas()[%d] = %s, want caller order %s", i, r.Addr, addrs[i])
+			}
+			if r.Calls > 0 {
+				return i
+			}
+		}
+		t.Fatal("no replica recorded the call")
+		return -1
+	}
+	shuffledOff := false
+	for seed := int64(1); seed <= 8; seed++ {
+		a, b := firstServed(seed), firstServed(seed)
+		if a != b {
+			t.Fatalf("seed %d routed to %d then %d: shuffle not deterministic", seed, a, b)
+		}
+		if a != 0 {
+			shuffledOff = true
+		}
+	}
+	if !shuffledOff {
+		t.Fatal("no seed in 1..8 moved routing off index 0: shuffle inert")
+	}
+}
+
+// TestFailoverNotLeaderHint: a standby's typed ErrNotLeader refusal
+// carries the leader's address, and the failover client jumps straight
+// to it — the other standby in between is never tried.
+func TestFailoverNotLeaderHint(t *testing.T) {
+	r, srvs := servedRig(t, 1)
+	leaderAddr := srvs[0].Addr()
+	standby := func() *Server {
+		srv, err := ServeConfig(r.col, "127.0.0.1:0", ServerConfig{
+			Gate: func(op string) error { return &NotLeaderError{Leader: leaderAddr} },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { srv.Close() })
+		return srv
+	}
+	s1, s2 := standby(), standby()
+
+	// Standbys first, leader last, no shuffle: the first attempt hits a
+	// standby and must be redirected by the hint, not by scanning.
+	f, err := DialFailover([]string{s1.Addr(), s2.Addr(), leaderAddr}, failoverCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.Topology(); err != nil {
+		t.Fatalf("query through standby: %v", err)
+	}
+	reps := f.Replicas()
+	if reps[2].Calls != 1 {
+		t.Fatalf("leader answered %d calls, want 1: %+v", reps[2].Calls, reps)
+	}
+	snap := f.Telemetry().Snapshot()
+	if got := snap.Counters["failover.refusals.not_leader"]; got != 1 {
+		t.Fatalf("failover.refusals.not_leader = %d, want 1 (hint must skip the second standby)", got)
+	}
+	// The refused standby is not marked down: it answered, typed.
+	if reps[0].State == Down {
+		t.Fatalf("refusing standby marked down: %+v", reps[0])
+	}
+}

@@ -58,10 +58,15 @@ type FeedPayload struct {
 	// PollPeriod is the collector's poll interval in virtual seconds —
 	// the expected heartbeat rate of this feed.
 	PollPeriod float64
+	// Term is the source's HA lease term (0 without HA). Receivers fence
+	// on it: payloads with a term below the applied one are from a
+	// deposed leader and must be rejected; a term advance forces a fresh
+	// Full payload, exactly like a state-generation bump.
+	Term uint64
 
 	// Topo and Capacity are set on Full payloads and whenever a
 	// rediscovery moved the topology; nil otherwise.
-	Topo     *wireTopo
+	Topo     *WireTopo
 	Capacity map[ChannelKey]float64
 
 	// Channels and Loads carry the samples newer than the subscription
@@ -91,6 +96,7 @@ func (p *FeedPayload) Topology() (*Topology, error) {
 type FeedCursor struct {
 	sentFull bool
 	gen      uint64 // state generation (checkpoint restores reset it)
+	term     uint64 // HA lease term last shipped (promotions force Full)
 	epoch    uint64
 	disc     float64 // topology DiscoveredAt last shipped
 	chans    map[ChannelKey]float64
@@ -116,13 +122,15 @@ func (c *Collector) FeedSince(cur *FeedCursor) (*FeedPayload, error) {
 		return nil, fmt.Errorf("collector: topology not discovered yet")
 	}
 	epoch := c.dataVersion.Load()
-	full := !cur.sentFull || cur.gen != c.stateGen
+	term, _, _ := c.HAStatus()
+	full := !cur.sentFull || cur.gen != c.stateGen || cur.term != term
 	if !full && epoch == cur.epoch {
 		return nil, nil
 	}
 	p := &FeedPayload{
 		Epoch:      epoch,
 		Full:       full,
+		Term:       term,
 		Now:        float64(c.cfg.Clock.Now()),
 		HalfLife:   c.cfg.staleHalfLife(),
 		WindowLen:  c.cfg.WindowLen,
@@ -179,6 +187,7 @@ func (c *Collector) FeedSince(cur *FeedCursor) (*FeedPayload, error) {
 	}
 	cur.sentFull = true
 	cur.gen = c.stateGen
+	cur.term = term
 	cur.epoch = epoch
 	return p, nil
 }
@@ -187,12 +196,12 @@ func (c *Collector) FeedSince(cur *FeedCursor) (*FeedPayload, error) {
 // first replica sync on a fresh process pays no engine compilation.
 func init() {
 	warmGob(&muxFrame{Stream: 1, Kind: mfUpdate, Update: &WatchUpdate{
-		Seq: 1, Epoch: 1,
+		Seq: 1, Epoch: 1, Term: 1,
 		Feed: &FeedPayload{
-			Epoch: 1, Full: true, Now: 1, HalfLife: 1, WindowLen: 1, WindowAge: 1, PollPeriod: 1,
-			Topo: &wireTopo{
-				Nodes:        []wireNode{{ID: "n", Kind: 1, InternalBW: 1, ComputePower: 1, MemoryBytes: 1}},
-				Links:        []wireLink{{A: "a", B: "b", Capacity: 1, Latency: 1, Global: 1}},
+			Epoch: 1, Full: true, Now: 1, HalfLife: 1, WindowLen: 1, WindowAge: 1, PollPeriod: 1, Term: 1,
+			Topo: &WireTopo{
+				Nodes:        []WireNode{{ID: "n", Kind: 1, InternalBW: 1, ComputePower: 1, MemoryBytes: 1}},
+				Links:        []WireLink{{A: "a", B: "b", Capacity: 1, Latency: 1, Global: 1}},
 				DiscoveredAt: 1,
 			},
 			Capacity: map[ChannelKey]float64{{Global: 1}: 1},

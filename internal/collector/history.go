@@ -18,7 +18,7 @@ import (
 
 // historyDump is the serialized form.
 type historyDump struct {
-	Topo     *wireTopo
+	Topo     *WireTopo
 	Channels map[ChannelKey][]stats.Sample
 	Capacity map[ChannelKey]float64
 	Loads    map[string][]stats.Sample

@@ -30,7 +30,12 @@ import (
 // or before compute starts is answered with a typed deadline refusal
 // instead of a dead answer.
 
-type wireNode struct {
+// WireNode is the gob wire form of one topology node. The Wire* types
+// are exported so downstream feed consumers (read replicas, standby
+// collectors, replica-of-replica chains) can speak the feed protocol
+// without reaching into collector internals; use FeedPayload.Topology
+// (or topoFromWireChecked semantics) to decode untrusted instances.
+type WireNode struct {
 	ID           string
 	Kind         int
 	InternalBW   float64
@@ -38,31 +43,35 @@ type wireNode struct {
 	MemoryBytes  float64
 }
 
-type wireLink struct {
+// WireLink is the gob wire form of one topology link. Global is the
+// paper's global-channel ID for the link (0 = local only).
+type WireLink struct {
 	A, B     string
 	Capacity float64
 	Latency  float64
 	Global   int
 }
 
-type wireTopo struct {
-	Nodes        []wireNode
-	Links        []wireLink
+// WireTopo is the gob wire form of a discovered topology, carried in
+// topology responses, feed payloads, and checkpoint files.
+type WireTopo struct {
+	Nodes        []WireNode
+	Links        []WireLink
 	DiscoveredAt float64
 }
 
-func topoToWire(t *Topology) *wireTopo {
-	w := &wireTopo{DiscoveredAt: t.DiscoveredAt}
+func topoToWire(t *Topology) *WireTopo {
+	w := &WireTopo{DiscoveredAt: t.DiscoveredAt}
 	for _, id := range t.Graph.Nodes() {
 		n := t.Graph.Node(id)
-		w.Nodes = append(w.Nodes, wireNode{
+		w.Nodes = append(w.Nodes, WireNode{
 			ID: string(n.ID), Kind: int(n.Kind),
 			InternalBW: n.InternalBW, ComputePower: n.ComputePower,
 			MemoryBytes: n.MemoryBytes,
 		})
 	}
 	for _, l := range t.Graph.Links() {
-		w.Links = append(w.Links, wireLink{
+		w.Links = append(w.Links, WireLink{
 			A: string(l.A), B: string(l.B),
 			Capacity: l.Capacity, Latency: l.Latency,
 			Global: t.GlobalID[l.ID],
@@ -77,7 +86,7 @@ func topoToWire(t *Topology) *wireTopo {
 // non-positive capacities — because locally that is programmer error,
 // but data that crossed the wire must fail decode with an error
 // instead.
-func topoFromWireChecked(w *wireTopo) (t *Topology, err error) {
+func topoFromWireChecked(w *WireTopo) (t *Topology, err error) {
 	defer func() {
 		if p := recover(); p != nil {
 			t, err = nil, fmt.Errorf("collector: invalid wire topology: %v", p)
@@ -86,7 +95,7 @@ func topoFromWireChecked(w *wireTopo) (t *Topology, err error) {
 	return topoFromWire(w), nil
 }
 
-func topoFromWire(w *wireTopo) *Topology {
+func topoFromWire(w *WireTopo) *Topology {
 	g := graph.New()
 	for _, n := range w.Nodes {
 		g.AddNode(graph.Node{
@@ -133,20 +142,29 @@ const (
 	codeShed       = 3 // admission queue full (ErrLoadShed + retry-after)
 	codeWatchLimit = 4 // subscription cap (ErrTooManySubscriptions)
 	codeStale      = 5 // read replica fenced on staleness (ErrStaleReplica)
+	codeNotLeader  = 6 // standby in a hot-standby pair (ErrNotLeader + leader hint)
 )
 
 type response struct {
 	Err     string
 	Stat    stats.Stat
 	Samples []stats.Sample
-	Topo    *wireTopo
+	Topo    *WireTopo
 	Age     float64
 	Health  map[string]AgentHealth
 
 	// Code distinguishes typed refusals from application errors;
-	// RetryAfterMS accompanies codeShed.
+	// RetryAfterMS accompanies codeShed, LeaderHint codeNotLeader.
 	Code         int
 	RetryAfterMS float64
+	LeaderHint   string
+
+	// Term and Leader carry the answering node's HA fencing state when
+	// its Source exposes one (HAStatusSource): Term is the monotonic
+	// lease term, Leader whether the node held it at answer time. Both
+	// zero on sources without HA.
+	Term   uint64
+	Leader bool
 
 	// Telemetry answers the "stats" op: the server's metrics registry
 	// merged with its Source's, when the Source exposes one.
@@ -165,15 +183,18 @@ func init() {
 			Err:     "e",
 			Stat:    stats.Stat{Min: 1, Q1: 1, Median: 1, Q3: 1, Max: 1, Accuracy: 1, Samples: 1, Age: 1},
 			Samples: []stats.Sample{{Time: 1, Value: 1}},
-			Topo: &wireTopo{
-				Nodes:        []wireNode{{ID: "n", Kind: 1, InternalBW: 1, ComputePower: 1, MemoryBytes: 1}},
-				Links:        []wireLink{{A: "a", B: "b", Capacity: 1, Latency: 1, Global: 1}},
+			Topo: &WireTopo{
+				Nodes:        []WireNode{{ID: "n", Kind: 1, InternalBW: 1, ComputePower: 1, MemoryBytes: 1}},
+				Links:        []WireLink{{A: "a", B: "b", Capacity: 1, Latency: 1, Global: 1}},
 				DiscoveredAt: 1,
 			},
 			Age:          1,
 			Health:       map[string]AgentHealth{"n": {}},
 			Code:         1,
 			RetryAfterMS: 1,
+			LeaderHint:   "l",
+			Term:         1,
+			Leader:       true,
 			Telemetry:    &telemetry.Snapshot{Counters: map[string]uint64{"c": 1}},
 		},
 	)
@@ -248,6 +269,15 @@ type ServerConfig struct {
 	// per-op counters, admission metrics). Nil means the server creates
 	// its own; it is always reachable via Server.Telemetry.
 	Telemetry *telemetry.Registry
+
+	// Gate, when non-nil, is consulted before every query and watch
+	// registration with the request's op name ("watch" for
+	// subscriptions); a non-nil return refuses the request with that
+	// error's typed wire form. The HA layer installs a gate that answers
+	// ErrNotLeader (plus a leader hint) on standbys. "ping" and "stats"
+	// are exempt — liveness probes and metrics scrapes must work on a
+	// standby.
+	Gate func(op string) error
 }
 
 // Watch subscription defaults; see the matching ServerConfig fields.
@@ -660,6 +690,14 @@ func (s *Server) dispatch(req *request) *response {
 	s.tel.Counter("server.op." + req.Op).Inc()
 	sp := s.tel.StartSpan(req.TraceID, "rpc."+req.Op)
 	defer sp.Finish()
+	if s.cfg.Gate != nil && req.Op != "ping" && req.Op != "stats" {
+		if err := s.cfg.Gate(req.Op); err != nil {
+			sp.SetAttr("verdict", "gated")
+			resp := &response{}
+			appError(resp, err)
+			return resp
+		}
+	}
 	var deadline time.Time
 	if req.BudgetMS > 0 {
 		deadline = start.Add(time.Duration(req.BudgetMS * float64(time.Millisecond)))
@@ -710,12 +748,37 @@ func refusalResponse(err error) *response {
 
 // appError records an application-level error on a response. Most stay
 // plain codeOK errors (the answer is authoritative), but a stale-fenced
-// read replica's refusal gets its typed wire code so clients reproduce
-// ErrStaleReplica and the failover layer can route around it.
+// read replica's refusal — and a standby's not-leader refusal — get
+// their typed wire codes so clients reproduce the sentinel and the
+// failover layer can route around it.
 func appError(resp *response, err error) {
 	resp.Err = err.Error()
-	if errors.Is(err, ErrStaleReplica) {
+	switch {
+	case errors.Is(err, ErrStaleReplica):
 		resp.Code = codeStale
+	case errors.Is(err, ErrNotLeader):
+		resp.Code = codeNotLeader
+		if hint, ok := LeaderHint(err); ok {
+			resp.LeaderHint = hint
+		}
+	}
+}
+
+// HAStatusSource is implemented by Sources that participate in a
+// hot-standby pair (a Collector under an ha.Node). The server stamps
+// the reported term and role on every response so clients can fence
+// answers from a deposed leader; ok is false on sources without HA
+// (then responses keep the zero Term/Leader).
+type HAStatusSource interface {
+	HAStatus() (term uint64, leader bool, ok bool)
+}
+
+// stampHA records the source's HA fencing state on a response.
+func (s *Server) stampHA(resp *response) {
+	if hs, ok := s.src.(HAStatusSource); ok {
+		if term, leader, on := hs.HAStatus(); on {
+			resp.Term, resp.Leader = term, leader
+		}
 	}
 }
 
@@ -730,6 +793,7 @@ func (s *Server) handle(req *request) (resp *response) {
 			log.Printf("collector: recovered panic serving %q: %v", req.Op, r)
 			resp = &response{Err: fmt.Sprintf("collector: internal error serving %q: %v", req.Op, r)}
 		}
+		s.stampHA(resp)
 	}()
 	switch req.Op {
 	case "topo":
@@ -1409,6 +1473,8 @@ func decodeResponse(resp *response) (*response, error) {
 		return resp, ErrTooManySubscriptions
 	case codeStale:
 		return resp, ErrStaleReplica
+	case codeNotLeader:
+		return resp, &NotLeaderError{Leader: resp.LeaderHint}
 	default:
 		return resp, fmt.Errorf("collector: unknown response code %d (%s)", resp.Code, resp.Err)
 	}

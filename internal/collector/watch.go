@@ -86,6 +86,11 @@ type WatchUpdate struct {
 	// TopoChanged reports that the topology's discovery time moved
 	// since the last update (WatchVersion kind).
 	TopoChanged bool
+	// Term is the source's HA lease term at evaluation time (0 when the
+	// source is not part of a hot-standby pair). Feed consumers fence on
+	// it: a payload with a lower term than one already applied is from a
+	// deposed leader and must be rejected.
+	Term uint64
 	// Stat is the evaluated answer for util/load kinds.
 	Stat stats.Stat
 	// Feed is the replication payload for WatchFeed subscriptions
@@ -331,6 +336,14 @@ func (e *watchEval) eval(src Source, epoch uint64) (WatchUpdate, bool) {
 		u.Epoch = p.Epoch
 		e.lastEpoch = p.Epoch
 		u.Feed = p
+		// A Full payload on an already-started subscription means the
+		// source's state was replaced wholesale (checkpoint restore, HA
+		// term change): mark the update Resync so subscribers know this
+		// is a re-base, not a delta — and never see a torn delta that
+		// chains across the replacement.
+		if e.started && p.Full {
+			u.Resync = true
+		}
 		median = math.NaN() // every shipped payload is material
 	default:
 		return e.errUpdate(u, fmt.Errorf("collector: unknown watch kind %q", e.req.Kind))
@@ -405,6 +418,16 @@ func (s *Server) registerWatch(sc *servedConn, stream uint64, req *request) (*re
 		// not receive error updates forever.
 		if _, ok := s.src.(FeedSource); !ok {
 			return &response{Err: "collector: source does not support feed subscriptions"}, nil
+		}
+	}
+	if s.cfg.Gate != nil {
+		// HA gating: a standby refuses new subscriptions (including feed
+		// subs — replicas must follow the leader) with a typed refusal
+		// carrying the leader hint, so subscribers re-route.
+		if err := s.cfg.Gate("watch"); err != nil {
+			resp := &response{}
+			appError(resp, err)
+			return resp, nil
 		}
 	}
 	s.mu.Lock()
@@ -543,6 +566,17 @@ func (s *Server) watchLoop() {
 	}
 }
 
+// haTermOf reads the source's HA lease term for stamping on watch
+// updates (0 when the source has no HA state).
+func haTermOf(src Source) uint64 {
+	if hs, ok := src.(HAStatusSource); ok {
+		if term, _, on := hs.HAStatus(); on {
+			return term
+		}
+	}
+	return 0
+}
+
 // evalWatches runs one evaluation round over all live subscriptions.
 func (s *Server) evalWatches() {
 	s.watchMu.Lock()
@@ -555,12 +589,14 @@ func (s *Server) evalWatches() {
 		return
 	}
 	epoch := s.watchEpoch()
+	term := haTermOf(s.src)
 	peak := 0
 	for _, sub := range subs {
 		u, ok := sub.eval.eval(s.src, epoch)
 		if !ok {
 			continue
 		}
+		u.Term = term
 		if sub.q.push(u) {
 			s.tel.Counter("server.watch.drops.overflow").Inc()
 		}
@@ -585,6 +621,16 @@ func (s *Server) watchEpoch() uint64 {
 	}
 	s.synthEpoch++
 	return s.synthEpoch
+}
+
+// DrainWatches ends every live subscription gracefully: each gets a
+// terminal Final update, the pushers are given up to timeout to flush
+// it, and the drained connections are closed. The HA layer calls it on
+// demotion so subscribers of a deposed leader learn the stream ended
+// cleanly and re-route, instead of reading stale pushes until the
+// connection rots.
+func (s *Server) DrainWatches(timeout time.Duration) {
+	s.drainWatches(time.Now().Add(timeout))
 }
 
 // drainWatches pushes a terminal Final update to every live
@@ -692,6 +738,7 @@ func watchLocal(ctx context.Context, src Source, vn VersionNotifier, req WatchRe
 		}()
 		for {
 			if u, ok := eval.eval(src, epochOf()); ok {
+				u.Term = haTermOf(src)
 				q.push(u)
 			}
 			select {

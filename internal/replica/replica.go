@@ -108,6 +108,12 @@ func StateFor(synced bool, sinceApply, lagAfter, fenceAfter time.Duration) State
 type Config struct {
 	// FeedAddr is the collector's query address to subscribe to.
 	FeedAddr string
+	// FeedAddrs lists additional feed addresses — a hot-standby pair's
+	// members, say — that the feed loop rotates across on reconnect: if
+	// the current feeder dies (or refuses as a standby), the next
+	// attempt tries the next address. FeedAddr, when set, is tried
+	// first.
+	FeedAddrs []string
 	// Client configures the feed connection (dial/IO timeouts).
 	Client collector.ClientConfig
 
@@ -140,6 +146,9 @@ const (
 )
 
 func (cfg Config) fill() Config {
+	if cfg.FeedAddr != "" {
+		cfg.FeedAddrs = append([]string{cfg.FeedAddr}, cfg.FeedAddrs...)
+	}
 	if cfg.MaxStaleness == 0 {
 		cfg.MaxStaleness = DefaultMaxStaleness
 	}
@@ -183,7 +192,8 @@ type Replica struct {
 	// now is the wall clock; swapped in tests.
 	now func() time.Time
 
-	rng *rand.Rand // reconnect-backoff jitter; feed goroutine only
+	rng     *rand.Rand // reconnect-backoff jitter; feed goroutine only
+	feedIdx int        // next feed-address rotation index; feed goroutine only
 
 	versionMu   sync.Mutex
 	versionSubs map[chan struct{}]struct{}
@@ -196,6 +206,8 @@ type Replica struct {
 	telDeltas    *telemetry.Counter
 	telErrs      *telemetry.Counter
 	telResyncs   *telemetry.Counter
+	telFenceRej  *telemetry.Counter
+	telTerm      *telemetry.Gauge
 	telFenceTrip *telemetry.Counter
 	telFenced    *telemetry.Counter
 	telEpoch     *telemetry.Gauge
@@ -221,6 +233,8 @@ func New(cfg Config) *Replica {
 	r.telDeltas = r.tel.Counter("replica.updates.delta")
 	r.telErrs = r.tel.Counter("replica.updates.err")
 	r.telResyncs = r.tel.Counter("replica.resyncs")
+	r.telFenceRej = r.tel.Counter("replica.fencing.rejections")
+	r.telTerm = r.tel.Gauge("replica.term")
 	r.telFenceTrip = r.tel.Counter("replica.fence.trips")
 	r.telFenced = r.tel.Counter("replica.queries.fenced")
 	r.telEpoch = r.tel.Gauge("replica.epoch")
@@ -271,6 +285,7 @@ func (r *Replica) State() State {
 type Status struct {
 	State     State
 	Epoch     uint64
+	Term      uint64        // HA lease term of the feeding leader (0 = no HA)
 	Staleness time.Duration // time since last applied update
 	Synced    bool
 }
@@ -285,6 +300,7 @@ func (r *Replica) Status() Status {
 	return Status{
 		State:     StateFor(true, stale, r.cfg.LagThreshold, r.cfg.MaxStaleness),
 		Epoch:     st.epoch,
+		Term:      st.term,
 		Staleness: stale,
 		Synced:    true,
 	}
@@ -315,6 +331,10 @@ func (r *Replica) feedLoop() {
 			// backoff ladder.
 			backoff = r.cfg.ResyncBackoff
 		}
+		// Rotate to the next feed address: if the feeder died — or
+		// refused as a hot-standby pair's non-leader — the next attempt
+		// tries its peer instead of hammering the same address.
+		r.feedIdx++
 		if !r.sleep(jittered(backoff, r.rng)) {
 			return
 		}
@@ -346,7 +366,11 @@ func (r *Replica) sleep(d time.Duration) bool {
 // until the stream breaks. It reports whether any update was applied
 // (progress resets the reconnect backoff).
 func (r *Replica) runFeedOnce(ctx context.Context) (progress bool, err error) {
-	cl, err := collector.DialConfig(r.cfg.FeedAddr, r.cfg.Client)
+	addrs := r.cfg.FeedAddrs
+	if len(addrs) == 0 {
+		return false, errors.New("replica: no feed address configured")
+	}
+	cl, err := collector.DialConfig(addrs[r.feedIdx%len(addrs)], r.cfg.Client)
 	if err != nil {
 		return false, err
 	}
@@ -418,13 +442,34 @@ func needsResync(lastSeq uint64, u collector.WatchUpdate, progress bool) bool {
 	if u.Seq != 0 && lastSeq != 0 && u.Seq != lastSeq+1 {
 		return true
 	}
-	return u.Overflowed || (u.Resync && progress)
+	if u.Overflowed {
+		return true
+	}
+	// A Resync-marked update that carries a self-contained Full feed
+	// payload is an in-band re-base — the source replaced its state
+	// wholesale (checkpoint restore, HA term change) and re-shipped a
+	// snapshot on the live subscription. Applying it IS the resync; no
+	// fresh subscription needed.
+	return u.Resync && progress && (u.Feed == nil || !u.Feed.Full)
 }
 
 // apply builds the successor store from one payload and publishes it.
 func (r *Replica) apply(p *collector.FeedPayload) error {
 	wall := r.now()
 	prev := r.cur.Load()
+	// Term fencing: a payload from a lease term below the applied one is
+	// a deposed leader still feeding — reject it (the resulting resync
+	// rotates to the live leader). A term advance is only coherent as a
+	// fresh Full snapshot; a delta across terms chains from state the
+	// new leader never had.
+	if prev != nil && p.Term < prev.term {
+		r.telFenceRej.Inc()
+		return fmt.Errorf("replica: payload term %d below applied term %d (deposed leader)",
+			p.Term, prev.term)
+	}
+	if prev != nil && p.Term > prev.term && !p.Full {
+		return fmt.Errorf("replica: delta across term change (%d -> %d)", prev.term, p.Term)
+	}
 	var next *store
 	var err error
 	switch {
@@ -458,6 +503,7 @@ func (r *Replica) apply(p *collector.FeedPayload) error {
 	r.prevEpoch.Store(next.epoch)
 	r.cur.Store(next)
 	r.telEpoch.Set(float64(next.epoch))
+	r.telTerm.Set(float64(next.term))
 	r.syncOnce.Do(func() { close(r.syncedCh) })
 	r.notifyVersion()
 	return nil

@@ -63,6 +63,10 @@ func TestNeedsResync(t *testing.T) {
 	u := func(seq uint64, overflowed, resync bool) collector.WatchUpdate {
 		return collector.WatchUpdate{Seq: seq, Overflowed: overflowed, Resync: resync}
 	}
+	withFeed := func(u collector.WatchUpdate, full bool) collector.WatchUpdate {
+		u.Feed = &collector.FeedPayload{Full: full}
+		return u
+	}
 	cases := []struct {
 		name     string
 		lastSeq  uint64
@@ -79,6 +83,14 @@ func TestNeedsResync(t *testing.T) {
 		{"resync mark after progress forces resync", 3, u(4, false, true), true, true},
 		{"resync mark before progress is benign", 0, u(1, false, true), false, false},
 		{"seq 0 (terminal) ignored by gap check", 3, u(0, false, false), true, false},
+		{"in-band full re-base is benign",
+			3, withFeed(u(4, false, true), true), true, false},
+		{"resync with a delta payload still forces resync",
+			3, withFeed(u(4, false, true), false), true, true},
+		{"overflow trumps an in-band full",
+			3, withFeed(u(4, true, true), true), true, true},
+		{"seq gap trumps an in-band full",
+			3, withFeed(u(6, false, true), true), true, true},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
@@ -551,5 +563,73 @@ func TestReplicaServesWatches(t *testing.T) {
 	// do not re-feed; chaining goes through the collector).
 	if _, err := cl.Watch(ctx, collector.WatchRequest{Kind: collector.WatchFeed}); err == nil {
 		t.Fatal("feed subscription on a replica succeeded; replicas do not chain")
+	}
+}
+
+// TestReplicaTermFencing drives payloads with explicit lease terms
+// through Replica.apply and checks the split-brain fencing rules: a
+// payload stamped with a term below the applied one (a deposed leader
+// still feeding) is rejected and counted, and a term advance is only
+// coherent as a fresh Full snapshot — a delta across terms chains from
+// state the new leader never had.
+func TestReplicaTermFencing(t *testing.T) {
+	r := newRig(t)
+	p, err := r.col.FeedSince(&collector.FeedCursor{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name    string
+		term    uint64
+		full    bool
+		wantErr bool
+		fenced  bool // counts toward replica.fencing.rejections
+	}{
+		{name: "same-term delta", term: 2, full: false, wantErr: false},
+		{name: "stale-term full", term: 1, full: true, wantErr: true, fenced: true},
+		{name: "stale-term delta", term: 1, full: false, wantErr: true, fenced: true},
+		{name: "term advance as delta", term: 3, full: false, wantErr: true},
+		{name: "term advance as full", term: 3, full: true, wantErr: false},
+	}
+
+	rep := New(Config{FeedAddrs: []string{"unused:0"}, Telemetry: telemetry.NewRegistry()})
+	base := *p
+	base.Term = 2
+	if err := rep.apply(&base); err != nil {
+		t.Fatalf("seed full at term 2: %v", err)
+	}
+
+	var wantFenced uint64
+	nextEpoch := p.Epoch
+	for _, tc := range cases {
+		nextEpoch++
+		q := collector.FeedPayload{Epoch: nextEpoch, Term: tc.term, Full: tc.full}
+		if tc.full {
+			full := *p
+			full.Epoch = nextEpoch
+			full.Term = tc.term
+			q = full
+		}
+		err := rep.apply(&q)
+		if tc.wantErr && err == nil {
+			t.Errorf("%s: apply accepted the payload", tc.name)
+		}
+		if !tc.wantErr && err != nil {
+			t.Errorf("%s: apply rejected the payload: %v", tc.name, err)
+		}
+		if tc.fenced {
+			wantFenced++
+		}
+		got := rep.Telemetry().Snapshot().Counters["replica.fencing.rejections"]
+		if got != wantFenced {
+			t.Errorf("%s: replica.fencing.rejections = %d, want %d", tc.name, got, wantFenced)
+		}
+	}
+
+	// The survivor state is the term-3 full; its term is visible to
+	// clients through Status.
+	if got := rep.Status().Term; got != 3 {
+		t.Fatalf("final term = %d, want 3", got)
 	}
 }

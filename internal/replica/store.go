@@ -18,6 +18,7 @@ import (
 // windows that received samples.
 type store struct {
 	epoch    uint64 // collector DataVersion this state reflects
+	term     uint64 // HA lease term of the feeding leader (0 = no HA)
 	topo     *collector.Topology
 	channels map[collector.ChannelKey]*stats.Window
 	loads    map[graph.NodeID]*stats.Window
@@ -61,6 +62,7 @@ func applyFull(p *collector.FeedPayload, wall time.Time) (*store, error) {
 	}
 	st := &store{
 		epoch:       p.Epoch,
+		term:        p.Term,
 		topo:        topo,
 		channels:    make(map[collector.ChannelKey]*stats.Window, len(p.Channels)),
 		loads:       make(map[graph.NodeID]*stats.Window, len(p.Loads)),
@@ -104,6 +106,7 @@ func (st *store) applyDelta(p *collector.FeedPayload, wall time.Time) (*store, e
 	}
 	next := &store{
 		epoch:       p.Epoch,
+		term:        st.term,
 		topo:        st.topo,
 		channels:    make(map[collector.ChannelKey]*stats.Window, len(st.channels)+len(p.Channels)),
 		loads:       make(map[graph.NodeID]*stats.Window, len(st.loads)+len(p.Loads)),

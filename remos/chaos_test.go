@@ -381,7 +381,11 @@ func TestChaosWatchBackpressure(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	src, err := remos.DialCollectors(addrA, srvB.Addr())
+	// Identity probe order (no initial shuffle, unlike DialCollectors):
+	// the healthy watch must deterministically land on replica A so that
+	// killing A mid-stream exercises the resubscribe path. The shuffle
+	// itself is covered by TestFailoverShuffleDeterministic.
+	src, err := collector.DialFailover([]string{addrA, srvB.Addr()}, collector.FailoverConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}

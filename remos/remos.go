@@ -147,6 +147,34 @@ type (
 	// in-process Collector, the TCP client, and FailoverSource.
 	WatchSource = collector.WatchSource
 
+	// FeedPayload is one WatchFeed replication update: a Full state
+	// snapshot or an epoch delta, stamped with the producer's HA lease
+	// term. Exported so downstream feed consumers (read replicas,
+	// standby collectors, replica-of-replica chains) can speak the feed
+	// protocol without reaching into collector internals.
+	FeedPayload = collector.FeedPayload
+
+	// FeedCursor tracks one feed subscription's replication progress;
+	// pass a zero cursor to FeedSource.FeedSince to start from a Full
+	// snapshot.
+	FeedCursor = collector.FeedCursor
+
+	// FeedSource is a Source able to stream its state as WatchFeed
+	// payloads — implemented by the in-process Collector; any source
+	// implementing it can sit upstream of a ReadReplica.
+	FeedSource = collector.FeedSource
+
+	// WireTopo is the wire form of a discovered topology as carried in
+	// feed payloads and checkpoint files; decode with
+	// FeedPayload.Topology.
+	WireTopo = collector.WireTopo
+
+	// WireNode is the wire form of one topology node.
+	WireNode = collector.WireNode
+
+	// WireLink is the wire form of one topology link.
+	WireLink = collector.WireLink
+
 	// WatchOptions tunes Modeler.WatchGraph / Modeler.WatchFlowInfo
 	// (material-change threshold, delivery buffer).
 	WatchOptions = core.WatchOptions
@@ -211,7 +239,20 @@ var (
 	// alive but refuses to present old state as fresh. The failover
 	// layer routes around it without marking the replica down.
 	ErrStaleReplica = collector.ErrStaleReplica
+
+	// ErrNotLeader is the typed refusal of a hot-standby collector
+	// (remos-collector -standby-of): the daemon is healthy but not the
+	// pair's current lease holder. The refusal carries the leader's
+	// address — LeaderHint extracts it — and the failover layer
+	// re-routes to it in one hop.
+	ErrNotLeader = collector.ErrNotLeader
 )
+
+// LeaderHint extracts the leader's address from an ErrNotLeader chain;
+// ok is false when the refusing standby did not know the leader.
+func LeaderHint(err error) (addr string, ok bool) {
+	return collector.LeaderHint(err)
+}
 
 // RetryAfter extracts the retry-after hint from a load-shed error
 // chain; ok is false when err carries none.
@@ -296,11 +337,18 @@ func DialCollector(addr string) (Source, error) { return collector.Dial(addr) }
 // in the background. Typed refusals (busy, shed, stale replica) route
 // to the next endpoint without marking the refusing one down, so a
 // replica fenced by a feed partition rejoins the rotation the moment
-// it resyncs. List replicas first and the collector last to keep query
-// load off the collector until every replica is unavailable. At least
-// one endpoint must be reachable at dial time.
+// it resyncs. A standby collector's ErrNotLeader refusal carries the
+// leader's address, and the failover layer jumps straight to it. At
+// least one endpoint must be reachable at dial time.
+//
+// The initial probe order is a seeded shuffle of addrs, not the list
+// order: a fleet of clients all configured with the same endpoint list
+// spreads its first connections across the replicas instead of
+// stampeding the one listed first. Health-based failover then takes
+// over — routing follows live endpoints, not positions. Replicas()
+// still reports addrs in the caller's order.
 func DialCollectors(addrs ...string) (*FailoverSource, error) {
-	return collector.DialFailover(addrs, collector.FailoverConfig{})
+	return collector.DialFailover(addrs, collector.FailoverConfig{Shuffle: true})
 }
 
 // Read-replica re-exports: a ReadReplica subscribes to a collector's

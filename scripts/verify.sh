@@ -37,6 +37,10 @@ go test -race -timeout 300s -count=1 -run TestChaosLifecycle ./remos -chaos.seed
 echo "==> replication chaos under -race (feed blackhole, fence, resync)"
 go test -race -timeout 300s -count=1 -run 'TestChaosReplicaPartition|TestReplicaFailoverEndToEnd' ./remos -chaos.seed=1
 
+echo "==> ha stage: lease/promotion determinism + leader-failover chaos under -race"
+go test -race -timeout 120s -count=1 ./internal/ha
+go test -race -timeout 300s -count=1 -run TestChaosLeaderFailover ./remos -chaos.seed=1
+
 echo "==> fuzz smoke (10s per target)"
 go test -fuzz=FuzzDecode -fuzztime=10s -run '^$' ./internal/snmp
 go test -fuzz='^FuzzReadFrame$' -fuzztime=10s -run '^$' ./internal/collector
