@@ -27,6 +27,7 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/simclock"
 	"repro/internal/snmp"
+	"repro/internal/topogen"
 	"repro/internal/topology"
 	"repro/internal/traffic"
 	"repro/remos"
@@ -133,12 +134,20 @@ func BenchmarkPredictionStudy(b *testing.B) {
 	}
 }
 
-// BenchmarkScaleStudy regenerates the multi-collector scale study.
+// BenchmarkScaleStudy regenerates the federated scale study, one
+// sub-benchmark per generated size so bench.sh -compare gates the
+// build + poll-round + federated-merge cost growth at each scale point
+// independently.
 func BenchmarkScaleStudy(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		if rs := experiments.ScaleStudy(); len(rs) != 3 {
-			b.Fatalf("rows = %d", len(rs))
-		}
+	for _, n := range experiments.ScaleStudySizes {
+		b.Run(fmt.Sprintf("nodes=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				r := experiments.ScaleStudyAt(n)
+				if r.IntraMbps <= 0 || r.CrossMbps <= 0 {
+					b.Fatalf("federated queries failed: %+v", r)
+				}
+			}
+		})
 	}
 }
 
@@ -459,6 +468,45 @@ func BenchmarkWatchFanout(b *testing.B) {
 				waitAll(target)
 			}
 		})
+	}
+}
+
+// benchFederationEnv is the shared steady-state federation for the
+// micro-benchmarks: 100 generated nodes, 3 regions, warmed up.
+func benchFederationEnv() *experiments.FederationEnv {
+	e := experiments.NewFederationEnv(topogen.Spec{Kind: topogen.KindHier, N: 100, Seed: 11, Regions: 3})
+	e.Warmup()
+	return e
+}
+
+// BenchmarkFederatedMerge measures one federated topology read — the
+// local region's full partial composed with two peer regions' summaries
+// through the merge — at steady state.
+func BenchmarkFederatedMerge(b *testing.B) {
+	e := benchFederationEnv()
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Views[0].Topology(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFederatedCrossQuery measures one cross-region availability
+// query answered through the summarized links, against the intra-region
+// full-fidelity baseline in the same view.
+func BenchmarkFederatedCrossQuery(b *testing.B) {
+	e := benchFederationEnv()
+	r0 := e.Topo.Hosts(e.Topo.Regions[0])
+	r2 := e.Topo.Hosts(e.Topo.Regions[2])
+	mod := e.Mods[0]
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := mod.AvailableBandwidth(r0[0], r2[0], core.TFHistory(10)); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

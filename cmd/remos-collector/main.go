@@ -9,6 +9,14 @@
 //	remos-collector -listen 127.0.0.1:7070 \
 //	    -blast m-6,m-8,90 -blast m-8,m-6,90 \
 //	    -speed 10 -udp
+//
+// With -gen/-region it becomes one member of a federation: it simulates
+// the shared generated topology, polls only its own region, and serves
+// a federated view that composes peer regions' summaries:
+//
+//	remos-collector -gen hier -gen-n 1000 -gen-seed 7 -region r0 \
+//	    -listen 127.0.0.1:7070 \
+//	    -federate-from r1=127.0.0.1:7071 -federate-from r2=127.0.0.1:7072
 package main
 
 import (
@@ -27,10 +35,12 @@ import (
 
 	"repro/internal/collector"
 	"repro/internal/faults"
+	"repro/internal/federation"
 	"repro/internal/ha"
 	"repro/internal/netsim"
 	"repro/internal/snmp"
 	"repro/internal/telemetry"
+	"repro/internal/topogen"
 	"repro/internal/topology"
 	"repro/internal/traffic"
 
@@ -73,6 +83,19 @@ func main() {
 	leaseTTL := flag.Float64("lease-ttl", 3, "lease grant length in wall seconds; promotion after a leader crash is bounded by it plus one heartbeat")
 	haHeartbeat := flag.Float64("ha-heartbeat", 1, "lease renewal/observation period (virtual seconds)")
 	advertise := flag.String("advertise", "", "address clients reach this daemon at, used as the lease identity and leader hint (default: the bound listen address)")
+	gen := flag.String("gen", "", "simulate a generated topology (fattree|hier|isp) instead of the Figure 3 testbed")
+	genN := flag.Int("gen-n", 1000, "with -gen: approximate node count")
+	genSeed := flag.Int64("gen-seed", 1, "with -gen: generator seed — every federating daemon must use the same spec")
+	genRegions := flag.Int("gen-regions", 3, "with -gen: number of regions in the partition")
+	region := flag.String("region", "", "federate: poll only this region's nodes and serve a federated view (requires -gen)")
+	var federateFrom []string
+	flag.Func("federate-from", "region=addr — subscribe to this peer collector's region summaries (repeatable; requires -region)", func(s string) error {
+		if !strings.Contains(s, "=") {
+			return fmt.Errorf("want region=addr")
+		}
+		federateFrom = append(federateFrom, s)
+		return nil
+	})
 	var blasts []blastSpec
 	flag.Func("blast", "src,dst,mbps — non-responsive traffic (repeatable)", func(s string) error {
 		parts := strings.Split(s, ",")
@@ -111,9 +134,27 @@ func main() {
 	if *standbyOf != "" && *leasePath == "" {
 		fatal(fmt.Errorf("-standby-of requires -lease"))
 	}
+	if *region != "" && *gen == "" {
+		fatal(fmt.Errorf("-region requires -gen (the partition derives from the generated topology)"))
+	}
+	if len(federateFrom) > 0 && *region == "" {
+		fatal(fmt.Errorf("-federate-from requires -region"))
+	}
 
 	clk := simclockpkg.New()
-	net, err := netsim.New(clk, topology.Testbed())
+	g := topology.Testbed()
+	var tp *topogen.Topology
+	if *gen != "" {
+		var err error
+		tp, err = topogen.Generate(topogen.Spec{Kind: *gen, N: *genN, Seed: *genSeed, Regions: *genRegions})
+		if err != nil {
+			fatal(err)
+		}
+		g = tp.Graph
+		fmt.Printf("generated topology %s: %d nodes, %d links, %d regions (seed %d)\n",
+			*gen, len(g.Nodes()), g.NumLinks(), len(tp.Regions), *genSeed)
+	}
+	net, err := netsim.New(clk, g)
 	if err != nil {
 		fatal(err)
 	}
@@ -129,7 +170,15 @@ func main() {
 	}
 	sort.Slice(names, func(i, j int) bool { return names[i] < names[j] })
 	for _, id := range names {
+		// A federating daemon simulates the whole topology but polls
+		// only the region it owns.
+		if *region != "" && tp.RegionOf(id) != *region {
+			continue
+		}
 		addrs[id] = snmp.Addr(id)
+	}
+	if *region != "" && len(addrs) == 0 {
+		fatal(fmt.Errorf("region %q has no nodes in the generated topology", *region))
 	}
 	if *udp {
 		for _, id := range names {
@@ -243,7 +292,34 @@ func main() {
 			return &collector.NotLeaderError{Leader: *standbyOf}
 		}
 	}
-	srv, err := collector.ServeConfig(col, *listen, collector.ServerConfig{
+	// A federating daemon serves a View — its own region at full
+	// fidelity composed with peer regions' summaries — instead of the
+	// bare collector. Peers are subscribed over the "region-summary"
+	// watch kind and survive peer restarts via the WatchPeer backoff.
+	var serveSrc collector.Source = col
+	var watchPeers []*federation.WatchPeer
+	if *region != "" {
+		reg := &federation.Region{Name: *region, Src: col, RegionOf: tp.RegionOf, Clock: clk}
+		var peers []federation.Peer
+		for _, spec := range federateFrom {
+			parts := strings.SplitN(spec, "=", 2)
+			addr := parts[1]
+			// Dialing happens inside the peer's reconnect loop, after
+			// this daemon's own listener is up — a federation whose
+			// members all subscribe to each other converges in any
+			// startup order.
+			wp := federation.NewDialWatchPeer(parts[0], func() (collector.WatchSource, error) {
+				return collector.DialConfig(addr, collector.ClientConfig{CallTimeout: 5 * time.Second})
+			})
+			watchPeers = append(watchPeers, wp)
+			peers = append(peers, wp)
+			fmt.Printf("federation: subscribing to region %s at %s\n", parts[0], addr)
+		}
+		serveSrc = federation.NewView(federation.Config{Region: reg, Peers: peers, Clock: clk})
+		fmt.Printf("federation: serving region %q (%d nodes polled, %d peer regions)\n",
+			*region, len(addrs), len(peers))
+	}
+	srv, err := collector.ServeConfig(serveSrc, *listen, collector.ServerConfig{
 		IdleTimeout:        *idleTimeout,
 		MaxConns:           *maxConns,
 		MaxInflight:        *maxInflight,
@@ -328,6 +404,9 @@ func main() {
 			// Graceful drain: stop accepting, let in-flight requests
 			// finish within the budget, then force-close stragglers.
 			srv.Shutdown(*drainTimeout)
+			for _, wp := range watchPeers {
+				wp.Close()
+			}
 			if node != nil {
 				// Stop heartbeats/polling under the driver lock, then
 				// release the lease and wait for the sync goroutine

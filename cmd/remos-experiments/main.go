@@ -22,7 +22,7 @@ func main() {
 	figure := flag.Int("figure", 0, "print only this figure (1 or 4)")
 	ablation := flag.Bool("ablation", false, "run the self-traffic discount ablation")
 	predict := flag.Bool("predict", false, "run the future-timeframe prediction study")
-	scale := flag.Bool("scale", false, "run the multi-collector scale study")
+	scale := flag.Bool("scale", false, "run the federated regional-collector scale study")
 	overhead := flag.Bool("overhead", false, "run the poll-period overhead/responsiveness study")
 	sweep := flag.Bool("sweep", false, "run the FFT node-count sweep")
 	flag.Parse()

@@ -95,6 +95,7 @@ func render(snap *telemetry.Snapshot, addr string, spans int) {
 	}
 	renderHA(snap)
 	renderReplica(snap)
+	renderFederation(snap)
 	if len(snap.Quantiles) > 0 {
 		fmt.Printf("\nQUARTILES%26s %8s %8s %8s %8s %8s\n",
 			"count", "min", "q1", "median", "q3", "max")
@@ -171,6 +172,39 @@ func renderReplica(snap *telemetry.Snapshot) {
 		snap.Counters["replica.resyncs"],
 		snap.Counters["replica.fence.trips"],
 		snap.Counters["replica.queries.fenced"])
+}
+
+// renderFederation summarizes the federation.* metrics a federating
+// collector daemon (remos-collector -region) exports: how many regions
+// the view composes, pull/fencing activity, and — per peer region — the
+// age of the summary every cross-region answer currently rests on.
+func renderFederation(snap *telemetry.Snapshot) {
+	regions, ok := snap.Gauges["federation.regions"]
+	if !ok {
+		return
+	}
+	fmt.Printf("\nFEDERATION  regions %.0f  pulls %d  applied %d  pull-errors %d  fencing-rejections %d\n",
+		regions,
+		snap.Counters["federation.pulls"],
+		snap.Counters["federation.summary.applied"],
+		snap.Counters["federation.pull.errors"],
+		snap.Counters["federation.fencing.rejections"])
+	const pre, post = "federation.region.", ".age"
+	for _, name := range snap.GaugeNames() {
+		if len(name) <= len(pre)+len(post) || name[:len(pre)] != pre || name[len(name)-len(post):] != post {
+			continue
+		}
+		r := name[len(pre) : len(name)-len(post)]
+		age := snap.Gauges[name]
+		status := fmt.Sprintf("age %6.1fs", age)
+		if age < 0 {
+			status = "no summary"
+		}
+		fmt.Printf("  region %-10s %s  epoch %-8.0f fails %.0f\n",
+			r, status,
+			snap.Gauges[pre+r+".epoch"],
+			snap.Gauges[pre+r+".fails"])
+	}
 }
 
 func fatal(err error) {

@@ -6,6 +6,8 @@
 //	remos-topo -name testbed            # Figure 3 testbed (ASCII)
 //	remos-topo -name figure1-slow -dot  # Figure 1, Graphviz output
 //	remos-topo -name widearea -logical m-1,m-8
+//	remos-topo -gen fattree -n 1000 -seed 7 -emit   # generated, topofile form
+//	remos-topo -gen isp -n 5000 -seed 3 -regions 5 -summary
 package main
 
 import (
@@ -16,6 +18,7 @@ import (
 
 	"repro/internal/graph"
 	"repro/internal/topofile"
+	"repro/internal/topogen"
 	"repro/internal/topology"
 )
 
@@ -39,13 +42,34 @@ func build(name string) *graph.Graph {
 func main() {
 	name := flag.String("name", "testbed", "topology: testbed, figure1-fast, figure1-slow, dumbbell, widearea")
 	file := flag.String("file", "", "read the topology from a topofile instead of -name")
+	gen := flag.String("gen", "", "generate a seeded topology instead of -name: fattree, hier, isp")
+	n := flag.Int("n", 100, "with -gen: approximate node count")
+	seed := flag.Int64("seed", 1, "with -gen: generator seed (same spec, same bytes)")
+	regions := flag.Int("regions", 3, "with -gen: number of regions in the partition")
+	summary := flag.Bool("summary", false, "with -gen: print per-region node/host counts instead of the topology")
 	emit := flag.Bool("emit", false, "print the topology in topofile form")
 	dot := flag.Bool("dot", false, "emit Graphviz dot instead of ASCII")
 	logical := flag.String("logical", "", "comma-separated hosts: also print the collapsed logical topology connecting them")
 	flag.Parse()
 
 	var g *graph.Graph
-	if *file != "" {
+	if *gen != "" {
+		tp, err := topogen.Generate(topogen.Spec{Kind: *gen, N: *n, Seed: *seed, Regions: *regions})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		g = tp.Graph
+		*name = fmt.Sprintf("%s-n%d-s%d", *gen, *n, *seed)
+		if *summary {
+			fmt.Printf("%s: %d nodes, %d links, %d regions\n",
+				*name, len(g.Nodes()), g.NumLinks(), len(tp.Regions))
+			for _, r := range tp.Regions {
+				fmt.Printf("  %-6s %5d nodes %5d hosts\n", r, len(tp.Members(r)), len(tp.Hosts(r)))
+			}
+			return
+		}
+	} else if *file != "" {
 		f, err := os.Open(*file)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)

@@ -96,6 +96,9 @@ type WatchUpdate struct {
 	// Feed is the replication payload for WatchFeed subscriptions
 	// (nil for every other kind; costs nothing on the wire unset).
 	Feed *FeedPayload
+	// Summary is the federation payload for WatchRegionSummary
+	// subscriptions (region.go); nil for every other kind.
+	Summary *RegionSummary
 	// Err carries a non-terminal evaluation error (e.g. "unknown
 	// channel"); the subscription stays live and recovers when the
 	// query evaluates cleanly again.
@@ -345,6 +348,17 @@ func (e *watchEval) eval(src Source, epoch uint64) (WatchUpdate, bool) {
 			u.Resync = true
 		}
 		median = math.NaN() // every shipped payload is material
+	case WatchRegionSummary:
+		rs, ok := src.(RegionSummarySource)
+		if !ok {
+			return e.errUpdate(u, fmt.Errorf("collector: source does not support region summaries"))
+		}
+		s, err := rs.RegionSummary()
+		if err != nil {
+			return e.errUpdate(u, err)
+		}
+		u.Summary = s
+		median = math.NaN() // a new epoch's summary is always material
 	default:
 		return e.errUpdate(u, fmt.Errorf("collector: unknown watch kind %q", e.req.Kind))
 	}
@@ -379,7 +393,7 @@ func (e *watchEval) errUpdate(u WatchUpdate, err error) (WatchUpdate, bool) {
 // validKind reports whether a wire watch request names a known kind.
 func validWatchKind(kind string) bool {
 	switch kind {
-	case WatchVersion, "", WatchUtil, WatchLoad, WatchFeed:
+	case WatchVersion, "", WatchUtil, WatchLoad, WatchFeed, WatchRegionSummary:
 		return true
 	}
 	return false
@@ -418,6 +432,12 @@ func (s *Server) registerWatch(sc *servedConn, stream uint64, req *request) (*re
 		// not receive error updates forever.
 		if _, ok := s.src.(FeedSource); !ok {
 			return &response{Err: "collector: source does not support feed subscriptions"}, nil
+		}
+	}
+	if req.Watch.Kind == WatchRegionSummary {
+		// Same loud handshake failure for federation subscriptions.
+		if _, ok := s.src.(RegionSummarySource); !ok {
+			return &response{Err: "collector: source does not support region summaries"}, nil
 		}
 	}
 	if s.cfg.Gate != nil {

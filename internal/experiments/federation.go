@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/collector"
+	"repro/internal/core"
+	"repro/internal/federation"
+	"repro/internal/graph"
+	"repro/internal/netsim"
+	"repro/internal/simclock"
+	"repro/internal/snmp"
+	"repro/internal/topogen"
+	"repro/internal/topology"
+)
+
+// FederationEnv is a generated multi-region network under federated
+// collection: one collector per region polling only its members, one
+// federation.View per region composing local detail with the other
+// regions' summaries, and a Modeler per view. Everything shares one
+// virtual clock, so runs are deterministic.
+type FederationEnv struct {
+	Clk        *simclock.Clock
+	Net        *netsim.Network
+	Topo       *topogen.Topology
+	Collectors []*collector.Collector
+	Regions    []*federation.Region
+	Views      []*federation.View
+	Mods       []*core.Modeler
+}
+
+// NewFederationEnv builds the federation over a generated topology.
+func NewFederationEnv(spec topogen.Spec) *FederationEnv {
+	tp, err := topogen.Generate(spec)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: %v", err))
+	}
+	clk := simclock.New()
+	n, err := netsim.New(clk, tp.Graph)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: %v", err))
+	}
+	att := snmp.Attach(n, snmp.DefaultCommunity)
+	client := snmp.NewClient(att.Registry, snmp.DefaultCommunity)
+
+	env := &FederationEnv{Clk: clk, Net: n, Topo: tp}
+	for _, name := range tp.Regions {
+		addrs := make(map[graph.NodeID]string)
+		for _, id := range tp.Members(name) {
+			addrs[id] = snmp.Addr(id)
+		}
+		col := collector.New(collector.Config{
+			Client:        client,
+			Clock:         clk,
+			Addrs:         addrs,
+			PollPeriod:    2,
+			PerHopLatency: topology.PerHopLatency,
+		})
+		if err := col.Start(); err != nil {
+			panic(fmt.Sprintf("experiments: region %s: %v", name, err))
+		}
+		env.Collectors = append(env.Collectors, col)
+		env.Regions = append(env.Regions, &federation.Region{
+			Name: name, Src: col, RegionOf: tp.RegionOf, Clock: clk,
+		})
+	}
+	for i := range env.Regions {
+		var peers []federation.Peer
+		for j := range env.Regions {
+			if j != i {
+				peers = append(peers, federation.SourcePeer(env.Regions[j]))
+			}
+		}
+		v := federation.NewView(federation.Config{Region: env.Regions[i], Peers: peers, Clock: clk})
+		env.Views = append(env.Views, v)
+		env.Mods = append(env.Mods, core.New(core.Config{Source: v}))
+	}
+	return env
+}
+
+// Warmup advances virtual time so every regional collector accumulates
+// measurement history (15 s covers seven poll rounds).
+func (e *FederationEnv) Warmup() { e.Clk.Advance(15) }

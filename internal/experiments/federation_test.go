@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/collector"
+	"repro/internal/core"
+	"repro/internal/federation"
+	"repro/internal/graph"
+)
+
+// TestFederationThousandNodeAcceptance is the headline scenario: a
+// seeded 3-region × 1k-node federation answers an intra-region flow
+// query at full fidelity and a cross-region flow query via summarized
+// links, survives one region going dark — degraded answers with a
+// growing DataAge — and recovers when the region heals. Deterministic:
+// same spec, same virtual schedule, same answers.
+func TestFederationThousandNodeAcceptance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("1k-node federation in -short mode")
+	}
+	t.Parallel()
+	e := NewFederationEnv(scaleSpec(1000))
+
+	var dark atomic.Bool
+	darkRegion := e.Topo.Regions[2]
+	gate := federation.FuncPeer(darkRegion, func() (*collector.RegionSummary, error) {
+		if dark.Load() {
+			return nil, errors.New("region unreachable")
+		}
+		return e.Regions[2].RegionSummary()
+	})
+	v := federation.NewView(federation.Config{
+		Region: e.Regions[0],
+		Peers:  []federation.Peer{federation.SourcePeer(e.Regions[1]), gate},
+		Clock:  e.Clk,
+	})
+	mod := core.New(core.Config{Source: v})
+	e.Warmup()
+
+	r0 := e.Topo.Hosts(e.Topo.Regions[0])
+	r2 := e.Topo.Hosts(darkRegion)
+	intra, err := mod.AvailableBandwidth(r0[0], r0[len(r0)-1], core.TFHistory(10))
+	if err != nil {
+		t.Fatalf("intra-region: %v", err)
+	}
+	if !intra.Valid() || intra.Median <= 0 {
+		t.Fatalf("intra-region stat = %+v", intra)
+	}
+	cross, err := mod.AvailableBandwidth(r0[0], r2[0], core.TFHistory(10))
+	if err != nil {
+		t.Fatalf("cross-region: %v", err)
+	}
+	if !cross.Valid() || cross.Median <= 0 {
+		t.Fatalf("cross-region stat = %+v", cross)
+	}
+
+	ageOf := func() float64 {
+		for _, ra := range v.RegionAges() {
+			if ra.Region == darkRegion {
+				return ra.Age
+			}
+		}
+		t.Fatalf("no age for %s", darkRegion)
+		return 0
+	}
+	stateOf := func() collector.HealthState {
+		return v.Health()[graph.NodeID("federation/region-"+darkRegion)].State
+	}
+
+	// Dark: answers continue from the last summary, age grows, health
+	// degrades to Down.
+	dark.Store(true)
+	base := ageOf()
+	for i := 0; stateOf() != collector.Down; i++ {
+		e.Clk.Advance(2)
+		if i > 50 {
+			t.Fatal("dark region never reached Down")
+		}
+	}
+	grown := ageOf()
+	if grown <= base {
+		t.Fatalf("DataAge did not grow while dark: %v <= %v", grown, base)
+	}
+	mod.Refresh()
+	st, err := mod.AvailableBandwidth(r0[0], r2[0], core.TFHistory(10))
+	if err != nil {
+		t.Fatalf("dark cross-region query refused: %v", err)
+	}
+	if !st.Valid() || st.Median <= 0 {
+		t.Fatalf("dark cross-region stat = %+v", st)
+	}
+
+	// Heal: health recovers, age collapses, answers keep flowing.
+	dark.Store(false)
+	for i := 0; stateOf() != collector.Healthy; i++ {
+		e.Clk.Advance(2)
+		if i > 100 {
+			t.Fatal("region never healed")
+		}
+	}
+	if age := ageOf(); age >= grown {
+		t.Fatalf("DataAge did not collapse on heal: %v >= %v", age, grown)
+	}
+	if _, err := mod.AvailableBandwidth(r0[0], r2[0], core.TFHistory(10)); err != nil {
+		t.Fatalf("healed cross-region: %v", err)
+	}
+}

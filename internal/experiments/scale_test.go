@@ -9,35 +9,50 @@ import (
 	"repro/internal/traffic"
 )
 
+// checkScaleResult asserts the invariants every study size must hold.
+func checkScaleResult(t *testing.T, r ScaleResult) {
+	t.Helper()
+	if r.Regions != 3 {
+		t.Fatalf("n=%d: regions = %d", r.Nodes, r.Regions)
+	}
+	// The federated view holds every host (local full fidelity plus
+	// remote hosts from summaries) and one hub per remote region, but
+	// summarizes away the remote interiors — so it sits strictly
+	// between the host count and the full generated size.
+	if r.MergedNodes <= r.Hosts+r.Regions-1 {
+		t.Fatalf("n=%d: view nodes = %d with %d hosts — remote structure missing",
+			r.Nodes, r.MergedNodes, r.Hosts)
+	}
+	if r.MergedNodes >= r.Nodes+r.Regions {
+		t.Fatalf("n=%d: view nodes = %d — remote interiors were not summarized away",
+			r.Nodes, r.MergedNodes)
+	}
+	if r.PollsPerCollector < 5 {
+		t.Fatalf("n=%d: polls = %d", r.Nodes, r.PollsPerCollector)
+	}
+	// Unloaded estate: both query classes answer with real bandwidth.
+	if r.IntraMbps <= 0 || r.CrossMbps <= 0 {
+		t.Fatalf("n=%d: intra = %v Mbps, cross = %v Mbps", r.Nodes, r.IntraMbps, r.CrossMbps)
+	}
+}
+
 func TestScaleStudyShape(t *testing.T) {
 	t.Parallel()
-	rs := ScaleStudy()
-	if len(rs) != 3 {
-		t.Fatalf("rows = %d", len(rs))
-	}
-	for _, r := range rs {
-		// Merged topology covers everything: hosts + routers nodes,
-		// hosts + (routers-1) links.
-		if r.MergedNodes != r.Hosts+r.Routers {
-			t.Fatalf("%d/%d: merged nodes = %d", r.Hosts, r.Routers, r.MergedNodes)
-		}
-		if r.MergedLinks != r.Hosts+r.Routers-1 {
-			t.Fatalf("%d/%d: merged links = %d", r.Hosts, r.Routers, r.MergedLinks)
-		}
-		if r.Collectors != r.Routers {
-			t.Fatalf("collectors = %d", r.Collectors)
-		}
-		if r.PollsPerCollector < 5 {
-			t.Fatalf("polls = %d", r.PollsPerCollector)
-		}
-		// Unloaded chain: full capacity end to end.
-		if math.Abs(r.SampleQueryMbps-100) > 1 {
-			t.Fatalf("cross-domain query = %v Mbps", r.SampleQueryMbps)
-		}
-	}
-	if !strings.Contains(FormatScaleStudy(rs), "collectors") {
+	r := ScaleStudyAt(100)
+	checkScaleResult(t, r)
+	if !strings.Contains(FormatScaleStudy([]ScaleResult{r}), "regions") {
 		t.Fatal("format wrong")
 	}
+}
+
+// TestScaleStudyThousandNodes runs the middle study size — the 3-region
+// × 1k-node federation of the acceptance criteria — end to end.
+func TestScaleStudyThousandNodes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("1k-node federation study in -short mode")
+	}
+	t.Parallel()
+	checkScaleResult(t, ScaleStudyAt(1000))
 }
 
 func TestScaleCrossDomainSeesTraffic(t *testing.T) {

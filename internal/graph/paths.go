@@ -4,6 +4,7 @@ import (
 	"container/heap"
 	"fmt"
 	"math"
+	"sync"
 )
 
 // Path is a walk from Nodes[0] to Nodes[len-1]; Links[i] joins Nodes[i] and
@@ -322,44 +323,89 @@ func (g *Graph) Connected() bool {
 	return true
 }
 
-// RouteTable holds a static route (a Path) for every ordered pair of
-// compute nodes, computed once from the physical topology. The simulator
-// and the modeler share route tables so that predictions match behaviour.
+// RouteTable resolves a static route (a Path) for every ordered pair of
+// compute nodes from the physical topology. Routes are computed lazily —
+// one single-source Dijkstra tree per queried source, memoized — so
+// building a table over a 5k-node generated topology costs one
+// connectivity check, not an all-pairs sweep; only the pairs a workload
+// actually asks about pay for path construction. The simulator and the
+// modeler share route tables so that predictions match behaviour.
 type RouteTable struct {
-	g      *Graph
+	g *Graph
+	w Weight
+
+	mu     sync.RWMutex
+	trees  map[NodeID]*PathTree
 	routes map[[2]NodeID]*Path
 }
 
-// Routes computes shortest-hop routes (latency tie-break) between every
-// ordered pair of compute nodes. Routes are symmetric in node sequence
-// because weights are symmetric and tie-breaking is deterministic.
+// routeWeight is the standard routing metric: hops first, latency as
+// tie-break.
+func routeWeight(l *Link) float64 { return 1 + l.Latency/1e3 }
+
+// Routes builds the lazy route table for shortest-hop routes (latency
+// tie-break) between compute nodes. Routes are symmetric in node
+// sequence because weights are symmetric and tie-breaking is
+// deterministic. It errors when any compute-node pair is disconnected
+// (one reachability sweep; undirected connectivity is transitive), so
+// callers keep the eager-construction error contract without the
+// all-pairs cost.
 func (g *Graph) Routes() (*RouteTable, error) {
-	rt := &RouteTable{g: g, routes: make(map[[2]NodeID]*Path)}
-	w := func(l *Link) float64 { return 1 + l.Latency/1e3 } // hops first, latency as tie-break
 	hosts := g.ComputeNodes()
-	for _, src := range hosts {
-		tree, err := g.ShortestPathTree(src, w)
-		if err != nil {
-			return nil, err
-		}
-		for _, dst := range hosts {
-			if src == dst {
-				continue
+	if len(hosts) > 1 {
+		r := g.Reachable(hosts[0])
+		for _, h := range hosts {
+			if !r[h] {
+				return nil, fmt.Errorf("graph: no route %s -> %s", hosts[0], h)
 			}
-			p, ok := tree.PathTo(dst)
-			if !ok {
-				return nil, fmt.Errorf("graph: no route %s -> %s", src, dst)
-			}
-			rt.routes[[2]NodeID{src, dst}] = p
 		}
 	}
-	return rt, nil
+	return &RouteTable{
+		g:      g,
+		w:      routeWeight,
+		trees:  make(map[NodeID]*PathTree),
+		routes: make(map[[2]NodeID]*Path),
+	}, nil
 }
 
 // Route returns the path from src to dst, or nil for unknown pairs or
-// src == dst.
+// src == dst. Safe for concurrent use: first resolution of a pair runs
+// (at most) one Dijkstra from src and memoizes both the tree and the
+// path; later calls are a read-locked map hit.
 func (rt *RouteTable) Route(src, dst NodeID) *Path {
-	return rt.routes[[2]NodeID{src, dst}]
+	if src == dst {
+		return nil
+	}
+	key := [2]NodeID{src, dst}
+	rt.mu.RLock()
+	p, ok := rt.routes[key]
+	rt.mu.RUnlock()
+	if ok {
+		return p
+	}
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if p, ok := rt.routes[key]; ok {
+		return p
+	}
+	ns, nd := rt.g.nodes[src], rt.g.nodes[dst]
+	if ns == nil || nd == nil || ns.Kind != Compute || nd.Kind != Compute {
+		rt.routes[key] = nil // memoize the miss: non-compute pairs have no route
+		return nil
+	}
+	tree := rt.trees[src]
+	if tree == nil {
+		t, err := rt.g.ShortestPathTree(src, rt.w)
+		if err != nil {
+			rt.routes[key] = nil
+			return nil
+		}
+		tree = t
+		rt.trees[src] = tree
+	}
+	p, _ = tree.PathTo(dst) // nil when unreachable (graph mutated post-build)
+	rt.routes[key] = p
+	return p
 }
 
 // Graph returns the graph the table was computed from.

@@ -1,0 +1,388 @@
+// Package topogen generates parametric network topologies for scale
+// studies and federation experiments: data-center fat-trees, the
+// hierarchical interior-core + edge-router growth pattern, and random
+// ISP-like graphs built by preferential attachment with capacity tiers.
+//
+// Every generator is seeded and deterministic: the same (kind, n, seed,
+// regions) tuple produces byte-identical graphs — node insertion order,
+// link IDs, capacities, everything — on every run and in every process.
+// That property is load-bearing: federated collector daemons regenerate
+// the topology independently from the same spec and must agree exactly
+// on node names and region ownership.
+//
+// Each topology carries a region partition. Regions are topologically
+// contiguous blocks (pods of a fat-tree, index ranges of edge routers,
+// attachment-order ranges of ISP routers), so intra-region links
+// dominate and the cross-region cut a federation summarizes stays
+// small. Hosts always live in the region of the router they attach to.
+package topogen
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/topology"
+)
+
+// Capacity tiers (bits/s). Access links are testbed-grade Ethernet;
+// aggregation and core tiers scale up the way real fabrics do.
+const (
+	AccessBps = 100 * topology.Mbps  // host ↔ first-hop router
+	EdgeBps   = 1000 * topology.Mbps // edge ↔ aggregation / intra-pod
+	CoreBps   = 10000 * topology.Mbps
+	// TierLatency grows with distance from the access layer.
+	accessLat = topology.PerHopLatency
+	coreLat   = 2 * topology.PerHopLatency
+)
+
+// Kinds accepted by Generate.
+const (
+	KindFatTree = "fattree"
+	KindHier    = "hier"
+	KindISP     = "isp"
+)
+
+// Spec names one generated topology.
+type Spec struct {
+	// Kind selects the generator: "fattree", "hier", or "isp".
+	Kind string
+	// N is the approximate total node budget (hosts + routers). The
+	// generator picks its structural parameters to land at or just
+	// above N.
+	N int
+	// Seed drives every random choice. Fat-trees are fully structural
+	// and ignore it.
+	Seed int64
+	// Regions is the number of contiguous regions to partition the
+	// topology into (0 = 3, the canonical federation size).
+	Regions int
+}
+
+// Topology is a generated graph plus its region partition.
+type Topology struct {
+	Graph *graph.Graph
+	// Region maps every node to its owning region ("r0", "r1", ...).
+	Region map[graph.NodeID]string
+	// Regions is the sorted list of distinct region names.
+	Regions []string
+}
+
+// RegionOf returns the owning region of id ("" for unknown nodes).
+func (t *Topology) RegionOf(id graph.NodeID) string { return t.Region[id] }
+
+// Members returns the sorted node IDs owned by region.
+func (t *Topology) Members(region string) []graph.NodeID {
+	var out []graph.NodeID
+	for id, r := range t.Region {
+		if r == region {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Hosts returns the sorted compute-node IDs owned by region ("" = all).
+func (t *Topology) Hosts(region string) []graph.NodeID {
+	var out []graph.NodeID
+	for _, id := range t.Graph.ComputeNodes() {
+		if region == "" || t.Region[id] == region {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Generate builds the topology named by spec.
+func Generate(spec Spec) (*Topology, error) {
+	if spec.N <= 0 {
+		return nil, fmt.Errorf("topogen: node budget must be positive (got %d)", spec.N)
+	}
+	regions := spec.Regions
+	if regions <= 0 {
+		regions = 3
+	}
+	var t *Topology
+	switch spec.Kind {
+	case KindFatTree:
+		// Smallest even k whose fat-tree reaches the budget:
+		// k³/4 hosts + 5k²/4 switches.
+		k := 2
+		for k*k*k/4+5*k*k/4 < spec.N {
+			k += 2
+		}
+		t = FatTree(k, regions)
+	case KindHier:
+		interior := spec.N / 50
+		if interior < 3 {
+			interior = 3
+		}
+		edge := spec.N / 10
+		if edge < regions {
+			edge = regions
+		}
+		hosts := spec.N - interior - edge
+		if hosts < edge {
+			hosts = edge // at least one host per edge router
+		}
+		t = Hier(interior, edge, hosts, regions, spec.Seed)
+	case KindISP:
+		routers := spec.N / 8
+		if routers < regions+2 {
+			routers = regions + 2
+		}
+		hosts := spec.N - routers
+		if hosts < regions {
+			hosts = regions
+		}
+		t = ISP(routers, hosts, regions, spec.Seed)
+	default:
+		return nil, fmt.Errorf("topogen: unknown kind %q (want fattree, hier, or isp)", spec.Kind)
+	}
+	if err := t.Graph.Validate(); err != nil {
+		return nil, fmt.Errorf("topogen: generated graph invalid: %w", err)
+	}
+	if !t.Graph.Connected() {
+		return nil, fmt.Errorf("topogen: generated graph disconnected (kind=%s n=%d seed=%d)",
+			spec.Kind, spec.N, spec.Seed)
+	}
+	return t, nil
+}
+
+// blockRegion assigns index i of n items to one of r contiguous blocks.
+func blockRegion(i, n, r int) string {
+	if n <= 0 {
+		return "r0"
+	}
+	b := i * r / n
+	if b >= r {
+		b = r - 1
+	}
+	return fmt.Sprintf("r%d", b)
+}
+
+func newTopology(g *graph.Graph, regions int) *Topology {
+	t := &Topology{Graph: g, Region: make(map[graph.NodeID]string)}
+	for i := 0; i < regions; i++ {
+		t.Regions = append(t.Regions, fmt.Sprintf("r%d", i))
+	}
+	return t
+}
+
+// FatTree builds the classic k-ary fat-tree (k even, k ≥ 2): k pods of
+// k/2 edge and k/2 aggregation switches, (k/2)² core switches, and k/2
+// hosts per edge switch — k³/4 hosts total. Pods are the natural
+// regions; pod p folds into contiguous block p·regions/k, and core
+// switches spread across regions in index blocks. Purely structural:
+// no randomness.
+func FatTree(k, regions int) *Topology {
+	if k < 2 || k%2 != 0 {
+		panic(fmt.Sprintf("topogen: fat-tree arity must be even and >= 2 (got %d)", k))
+	}
+	g := graph.New()
+	t := newTopology(g, regions)
+	half := k / 2
+	// Core switches first (insertion order: core, then pod by pod).
+	for c := 0; c < half*half; c++ {
+		id := graph.NodeID(fmt.Sprintf("c%d", c))
+		g.AddRouter(id, 0)
+		t.Region[id] = blockRegion(c, half*half, regions)
+	}
+	for p := 0; p < k; p++ {
+		reg := blockRegion(p, k, regions)
+		for a := 0; a < half; a++ {
+			id := graph.NodeID(fmt.Sprintf("p%d-a%d", p, a))
+			g.AddRouter(id, 0)
+			t.Region[id] = reg
+			// Aggregation switch a uplinks to core group a.
+			for c := 0; c < half; c++ {
+				g.AddLink(id, graph.NodeID(fmt.Sprintf("c%d", a*half+c)), CoreBps, coreLat)
+			}
+		}
+		for e := 0; e < half; e++ {
+			eid := graph.NodeID(fmt.Sprintf("p%d-e%d", p, e))
+			g.AddRouter(eid, 0)
+			t.Region[eid] = reg
+			for a := 0; a < half; a++ {
+				g.AddLink(eid, graph.NodeID(fmt.Sprintf("p%d-a%d", p, a)), EdgeBps, accessLat)
+			}
+			for h := 0; h < half; h++ {
+				hid := graph.NodeID(fmt.Sprintf("p%d-e%d-h%d", p, e, h))
+				n := g.AddHost(hid, topology.HostPower)
+				n.MemoryBytes = topology.HostMemory
+				t.Region[hid] = reg
+				g.AddLink(hid, eid, AccessBps, accessLat)
+			}
+		}
+	}
+	return t
+}
+
+// Hier builds the hierarchical interior-core + edge-router growth
+// pattern: `interior` core routers joined in a ring plus seeded random
+// chords (so the core is 2-connected and diameter stays low), `edge`
+// edge routers each homed to two distinct interior routers, and `hosts`
+// hosts spread round-robin across the edge routers. Regions are
+// contiguous blocks of interior and edge indices; hosts inherit their
+// edge router's region.
+func Hier(interior, edge, hosts, regions int, seed int64) *Topology {
+	if interior < 1 || edge < 1 {
+		panic(fmt.Sprintf("topogen: hier needs interior >= 1 and edge >= 1 (got %d, %d)", interior, edge))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.New()
+	t := newTopology(g, regions)
+	for i := 0; i < interior; i++ {
+		id := graph.NodeID(fmt.Sprintf("core%d", i))
+		g.AddRouter(id, 0)
+		t.Region[id] = blockRegion(i, interior, regions)
+	}
+	// Ring keeps the core connected; chords (one per ~4 routers) cut
+	// the diameter.
+	for i := 0; i < interior; i++ {
+		if interior > 1 && !(interior == 2 && i == 1) {
+			g.AddLink(graph.NodeID(fmt.Sprintf("core%d", i)),
+				graph.NodeID(fmt.Sprintf("core%d", (i+1)%interior)), CoreBps, coreLat)
+		}
+	}
+	for c := 0; c < interior/4; c++ {
+		a := rng.Intn(interior)
+		b := rng.Intn(interior)
+		if a == b || a == (b+1)%interior || b == (a+1)%interior {
+			continue // skip self/duplicate-ring chords; count stays seeded
+		}
+		ida, idb := graph.NodeID(fmt.Sprintf("core%d", a)), graph.NodeID(fmt.Sprintf("core%d", b))
+		if linkBetween(g, ida, idb) {
+			continue
+		}
+		g.AddLink(ida, idb, CoreBps, coreLat)
+	}
+	for e := 0; e < edge; e++ {
+		id := graph.NodeID(fmt.Sprintf("edge%d", e))
+		g.AddRouter(id, 0)
+		t.Region[id] = blockRegion(e, edge, regions)
+		// Dual-homed: one deterministic home (keeps every edge router in
+		// its own region's share of the core when possible), one random.
+		h1 := e % interior
+		g.AddLink(id, graph.NodeID(fmt.Sprintf("core%d", h1)), EdgeBps, accessLat)
+		if interior > 1 {
+			h2 := rng.Intn(interior - 1)
+			if h2 >= h1 {
+				h2++
+			}
+			g.AddLink(id, graph.NodeID(fmt.Sprintf("core%d", h2)), EdgeBps, accessLat)
+		}
+	}
+	for h := 0; h < hosts; h++ {
+		e := h % edge
+		id := graph.NodeID(fmt.Sprintf("edge%d-h%d", e, h/edge))
+		n := g.AddHost(id, topology.HostPower)
+		n.MemoryBytes = topology.HostMemory
+		t.Region[id] = t.Region[graph.NodeID(fmt.Sprintf("edge%d", e))]
+		g.AddLink(id, graph.NodeID(fmt.Sprintf("edge%d", e)), AccessBps, accessLat)
+	}
+	return t
+}
+
+// ISP builds a random ISP-like graph by preferential attachment: a
+// small full mesh of tier-1 routers, then routers added one at a time,
+// each linking to two distinct existing routers chosen with probability
+// proportional to degree. Capacity tiers follow attachment order — the
+// first third of routers interconnect at core rates, the middle third
+// at aggregation rates, the tail at access rates — mirroring how real
+// provider graphs grow hubs early. Hosts attach to the latest (lowest-
+// degree) routers. Regions are contiguous attachment-order blocks.
+func ISP(routers, hosts, regions int, seed int64) *Topology {
+	if routers < 3 {
+		panic(fmt.Sprintf("topogen: isp needs >= 3 routers (got %d)", routers))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.New()
+	t := newTopology(g, regions)
+	rid := func(i int) graph.NodeID { return graph.NodeID(fmt.Sprintf("isp%d", i)) }
+	tierBps := func(i int) float64 {
+		switch {
+		case i < routers/3:
+			return CoreBps
+		case i < 2*routers/3:
+			return EdgeBps
+		default:
+			return AccessBps * 6 // ~622 Mbps, OC-12-ish
+		}
+	}
+	// degree-weighted endpoint list: endpoint i appears deg(i) times.
+	var ends []int
+	seedMesh := 3
+	for i := 0; i < seedMesh; i++ {
+		g.AddRouter(rid(i), 0)
+		t.Region[rid(i)] = blockRegion(i, routers, regions)
+	}
+	for i := 0; i < seedMesh; i++ {
+		for j := i + 1; j < seedMesh; j++ {
+			g.AddLink(rid(i), rid(j), CoreBps, coreLat)
+			ends = append(ends, i, j)
+		}
+	}
+	for i := seedMesh; i < routers; i++ {
+		g.AddRouter(rid(i), 0)
+		t.Region[rid(i)] = blockRegion(i, routers, regions)
+		// Two distinct degree-preferential targets.
+		a := ends[rng.Intn(len(ends))]
+		b := a
+		for tries := 0; b == a && tries < 8; tries++ {
+			b = ends[rng.Intn(len(ends))]
+		}
+		bps := tierBps(i)
+		g.AddLink(rid(i), rid(a), bps, coreLat)
+		ends = append(ends, i, a)
+		if b != a {
+			g.AddLink(rid(i), rid(b), bps, coreLat)
+			ends = append(ends, i, b)
+		}
+	}
+	// Hosts spread region-by-region over each region's later-attached
+	// (lower-degree) routers, which keeps early hub routers mostly
+	// host-free the way real POPs are while giving every region hosts.
+	perRegion := make(map[string][]int)
+	for i := 0; i < routers; i++ {
+		r := t.Region[rid(i)]
+		perRegion[r] = append(perRegion[r], i)
+	}
+	access := make(map[string][]int)
+	for _, r := range t.Regions {
+		rs := perRegion[r]
+		if len(rs) == 0 {
+			continue
+		}
+		access[r] = rs[len(rs)/2:] // tail half: the later, leafier routers
+	}
+	counter := make(map[int]int)
+	for h := 0; h < hosts; h++ {
+		reg := t.Regions[h%len(t.Regions)]
+		as := access[reg]
+		if len(as) == 0 {
+			continue
+		}
+		r := as[(h/len(t.Regions))%len(as)]
+		id := graph.NodeID(fmt.Sprintf("isp%d-h%d", r, counter[r]))
+		counter[r]++
+		n := g.AddHost(id, topology.HostPower)
+		n.MemoryBytes = topology.HostMemory
+		t.Region[id] = reg
+		g.AddLink(id, rid(r), AccessBps, accessLat)
+	}
+	return t
+}
+
+// linkBetween reports whether a and b are already directly linked.
+func linkBetween(g *graph.Graph, a, b graph.NodeID) bool {
+	for _, l := range g.LinksAt(a) {
+		if o, ok := l.Other(a); ok && o == b {
+			return true
+		}
+	}
+	return false
+}

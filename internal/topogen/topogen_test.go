@@ -1,0 +1,160 @@
+package topogen
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/topofile"
+)
+
+func specs() []Spec {
+	return []Spec{
+		{Kind: KindFatTree, N: 100, Seed: 1, Regions: 3},
+		{Kind: KindFatTree, N: 1000, Seed: 1, Regions: 3},
+		{Kind: KindHier, N: 100, Seed: 7, Regions: 3},
+		{Kind: KindHier, N: 1000, Seed: 7, Regions: 4},
+		{Kind: KindISP, N: 100, Seed: 42, Regions: 3},
+		{Kind: KindISP, N: 1000, Seed: 42, Regions: 5},
+	}
+}
+
+func TestGenerateConnectedAndValid(t *testing.T) {
+	for _, s := range specs() {
+		tp, err := Generate(s)
+		if err != nil {
+			t.Fatalf("Generate(%+v): %v", s, err)
+		}
+		n := len(tp.Graph.Nodes())
+		if n < s.N {
+			t.Errorf("%s n=%d: only %d nodes generated", s.Kind, s.N, n)
+		}
+		if !tp.Graph.Connected() {
+			t.Errorf("%s n=%d seed=%d: disconnected", s.Kind, s.N, s.Seed)
+		}
+		// Every node carries a region; every region is non-empty.
+		byRegion := map[string]int{}
+		for _, id := range tp.Graph.Nodes() {
+			r := tp.RegionOf(id)
+			if r == "" {
+				t.Fatalf("%s: node %s has no region", s.Kind, id)
+			}
+			byRegion[r]++
+		}
+		for _, r := range tp.Regions {
+			if byRegion[r] == 0 {
+				t.Errorf("%s n=%d: region %s empty", s.Kind, s.N, r)
+			}
+		}
+		// Every region owns at least one host, so per-region collectors
+		// always have something to answer about.
+		for _, r := range tp.Regions {
+			if len(tp.Hosts(r)) == 0 {
+				t.Errorf("%s n=%d: region %s has no hosts", s.Kind, s.N, r)
+			}
+		}
+	}
+}
+
+// TestGenerateDeterministic: identical specs must yield byte-identical
+// topofile renderings — the property federated daemons rely on to agree
+// about node names and region ownership without talking to each other.
+func TestGenerateDeterministic(t *testing.T) {
+	for _, s := range specs() {
+		a, err := Generate(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Generate(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fa, fb := topofile.Format(a.Graph), topofile.Format(b.Graph)
+		if fa != fb {
+			t.Errorf("%s n=%d seed=%d: non-deterministic output", s.Kind, s.N, s.Seed)
+		}
+		for id, r := range a.Region {
+			if b.Region[id] != r {
+				t.Errorf("%s: region of %s differs across runs (%s vs %s)", s.Kind, id, r, b.Region[id])
+			}
+		}
+	}
+}
+
+// Seeds must matter for the randomized generators.
+func TestSeedChangesISP(t *testing.T) {
+	a, _ := Generate(Spec{Kind: KindISP, N: 200, Seed: 1, Regions: 3})
+	b, _ := Generate(Spec{Kind: KindISP, N: 200, Seed: 2, Regions: 3})
+	if topofile.Format(a.Graph) == topofile.Format(b.Graph) {
+		t.Fatal("isp: different seeds produced identical graphs")
+	}
+}
+
+// Generated topologies must round-trip through the topofile format.
+func TestTopofileRoundTrip(t *testing.T) {
+	for _, s := range specs() {
+		tp, err := Generate(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := topofile.Format(tp.Graph)
+		back, err := topofile.ParseString(out)
+		if err != nil {
+			t.Fatalf("%s: re-parse: %v", s.Kind, err)
+		}
+		if topofile.Format(back) != out {
+			t.Errorf("%s n=%d: topofile round-trip not stable", s.Kind, s.N)
+		}
+	}
+}
+
+func TestFatTreeShape(t *testing.T) {
+	tp := FatTree(4, 2)
+	// k=4: 16 hosts, 4 pods × 4 switches, 4 core.
+	hosts := tp.Graph.ComputeNodes()
+	if len(hosts) != 16 {
+		t.Fatalf("k=4 fat-tree: %d hosts, want 16", len(hosts))
+	}
+	if n := len(tp.Graph.Nodes()); n != 16+16+4 {
+		t.Fatalf("k=4 fat-tree: %d nodes, want 36", n)
+	}
+	// Any host pair must be routable.
+	rt, err := tp.Graph.Routes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := rt.Route(hosts[0], hosts[len(hosts)-1])
+	if p == nil {
+		t.Fatalf("no route %s -> %s", hosts[0], hosts[len(hosts)-1])
+	}
+	// Cross-pod paths traverse edge-agg-core-agg-edge: 6 hops.
+	if p.Hops() != 6 {
+		t.Fatalf("cross-pod hops = %d, want 6 (%s)", p.Hops(), p)
+	}
+}
+
+func TestScalesTo5k(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	for _, kind := range []string{KindFatTree, KindHier, KindISP} {
+		tp, err := Generate(Spec{Kind: kind, N: 5000, Seed: 3, Regions: 3})
+		if err != nil {
+			t.Fatalf("%s at 5k: %v", kind, err)
+		}
+		if n := len(tp.Graph.Nodes()); n < 5000 {
+			t.Fatalf("%s at 5k: only %d nodes", kind, n)
+		}
+		// Lazy routes make this cheap: one connectivity sweep plus one
+		// Dijkstra for the single queried pair.
+		rt, err := tp.Graph.Routes()
+		if err != nil {
+			t.Fatal(err)
+		}
+		hosts := tp.Graph.ComputeNodes()
+		if rt.Route(hosts[0], hosts[len(hosts)-1]) == nil {
+			t.Fatalf("%s at 5k: no route between first and last host", kind)
+		}
+	}
+}
+
+var _ = graph.New // keep import if assertions above change

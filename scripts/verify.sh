@@ -41,6 +41,10 @@ echo "==> ha stage: lease/promotion determinism + leader-failover chaos under -r
 go test -race -timeout 120s -count=1 ./internal/ha
 go test -race -timeout 300s -count=1 -run TestChaosLeaderFailover ./remos -chaos.seed=1
 
+echo "==> federation stage: generators + 3-region federation (summaries, fencing, dark region, watch peers) under -race"
+go test -race -timeout 300s -count=1 ./internal/topogen ./internal/federation
+go test -race -timeout 300s -count=1 -run 'TestFederationThousandNodeAcceptance|TestScaleStudy' ./internal/experiments
+
 echo "==> fuzz smoke (10s per target)"
 go test -fuzz=FuzzDecode -fuzztime=10s -run '^$' ./internal/snmp
 go test -fuzz='^FuzzReadFrame$' -fuzztime=10s -run '^$' ./internal/collector
