@@ -34,6 +34,7 @@ import (
 	"time"
 
 	"repro/internal/collector"
+	"repro/internal/core"
 	"repro/internal/faults"
 	"repro/internal/federation"
 	"repro/internal/ha"
@@ -329,6 +330,10 @@ func main() {
 		WatchWriteDeadline: *watchWriteDeadline,
 		WatchMaxSubs:       *watchMaxSubs,
 		Gate:               gate,
+		// Serve the batched "matrix" op through a Modeler pinned over
+		// whatever this daemon serves (the bare collector or the
+		// federated view).
+		Matrix: core.MatrixHandler(core.New(core.Config{Source: serveSrc})),
 	})
 	if err != nil {
 		fatal(err)

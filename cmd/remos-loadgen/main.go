@@ -1,0 +1,138 @@
+// Command remos-loadgen drives a Remos query plane at high load and
+// reports the latency distribution it answered with. It issues a mixed
+// workload of point utilization queries and batched flow-matrix queries
+// against one or more collector/replica endpoints, in closed loop
+// (measure capacity) or open loop (measure latency at a fixed offered
+// rate), and can gate CI on the result.
+//
+// Usage:
+//
+//	remos-loadgen -collector HOST:7070 -collector HOST:7071 \
+//	    -workers 64 -duration 10s -matrix-frac 0.02
+//	remos-loadgen -collector HOST:7070 -rate 50000 -duration 10s
+//	remos-loadgen -selftest 2 -duration 5s -max-p999 250 -min-rate 100000
+//
+// With -selftest N the generator spins up an in-process simulated
+// testbed, serves it on N real TCP replica endpoints, and drives those —
+// a self-contained smoke of the full wire path. Exit status is 1 when
+// the run saw protocol errors, missed -min-rate, or blew -max-p999.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"time"
+
+	"repro/internal/loadgen"
+	"repro/remos"
+)
+
+func main() {
+	var collectors []string
+	flag.Func("collector", "collector/replica query address (repeatable)", func(s string) error {
+		collectors = append(collectors, s)
+		return nil
+	})
+	selftest := flag.Int("selftest", 0, "serve an in-process simulated testbed on N TCP replicas and drive those instead of -collector endpoints")
+	workers := flag.Int("workers", 64, "closed-loop concurrency / open-loop in-flight bound")
+	conns := flag.Int("conns", 8, "independent failover handles the workers are spread across (shuffled preference spreads load over replicas)")
+	rate := flag.Float64("rate", 0, "open-loop offered load in queries/second (0 = closed loop)")
+	duration := flag.Duration("duration", 5*time.Second, "run length")
+	matrixFrac := flag.Float64("matrix-frac", 0.01, "fraction of ops issued as batched matrix queries")
+	matrixSize := flag.Int("matrix-size", 8, "N of the NxN node set per matrix op")
+	span := flag.Float64("span", 10, "measurement window point queries ask over (virtual seconds)")
+	seed := flag.Int64("seed", 1, "workload seed")
+	maxP999 := flag.Float64("max-p999", 0, "gate: fail when point-query p999 exceeds this (ms, 0 disables)")
+	minRate := flag.Float64("min-rate", 0, "gate: fail when completed throughput is below this (q/s, 0 disables)")
+	jsonOut := flag.Bool("json", false, "print the result as one JSON object instead of prose")
+	flag.Parse()
+
+	if *selftest > 0 {
+		tb, err := remos.NewTestbed()
+		if err != nil {
+			fatal(err)
+		}
+		tb.Run(30) // collect a real measurement history to query against
+		reps, err := tb.ServeReplicas(*selftest)
+		if err != nil {
+			fatal(err)
+		}
+		for _, r := range reps {
+			collectors = append(collectors, r.Addr())
+			defer r.Close()
+		}
+		fmt.Fprintf(os.Stderr, "selftest: %d replicas over the simulated testbed\n", *selftest)
+	}
+	if len(collectors) == 0 {
+		fatal(fmt.Errorf("remos-loadgen: no endpoints (use -collector or -selftest)"))
+	}
+
+	// Each handle shuffles its replica preference independently, so
+	// spreading worker groups across handles spreads load across the
+	// replica set while every handle still fails over on its own.
+	n := *conns
+	if n <= 0 {
+		n = 1
+	}
+	if n > *workers {
+		n = *workers
+	}
+	targets := make([]loadgen.Target, n)
+	for i := range targets {
+		src, err := remos.DialCollectors(collectors...)
+		if err != nil {
+			fatal(err)
+		}
+		defer src.Close()
+		targets[i] = src
+	}
+
+	res, err := loadgen.Run(context.Background(), loadgen.Config{
+		Targets:    targets,
+		Workers:    *workers,
+		Rate:       *rate,
+		Duration:   *duration,
+		MatrixFrac: *matrixFrac,
+		MatrixSize: *matrixSize,
+		Span:       *span,
+		Seed:       *seed,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		if err := enc.Encode(res); err != nil {
+			fatal(err)
+		}
+	} else {
+		fmt.Println(res)
+	}
+
+	failed := false
+	if res.Errors > 0 {
+		fmt.Fprintf(os.Stderr, "FAIL: %d protocol errors\n", res.Errors)
+		failed = true
+	}
+	if *minRate > 0 && res.Throughput < *minRate {
+		fmt.Fprintf(os.Stderr, "FAIL: throughput %.0f q/s below gate %.0f\n", res.Throughput, *minRate)
+		failed = true
+	}
+	if *maxP999 > 0 && (math.IsNaN(res.QueryP999) || res.QueryP999 > *maxP999) {
+		fmt.Fprintf(os.Stderr, "FAIL: query p999 %.3f ms above gate %.3f\n", res.QueryP999, *maxP999)
+		failed = true
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

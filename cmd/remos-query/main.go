@@ -11,6 +11,7 @@
 //	remos-query -addr HOST:PORT health
 //	remos-query -addr HOST:PORT select START K
 //	remos-query -addr HOST:PORT flows fixed:m-1,m-7,2 var:m-2,m-7,1 indep:m-3,m-8
+//	remos-query -addr HOST:PORT -matrix m-1,m-2,m-6 m-7,m-8
 //
 // With one or more repeatable -collector flags the query plane is
 // replicated: queries go to the first healthy replica and fail over
@@ -54,6 +55,7 @@ func main() {
 	window := flag.Float64("window", 10, "history window seconds (0=current, <0=capacity)")
 	timeout := flag.Duration("timeout", 0, "end-to-end query budget (0 = none); the remaining budget rides to the daemon with every call")
 	watch := flag.Bool("watch", false, "subscribe to the query (graph, flows, load) and stream JSON updates until interrupted")
+	matrix := flag.Bool("matrix", false, "batched matrix mode: remos-query -matrix SRC1,SRC2[,...] [DST1,DST2[,...]] prints the bandwidth/latency matrix over the node sets in one wire round trip (one comma list = square matrix, none = all hosts)")
 	threshold := flag.Float64("threshold", 0, "watch: minimum material change — relative (0..1) for graph/flows, absolute for load — below which updates are suppressed")
 	var collectors []string
 	flag.Func("collector", "replica collector address (repeatable; takes precedence over -addr)", func(s string) error {
@@ -62,7 +64,7 @@ func main() {
 	})
 	flag.Parse()
 	args := flag.Args()
-	if len(args) == 0 {
+	if len(args) == 0 && !*matrix {
 		usage()
 	}
 
@@ -92,6 +94,10 @@ func main() {
 		tf = remos.TFCapacity()
 	}
 
+	if *matrix {
+		runMatrix(ctx, mod, args, tf)
+		return
+	}
 	if *watch {
 		runWatch(ctx, src, mod, args, tf, *threshold)
 		return
@@ -445,6 +451,70 @@ func runWatch(ctx context.Context, src remos.Source, mod *remos.Modeler, args []
 	}
 }
 
+// runMatrix implements -matrix: one batched N×M flow-matrix query in a
+// single wire round trip, printed as bandwidth and latency tables.
+// Entries the daemon could not answer (agent down, unreachable pair)
+// print as "-".
+func runMatrix(ctx context.Context, mod *remos.Modeler, args []string, tf remos.Timeframe) {
+	parse := func(s string) []remos.NodeID {
+		var ids []remos.NodeID
+		for _, part := range strings.Split(s, ",") {
+			if part = strings.TrimSpace(part); part != "" {
+				ids = append(ids, remos.NodeID(part))
+			}
+		}
+		return ids
+	}
+	var srcs, dsts []remos.NodeID
+	switch len(args) {
+	case 0:
+		g, err := mod.GetGraphCtx(ctx, nil, tf)
+		if err != nil {
+			fatal(err)
+		}
+		for _, n := range g.Nodes {
+			if n.Kind == remos.ComputeNode {
+				srcs = append(srcs, n.ID)
+			}
+		}
+		dsts = srcs
+	case 1:
+		srcs = parse(args[0])
+		dsts = srcs
+	case 2:
+		srcs, dsts = parse(args[0]), parse(args[1])
+	default:
+		fmt.Fprintln(os.Stderr, "usage: remos-query -matrix [SRCS] [DSTS] (comma-separated node lists)")
+		os.Exit(2)
+	}
+	mi, err := mod.QueryMatrixCtx(ctx, srcs, dsts, tf)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("matrix %dx%d (%v, epoch %d, term %d)\n", len(srcs), len(dsts), tf.Kind, mi.Epoch, mi.Term)
+	printTable := func(title, unit string, scale float64, vals [][]float64) {
+		fmt.Printf("%s (%s):\n", title, unit)
+		fmt.Printf("%14s", "")
+		for _, d := range dsts {
+			fmt.Printf(" %12s", d)
+		}
+		fmt.Println()
+		for i, s := range srcs {
+			fmt.Printf("%14s", s)
+			for j := range dsts {
+				if !mi.Valid[i][j] {
+					fmt.Printf(" %12s", "-")
+					continue
+				}
+				fmt.Printf(" %12.2f", vals[i][j]*scale)
+			}
+			fmt.Println()
+		}
+	}
+	printTable("bandwidth", "Mbps", 1e-6, mi.Bandwidth)
+	printTable("latency", "ms", 1e3, mi.Latency)
+}
+
 func need(args []string, n int) {
 	if len(args) != n {
 		usage()
@@ -452,7 +522,7 @@ func need(args []string, n int) {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: remos-query [-addr HOST:PORT | -collector HOST:PORT ...] {graph [hosts...] | bw SRC DST | latency SRC DST | load HOST | age SRC DST | health | select START K | flows CLASS:SRC,DST[,X]...}")
+	fmt.Fprintln(os.Stderr, "usage: remos-query [-addr HOST:PORT | -collector HOST:PORT ...] {graph [hosts...] | bw SRC DST | latency SRC DST | load HOST | age SRC DST | health | select START K | flows CLASS:SRC,DST[,X]... | -matrix [SRCS [DSTS]]}")
 	os.Exit(2)
 }
 

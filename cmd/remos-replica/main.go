@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"repro/internal/collector"
+	"repro/internal/core"
 	"repro/internal/replica"
 	"repro/internal/telemetry"
 
@@ -88,6 +89,10 @@ func main() {
 		WatchQueueDepth:    *watchQueueDepth,
 		WatchWriteDeadline: *watchWriteDeadline,
 		WatchMaxSubs:       *watchMaxSubs,
+		// Serve the batched "matrix" op from the mirrored state. The
+		// Modeler re-checks the replica's staleness fence per call, so a
+		// fenced replica refuses matrices exactly like point queries.
+		Matrix: core.MatrixHandler(core.New(core.Config{Source: rep})),
 	})
 	if err != nil {
 		fatal(err)

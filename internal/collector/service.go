@@ -121,6 +121,10 @@ type request struct {
 	// Watch carries the subscription parameters for the "watch" op.
 	Watch *WatchRequest
 
+	// Matrix carries the batch parameters for the "matrix" op
+	// (matrixwire.go).
+	Matrix *MatrixRequest
+
 	// BudgetMS is the client's remaining time budget in milliseconds at
 	// send time (0 = none declared; the server applies its
 	// DefaultBudget). The server refuses with a typed deadline answer
@@ -136,13 +140,15 @@ type request struct {
 // Response refusal codes. CodeOK also covers application-level errors
 // (Err set): the server answered, the answer is authoritative.
 const (
-	codeOK         = 0
-	codeBusy       = 1 // connection cap (ErrServerBusy)
-	codeDeadline   = 2 // budget expired before an answer (ErrDeadlineExceeded)
-	codeShed       = 3 // admission queue full (ErrLoadShed + retry-after)
-	codeWatchLimit = 4 // subscription cap (ErrTooManySubscriptions)
-	codeStale      = 5 // read replica fenced on staleness (ErrStaleReplica)
-	codeNotLeader  = 6 // standby in a hot-standby pair (ErrNotLeader + leader hint)
+	codeOK          = 0
+	codeBusy        = 1 // connection cap (ErrServerBusy)
+	codeDeadline    = 2 // budget expired before an answer (ErrDeadlineExceeded)
+	codeShed        = 3 // admission queue full (ErrLoadShed + retry-after)
+	codeWatchLimit  = 4 // subscription cap (ErrTooManySubscriptions)
+	codeStale       = 5 // read replica fenced on staleness (ErrStaleReplica)
+	codeNotLeader   = 6 // standby in a hot-standby pair (ErrNotLeader + leader hint)
+	codeMatrixSize  = 7 // matrix weight the gate can never grant (ErrMatrixTooLarge)
+	codeMatrixUnsup = 8 // server cannot compute matrices (ErrMatrixUnsupported)
 )
 
 type response struct {
@@ -169,6 +175,9 @@ type response struct {
 	// Telemetry answers the "stats" op: the server's metrics registry
 	// merged with its Source's, when the Source exposes one.
 	Telemetry *telemetry.Snapshot
+
+	// Matrix answers the "matrix" op (matrixwire.go).
+	Matrix *MatrixAnswer
 }
 
 // init warms gob's type engines with representative wire values so the
@@ -178,7 +187,8 @@ type response struct {
 func init() {
 	warmGob(
 		&request{Op: "ping", Key: ChannelKey{Global: 1}, Span: 1, Node: "n", BudgetMS: 1, TraceID: "t",
-			Watch: &WatchRequest{Kind: WatchUtil, Key: ChannelKey{Global: 1}, Span: 1, Threshold: 1}},
+			Watch:  &WatchRequest{Kind: WatchUtil, Key: ChannelKey{Global: 1}, Span: 1, Threshold: 1},
+			Matrix: &MatrixRequest{Srcs: []graph.NodeID{"a"}, Dsts: []graph.NodeID{"b"}, TFKind: 2, Span: 1, Horizon: 1}},
 		&response{
 			Err:     "e",
 			Stat:    stats.Stat{Min: 1, Q1: 1, Median: 1, Q3: 1, Max: 1, Accuracy: 1, Samples: 1, Age: 1},
@@ -196,6 +206,13 @@ func init() {
 			Term:         1,
 			Leader:       true,
 			Telemetry:    &telemetry.Snapshot{Counters: map[string]uint64{"c": 1}},
+			Matrix: &MatrixAnswer{
+				Bandwidth: [][]float64{{1}},
+				Latency:   [][]float64{{1}},
+				Valid:     [][]bool{{true}},
+				Epoch:     1,
+				Term:      1,
+			},
 		},
 	)
 }
@@ -270,6 +287,18 @@ type ServerConfig struct {
 	// its own; it is always reachable via Server.Telemetry.
 	Telemetry *telemetry.Registry
 
+	// Matrix, when non-nil, serves the "matrix" op (one rectangular
+	// batch of flow answers per round trip, matrixwire.go). Wire it to
+	// core.MatrixHandler over a Modeler built on the same Source. When
+	// nil, a Source that itself implements MatrixSource is forwarded
+	// to; otherwise the op answers ErrMatrixUnsupported and clients
+	// fall back to per-pair queries.
+	Matrix MatrixHandler
+	// MaxMatrixCells caps a matrix request's area, len(Srcs)*len(Dsts)
+	// (default DefaultMaxMatrixCells; negative = unlimited). Requests
+	// beyond it get a typed, non-retryable ErrMatrixTooLarge.
+	MaxMatrixCells int
+
 	// Gate, when non-nil, is consulted before every query and watch
 	// registration with the request's op name ("watch" for
 	// subscriptions); a non-nil return refuses the request with that
@@ -306,6 +335,9 @@ func (sc *ServerConfig) fill() {
 	}
 	if sc.WatchPollInterval <= 0 {
 		sc.WatchPollInterval = DefaultWatchPollInterval
+	}
+	if sc.MaxMatrixCells == 0 {
+		sc.MaxMatrixCells = DefaultMaxMatrixCells
 	}
 }
 
@@ -704,7 +736,21 @@ func (s *Server) dispatch(req *request) *response {
 	} else if s.cfg.DefaultBudget > 0 {
 		deadline = start.Add(s.cfg.DefaultBudget)
 	}
-	if w := opWeight(req.Op); s.gate != nil && w > 0 {
+	w := opWeight(req.Op)
+	if req.Op == "matrix" {
+		// Size policy runs before the gate: a matrix the gate could
+		// never grant must answer a typed non-retryable refusal, not
+		// queue forever or be silently clamped to a cheaper weight.
+		if err := s.matrixAdmissible(req.Matrix); err != nil {
+			sp.SetAttr("verdict", "refused")
+			resp := &response{}
+			appError(resp, err)
+			s.stampHA(resp)
+			return resp
+		}
+		w = matrixWeight(req.Matrix)
+	}
+	if s.gate != nil && w > 0 {
 		if err := s.gate.acquire(w, deadline); err != nil {
 			sp.SetAttr("verdict", verdictFor(err))
 			return refusalResponse(err)
@@ -718,7 +764,7 @@ func (s *Server) dispatch(req *request) *response {
 	}
 	sp.SetAttr("verdict", "admitted")
 	handleStart := time.Now()
-	resp := s.handle(req)
+	resp := s.handle(req, deadline)
 	sp.SetAttr("handler_ms", fmt.Sprintf("%.3f", float64(time.Since(handleStart))/float64(time.Millisecond)))
 	return resp
 }
@@ -761,6 +807,10 @@ func appError(resp *response, err error) {
 		if hint, ok := LeaderHint(err); ok {
 			resp.LeaderHint = hint
 		}
+	case errors.Is(err, ErrMatrixTooLarge):
+		resp.Code = codeMatrixSize
+	case errors.Is(err, ErrMatrixUnsupported):
+		resp.Code = codeMatrixUnsup
 	}
 }
 
@@ -786,7 +836,7 @@ func (s *Server) stampHA(resp *response) {
 // one errored response, never the daemon process: every shared-daemon
 // deployment (the paper's Figure 2) has this property or doesn't scale
 // past its first misbehaving query.
-func (s *Server) handle(req *request) (resp *response) {
+func (s *Server) handle(req *request, deadline time.Time) (resp *response) {
 	resp = &response{}
 	defer func() {
 		if r := recover(); r != nil {
@@ -853,6 +903,20 @@ func (s *Server) handle(req *request) (resp *response) {
 		}
 		snap := telemetry.MergeSnapshots(snaps...)
 		resp.Telemetry = &snap
+	case "matrix":
+		// The handler inherits what remains of the request's budget so
+		// mid-matrix measurement fetches observe the same deadline the
+		// admission layer charged the wait against.
+		ctx := context.Background()
+		if !deadline.IsZero() {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithDeadline(ctx, deadline)
+			defer cancel()
+		}
+		if req.TraceID != "" {
+			ctx = telemetry.WithTrace(ctx, req.TraceID)
+		}
+		s.handleMatrix(ctx, resp, req.Matrix)
 	case "ping":
 		// Liveness probe: reaching the switch at all is the answer.
 	default:
@@ -1475,6 +1539,10 @@ func decodeResponse(resp *response) (*response, error) {
 		return resp, ErrStaleReplica
 	case codeNotLeader:
 		return resp, &NotLeaderError{Leader: resp.LeaderHint}
+	case codeMatrixSize:
+		return resp, fmt.Errorf("%w (%s)", ErrMatrixTooLarge, resp.Err)
+	case codeMatrixUnsup:
+		return resp, ErrMatrixUnsupported
 	default:
 		return resp, fmt.Errorf("collector: unknown response code %d (%s)", resp.Code, resp.Err)
 	}

@@ -162,6 +162,11 @@ type Modeler struct {
 	qGetGraph  *telemetry.Quantile
 	qFlowQuery *telemetry.Quantile
 	qBW        *telemetry.Quantile
+	qMatrix    *telemetry.Quantile
+
+	// matrixSyncVer is the source data version (plus one) the serving
+	// matrix path last verified the topology against; see syncSnapshot.
+	matrixSyncVer atomic.Uint64
 }
 
 type selfFlow struct {
@@ -191,6 +196,7 @@ func New(cfg Config) *Modeler {
 	m.qGetGraph = m.tel.Quantile("modeler.getgraph_ms", 0)
 	m.qFlowQuery = m.tel.Quantile("modeler.flowquery_ms", 0)
 	m.qBW = m.tel.Quantile("modeler.bw_ms", 0)
+	m.qMatrix = m.tel.Quantile("modeler.matrix_ms", 0)
 	return m
 }
 

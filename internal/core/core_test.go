@@ -21,7 +21,7 @@ type rig struct {
 	mod *Modeler
 }
 
-func newRig(t *testing.T, g *graph.Graph, cfgMod func(*Config)) *rig {
+func newRig(t testing.TB, g *graph.Graph, cfgMod func(*Config)) *rig {
 	t.Helper()
 	clk := simclock.New()
 	n, err := netsim.New(clk, g)

@@ -391,58 +391,40 @@ func allocationStat(alloc float64, bottleneck stats.Stat) stats.Stat {
 // BandwidthMatrix computes the pairwise available-bandwidth matrix the
 // clustering module consumes: entry [i][j] is the bottleneck availability
 // median between nodes[i] and nodes[j]. This uses topology information
-// (one GetGraph-style pass) rather than O(n²) flow queries, matching the
-// paper's observation that flow queries for the matrix "would have been
-// needed, implying a much higher overhead".
+// (one batched kernel pass, matrix.go) rather than O(n²) flow queries,
+// matching the paper's observation that flow queries for the matrix
+// "would have been needed, implying a much higher overhead".
 func (m *Modeler) BandwidthMatrix(nodes []graph.NodeID, tf Timeframe) ([][]float64, error) {
 	return m.BandwidthMatrixCtx(context.Background(), nodes, tf)
 }
 
-// BandwidthMatrixCtx is BandwidthMatrix under a context: one expired
-// budget aborts the whole matrix (a half-fresh matrix is worse for
-// clustering than a typed error).
+// BandwidthMatrixCtx is BandwidthMatrix under a context. It runs the
+// batched kernel (QueryMatrixCtx) for the square nodes×nodes case:
+// entries degrade individually — a mid-matrix agent outage zero-fills
+// the affected entries instead of aborting the batch — and only
+// lifecycle errors (an expired budget, a fenced source) abort, with
+// the typed error. Callers needing per-entry validity or the snapshot
+// epoch use QueryMatrixCtx directly.
 func (m *Modeler) BandwidthMatrixCtx(ctx context.Context, nodes []graph.NodeID, tf Timeframe) ([][]float64, error) {
-	n := len(nodes)
-	out := make([][]float64, n)
-	for i := range out {
-		out[i] = make([]float64, n)
+	mi, err := m.QueryMatrixCtx(ctx, nodes, nodes, tf)
+	if err != nil {
+		return nil, err
 	}
-	for i := 0; i < n; i++ {
-		for j := 0; j < n; j++ {
-			if i == j {
-				out[i][j] = math.Inf(1)
-				continue
-			}
-			st, err := m.AvailableBandwidthCtx(ctx, nodes[i], nodes[j], tf)
-			if err != nil {
-				return nil, err
-			}
-			if st.Valid() {
-				out[i][j] = st.Median
-			}
-		}
-	}
-	return out, nil
+	return mi.Bandwidth, nil
 }
 
 // LatencyMatrix computes pairwise one-way latencies.
 func (m *Modeler) LatencyMatrix(nodes []graph.NodeID) ([][]float64, error) {
-	n := len(nodes)
-	out := make([][]float64, n)
-	for i := range out {
-		out[i] = make([]float64, n)
+	return m.LatencyMatrixCtx(context.Background(), nodes)
+}
+
+// LatencyMatrixCtx is LatencyMatrix under a context, computed by the
+// batched kernel against one pinned snapshot: entries without a route
+// are zero-filled rather than aborting the matrix.
+func (m *Modeler) LatencyMatrixCtx(ctx context.Context, nodes []graph.NodeID) ([][]float64, error) {
+	mi, err := m.QueryMatrixCtx(ctx, nodes, nodes, TFCapacity())
+	if err != nil {
+		return nil, err
 	}
-	for i := 0; i < n; i++ {
-		for j := 0; j < n; j++ {
-			if i == j {
-				continue
-			}
-			st, err := m.PathLatency(nodes[i], nodes[j])
-			if err != nil {
-				return nil, err
-			}
-			out[i][j] = st.Median
-		}
-	}
-	return out, nil
+	return mi.Latency, nil
 }

@@ -6,6 +6,7 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -49,6 +50,12 @@ type snapshot struct {
 	memo   atomic.Pointer[availMemo]
 
 	plans atomic.Pointer[planMap]
+
+	// sweeps caches compiled per-source matrix sweeps (matrix.go):
+	// graph.NodeID -> *compiledSweep. Topology and routing are frozen
+	// per snapshot, so a source's sweep compiles once and serves every
+	// matrix until the epoch moves.
+	sweeps sync.Map
 }
 
 func newSnapshot(epoch uint64, topo *collector.Topology, rt *graph.RouteTable, memoOK bool) *snapshot {

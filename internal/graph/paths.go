@@ -4,6 +4,7 @@ import (
 	"container/heap"
 	"fmt"
 	"math"
+	"sort"
 	"sync"
 )
 
@@ -127,6 +128,52 @@ type PathTree struct {
 	g    *Graph
 	dist map[NodeID]float64
 	via  map[NodeID]*Link // link used to reach the node
+
+	sweepOnce sync.Once
+	sweep     []SweepStep
+}
+
+// SweepStep is one parent-before-child visit of a PathTree. For every
+// node reachable from Src (excluding Src itself) it reports the node,
+// the node it is reached through, the tree link joining them, and the
+// accumulated path weight. Because every step's Parent appears in an
+// earlier step (or is Src), a single pass over the steps supports
+// dynamic programming along tree paths — accumulating a per-node value
+// from its parent's — without materializing any Path.
+type SweepStep struct {
+	Node   NodeID
+	Parent NodeID
+	Via    *Link
+	Dist   float64
+}
+
+// Sweep returns the tree's nodes in a deterministic parent-before-child
+// order (breadth-first from Src, children visited in NodeID order). The
+// order is computed once per tree and shared; the returned slice must
+// not be mutated. Safe for concurrent use.
+func (t *PathTree) Sweep() []SweepStep {
+	t.sweepOnce.Do(func() {
+		children := make(map[NodeID][]NodeID, len(t.via))
+		for n, l := range t.via {
+			p, _ := l.Other(n)
+			children[p] = append(children[p], n)
+		}
+		for _, cs := range children {
+			sort.Slice(cs, func(i, j int) bool { return cs[i] < cs[j] })
+		}
+		order := make([]SweepStep, 0, len(t.via))
+		queue := []NodeID{t.Src}
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, c := range children[u] {
+				order = append(order, SweepStep{Node: c, Parent: u, Via: t.via[c], Dist: t.dist[c]})
+				queue = append(queue, c)
+			}
+		}
+		t.sweep = order
+	})
+	return t.sweep
 }
 
 // ShortestPathTree runs Dijkstra from src. Weights must be nonnegative;
@@ -406,6 +453,35 @@ func (rt *RouteTable) Route(src, dst NodeID) *Path {
 	p, _ = tree.PathTo(dst) // nil when unreachable (graph mutated post-build)
 	rt.routes[key] = p
 	return p
+}
+
+// Tree returns the memoized shortest-path tree rooted at src — the same
+// tree Route materializes paths from, so DP sweeps over it (see
+// PathTree.Sweep) agree link-for-link with per-pair Route answers. It
+// errors for unknown or non-compute sources, mirroring Route's nil for
+// such pairs.
+func (rt *RouteTable) Tree(src NodeID) (*PathTree, error) {
+	ns := rt.g.nodes[src]
+	if ns == nil || ns.Kind != Compute {
+		return nil, fmt.Errorf("graph: no routes from %q", src)
+	}
+	rt.mu.RLock()
+	t := rt.trees[src]
+	rt.mu.RUnlock()
+	if t != nil {
+		return t, nil
+	}
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if t := rt.trees[src]; t != nil {
+		return t, nil
+	}
+	t, err := rt.g.ShortestPathTree(src, rt.w)
+	if err != nil {
+		return nil, err
+	}
+	rt.trees[src] = t
+	return t, nil
 }
 
 // Graph returns the graph the table was computed from.

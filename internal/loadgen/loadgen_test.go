@@ -1,0 +1,102 @@
+package loadgen_test
+
+import (
+	"context"
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/loadgen"
+	"repro/remos"
+)
+
+func servedTarget(t *testing.T) loadgen.Target {
+	t.Helper()
+	tb, err := remos.NewTestbed()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb.StartBlast("m-6", "m-8", 60e6)
+	tb.Run(30)
+	addr, shutdown, err := tb.ServeCollector("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { shutdown() })
+	src, err := remos.DialCollectors(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { src.Close() })
+	return src
+}
+
+func TestClosedLoopSmoke(t *testing.T) {
+	res, err := loadgen.Run(context.Background(), loadgen.Config{
+		Targets:    []loadgen.Target{servedTarget(t)},
+		Workers:    4,
+		Duration:   500 * time.Millisecond,
+		MatrixFrac: 0.2,
+		MatrixSize: 4,
+		Span:       10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops == 0 {
+		t.Fatal("closed loop completed zero ops")
+	}
+	if res.Errors != 0 || res.Refusals != 0 {
+		t.Fatalf("healthy plane produced %d errors, %d refusals: %v", res.Errors, res.Refusals, res)
+	}
+	if res.MatrixOps == 0 {
+		t.Fatalf("matrix-frac 0.2 over %d ops issued zero matrices", res.Ops)
+	}
+	// Effective queries: each 4×4 matrix counts 16, each point query 1.
+	want := (res.Ops - res.MatrixOps) + res.MatrixOps*16
+	if res.Queries != want {
+		t.Fatalf("Queries = %d, want %d (%d ops, %d matrix)", res.Queries, want, res.Ops, res.MatrixOps)
+	}
+	if math.IsNaN(res.QueryP50) || res.QueryP50 <= 0 {
+		t.Fatalf("query p50 = %v, want positive", res.QueryP50)
+	}
+	if res.Dropped != 0 {
+		t.Fatalf("closed loop cannot drop arrivals, got %d", res.Dropped)
+	}
+}
+
+func TestOpenLoopSmoke(t *testing.T) {
+	res, err := loadgen.Run(context.Background(), loadgen.Config{
+		Targets:  []loadgen.Target{servedTarget(t)},
+		Workers:  4,
+		Rate:     200,
+		Duration: 500 * time.Millisecond,
+		Span:     10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops == 0 {
+		t.Fatal("open loop completed zero ops")
+	}
+	if res.Errors != 0 {
+		t.Fatalf("healthy plane produced %d errors: %v", res.Errors, res)
+	}
+	// At 200 q/s for 0.5s the plane is far from saturated: the op rate
+	// must track the offered rate, not the plane's capacity ceiling.
+	if res.OpRate > 400 {
+		t.Fatalf("open loop overshot the offered rate: %.0f ops/s for rate 200", res.OpRate)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := loadgen.Run(context.Background(), loadgen.Config{}); err == nil {
+		t.Fatal("no targets accepted")
+	}
+	if _, err := loadgen.Run(context.Background(), loadgen.Config{
+		Targets:    []loadgen.Target{servedTarget(t)},
+		MatrixFrac: 1.5,
+	}); err == nil {
+		t.Fatal("MatrixFrac 1.5 accepted")
+	}
+}

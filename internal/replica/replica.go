@@ -567,6 +567,16 @@ func (r *Replica) Topology() (*collector.Topology, error) {
 	return st.topo, nil
 }
 
+// CheckFresh reports whether the replica would accept a query right
+// now: nil, or the typed ErrStaleReplica refusal the staleness fence
+// is answering. Long-lived serving layers (the matrix handler's
+// Modeler) consult it per call so a fenced replica refuses batched
+// answers even when a higher layer holds cached state.
+func (r *Replica) CheckFresh() error {
+	_, err := r.gate()
+	return err
+}
+
 // ageAdjust mirrors the collector's ageAdjustLocked, but against the
 // extrapolated clock: ages keep growing in wall time between feed
 // updates, so a lagging replica's answers degrade honestly instead of

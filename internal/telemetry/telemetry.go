@@ -122,6 +122,62 @@ func (q *Quantile) Summary() stats.Stat {
 	return q.snapshot().Stat
 }
 
+// Percentile returns the p-th percentile (0..100, linearly
+// interpolated) of the current window, or NaN on nil or before the
+// first observation. For several percentiles of one consistent window
+// use Percentiles.
+func (q *Quantile) Percentile(p float64) float64 {
+	return q.Percentiles(p)[0]
+}
+
+// Percentiles returns the requested percentiles (0..100 each, linearly
+// interpolated) computed over one consistent snapshot of the window, so
+// p50/p99/p999-style tails never straddle an Observe. Entries are NaN
+// on nil or before the first observation.
+func (q *Quantile) Percentiles(ps ...float64) []float64 {
+	out := make([]float64, len(ps))
+	var window []float64
+	if q != nil {
+		q.mu.Lock()
+		n := len(q.buf)
+		if !q.full {
+			n = q.next
+		}
+		window = make([]float64, n)
+		if q.full {
+			copy(window, q.buf[q.next:])
+			copy(window[len(q.buf)-q.next:], q.buf[:q.next])
+		} else {
+			copy(window, q.buf[:q.next])
+		}
+		q.mu.Unlock()
+	}
+	if len(window) == 0 {
+		for i := range out {
+			out[i] = math.NaN()
+		}
+		return out
+	}
+	sort.Float64s(window)
+	for i, p := range ps {
+		switch {
+		case p <= 0:
+			out[i] = window[0]
+		case p >= 100:
+			out[i] = window[len(window)-1]
+		default:
+			pos := p / 100 * float64(len(window)-1)
+			lo := int(pos)
+			frac := pos - float64(lo)
+			out[i] = window[lo]
+			if lo+1 < len(window) {
+				out[i] += frac * (window[lo+1] - window[lo])
+			}
+		}
+	}
+	return out
+}
+
 func (q *Quantile) snapshot() QuantileSnapshot {
 	if q == nil {
 		return QuantileSnapshot{Stat: stats.NoData()}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"math"
 	"net/http/httptest"
 	"sync"
 	"testing"
@@ -268,5 +269,52 @@ func TestDebugMux(t *testing.T) {
 	hz.Body.Close()
 	if hz.StatusCode != 200 {
 		t.Errorf("healthz status = %d", hz.StatusCode)
+	}
+}
+
+// TestQuantilePercentiles: the percentile reader interpolates linearly
+// over one consistent window snapshot, clamps at the extremes, and
+// NaN-fills before the first observation.
+func TestQuantilePercentiles(t *testing.T) {
+	r := NewRegistry()
+	q := r.Quantile("lat", 16)
+
+	for _, v := range q.Percentiles(50, 99) {
+		if !math.IsNaN(v) {
+			t.Fatalf("empty window percentile = %v, want NaN", v)
+		}
+	}
+	var nilQ *Quantile
+	if !math.IsNaN(nilQ.Percentile(50)) {
+		t.Fatal("nil quantile percentile must be NaN")
+	}
+
+	// 1..10 observed out of order: percentiles see the sorted window.
+	for _, v := range []float64{7, 2, 9, 4, 1, 10, 3, 6, 8, 5} {
+		q.Observe(v)
+	}
+	got := q.Percentiles(0, 25, 50, 90, 100)
+	want := []float64{1, 3.25, 5.5, 9.1, 10}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-9 {
+			t.Fatalf("percentiles(0,25,50,90,100) = %v, want %v", got, want)
+		}
+	}
+	if p := q.Percentile(-5); p != 1 {
+		t.Fatalf("percentile below 0 = %v, want min", p)
+	}
+	if p := q.Percentile(200); p != 10 {
+		t.Fatalf("percentile above 100 = %v, want max", p)
+	}
+
+	// Wraparound: 16 more observations fully replace a 16-slot ring.
+	for i := 11; i <= 26; i++ {
+		q.Observe(float64(i))
+	}
+	if p := q.Percentile(0); p != 11 {
+		t.Fatalf("post-wrap min = %v, want 11 (window keeps the last 16)", p)
+	}
+	if p := q.Percentile(100); p != 26 {
+		t.Fatalf("post-wrap max = %v, want 26", p)
 	}
 }

@@ -190,6 +190,26 @@ type (
 
 	// FlowInfoWatch is a live WatchFlowInfo subscription.
 	FlowInfoWatch = core.FlowInfoWatch
+
+	// MatrixInfo is one batched flow-matrix answer (Modeler.QueryMatrix):
+	// row-major bandwidth and latency matrices over Srcs × Dsts with
+	// per-entry validity and the epoch/term of the pinned snapshot it
+	// was computed from.
+	MatrixInfo = core.MatrixInfo
+
+	// MatrixRequest is the wire form of a batched matrix query as
+	// carried by the "matrix" collector op (clients normally use
+	// Modeler.QueryMatrix instead).
+	MatrixRequest = collector.MatrixRequest
+
+	// MatrixAnswer is the wire form of a batched matrix answer.
+	MatrixAnswer = collector.MatrixAnswer
+
+	// MatrixSource is implemented by sources that answer matrix batches
+	// natively in one round trip — dialed clients (DialCollector),
+	// failover groups (DialCollectors), and in-process sources wired to
+	// a batched kernel.
+	MatrixSource = collector.MatrixSource
 )
 
 // Collector-level watch kinds (WatchRequest.Kind).
@@ -246,6 +266,16 @@ var (
 	// address — LeaderHint extracts it — and the failover layer
 	// re-routes to it in one hop.
 	ErrNotLeader = collector.ErrNotLeader
+
+	// ErrMatrixTooLarge is the typed, non-retryable refusal of a daemon
+	// asked for a matrix whose N×M admission weight exceeds its
+	// configured capacity; split the request or query a bigger daemon.
+	ErrMatrixTooLarge = collector.ErrMatrixTooLarge
+
+	// ErrMatrixUnsupported is returned by endpoints that do not serve
+	// the batched "matrix" op; Modeler.QueryMatrix falls back to
+	// computing the matrix locally when it sees this.
+	ErrMatrixUnsupported = collector.ErrMatrixUnsupported
 )
 
 // LeaderHint extracts the leader's address from an ErrNotLeader chain;
@@ -387,11 +417,23 @@ const (
 // cfg.FeedAddr; call Start on it, then optionally WaitSynced.
 func NewReadReplica(cfg ReplicaConfig) *ReadReplica { return replica.New(cfg) }
 
+// matrixConfig wires the batched flow-matrix kernel into a server
+// config: every remos-served endpoint answers the "matrix" wire op
+// through a lazily-snapshotting Modeler over the same source. Sources
+// that already forward matrices natively (a dialed Client) are left
+// to the server's own MatrixSource passthrough.
+func matrixConfig(src Source) collector.ServerConfig {
+	if _, ok := src.(collector.MatrixSource); ok {
+		return collector.ServerConfig{}
+	}
+	return collector.ServerConfig{Matrix: core.MatrixHandler(core.New(core.Config{Source: src}))}
+}
+
 // ServeSource exposes any Source (e.g. a ReadReplica) on a TCP address
-// with the standard query/watch service; returns the bound address and
-// a shutdown function.
+// with the standard query/watch service, including the batched
+// "matrix" op; returns the bound address and a shutdown function.
 func ServeSource(src Source, addr string) (string, func() error, error) {
-	srv, err := collector.Serve(src, addr)
+	srv, err := collector.ServeConfig(src, addr, matrixConfig(src))
 	if err != nil {
 		return "", nil, err
 	}
@@ -514,7 +556,7 @@ func (t *Testbed) SaveHistory(w io.Writer) error { return t.Collector.SaveHistor
 // (e.g. "127.0.0.1:0") for out-of-process Modelers; returns the bound
 // address and a shutdown function.
 func (t *Testbed) ServeCollector(addr string) (string, func() error, error) {
-	srv, err := collector.Serve(t.Collector, addr)
+	srv, err := collector.ServeConfig(t.Collector, addr, matrixConfig(t.Collector))
 	if err != nil {
 		return "", nil, err
 	}
@@ -526,6 +568,7 @@ func (t *Testbed) ServeCollector(addr string) (string, func() error, error) {
 // Close and bring it back on the same address with Restart.
 type CollectorReplica struct {
 	src  collector.Source
+	cfg  collector.ServerConfig
 	addr string
 	srv  *collector.Server
 }
@@ -549,7 +592,7 @@ func (r *CollectorReplica) Restart() error {
 	if r.srv != nil {
 		return nil
 	}
-	srv, err := collector.Serve(r.src, r.addr)
+	srv, err := collector.ServeConfig(r.src, r.addr, r.cfg)
 	if err != nil {
 		return err
 	}
@@ -562,16 +605,17 @@ func (r *CollectorReplica) Restart() error {
 // one network, for exercising client failover end to end. Close every
 // replica when done.
 func (t *Testbed) ServeReplicas(n int) ([]*CollectorReplica, error) {
+	cfg := matrixConfig(t.Collector)
 	var reps []*CollectorReplica
 	for i := 0; i < n; i++ {
-		srv, err := collector.Serve(t.Collector, "127.0.0.1:0")
+		srv, err := collector.ServeConfig(t.Collector, "127.0.0.1:0", cfg)
 		if err != nil {
 			for _, r := range reps {
 				r.Close()
 			}
 			return nil, err
 		}
-		reps = append(reps, &CollectorReplica{src: t.Collector, addr: srv.Addr(), srv: srv})
+		reps = append(reps, &CollectorReplica{src: t.Collector, cfg: cfg, addr: srv.Addr(), srv: srv})
 	}
 	return reps, nil
 }

@@ -82,8 +82,14 @@ run_benches() {
     echo "==> go test -bench . -benchtime=$MICRO_BENCHTIME ./internal/telemetry"
     go test -run '^$' -bench . -benchmem -benchtime "$MICRO_BENCHTIME" ./internal/telemetry | tee "$TMP/telemetry.txt"
 
+    echo "==> go test -bench BenchmarkMatrixKernel -benchtime=$MICRO_BENCHTIME ./internal/core (batched kernel ablation)"
+    go test -run '^$' -bench 'BenchmarkMatrixKernel' -benchmem -benchtime "$MICRO_BENCHTIME" ./internal/core | tee "$TMP/matrixcore.txt"
+
+    echo "==> go test -bench BenchmarkMatrixWire -benchtime=$MICRO_BENCHTIME ./remos (matrix wire op + p99 latency)"
+    go test -run '^$' -bench 'BenchmarkMatrixWire' -benchmem -benchtime "$MICRO_BENCHTIME" ./remos | tee "$TMP/matrixwire.txt"
+
     # Benchstat-friendly raw output, kept as a CI artifact.
-    cat "$TMP/root.txt" "$TMP/micro.txt" "$TMP/telemetry.txt" > "$RAW"
+    cat "$TMP/root.txt" "$TMP/micro.txt" "$TMP/telemetry.txt" "$TMP/matrixcore.txt" "$TMP/matrixwire.txt" > "$RAW"
 
     {
         printf '{\n'
@@ -98,6 +104,12 @@ run_benches() {
         printf '],\n'
         printf '    "repro/internal/telemetry": ['
         bench_json "$TMP/telemetry.txt"
+        printf '],\n'
+        printf '    "repro/internal/core": ['
+        bench_json "$TMP/matrixcore.txt"
+        printf '],\n'
+        printf '    "repro/remos": ['
+        bench_json "$TMP/matrixwire.txt"
         printf ']\n'
         printf '  }\n'
         printf '}\n'
@@ -106,13 +118,14 @@ run_benches() {
     echo "bench: wrote $OUT (raw: $RAW)"
 }
 
-# Extract "name<TAB>ns/op<TAB>allocs/op" per benchmark from the
-# line-oriented JSON. Names are normalized by stripping the trailing
+# Extract "name<TAB>ns/op<TAB>allocs/op<TAB>p99_ms" per benchmark from
+# the line-oriented JSON (p99_ms is 0 for benchmarks that do not report
+# a tail latency). Names are normalized by stripping the trailing
 # -GOMAXPROCS suffix so baselines transfer across machines.
 bench_extract() {
     awk '
         /"name":/ {
-            name = ""; ns = ""; al = ""
+            name = ""; ns = ""; al = ""; p99 = ""
             if (match($0, /"name": "[^"]+"/)) {
                 name = substr($0, RSTART + 9, RLENGTH - 10)
                 sub(/-[0-9]+$/, "", name)
@@ -121,8 +134,10 @@ bench_extract() {
                 ns = substr($0, RSTART + 9, RLENGTH - 9)
             if (match($0, /"allocs\/op": [0-9.eE+-]+/))
                 al = substr($0, RSTART + 13, RLENGTH - 13)
+            if (match($0, /"p99_ms": [0-9.eE+-]+/))
+                p99 = substr($0, RSTART + 10, RLENGTH - 10)
             if (name != "" && ns != "")
-                printf "%s\t%s\t%s\n", name, ns, (al == "" ? 0 : al)
+                printf "%s\t%s\t%s\t%s\n", name, ns, (al == "" ? 0 : al), (p99 == "" ? 0 : p99)
         }
     ' "$1"
 }
@@ -131,17 +146,20 @@ compare_run() {
     bench_extract "$BASELINE" > "$TMP/base.tsv"
     bench_extract "$OUT" > "$TMP/fresh.tsv"
     awk -F'\t' -v soft="$SOFT_PCT" -v hard="$HARD_PCT" '
-        NR == FNR { ns[$1] = $2; al[$1] = $3; next }
+        NR == FNR { ns[$1] = $2; al[$1] = $3; p99[$1] = $4; next }
         {
             if (!($1 in ns)) { printf "  new       %-58s (no baseline entry)\n", $1; next }
             seen[$1] = 1
             dns = ns[$1] > 0 ? 100 * ($2 - ns[$1]) / ns[$1] : 0
             dal = al[$1] > 0 ? 100 * ($3 - al[$1]) / al[$1] : 0
+            dp99 = p99[$1] > 0 ? 100 * ($4 - p99[$1]) / p99[$1] : 0
             worst = dns > dal ? dns : dal
+            if (dp99 > worst) worst = dp99
             flag = "ok"
             if (worst > hard)      { flag = "FAIL"; hardfail++ }
             else if (worst > soft) { flag = "warn"; softfail++ }
-            printf "  %-9s %-58s ns/op %+8.1f%%  allocs/op %+8.1f%%\n", flag, $1, dns, dal
+            tail = p99[$1] > 0 ? sprintf("  p99 %+8.1f%%", dp99) : ""
+            printf "  %-9s %-58s ns/op %+8.1f%%  allocs/op %+8.1f%%%s\n", flag, $1, dns, dal, tail
         }
         END {
             for (n in ns) if (!(n in seen))

@@ -45,10 +45,18 @@ echo "==> federation stage: generators + 3-region federation (summaries, fencing
 go test -race -timeout 300s -count=1 ./internal/topogen ./internal/federation
 go test -race -timeout 300s -count=1 -run 'TestFederationThousandNodeAcceptance|TestScaleStudy' ./internal/experiments
 
+echo "==> matrix stage: wire op + admission + fencing under -race, kernel equivalence"
+go test -race -timeout 300s -count=1 -run 'TestMatrix' ./remos ./internal/core
+
+echo "==> loadgen smoke: 2 replicas, mixed workload, latency + error gates"
+go run ./cmd/remos-loadgen -selftest 2 -workers 8 -conns 4 -duration 3s \
+    -matrix-frac 0.5 -matrix-size 8 -max-p999 250
+
 echo "==> fuzz smoke (10s per target)"
 go test -fuzz=FuzzDecode -fuzztime=10s -run '^$' ./internal/snmp
 go test -fuzz='^FuzzReadFrame$' -fuzztime=10s -run '^$' ./internal/collector
 go test -fuzz=FuzzReadMuxFrame -fuzztime=10s -run '^$' ./internal/collector
+go test -fuzz=FuzzDecodeMatrixRequest -fuzztime=10s -run '^$' ./internal/collector
 go test -fuzz=FuzzDecodeDelta -fuzztime=10s -run '^$' ./internal/replica
 
 echo "verify: OK"
